@@ -1,0 +1,52 @@
+//! Ablation (DESIGN.md §6.3): CRC realisations — bit-serial reference,
+//! byte table, and the paper's parallel matrices at 1- and 4-byte word
+//! widths.  The matrix engines are the software analogue of the
+//! hardware cores; the expected shape is bitwise ≪ table ≤ matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p5_crc::{BitwiseEngine, CrcEngine, MatrixEngine, Slice8Engine, TableEngine, FCS32};
+
+fn bench_crc(c: &mut Criterion) {
+    let data = p5_bench::payload_with_flag_density(64 * 1024, 0.02, 99);
+    let mut g = c.benchmark_group("ablation_crc");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+
+    g.bench_function(BenchmarkId::new("bitwise", "fcs32"), |b| {
+        let mut e = BitwiseEngine::new(FCS32);
+        b.iter(|| {
+            e.reset();
+            e.update(&data);
+            e.value()
+        })
+    });
+    g.bench_function(BenchmarkId::new("table", "fcs32"), |b| {
+        let mut e = TableEngine::new(FCS32);
+        b.iter(|| {
+            e.reset();
+            e.update(&data);
+            e.value()
+        })
+    });
+    g.bench_function(BenchmarkId::new("slice8", "fcs32"), |b| {
+        let mut e = Slice8Engine::new(FCS32);
+        b.iter(|| {
+            e.reset();
+            e.update(&data);
+            e.value()
+        })
+    });
+    for width in [1usize, 4, 8] {
+        g.bench_function(BenchmarkId::new("matrix", format!("w{width}")), |b| {
+            let mut e = MatrixEngine::new(FCS32, width);
+            b.iter(|| {
+                e.reset();
+                e.update(&data);
+                e.value()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crc);
+criterion_main!(benches);

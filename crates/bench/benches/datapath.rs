@@ -1,0 +1,76 @@
+//! Datapath benchmarks: the software (behavioural) PPP codec as the
+//! sequential baseline versus the cycle-accurate 8-bit and 32-bit P⁵
+//! models, plus the escape-density ablation on the raw stuffing core.
+//!
+//! Cycle-model numbers measure *simulation* speed; the architectural
+//! throughput claim (bytes per clock) is checked in unit tests and
+//! printed by `throughput_report`.  The interesting shape here is the
+//! W32/W8 simulated-cycles ratio (~4×) and the cost of flag density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p5_bench::payload_with_flag_density;
+use p5_core::behavioral::{BehavioralRx, BehavioralTx};
+use p5_core::{DatapathWidth, P5};
+
+fn bench_behavioral(c: &mut Criterion) {
+    let payload = payload_with_flag_density(1500, 0.02, 5);
+    let mut g = c.benchmark_group("software_baseline");
+    g.throughput(Throughput::Bytes(1500 * 32));
+    g.bench_function("encode_32_frames", |b| {
+        b.iter(|| {
+            let mut tx = BehavioralTx::new(0xFF);
+            let mut wire = Vec::new();
+            for _ in 0..32 {
+                tx.encode_into(0x0021, &payload, &mut wire);
+            }
+            wire
+        })
+    });
+    let mut tx = BehavioralTx::new(0xFF);
+    let mut wire = Vec::new();
+    for _ in 0..32 {
+        tx.encode_into(0x0021, &payload, &mut wire);
+    }
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("decode_32_frames", |b| {
+        b.iter(|| {
+            let mut rx = BehavioralRx::new(0xFF);
+            rx.decode(&wire)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cycle_model(c: &mut Criterion) {
+    let payload = payload_with_flag_density(1500, 0.02, 6);
+    let mut g = c.benchmark_group("cycle_model");
+    g.sample_size(10);
+    for (name, width) in [("w8", DatapathWidth::W8), ("w32", DatapathWidth::W32)] {
+        g.bench_function(BenchmarkId::new("tx_8_frames", name), |b| {
+            b.iter(|| {
+                let mut p5 = P5::new(width);
+                for _ in 0..8 {
+                    p5.submit(0x0021, payload.clone());
+                }
+                p5.run_until_idle(10_000_000);
+                p5.take_wire_out()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stuffing_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_escape_density");
+    for density in [0.0, 0.1, 0.5, 1.0] {
+        let body = payload_with_flag_density(64 * 1024, density, 7);
+        g.throughput(Throughput::Bytes(body.len() as u64));
+        g.bench_function(BenchmarkId::from_parameter(format!("{density}")), |b| {
+            b.iter(|| p5_hdlc::stuff(&body, p5_hdlc::Accm::SONET))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_behavioral, bench_cycle_model, bench_stuffing_density);
+criterion_main!(benches);

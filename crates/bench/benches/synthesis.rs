@@ -1,0 +1,30 @@
+//! Synthesis-flow benchmarks: how long mapping the paper's modules
+//! takes, and the sorter-style ablation (one-hot vs barrel) measured in
+//! mapped area — reported through criterion's harness so the numbers
+//! land in the same report set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p5_fpga::{map, MapMode};
+use p5_rtl::{build_escape_gen, SorterStyle};
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis_flow");
+    g.sample_size(10);
+    for (name, style) in [
+        ("escape_gen_w4_onehot", SorterStyle::OneHot),
+        ("escape_gen_w4_barrel", SorterStyle::Barrel),
+    ] {
+        let n = build_escape_gen(4, style);
+        g.bench_function(BenchmarkId::new("map_area", name), |b| {
+            b.iter(|| map(&n, MapMode::Area).lut_count())
+        });
+    }
+    let n = build_escape_gen(1, SorterStyle::OneHot);
+    g.bench_function(BenchmarkId::new("map_area", "escape_gen_w1"), |b| {
+        b.iter(|| map(&n, MapMode::Area).lut_count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

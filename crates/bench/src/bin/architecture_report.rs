@@ -1,0 +1,62 @@
+//! Figures 2–4 — the P⁵ system architecture, rendered from the actual
+//! implementation: the block structure (Figure 2), each direction's
+//! three-stage pipeline (Figures 3 and 4), and the synthesized
+//! per-module inventory (ports, flip-flops, LUTs) of every block.
+
+use p5_bench::heading;
+use p5_fpga::{map, MapMode};
+use p5_rtl::{build_oam_regfile, system_modules};
+
+fn main() {
+    print!("{}", heading("Figure 2 - P5 system architecture"));
+    println!(
+        r#"
+   Shared Memory                                 Shared Memory
+        |                                              ^
+        v                                              |
+  +-----------------+      +--------------+     +-----------------+
+  | PPP TRANSMITTER |<---->| PROTOCOL OAM |<--->|  PPP RECEIVER   |
+  |  (Figure 3)     |      |  (uP bus,    |     |   (Figure 4)    |
+  |                 |      |  registers,  |     |                 |
+  |  Control/Data   |      |  interrupts) |     |  Escape Detect  |
+  |      v          |      +--------------+     |       v         |
+  |     CRC         |             ^             |      CRC        |
+  |      v          |             |             |       v         |
+  |  Escape Gen     |         uP (host)         |    Control      |
+  +--------+--------+                           +--------^--------+
+           v                                             |
+          PHY  ------------- SDH/SONET ------------------+
+"#
+    );
+
+    print!("{}", heading("Figures 3 & 4 - per-module inventory (from the netlists)"));
+    for width in [1usize, 4] {
+        println!("\n{}-bit datapath:", width * 8);
+        println!(
+            "  {:<30} {:>7} {:>6} {:>6} {:>8}",
+            "module", "inputs", "FFs", "LUTs", "gates"
+        );
+        for n in system_modules(width) {
+            let inputs: usize = n.inputs.iter().map(|b| b.sigs.len()).sum();
+            let m = map(&n, MapMode::Area);
+            println!(
+                "  {:<30} {:>7} {:>6} {:>6} {:>8}",
+                n.name,
+                inputs,
+                n.ff_count(),
+                m.lut_count(),
+                n.gate_count()
+            );
+        }
+    }
+    let oam = build_oam_regfile();
+    let m = map(&oam, MapMode::Area);
+    println!(
+        "\n  {:<30} {:>7} {:>6} {:>6} {:>8}   (reported separately: the paper's tables are datapath-only)",
+        oam.name,
+        oam.inputs.iter().map(|b| b.sigs.len()).sum::<usize>(),
+        oam.ff_count(),
+        m.lut_count(),
+        oam.gate_count()
+    );
+}

@@ -1,0 +1,45 @@
+//! Export every P⁵ module as a mapped BLIF netlist (into
+//! `target/netlists/`) so the resource numbers can be independently
+//! checked in an external open-source flow (ABC / VTR).
+
+use p5_fpga::{map, to_blif, to_verilog, LutNetwork, MapMode};
+use p5_rtl::{
+    build_crc_unit, build_escape_detect, build_escape_gen, build_oam_regfile, system_modules,
+    SorterStyle,
+};
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new("target/netlists");
+    fs::create_dir_all(dir)?;
+    let mut modules = Vec::new();
+    modules.extend(system_modules(1));
+    modules.extend(system_modules(4));
+    modules.push(build_escape_gen(4, SorterStyle::OneHot));
+    modules.push(build_escape_detect(4, SorterStyle::OneHot));
+    modules.push(build_crc_unit(p5_crc::FCS16, 2));
+    modules.push(build_oam_regfile());
+
+    let mut seen = std::collections::HashSet::new();
+    for n in &modules {
+        if !seen.insert(n.name.clone()) {
+            continue; // tx/rx share CRC units
+        }
+        let m = map(n, MapMode::Area);
+        let net = LutNetwork::new(n, &m);
+        let blif = to_blif(&net);
+        let stem = n.name.replace([' ', '-', '(', ')'], "_");
+        let fname = format!("{stem}.blif");
+        fs::write(dir.join(&fname), &blif)?;
+        fs::write(dir.join(format!("{stem}.v")), to_verilog(&net))?;
+        println!(
+            "{:<38} {:>5} LUTs {:>4} FFs -> target/netlists/{}",
+            n.name,
+            m.lut_count(),
+            m.ff_count,
+            fname
+        );
+    }
+    Ok(())
+}

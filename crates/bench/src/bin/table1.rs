@@ -1,0 +1,21 @@
+//! Table 1 — P⁵ 8-bit implementation: synthesis results on the paper's
+//! two small devices, pre- and post-layout.
+//!
+//! Paper anchors: ≈184 LUTs (12 % of an XCV50) / ≈84 FFs; the 8-bit
+//! system meets 78.125 MHz comfortably on Virtex-II.
+
+use p5_bench::heading;
+use p5_fpga::devices;
+use p5_rtl::synthesize_system;
+
+fn main() {
+    print!("{}", heading("Table 1 - P5 8-bit implementation"));
+    for dev in [devices::XCV50_4, devices::XC2V40_6] {
+        let r = synthesize_system(1, &dev);
+        print!("{}", r.render());
+    }
+    println!(
+        "\npaper anchors: ~184 LUTs (12% of XCV50-4), ~84 FFs; \
+         78.125 MHz required for 625 Mbps"
+    );
+}

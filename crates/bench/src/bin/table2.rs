@@ -1,0 +1,28 @@
+//! Table 2 — P⁵ 32-bit implementation: synthesis results on the paper's
+//! two larger devices, pre- and post-layout.
+//!
+//! Paper anchors: ≈11× the 8-bit system; ≈25 % of an XC2V1000;
+//! 78.125 MHz met on Virtex-II (-6) and missed on Virtex (-4).
+
+use p5_bench::heading;
+use p5_fpga::devices;
+use p5_rtl::synthesize_system;
+
+fn main() {
+    print!("{}", heading("Table 2 - P5 32-bit implementation"));
+    for dev in [devices::XCV600_4, devices::XC2V1000_6] {
+        let r = synthesize_system(4, &dev);
+        print!("{}", r.render());
+    }
+    // The headline area ratio.
+    let w8 = synthesize_system(1, &devices::XCV600_4);
+    let w32 = synthesize_system(4, &devices::XCV600_4);
+    println!(
+        "\n32-bit / 8-bit area ratio: {:.1}x (paper: ~11x, \"not 4 times \
+         bigger ... but approximately 11 times bigger\")",
+        w32.total_luts_post as f64 / w8.total_luts_post as f64
+    );
+    println!(
+        "paper anchors: ~25% of XC2V1000; line clock met on Virtex-II only"
+    );
+}

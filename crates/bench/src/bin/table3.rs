@@ -1,0 +1,26 @@
+//! Table 3 — Escape Generator module alone, 32-bit vs 8-bit, on the
+//! XC2V40 (the paper's dedicated experiment isolating the byte sorter).
+//!
+//! Paper anchors: 32-bit = 492 LUTs (96 %) / 168 FFs (32 %);
+//! 8-bit = 22 LUTs (4 %) / 6 FFs (~1 %) — 25× LUTs, 28× FFs.
+
+use p5_bench::heading;
+use p5_fpga::{devices, synthesize};
+use p5_rtl::{build_escape_gen, SorterStyle};
+
+fn main() {
+    print!("{}", heading("Table 3 - Escape Generator implementation (XC2V40-6)"));
+    let dev = devices::XC2V40_6;
+    let w32 = synthesize(&build_escape_gen(4, SorterStyle::Barrel), &dev);
+    let w8 = synthesize(&build_escape_gen(1, SorterStyle::Barrel), &dev);
+    println!("  {}", w32.table_row());
+    println!("  {}", w8.table_row());
+    println!(
+        "\nratios (post-layout): {:.0}x LUTs, {:.0}x FFs   (paper: 25x LUTs, 28x FFs)",
+        w32.luts_post as f64 / w8.luts_post as f64,
+        w32.ffs as f64 / w8.ffs as f64,
+    );
+    println!(
+        "paper anchors: 32-bit 492 LUT (96%) / 168 FF (32%); 8-bit 22 LUT (4%) / 6 FF (~1%)"
+    );
+}

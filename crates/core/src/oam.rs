@@ -1,0 +1,238 @@
+//! The Protocol OAM block: "an efficient interface for control and
+//! status information to be exchanged between an external
+//! microcontroller and the internal Receiver and Transmitter blocks".
+//!
+//! A memory-mapped register file plus interrupt logic.  The host side
+//! (a MicroBlaze in the paper's SoPC vision) talks through the
+//! [`MmioBus`] trait; the datapath side updates status and counters
+//! through a shared [`OamHandle`].
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Register addresses (word-aligned byte offsets).
+pub mod regs {
+    /// Control register.
+    pub const CTRL: u32 = 0x00;
+    /// Status register (read-only).
+    pub const STATUS: u32 = 0x04;
+    /// Programmable HDLC address octet (MAPOS compatibility).
+    pub const ADDRESS: u32 = 0x08;
+    /// Maximum receive body length.
+    pub const MAX_BODY: u32 = 0x0C;
+    /// Interrupt enable mask.
+    pub const INT_ENABLE: u32 = 0x10;
+    /// Interrupt pending (write-1-to-clear).
+    pub const INT_PENDING: u32 = 0x14;
+    /// Counters (read-only).
+    pub const TX_FRAMES: u32 = 0x20;
+    pub const RX_FRAMES: u32 = 0x24;
+    pub const FCS_ERRORS: u32 = 0x28;
+    pub const ABORTS: u32 = 0x2C;
+    pub const RUNTS: u32 = 0x30;
+    pub const GIANTS: u32 = 0x34;
+    pub const ADDR_MISMATCHES: u32 = 0x38;
+    pub const HEADER_ERRORS: u32 = 0x3C;
+}
+
+/// CTRL register bits.
+pub mod ctrl {
+    /// Enable the transmitter.
+    pub const TX_ENABLE: u32 = 1 << 0;
+    /// Enable the receiver.
+    pub const RX_ENABLE: u32 = 1 << 1;
+    /// Accept frames regardless of address.
+    pub const PROMISCUOUS: u32 = 1 << 2;
+    /// Use FCS-16 instead of FCS-32.
+    pub const FCS16: u32 = 1 << 3;
+    /// Diagnostic loopback: route the transmitter's wire output straight
+    /// into the receiver.
+    pub const LOOPBACK: u32 = 1 << 4;
+}
+
+/// Interrupt causes (bit positions in INT_ENABLE / INT_PENDING).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Interrupt {
+    /// A good frame reached shared memory.
+    RxFrame = 1 << 0,
+    /// Any receive defect (FCS, abort, runt, giant, header).
+    RxError = 1 << 1,
+    /// Transmit queue drained.
+    TxDone = 1 << 2,
+}
+
+/// The raw register state.
+#[derive(Debug, Default)]
+pub struct OamState {
+    pub ctrl: u32,
+    pub address: u8,
+    pub max_body: u32,
+    pub int_enable: u32,
+    pub int_pending: u32,
+    pub tx_frames: u32,
+    pub rx_frames: u32,
+    pub fcs_errors: u32,
+    pub aborts: u32,
+    pub runts: u32,
+    pub giants: u32,
+    pub addr_mismatches: u32,
+    pub header_errors: u32,
+    /// Datapath-maintained live status bits.
+    pub tx_busy: bool,
+    pub rx_in_frame: bool,
+}
+
+/// Host-side bus interface (the microprocessor interface of Figure 2).
+pub trait MmioBus {
+    fn read(&self, addr: u32) -> u32;
+    fn write(&mut self, addr: u32, value: u32);
+}
+
+/// Shared handle to the OAM register file (datapath and host both hold
+/// clones; `parking_lot::RwLock` keeps it cheap).
+#[derive(Debug, Clone)]
+pub struct OamHandle(Arc<RwLock<OamState>>);
+
+impl Default for OamHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OamHandle {
+    pub fn new() -> Self {
+        let state = OamState {
+            ctrl: ctrl::TX_ENABLE | ctrl::RX_ENABLE,
+            address: 0xFF,
+            max_body: 1504,
+            ..Default::default()
+        };
+        Self(Arc::new(RwLock::new(state)))
+    }
+
+    pub fn read_state<R>(&self, f: impl FnOnce(&OamState) -> R) -> R {
+        f(&self.0.read())
+    }
+
+    pub fn with_state<R>(&self, f: impl FnOnce(&mut OamState) -> R) -> R {
+        f(&mut self.0.write())
+    }
+
+    /// Raise an interrupt cause; it latches into INT_PENDING regardless
+    /// of the enable mask (the mask gates the output line).
+    pub fn raise(&self, cause: Interrupt) {
+        self.0.write().int_pending |= cause as u32;
+    }
+
+    /// Is the interrupt output line asserted?
+    pub fn irq_asserted(&self) -> bool {
+        let s = self.0.read();
+        s.int_pending & s.int_enable != 0
+    }
+}
+
+/// The OAM as seen from the host bus.
+pub struct Oam {
+    pub handle: OamHandle,
+}
+
+impl Oam {
+    pub fn new(handle: OamHandle) -> Self {
+        Self { handle }
+    }
+}
+
+impl MmioBus for Oam {
+    fn read(&self, addr: u32) -> u32 {
+        let s = self.handle.0.read();
+        match addr {
+            regs::CTRL => s.ctrl,
+            regs::STATUS => (s.tx_busy as u32) | ((s.rx_in_frame as u32) << 1),
+            regs::ADDRESS => s.address as u32,
+            regs::MAX_BODY => s.max_body,
+            regs::INT_ENABLE => s.int_enable,
+            regs::INT_PENDING => s.int_pending,
+            regs::TX_FRAMES => s.tx_frames,
+            regs::RX_FRAMES => s.rx_frames,
+            regs::FCS_ERRORS => s.fcs_errors,
+            regs::ABORTS => s.aborts,
+            regs::RUNTS => s.runts,
+            regs::GIANTS => s.giants,
+            regs::ADDR_MISMATCHES => s.addr_mismatches,
+            regs::HEADER_ERRORS => s.header_errors,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, addr: u32, value: u32) {
+        let mut s = self.handle.0.write();
+        match addr {
+            regs::CTRL => s.ctrl = value,
+            regs::ADDRESS => s.address = value as u8,
+            regs::MAX_BODY => s.max_body = value,
+            regs::INT_ENABLE => s.int_enable = value,
+            // Write-1-to-clear.
+            regs::INT_PENDING => s.int_pending &= !value,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let h = OamHandle::new();
+        let oam = Oam::new(h.clone());
+        assert_eq!(oam.read(regs::ADDRESS), 0xFF);
+        assert_eq!(oam.read(regs::CTRL) & ctrl::TX_ENABLE, ctrl::TX_ENABLE);
+        assert_eq!(oam.read(regs::MAX_BODY), 1504);
+    }
+
+    #[test]
+    fn address_register_is_programmable() {
+        let h = OamHandle::new();
+        let mut oam = Oam::new(h.clone());
+        oam.write(regs::ADDRESS, 0x03); // MAPOS unicast port 1
+        assert_eq!(oam.read(regs::ADDRESS), 0x03);
+        assert_eq!(h.read_state(|s| s.address), 0x03);
+    }
+
+    #[test]
+    fn interrupt_latch_and_mask() {
+        let h = OamHandle::new();
+        let mut oam = Oam::new(h.clone());
+        h.raise(Interrupt::RxFrame);
+        assert_eq!(oam.read(regs::INT_PENDING), Interrupt::RxFrame as u32);
+        assert!(!h.irq_asserted(), "masked by default");
+        oam.write(regs::INT_ENABLE, Interrupt::RxFrame as u32);
+        assert!(h.irq_asserted());
+        // Write-1-to-clear.
+        oam.write(regs::INT_PENDING, Interrupt::RxFrame as u32);
+        assert!(!h.irq_asserted());
+        assert_eq!(oam.read(regs::INT_PENDING), 0);
+    }
+
+    #[test]
+    fn counters_visible_from_bus() {
+        let h = OamHandle::new();
+        h.with_state(|s| {
+            s.rx_frames = 7;
+            s.fcs_errors = 2;
+        });
+        let oam = Oam::new(h);
+        assert_eq!(oam.read(regs::RX_FRAMES), 7);
+        assert_eq!(oam.read(regs::FCS_ERRORS), 2);
+    }
+
+    #[test]
+    fn unknown_addresses_read_zero_and_ignore_writes() {
+        let h = OamHandle::new();
+        let mut oam = Oam::new(h);
+        oam.write(0xFFF0, 0xDEAD);
+        assert_eq!(oam.read(0xFFF0), 0);
+    }
+}

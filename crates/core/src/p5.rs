@@ -1,0 +1,380 @@
+//! The top-level P⁵ device: transmitter, receiver and OAM glued to a
+//! PHY byte interface (Figure 2), with a cycle-accurate `clock()`.
+
+use crate::oam::{ctrl, Interrupt, OamHandle};
+use crate::rx::{RxCounters, RxPipeline};
+use crate::tx::{TxDescriptor, TxPipeline};
+use crate::word::Word;
+use p5_hdlc::FcsMode;
+use std::collections::VecDeque;
+
+pub use crate::rx::ReceivedFrame;
+
+/// The two datapath widths the paper implements and compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatapathWidth {
+    /// 8-bit datapath: "commercial PPP packet processors are 8-bit
+    /// systems" — the 625 Mbps baseline.
+    W8,
+    /// 32-bit datapath: the 2.5 Gbps P⁵.
+    W32,
+}
+
+impl DatapathWidth {
+    /// Lanes (bytes per clock).
+    pub const fn bytes(self) -> usize {
+        match self {
+            DatapathWidth::W8 => 1,
+            DatapathWidth::W32 => 4,
+        }
+    }
+
+    /// Line rate class served at the required clock.
+    pub const fn line_rate_bps(self) -> u64 {
+        match self {
+            DatapathWidth::W8 => 625_000_000,
+            DatapathWidth::W32 => 2_500_000_000,
+        }
+    }
+
+    /// The clock frequency needed to sustain the line rate: both widths
+    /// need ≥ 78.125 MHz (625 Mbps / 8 = 2.5 Gbps / 32).
+    pub const fn required_clock_hz(self) -> u64 {
+        self.line_rate_bps() / (8 * self.bytes() as u64)
+    }
+}
+
+/// The P⁵ device.
+pub struct P5 {
+    width: DatapathWidth,
+    pub tx: TxPipeline,
+    pub rx: RxPipeline,
+    pub oam: OamHandle,
+    /// Wire bytes produced, awaiting the PHY.
+    wire_out: Vec<u8>,
+    /// Wire bytes delivered by the PHY, awaiting the receiver.
+    wire_in: VecDeque<u8>,
+    pub cycles: u64,
+    tx_was_busy: bool,
+    counters_snapshot: RxCounters,
+}
+
+impl P5 {
+    pub fn new(width: DatapathWidth) -> Self {
+        Self::with_oam(width, OamHandle::new())
+    }
+
+    pub fn with_oam(width: DatapathWidth, oam: OamHandle) -> Self {
+        let (address, fcs16, max_body, promiscuous) = oam.read_state(|s| {
+            (
+                s.address,
+                s.ctrl & ctrl::FCS16 != 0,
+                s.max_body as usize,
+                s.ctrl & ctrl::PROMISCUOUS != 0,
+            )
+        });
+        let fcs = if fcs16 { FcsMode::Fcs16 } else { FcsMode::Fcs32 };
+        let w = width.bytes();
+        let mut rx = RxPipeline::new(w, address, fcs, max_body);
+        rx.control.promiscuous = promiscuous;
+        Self {
+            width,
+            tx: TxPipeline::new(w, address, fcs),
+            rx,
+            oam,
+            wire_out: Vec::new(),
+            wire_in: VecDeque::new(),
+            cycles: 0,
+            tx_was_busy: false,
+            counters_snapshot: RxCounters::default(),
+        }
+    }
+
+    pub fn width(&self) -> DatapathWidth {
+        self.width
+    }
+
+    /// Queue a datagram for transmission (shared-memory write).
+    pub fn submit(&mut self, protocol: u16, payload: Vec<u8>) {
+        self.tx.submit(TxDescriptor { protocol, payload });
+    }
+
+    /// Wire bytes the transmitter has produced since the last call.
+    pub fn take_wire_out(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.wire_out)
+    }
+
+    /// Deliver wire bytes from the PHY to the receiver.
+    pub fn put_wire_in(&mut self, bytes: &[u8]) {
+        self.wire_in.extend(bytes);
+    }
+
+    /// Frames delivered to receive shared memory since the last call.
+    pub fn take_received(&mut self) -> Vec<ReceivedFrame> {
+        self.rx.take_frames()
+    }
+
+    pub fn rx_counters(&self) -> &RxCounters {
+        self.rx.counters()
+    }
+
+    /// Advance the device by one clock.
+    pub fn clock(&mut self) {
+        self.cycles += 1;
+        let (tx_en, rx_en) = self
+            .oam
+            .read_state(|s| (s.ctrl & ctrl::TX_ENABLE != 0, s.ctrl & ctrl::RX_ENABLE != 0));
+
+        // Refresh programmable parameters each cycle (registers are live).
+        let addr = self.oam.read_state(|s| s.address);
+        self.tx.control.address = addr;
+        self.rx.control.address = addr;
+        self.rx.control.promiscuous = self
+            .oam
+            .read_state(|s| s.ctrl & ctrl::PROMISCUOUS != 0);
+
+        let loopback = self.oam.read_state(|s| s.ctrl & ctrl::LOOPBACK != 0);
+        if tx_en {
+            if let Some(w) = self.tx.clock(true) {
+                if loopback {
+                    // Diagnostic loopback: the PHY pins never see the
+                    // data; it re-enters the receiver directly.
+                    self.wire_in.extend(w.lanes().iter().copied());
+                } else {
+                    self.wire_out.extend_from_slice(w.lanes());
+                }
+            }
+        }
+        if rx_en {
+            let input = if self.rx.ready() && !self.wire_in.is_empty() {
+                let n = self.width.bytes().min(self.wire_in.len());
+                let mut buf = [0u8; 4];
+                for slot in buf.iter_mut().take(n) {
+                    *slot = self.wire_in.pop_front().unwrap();
+                }
+                Some(Word::data(&buf[..n]))
+            } else {
+                None
+            };
+            self.rx.clock(input);
+        }
+        self.sync_oam();
+    }
+
+    /// Run `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.clock();
+        }
+    }
+
+    /// Clock until both directions drain (or the cycle budget runs out).
+    /// Returns cycles consumed.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycles;
+        while !(self.tx.idle() && self.rx.idle() && self.wire_in.is_empty()) {
+            self.clock();
+            assert!(
+                self.cycles - start < max_cycles,
+                "P5 failed to drain within {max_cycles} cycles"
+            );
+        }
+        self.cycles - start
+    }
+
+    /// Mirror datapath state into the OAM registers and fire interrupts.
+    fn sync_oam(&mut self) {
+        let tx_busy = !self.tx.idle();
+        let c = *self.rx.counters();
+        let prev = self.counters_snapshot;
+        let tx_done_edge = self.tx_was_busy && !tx_busy;
+        self.tx_was_busy = tx_busy;
+
+        let new_frames = c.frames_ok > prev.frames_ok;
+        let new_errors = (c.fcs_errors + c.aborts + c.runts + c.giants + c.header_errors
+            + c.address_mismatches)
+            > (prev.fcs_errors
+                + prev.aborts
+                + prev.runts
+                + prev.giants
+                + prev.header_errors
+                + prev.address_mismatches);
+        self.counters_snapshot = c;
+
+        let rx_in_frame = self.rx.escape.occupancy() > 0 || !self.rx.control.idle();
+        self.oam.with_state(|s| {
+            s.tx_busy = tx_busy;
+            s.rx_in_frame = rx_in_frame;
+            s.rx_frames = c.frames_ok as u32;
+            s.fcs_errors = c.fcs_errors as u32;
+            s.aborts = c.aborts as u32;
+            s.runts = c.runts as u32;
+            s.giants = c.giants as u32;
+            s.addr_mismatches = c.address_mismatches as u32;
+            s.header_errors = c.header_errors as u32;
+            s.tx_frames = self.tx.control.frames_sent as u32;
+        });
+        if new_frames {
+            self.oam.raise(Interrupt::RxFrame);
+        }
+        if new_errors {
+            self.oam.raise(Interrupt::RxError);
+        }
+        if tx_done_edge {
+            self.oam.raise(Interrupt::TxDone);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oam::{regs, MmioBus, Oam};
+
+    /// Two P⁵s wired back-to-back over a perfect wire.
+    fn link_pair(width: DatapathWidth) -> (P5, P5) {
+        (P5::new(width), P5::new(width))
+    }
+
+    fn shuttle(a: &mut P5, b: &mut P5, cycles: u64) {
+        for _ in 0..cycles {
+            a.clock();
+            b.clock();
+            let w = a.take_wire_out();
+            b.put_wire_in(&w);
+            let w = b.take_wire_out();
+            a.put_wire_in(&w);
+        }
+    }
+
+    #[test]
+    fn loopback_delivers_datagrams_w32() {
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 50 + i as usize]).collect();
+        for p in &payloads {
+            a.submit(0x0021, p.clone());
+        }
+        shuttle(&mut a, &mut b, 2000);
+        let got = b.take_received();
+        assert_eq!(got.len(), 5);
+        for (f, p) in got.iter().zip(&payloads) {
+            assert_eq!(&f.payload, p);
+            assert_eq!(f.protocol, 0x0021);
+        }
+        assert_eq!(b.rx_counters().fcs_errors, 0);
+    }
+
+    #[test]
+    fn loopback_delivers_datagrams_w8() {
+        let (mut a, mut b) = link_pair(DatapathWidth::W8);
+        a.submit(0x0057, b"ipv6 over the byte pipe".to_vec());
+        shuttle(&mut a, &mut b, 2000);
+        let got = b.take_received();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].protocol, 0x0057);
+    }
+
+    #[test]
+    fn widths_produce_identical_wire_bytes() {
+        let mut w8 = P5::new(DatapathWidth::W8);
+        let mut w32 = P5::new(DatapathWidth::W32);
+        for p in [&b"alpha"[..], &[0x7E, 0x7D, 0x00, 0x7E][..], &b"omega"[..]] {
+            w8.submit(0x0021, p.to_vec());
+            w32.submit(0x0021, p.to_vec());
+        }
+        w8.run_until_idle(100_000);
+        w32.run_until_idle(100_000);
+        assert_eq!(w8.take_wire_out(), w32.take_wire_out());
+    }
+
+    #[test]
+    fn required_clock_is_78_mhz_for_both() {
+        assert_eq!(DatapathWidth::W8.required_clock_hz(), 78_125_000);
+        assert_eq!(DatapathWidth::W32.required_clock_hz(), 78_125_000);
+    }
+
+    #[test]
+    fn interrupts_fire_on_rx_frame_and_error() {
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        let mut bus = Oam::new(b.oam.clone());
+        bus.write(regs::INT_ENABLE, Interrupt::RxFrame as u32 | Interrupt::RxError as u32);
+        a.submit(0x0021, b"ding".to_vec());
+        shuttle(&mut a, &mut b, 500);
+        assert!(b.oam.irq_asserted());
+        assert_eq!(bus.read(regs::RX_FRAMES), 1);
+        bus.write(regs::INT_PENDING, u32::MAX);
+        assert!(!b.oam.irq_asserted());
+
+        // Now a corrupted frame.
+        a.submit(0x0021, b"to be broken".to_vec());
+        a.run_until_idle(10_000);
+        let mut wire = a.take_wire_out();
+        wire[5] ^= 0x10;
+        b.put_wire_in(&wire);
+        b.run(500);
+        assert_eq!(bus.read(regs::FCS_ERRORS), 1);
+        assert!(b.oam.irq_asserted());
+    }
+
+    #[test]
+    fn reprogramming_address_takes_effect() {
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        let mut a_bus = Oam::new(a.oam.clone());
+        let mut b_bus = Oam::new(b.oam.clone());
+        // Switch both stations to MAPOS address 0x05.
+        a_bus.write(regs::ADDRESS, 0x05);
+        b_bus.write(regs::ADDRESS, 0x05);
+        a.submit(0x0021, b"mapos frame".to_vec());
+        shuttle(&mut a, &mut b, 500);
+        let got = b.take_received();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].address, 0x05);
+        assert_eq!(b.rx_counters().address_mismatches, 0);
+    }
+
+    #[test]
+    fn disabled_receiver_ignores_wire() {
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        let mut bus = Oam::new(b.oam.clone());
+        bus.write(regs::CTRL, ctrl::TX_ENABLE); // rx disabled
+        a.submit(0x0021, b"unheard".to_vec());
+        shuttle(&mut a, &mut b, 500);
+        assert!(b.take_received().is_empty());
+    }
+
+    #[test]
+    fn tx_done_interrupt_on_drain() {
+        let mut a = P5::new(DatapathWidth::W32);
+        let mut bus = Oam::new(a.oam.clone());
+        bus.write(regs::INT_ENABLE, Interrupt::TxDone as u32);
+        a.submit(0x0021, vec![0u8; 64]);
+        a.run_until_idle(10_000);
+        a.clock();
+        assert!(a.oam.irq_asserted());
+    }
+
+    #[test]
+    fn throughput_approaches_width_bytes_per_cycle() {
+        // The headline claim: the 32-bit system processes 32 bits every
+        // clock cycle (escape-free traffic).
+        let mut p = P5::new(DatapathWidth::W32);
+        let payload = vec![0x55u8; 1500];
+        for _ in 0..20 {
+            p.submit(0x0021, payload.clone());
+        }
+        let cycles = p.run_until_idle(200_000);
+        let wire = p.take_wire_out();
+        let bpc = wire.len() as f64 / cycles as f64;
+        assert!(bpc > 3.5, "bytes/cycle {bpc} too far below 4");
+    }
+
+    #[test]
+    fn duplex_traffic_both_directions() {
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        a.submit(0x0021, b"a to b".to_vec());
+        b.submit(0x0021, b"b to a".to_vec());
+        shuttle(&mut a, &mut b, 1000);
+        assert_eq!(b.take_received()[0].payload, b"a to b");
+        assert_eq!(a.take_received()[0].payload, b"b to a");
+    }
+}

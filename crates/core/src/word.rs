@@ -1,0 +1,79 @@
+//! The datapath word: what travels down the pipeline each clock.
+
+/// Maximum lane count (the 32-bit datapath).
+pub const MAX_LANES: usize = 4;
+
+/// One pipeline word: up to four byte lanes plus frame-delineation
+/// sideband signals (the control signals running alongside the data bus
+/// in the hardware design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Word {
+    pub bytes: [u8; MAX_LANES],
+    /// Valid byte count, 0..=width.  Words inside a frame are full; the
+    /// last word of a frame (and an end-strobe word) may be partial or
+    /// even empty.
+    pub len: u8,
+    /// First word of a frame.
+    pub sof: bool,
+    /// Last word of a frame.
+    pub eof: bool,
+    /// Frame was aborted on the wire (receive side).
+    pub abort: bool,
+    /// FCS verdict, annotated by the CRC stage on the `eof` word.
+    pub crc_ok: Option<bool>,
+}
+
+impl Word {
+    /// Build a data word from a slice (≤ 4 bytes).
+    pub fn data(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= MAX_LANES);
+        let mut w = Word {
+            len: bytes.len() as u8,
+            ..Default::default()
+        };
+        w.bytes[..bytes.len()].copy_from_slice(bytes);
+        w
+    }
+
+    /// The valid lanes.
+    pub fn lanes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    pub fn with_sof(mut self) -> Self {
+        self.sof = true;
+        self
+    }
+
+    pub fn with_eof(mut self) -> Self {
+        self.eof = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lanes() {
+        let w = Word::data(&[1, 2, 3]).with_sof();
+        assert_eq!(w.lanes(), &[1, 2, 3]);
+        assert_eq!(w.len, 3);
+        assert!(w.sof && !w.eof);
+    }
+
+    #[test]
+    fn empty_word_is_legal() {
+        // A zero-length eof word is the end-of-frame strobe case.
+        let w = Word::data(&[]).with_eof();
+        assert_eq!(w.lanes(), &[] as &[u8]);
+        assert!(w.eof);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_word_panics() {
+        Word::data(&[0; 5]);
+    }
+}

@@ -1,0 +1,77 @@
+//! CRC parameter sets for the two PPP frame check sequences.
+//!
+//! Both PPP FCSes are *reflected* CRCs: bits enter the register least
+//! significant first, matching HDLC serial transmission order, so the
+//! polynomial constants below are the bit-reversed ("reflected") forms.
+
+/// A reflected CRC parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrcParams {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Register width in bits (16 or 32 for PPP).
+    pub width: u32,
+    /// Reflected generator polynomial.
+    pub poly: u32,
+    /// Register preset (all ones for both PPP FCSes).
+    pub init: u32,
+    /// Final XOR (ones complement for both PPP FCSes).
+    pub xorout: u32,
+    /// The magic residue left in the register after a good frame *and its
+    /// FCS* have been clocked through the checker.
+    pub good_residue: u32,
+}
+
+impl CrcParams {
+    /// Mask covering `width` bits.
+    #[inline]
+    pub const fn mask(&self) -> u32 {
+        if self.width >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+}
+
+/// FCS-16 (RFC 1662 appendix C.1): CRC-16/X-25.
+/// Polynomial x^16 + x^12 + x^5 + 1.
+pub const FCS16: CrcParams = CrcParams {
+    name: "FCS-16",
+    width: 16,
+    poly: 0x8408,
+    init: 0xFFFF,
+    xorout: 0xFFFF,
+    good_residue: 0xF0B8,
+};
+
+/// FCS-32 (RFC 1662 appendix C.2): CRC-32/ISO-HDLC, the FCS the paper's P⁵
+/// computes ("for accuracy purposes the system will incorporate 32-bit CRC
+/// checking").
+/// Polynomial x^32+x^26+x^23+x^22+x^16+x^12+x^11+x^10+x^8+x^7+x^5+x^4+x^2+x+1.
+pub const FCS32: CrcParams = CrcParams {
+    name: "FCS-32",
+    width: 32,
+    poly: 0xEDB8_8320,
+    init: 0xFFFF_FFFF,
+    xorout: 0xFFFF_FFFF,
+    good_residue: 0xDEBB_20E3,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        assert_eq!(FCS16.mask(), 0xFFFF);
+        assert_eq!(FCS32.mask(), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn good_residues_match_rfc1662() {
+        // RFC 1662 quotes 0xF0B8 and 0xDEBB20E3 as the "good FCS" values.
+        assert_eq!(FCS16.good_residue, 0xF0B8);
+        assert_eq!(FCS32.good_residue, 0xDEBB20E3);
+    }
+}

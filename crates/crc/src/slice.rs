@@ -1,0 +1,134 @@
+//! Slicing-by-8: the fastest table-driven software CRC-32, processing
+//! eight bytes per iteration through eight derived tables.  This is the
+//! strongest *software* baseline against which the paper's hardware
+//! parallelism is judged in the benches — a general-purpose CPU's best
+//! effort at the job the P⁵ does in one clock.
+
+use crate::{BitwiseEngine, CrcEngine, CrcParams};
+
+/// Slicing-by-8 engine (32-bit parameter sets).
+#[derive(Clone)]
+pub struct Slice8Engine {
+    params: CrcParams,
+    /// `tables[k][b]` = contribution of byte `b` processed `k` bytes
+    /// before the end of an 8-byte group.
+    tables: Box<[[u32; 256]; 8]>,
+    state: u32,
+}
+
+impl std::fmt::Debug for Slice8Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slice8Engine")
+            .field("params", &self.params)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl Slice8Engine {
+    pub fn new(params: CrcParams) -> Self {
+        assert_eq!(params.width, 32, "slicing-by-8 is built for 32-bit CRCs");
+        let mut t0 = [0u32; 256];
+        for (b, slot) in t0.iter_mut().enumerate() {
+            *slot = BitwiseEngine::step_byte(&params, 0, b as u8);
+        }
+        let mut tables = Box::new([[0u32; 256]; 8]);
+        tables[0] = t0;
+        for k in 1..8 {
+            for b in 0..256 {
+                let prev = tables[k - 1][b];
+                tables[k][b] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            }
+        }
+        Self {
+            params,
+            tables,
+            state: params.init,
+        }
+    }
+}
+
+impl CrcEngine for Slice8Engine {
+    fn reset(&mut self) {
+        self.state = self.params.init;
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        let mut s = self.state;
+        let mut chunks = data.chunks_exact(8);
+        let t = &self.tables;
+        for c in &mut chunks {
+            let lo = s ^ u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+            s = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][((lo >> 24) & 0xFF) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][((hi >> 24) & 0xFF) as usize];
+        }
+        for &b in chunks.remainder() {
+            s = (s >> 8) ^ self.tables[0][((s ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = s;
+    }
+
+    fn value(&self) -> u32 {
+        self.state ^ self.params.xorout
+    }
+
+    fn residue(&self) -> u32 {
+        self.state
+    }
+
+    fn params(&self) -> &CrcParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TableEngine, FCS32};
+
+    #[test]
+    fn check_value() {
+        let mut e = Slice8Engine::new(FCS32);
+        e.update(b"123456789");
+        assert_eq!(e.value(), 0xCBF43926);
+    }
+
+    #[test]
+    fn matches_table_engine_on_many_lengths() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100, 999, 1000] {
+            let mut a = Slice8Engine::new(FCS32);
+            let mut b = TableEngine::new(FCS32);
+            a.update(&data[..len]);
+            b.update(&data[..len]);
+            assert_eq!(a.value(), b.value(), "len {len}");
+            assert_eq!(a.residue(), b.residue(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn incremental_split_points() {
+        let data: Vec<u8> = (0..=255).collect();
+        for cut in [1usize, 3, 8, 13, 100] {
+            let mut a = Slice8Engine::new(FCS32);
+            a.update(&data[..cut]);
+            a.update(&data[cut..]);
+            let mut b = Slice8Engine::new(FCS32);
+            b.update(&data);
+            assert_eq!(a.value(), b.value(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "32-bit")]
+    fn rejects_16_bit_params() {
+        Slice8Engine::new(crate::FCS16);
+    }
+}

@@ -1,0 +1,103 @@
+//! Table-driven CRC, one byte per step.  The conventional software
+//! realisation and the sequential baseline for the parallel-matrix benches.
+
+use crate::{BitwiseEngine, CrcEngine, CrcParams};
+
+/// 256-entry-table CRC engine.
+#[derive(Debug, Clone)]
+pub struct TableEngine {
+    params: CrcParams,
+    table: Box<[u32; 256]>,
+    state: u32,
+}
+
+impl TableEngine {
+    pub fn new(params: CrcParams) -> Self {
+        let mut table = Box::new([0u32; 256]);
+        for (b, slot) in table.iter_mut().enumerate() {
+            // Table entry = effect of byte `b` on a zero register.
+            *slot = BitwiseEngine::step_byte(&params, 0, b as u8);
+        }
+        Self {
+            params,
+            table,
+            state: params.init,
+        }
+    }
+
+    /// Advance an explicit state by one byte.
+    #[inline]
+    pub fn step(&self, state: u32, byte: u8) -> u32 {
+        (state >> 8) ^ self.table[((state ^ byte as u32) & 0xFF) as usize]
+    }
+}
+
+impl CrcEngine for TableEngine {
+    fn reset(&mut self) {
+        self.state = self.params.init;
+    }
+
+    #[inline]
+    fn update(&mut self, data: &[u8]) {
+        let mut s = self.state;
+        for &b in data {
+            s = (s >> 8) ^ self.table[((s ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = s & self.params.mask();
+    }
+
+    fn value(&self) -> u32 {
+        (self.state ^ self.params.xorout) & self.params.mask()
+    }
+
+    fn residue(&self) -> u32 {
+        self.state & self.params.mask()
+    }
+
+    fn params(&self) -> &CrcParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{FCS16, FCS32};
+
+    #[test]
+    fn table_matches_bitwise_on_check_string() {
+        for params in [FCS16, FCS32] {
+            let mut t = TableEngine::new(params);
+            let mut b = BitwiseEngine::new(params);
+            t.update(b"123456789");
+            b.update(b"123456789");
+            assert_eq!(t.value(), b.value(), "{}", params.name);
+            assert_eq!(t.residue(), b.residue(), "{}", params.name);
+        }
+    }
+
+    #[test]
+    fn table_matches_bitwise_on_all_single_bytes() {
+        for params in [FCS16, FCS32] {
+            for byte in 0..=255u8 {
+                let mut t = TableEngine::new(params);
+                let mut b = BitwiseEngine::new(params);
+                t.update(&[byte]);
+                b.update(&[byte]);
+                assert_eq!(t.residue(), b.residue(), "{} byte {byte:#x}", params.name);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_step_matches_update() {
+        let t = TableEngine::new(FCS32);
+        let mut s = FCS32.init;
+        for &b in b"stepwise" {
+            s = t.step(s, b);
+        }
+        let mut e = TableEngine::new(FCS32);
+        e.update(b"stepwise");
+        assert_eq!(e.residue(), s & FCS32.mask());
+    }
+}

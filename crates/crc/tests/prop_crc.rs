@@ -1,0 +1,75 @@
+//! Property tests: all three CRC engines are the same function, for both
+//! PPP FCS parameter sets and all hardware-relevant word widths.
+
+use p5_crc::{
+    check_fcs16, check_fcs32, fcs16, fcs16_wire_bytes, fcs32, fcs32_wire_bytes, BitwiseEngine,
+    CrcEngine, MatrixEngine, TableEngine, FCS16, FCS32,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn engines_agree_fcs32(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut bw = BitwiseEngine::new(FCS32);
+        let mut tb = TableEngine::new(FCS32);
+        let mut m1 = MatrixEngine::new(FCS32, 1);
+        let mut m4 = MatrixEngine::new(FCS32, 4);
+        for e in [&mut bw as &mut dyn CrcEngine, &mut tb, &mut m1, &mut m4] {
+            e.update(&data);
+        }
+        prop_assert_eq!(bw.value(), tb.value());
+        prop_assert_eq!(bw.value(), m1.value());
+        prop_assert_eq!(bw.value(), m4.value());
+        prop_assert_eq!(bw.residue(), m4.residue());
+    }
+
+    #[test]
+    fn engines_agree_fcs16(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let mut bw = BitwiseEngine::new(FCS16);
+        let mut tb = TableEngine::new(FCS16);
+        let mut m2 = MatrixEngine::new(FCS16, 2);
+        for e in [&mut bw as &mut dyn CrcEngine, &mut tb, &mut m2] {
+            e.update(&data);
+        }
+        prop_assert_eq!(bw.value(), tb.value());
+        prop_assert_eq!(bw.value(), m2.value());
+    }
+
+    #[test]
+    fn split_points_do_not_matter(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let cut = cut.index(data.len());
+        let mut a = MatrixEngine::new(FCS32, 4);
+        a.update(&data[..cut]);
+        a.update(&data[cut..]);
+        let mut b = TableEngine::new(FCS32);
+        b.update(&data);
+        prop_assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn appended_fcs_always_verifies(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut f32 = data.clone();
+        f32.extend_from_slice(&fcs32_wire_bytes(fcs32(&data)));
+        prop_assert!(check_fcs32(&f32));
+
+        let mut f16 = data.clone();
+        f16.extend_from_slice(&fcs16_wire_bytes(fcs16(&data)));
+        prop_assert!(check_fcs16(&f16));
+    }
+
+    #[test]
+    fn corrupted_byte_fails_check(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        pos in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut frame = data.clone();
+        frame.extend_from_slice(&fcs32_wire_bytes(fcs32(&data)));
+        let pos = pos.index(frame.len());
+        frame[pos] ^= flip;
+        prop_assert!(!check_fcs32(&frame));
+    }
+}

@@ -1,0 +1,521 @@
+//! Netlist construction combinators: the "RTL language" `p5-rtl` writes
+//! the P⁵ modules in.  All gates constant-fold and share trivially so
+//! the resource numbers reflect logic, not construction style.
+
+use crate::netlist::{Bus, Netlist, NodeKind, Sig};
+use std::collections::HashMap;
+
+/// Builder wrapping a [`Netlist`] under construction.
+///
+/// Gates are hash-consed (structural common-subexpression elimination,
+/// with commutative normalisation), as any synthesis front-end would —
+/// so identical logic written twice costs once.  This matters hugely for
+/// the CRC XOR networks and the byte-sorter muxes.
+pub struct Builder {
+    n: Netlist,
+    zero: Sig,
+    one: Sig,
+    cse: HashMap<(u8, Sig, Sig), Sig>,
+}
+
+impl Builder {
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut n = Netlist::new(name);
+        let zero = n.add_node(NodeKind::Const(false));
+        let one = n.add_node(NodeKind::Const(true));
+        Self {
+            n,
+            zero,
+            one,
+            cse: HashMap::new(),
+        }
+    }
+
+    /// Hash-consed gate creation (commutative ops normalised).
+    fn gate(&mut self, tag: u8, a: Sig, b: Sig) -> Sig {
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&s) = self.cse.get(&(tag, x, y)) {
+            return s;
+        }
+        let kind = match tag {
+            0 => NodeKind::And(x, y),
+            1 => NodeKind::Or(x, y),
+            2 => NodeKind::Xor(x, y),
+            3 => NodeKind::Not(x),
+            _ => unreachable!(),
+        };
+        let s = self.n.add_node(kind);
+        self.cse.insert((tag, x, y), s);
+        s
+    }
+
+    /// Finalise: validate and return the netlist.
+    pub fn finish(self) -> Netlist {
+        self.n.validate();
+        self.n
+    }
+
+    /// The netlist under construction (inspection in tests).
+    pub fn peek(&self) -> &Netlist {
+        &self.n
+    }
+
+    // ---- constants and primary I/O -------------------------------------
+
+    pub fn lit(&self, v: bool) -> Sig {
+        if v {
+            self.one
+        } else {
+            self.zero
+        }
+    }
+
+    fn const_of(&self, s: Sig) -> Option<bool> {
+        match self.n.nodes[s as usize] {
+            NodeKind::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Single-bit primary input.
+    pub fn input(&mut self, name: &str) -> Sig {
+        self.input_bus(name, 1)[0]
+    }
+
+    /// Named input bus, LSB first.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<Sig> {
+        let sigs: Vec<Sig> = (0..width).map(|_| self.n.add_node(NodeKind::Input)).collect();
+        self.n.inputs.push(Bus {
+            name: name.to_string(),
+            sigs: sigs.clone(),
+        });
+        sigs
+    }
+
+    /// Named output bus.
+    pub fn output(&mut self, name: &str, sigs: &[Sig]) {
+        self.n.outputs.push(Bus {
+            name: name.to_string(),
+            sigs: sigs.to_vec(),
+        });
+    }
+
+    // ---- gates with constant folding ------------------------------------
+
+    pub fn not(&mut self, a: Sig) -> Sig {
+        match self.const_of(a) {
+            Some(v) => self.lit(!v),
+            None => match self.n.nodes[a as usize] {
+                // ¬¬x = x
+                NodeKind::Not(x) => x,
+                _ => self.gate(3, a, a),
+            },
+        }
+    }
+
+    pub fn and2(&mut self, a: Sig, b: Sig) -> Sig {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) | (_, Some(false)) => self.zero,
+            (Some(true), _) => b,
+            (_, Some(true)) => a,
+            _ if a == b => a,
+            _ => self.gate(0, a, b),
+        }
+    }
+
+    pub fn or2(&mut self, a: Sig, b: Sig) -> Sig {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(true), _) | (_, Some(true)) => self.one,
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            _ if a == b => a,
+            _ => self.gate(1, a, b),
+        }
+    }
+
+    pub fn xor2(&mut self, a: Sig, b: Sig) -> Sig {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            (Some(true), _) => self.not(b),
+            (_, Some(true)) => self.not(a),
+            _ if a == b => self.zero,
+            _ => self.gate(2, a, b),
+        }
+    }
+
+    /// Balanced reduction tree (keeps logic depth logarithmic, as a
+    /// synthesis tool would).
+    fn reduce(&mut self, sigs: &[Sig], f: fn(&mut Self, Sig, Sig) -> Sig, empty: Sig) -> Sig {
+        match sigs.len() {
+            0 => empty,
+            1 => sigs[0],
+            _ => {
+                let (lo, hi) = sigs.split_at(sigs.len() / 2);
+                let (lo, hi) = (lo.to_vec(), hi.to_vec());
+                let l = self.reduce(&lo, f, empty);
+                let r = self.reduce(&hi, f, empty);
+                f(self, l, r)
+            }
+        }
+    }
+
+    pub fn and_many(&mut self, sigs: &[Sig]) -> Sig {
+        self.reduce(sigs, Self::and2, self.one)
+    }
+
+    pub fn or_many(&mut self, sigs: &[Sig]) -> Sig {
+        self.reduce(sigs, Self::or2, self.zero)
+    }
+
+    pub fn xor_many(&mut self, sigs: &[Sig]) -> Sig {
+        self.reduce(sigs, Self::xor2, self.zero)
+    }
+
+    // ---- word-level helpers ---------------------------------------------
+
+    /// 2:1 mux: `s ? a : b`.
+    pub fn mux(&mut self, s: Sig, a: Sig, b: Sig) -> Sig {
+        match self.const_of(s) {
+            Some(true) => return a,
+            Some(false) => return b,
+            None => {}
+        }
+        if a == b {
+            return a;
+        }
+        let ns = self.not(s);
+        let t = self.and2(s, a);
+        let e = self.and2(ns, b);
+        self.or2(t, e)
+    }
+
+    /// Word-wise 2:1 mux.
+    pub fn mux_word(&mut self, s: Sig, a: &[Sig], b: &[Sig]) -> Vec<Sig> {
+        assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(s, x, y))
+            .collect()
+    }
+
+    /// One-hot select: OR over `and(sel[i], word_i)`.
+    pub fn onehot_mux_word(&mut self, sels: &[Sig], words: &[Vec<Sig>]) -> Vec<Sig> {
+        assert_eq!(sels.len(), words.len());
+        assert!(!words.is_empty());
+        let width = words[0].len();
+        (0..width)
+            .map(|bit| {
+                let terms: Vec<Sig> = sels
+                    .iter()
+                    .zip(words)
+                    .map(|(&s, w)| self.and2(s, w[bit]))
+                    .collect();
+                self.or_many(&terms)
+            })
+            .collect()
+    }
+
+    /// Equality against a constant.
+    pub fn eq_const(&mut self, word: &[Sig], value: u64) -> Sig {
+        let bits: Vec<Sig> = word
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                if (value >> i) & 1 == 1 {
+                    s
+                } else {
+                    self.not(s)
+                }
+            })
+            .collect();
+        self.and_many(&bits)
+    }
+
+    /// Equality of two words.
+    pub fn eq_word(&mut self, a: &[Sig], b: &[Sig]) -> Sig {
+        assert_eq!(a.len(), b.len());
+        let bits: Vec<Sig> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let d = self.xor2(x, y);
+                self.not(d)
+            })
+            .collect();
+        self.and_many(&bits)
+    }
+
+    /// Constant word.
+    pub fn const_word(&mut self, value: u64, width: usize) -> Vec<Sig> {
+        (0..width).map(|i| self.lit((value >> i) & 1 == 1)).collect()
+    }
+
+    /// Ripple-carry adder core (used for narrow words and within
+    /// carry-select groups).
+    fn add_ripple(&mut self, a: &[Sig], b: &[Sig], cin: Sig) -> (Vec<Sig>, Sig) {
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let p = self.xor2(x, y);
+            let s = self.xor2(p, carry);
+            let g = self.and2(x, y);
+            let pc = self.and2(p, carry);
+            carry = self.or2(g, pc);
+            sum.push(s);
+        }
+        (sum, carry)
+    }
+
+    /// Adder; returns (sum, carry-out).  Narrow words ripple; wider
+    /// words use 4-bit carry-select groups (what timing-driven synthesis
+    /// produces on fabrics without dedicated carry chains), keeping the
+    /// depth logarithmic-ish instead of linear.
+    pub fn add(&mut self, a: &[Sig], b: &[Sig], cin: Sig) -> (Vec<Sig>, Sig) {
+        assert_eq!(a.len(), b.len());
+        const GROUP: usize = 4;
+        if a.len() <= GROUP {
+            return self.add_ripple(a, b, cin);
+        }
+        let zero = self.lit(false);
+        let one = self.lit(true);
+        let mut sum = Vec::with_capacity(a.len());
+        let mut carry = cin;
+        for g in (0..a.len()).step_by(GROUP) {
+            let hi = (g + GROUP).min(a.len());
+            let (s0, c0) = self.add_ripple(&a[g..hi], &b[g..hi], zero);
+            let (s1, c1) = self.add_ripple(&a[g..hi], &b[g..hi], one);
+            sum.extend(self.mux_word(carry, &s1, &s0));
+            carry = self.mux(carry, c1, c0);
+        }
+        (sum, carry)
+    }
+
+    /// a - b (two's complement); returns (diff, borrow-free flag = a≥b).
+    pub fn sub(&mut self, a: &[Sig], b: &[Sig]) -> (Vec<Sig>, Sig) {
+        let nb: Vec<Sig> = b.iter().map(|&x| self.not(x)).collect();
+        self.add(a, &nb, self.one)
+    }
+
+    /// a ≥ b for unsigned words.
+    pub fn ge(&mut self, a: &[Sig], b: &[Sig]) -> Sig {
+        self.sub(a, b).1
+    }
+
+    /// Zero-extend / truncate a word.
+    pub fn resize(&mut self, a: &[Sig], width: usize) -> Vec<Sig> {
+        let mut out: Vec<Sig> = a.iter().copied().take(width).collect();
+        while out.len() < width {
+            out.push(self.zero);
+        }
+        out
+    }
+
+    /// Binary → one-hot decoder (output length `1 << sel.len()`).
+    pub fn decode(&mut self, sel: &[Sig]) -> Vec<Sig> {
+        (0..(1usize << sel.len()))
+            .map(|v| self.eq_const(sel, v as u64))
+            .collect()
+    }
+
+    // ---- sequential ------------------------------------------------------
+
+    /// Flip-flop with D bound immediately.
+    pub fn reg(&mut self, d: Sig, init: bool) -> Sig {
+        let q = self.n.new_dff(init);
+        self.n.connect_dff(q, d);
+        q
+    }
+
+    /// Flip-flop with load enable, using the dedicated CE pin (free on
+    /// Virtex-class slices).
+    pub fn reg_en(&mut self, d: Sig, en: Sig, init: bool) -> Sig {
+        if self.const_of(en) == Some(true) {
+            return self.reg(d, init);
+        }
+        let q = self.n.new_dff_ctrl(init, Some(en), None);
+        self.n.connect_dff(q, d);
+        q
+    }
+
+    /// Flip-flop with CE and synchronous reset-to-init pins.
+    pub fn reg_ctrl(&mut self, d: Sig, en: Option<Sig>, sr: Option<Sig>, init: bool) -> Sig {
+        let q = self.n.new_dff_ctrl(init, en, sr);
+        self.n.connect_dff(q, d);
+        q
+    }
+
+    /// Register word with enable.
+    pub fn reg_word_en(&mut self, d: &[Sig], en: Sig, init: u64) -> Vec<Sig> {
+        d.iter()
+            .enumerate()
+            .map(|(i, &bit)| self.reg_en(bit, en, (init >> i) & 1 == 1))
+            .collect()
+    }
+
+    /// Feedback register word: create Qs first, caller computes next
+    /// state from them, then binds with [`Builder::bind_word`].
+    pub fn state_word(&mut self, width: usize, init: u64) -> Vec<Sig> {
+        (0..width)
+            .map(|i| self.n.new_dff((init >> i) & 1 == 1))
+            .collect()
+    }
+
+    /// Feedback register word with shared CE / sync-reset pins.
+    pub fn state_word_ctrl(
+        &mut self,
+        width: usize,
+        init: u64,
+        en: Option<Sig>,
+        sr: Option<Sig>,
+    ) -> Vec<Sig> {
+        (0..width)
+            .map(|i| self.n.new_dff_ctrl((init >> i) & 1 == 1, en, sr))
+            .collect()
+    }
+
+    pub fn bind_word(&mut self, qs: &[Sig], next: &[Sig]) {
+        assert_eq!(qs.len(), next.len());
+        for (&q, &d) in qs.iter().zip(next) {
+            self.n.connect_dff(q, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+
+    #[test]
+    fn constant_folding_keeps_nets_small() {
+        let mut b = Builder::new("fold");
+        let x = b.input("x");
+        let zero = b.lit(false);
+        let one = b.lit(true);
+        assert_eq!(b.and2(x, zero), zero);
+        assert_eq!(b.and2(x, one), x);
+        assert_eq!(b.or2(x, one), one);
+        assert_eq!(b.xor2(x, zero), x);
+        assert_eq!(b.xor2(x, x), zero);
+        let nx = b.not(x);
+        assert_eq!(b.not(nx), x);
+        b.output("o", &[x]);
+        assert_eq!(b.finish().gate_count(), 1); // only the single Not
+    }
+
+    #[test]
+    fn adder_is_correct() {
+        let mut b = Builder::new("add");
+        let a = b.input_bus("a", 8);
+        let c = b.input_bus("b", 8);
+        let zero = b.lit(false);
+        let (sum, cout) = b.add(&a, &c, zero);
+        b.output("sum", &sum);
+        b.output("cout", &[cout]);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        for (x, y) in [(0u64, 0u64), (1, 1), (200, 100), (255, 255), (13, 242)] {
+            sim.set("a", x);
+            sim.set("b", y);
+            sim.eval();
+            assert_eq!(sim.get("sum"), (x + y) & 0xFF);
+            assert_eq!(sim.get("cout"), (x + y) >> 8);
+        }
+    }
+
+    #[test]
+    fn comparator_and_decoder() {
+        let mut b = Builder::new("cmp");
+        let a = b.input_bus("a", 8);
+        let is_7e = b.eq_const(&a, 0x7E);
+        let sel = b.input_bus("sel", 2);
+        let hot = b.decode(&sel);
+        b.output("is7e", &[is_7e]);
+        b.output("hot", &hot);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        sim.set("a", 0x7E);
+        sim.set("sel", 2);
+        sim.eval();
+        assert_eq!(sim.get("is7e"), 1);
+        assert_eq!(sim.get("hot"), 0b0100);
+        sim.set("a", 0x7D);
+        sim.eval();
+        assert_eq!(sim.get("is7e"), 0);
+    }
+
+    #[test]
+    fn ge_comparison() {
+        let mut b = Builder::new("ge");
+        let a = b.input_bus("a", 5);
+        let c = b.input_bus("b", 5);
+        let ge = b.ge(&a, &c);
+        b.output("ge", &[ge]);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        for (x, y) in [(0u64, 0u64), (5, 4), (4, 5), (31, 31), (16, 17)] {
+            sim.set("a", x);
+            sim.set("b", y);
+            sim.eval();
+            assert_eq!(sim.get("ge"), (x >= y) as u64, "{x} >= {y}");
+        }
+    }
+
+    #[test]
+    fn register_with_enable_holds() {
+        let mut b = Builder::new("reg");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q = b.reg_en(d, en, false);
+        b.output("q", &[q]);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        sim.set("d", 1);
+        sim.set("en", 0);
+        sim.step();
+        assert_eq!(sim.get("q"), 0, "disabled: holds reset value");
+        sim.set("en", 1);
+        sim.step();
+        assert_eq!(sim.get("q"), 1);
+        sim.set("d", 0);
+        sim.set("en", 0);
+        sim.step();
+        assert_eq!(sim.get("q"), 1, "holds");
+    }
+
+    #[test]
+    fn counter_via_state_word() {
+        let mut b = Builder::new("ctr");
+        let q = b.state_word(4, 0);
+        let one_w = b.const_word(1, 4);
+        let zero = b.lit(false);
+        let (next, _) = b.add(&q, &one_w, zero);
+        b.bind_word(&q, &next);
+        b.output("count", &q);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        for i in 0..20u64 {
+            assert_eq!(sim.get("count"), i & 0xF);
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn onehot_mux_selects() {
+        let mut b = Builder::new("ohm");
+        let s = b.input_bus("s", 3);
+        let w0 = b.const_word(0x11, 8);
+        let w1 = b.const_word(0x22, 8);
+        let w2 = b.const_word(0x33, 8);
+        let out = b.onehot_mux_word(&s, &[w0, w1, w2]);
+        b.output("o", &out);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        for (sel, expect) in [(1u64, 0x11u64), (2, 0x22), (4, 0x33), (0, 0)] {
+            sim.set("s", sel);
+            sim.eval();
+            assert_eq!(sim.get("o"), expect);
+        }
+    }
+}

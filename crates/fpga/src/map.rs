@@ -1,0 +1,383 @@
+//! Technology mapping: cover the 2-input boolean network with K-input
+//! LUTs (K = 4 for Virtex and Virtex-II) using cut enumeration.
+//!
+//! Two modes model the paper's pre-/post-layout split:
+//! * [`MapMode::Depth`] — depth-oriented covering, the optimistic
+//!   logic-level estimate a synthesis tool reports pre-layout;
+//! * [`MapMode::Area`] — area-recovery covering, the denser packing
+//!   that survives placement (fewer LUTs, possibly deeper).
+
+use crate::netlist::{Netlist, Sig};
+use std::collections::HashMap;
+
+/// LUT input count for the Virtex families.
+pub const LUT_K: usize = 4;
+/// Cuts retained per node during enumeration.
+const CUTS_PER_NODE: usize = 6;
+
+/// Mapping objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapMode {
+    Depth,
+    Area,
+}
+
+/// One mapped LUT: a root node and the cut leaves that form its inputs.
+#[derive(Debug, Clone)]
+pub struct Lut {
+    pub root: Sig,
+    pub leaves: Vec<Sig>,
+    /// Logic level (1 = fed only by leaves).
+    pub level: usize,
+}
+
+/// The mapped network.
+#[derive(Debug, Clone)]
+pub struct MappedNetlist {
+    pub module: String,
+    pub mode: MapMode,
+    pub luts: Vec<Lut>,
+    pub ff_count: usize,
+    /// Maximum logic level over all roots (LUT depth of the critical
+    /// combinational path).
+    pub depth: usize,
+    /// Net fanout: for each driving signal (LUT root, input, or FF
+    /// output), how many sinks read it.
+    pub fanout: HashMap<Sig, usize>,
+}
+
+impl MappedNetlist {
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Cut {
+    leaves: Vec<Sig>, // sorted
+    depth: usize,
+    /// Area flow: estimated LUTs per unit of fanout this cone costs
+    /// (standard FlowMap-r style metric, drives area recovery).
+    area_flow: f64,
+}
+
+fn merge_cuts(a: &Cut, b: &Cut, k: usize) -> Option<Vec<Sig>> {
+    let mut out = Vec::with_capacity(k + 1);
+    let (mut i, mut j) = (0, 0);
+    while i < a.leaves.len() || j < b.leaves.len() {
+        let next = match (a.leaves.get(i), b.leaves.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        out.push(next);
+        if out.len() > k {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Map a netlist into K-input LUTs.
+pub fn map(n: &Netlist, mode: MapMode) -> MappedNetlist {
+    n.validate();
+    let order = n.topo_order();
+    let num = n.nodes.len();
+    let net_fanout = n.fanout_counts();
+    // Per-node cut list and the depth/area-flow of the node's best cut.
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); num];
+    let mut best_depth: Vec<usize> = vec![0; num];
+    let mut best_af: Vec<f64> = vec![0.0; num];
+    let mut best_cut: Vec<Option<Cut>> = vec![None; num];
+
+    let leaf_cut = |s: Sig| Cut {
+        leaves: vec![s],
+        depth: 0,
+        area_flow: 0.0,
+    };
+
+    for &s in &order {
+        if n.is_leaf(s) {
+            continue;
+        }
+        let fans: Vec<Sig> = n.fanins(s).into_iter().flatten().collect();
+        // Candidate cuts: cross-merge of fanin cut lists (leaves use
+        // their unit cut).
+        let fan_cuts: Vec<Vec<Cut>> = fans
+            .iter()
+            .map(|&f| {
+                if n.is_leaf(f) || cuts[f as usize].is_empty() {
+                    vec![leaf_cut(f)]
+                } else {
+                    let mut c = cuts[f as usize].clone();
+                    // A fanin can also be used as a leaf directly.
+                    c.push(leaf_cut(f));
+                    c
+                }
+            })
+            .collect();
+
+        let mut cands: Vec<Cut> = Vec::new();
+        match fan_cuts.len() {
+            1 => {
+                for c in &fan_cuts[0] {
+                    cands.push(Cut {
+                        leaves: c.leaves.clone(),
+                        depth: 0,
+                        area_flow: 0.0,
+                    });
+                }
+            }
+            2 => {
+                for ca in &fan_cuts[0] {
+                    for cb in &fan_cuts[1] {
+                        if let Some(leaves) = merge_cuts(ca, cb, LUT_K) {
+                            cands.push(Cut {
+                                leaves,
+                                depth: 0,
+                                area_flow: 0.0,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("nodes have 1 or 2 fanins"),
+        }
+        // Compute depth of each candidate from leaf best depths; dedup.
+        for c in &mut cands {
+            // Constants are free inputs: drop them from the leaf set.
+            c.leaves.retain(|&l| {
+                !matches!(n.nodes[l as usize], crate::netlist::NodeKind::Const(_))
+            });
+            c.depth = 1 + c
+                .leaves
+                .iter()
+                .map(|&l| best_depth[l as usize])
+                .max()
+                .unwrap_or(0);
+            // Area flow: this LUT plus each leaf cone's flow amortised
+            // over the leaf's fanout.
+            c.area_flow = 1.0
+                + c.leaves
+                    .iter()
+                    .map(|&l| {
+                        let fo = net_fanout.get(&l).copied().unwrap_or(1).max(1) as f64;
+                        best_af[l as usize] / fo
+                    })
+                    .sum::<f64>();
+        }
+        match mode {
+            MapMode::Depth => cands.sort_by(|a, b| {
+                (a.depth, a.leaves.len())
+                    .cmp(&(b.depth, b.leaves.len()))
+                    .then(a.area_flow.total_cmp(&b.area_flow))
+            }),
+            MapMode::Area => {
+                // Required-time-aware area recovery: never trade more
+                // than one level of depth for area, or the critical path
+                // drifts far from the synthesis estimate.
+                let dmin = cands.iter().map(|c| c.depth).min().unwrap_or(0);
+                cands.retain(|c| c.depth <= dmin + 1);
+                cands.sort_by(|a, b| {
+                    a.area_flow
+                        .total_cmp(&b.area_flow)
+                        .then((a.depth, a.leaves.len()).cmp(&(b.depth, b.leaves.len())))
+                });
+            }
+        }
+        cands.dedup_by(|a, b| a.leaves == b.leaves);
+        cands.truncate(CUTS_PER_NODE);
+        assert!(!cands.is_empty(), "node {s} has no feasible cut");
+        best_depth[s as usize] = cands[0].depth;
+        best_af[s as usize] = cands[0].area_flow;
+        best_cut[s as usize] = Some(cands[0].clone());
+        cuts[s as usize] = cands;
+    }
+
+    // Cover from the roots.
+    let mut chosen: HashMap<Sig, Vec<Sig>> = HashMap::new();
+    let mut stack: Vec<Sig> = n.roots().into_iter().filter(|&r| !n.is_leaf(r)).collect();
+    while let Some(s) = stack.pop() {
+        if chosen.contains_key(&s) {
+            continue;
+        }
+        let cut = best_cut[s as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no cut for covered node {s}"));
+        chosen.insert(s, cut.leaves.clone());
+        for &l in &cut.leaves {
+            if !n.is_leaf(l) {
+                stack.push(l);
+            }
+        }
+    }
+
+    // Levels within the chosen cover.
+    let mut level: HashMap<Sig, usize> = HashMap::new();
+    let mut luts = Vec::with_capacity(chosen.len());
+    // Topological by original order.
+    for &s in &order {
+        if let Some(leaves) = chosen.get(&s) {
+            let lvl = 1 + leaves
+                .iter()
+                .map(|l| level.get(l).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            level.insert(s, lvl);
+            luts.push(Lut {
+                root: s,
+                leaves: leaves.clone(),
+                level: lvl,
+            });
+        }
+    }
+    let depth = n
+        .roots()
+        .iter()
+        .map(|r| level.get(r).copied().unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+
+    // Net fanout over the mapped structure.
+    let mut fanout: HashMap<Sig, usize> = HashMap::new();
+    for lut in &luts {
+        for &l in &lut.leaves {
+            *fanout.entry(l).or_default() += 1;
+        }
+    }
+    for d in &n.dffs {
+        if let Some(ds) = d.d {
+            *fanout.entry(ds).or_default() += 1;
+        }
+    }
+    for b in &n.outputs {
+        for &s in &b.sigs {
+            *fanout.entry(s).or_default() += 1;
+        }
+    }
+
+    MappedNetlist {
+        module: n.name.clone(),
+        mode,
+        luts,
+        ff_count: n.ff_count(),
+        depth,
+        fanout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    fn xor_tree(width: usize) -> Netlist {
+        let mut b = Builder::new("xt");
+        let x = b.input_bus("x", width);
+        let y = b.xor_many(&x);
+        b.output("y", &[y]);
+        b.finish()
+    }
+
+    #[test]
+    fn xor4_fits_one_lut() {
+        let m = map(&xor_tree(4), MapMode::Depth);
+        assert_eq!(m.lut_count(), 1);
+        assert_eq!(m.depth, 1);
+    }
+
+    #[test]
+    fn xor16_is_depth_two() {
+        let m = map(&xor_tree(16), MapMode::Depth);
+        assert_eq!(m.depth, 2);
+        assert_eq!(m.lut_count(), 5, "4 leaf LUTs + 1 combiner");
+    }
+
+    #[test]
+    fn xor32_is_depth_three() {
+        let m = map(&xor_tree(32), MapMode::Depth);
+        assert_eq!(m.depth, 3);
+        // 8 + 2 + 1 or similar.
+        assert!(m.lut_count() <= 12, "luts {}", m.lut_count());
+    }
+
+    #[test]
+    fn area_mode_never_uses_more_luts() {
+        for width in [7, 13, 16, 29] {
+            let n = xor_tree(width);
+            let d = map(&n, MapMode::Depth);
+            let a = map(&n, MapMode::Area);
+            assert!(a.lut_count() <= d.lut_count());
+            assert!(a.depth >= d.depth || a.lut_count() < d.lut_count() || a.depth == d.depth);
+        }
+    }
+
+    #[test]
+    fn constants_are_free() {
+        let mut b = Builder::new("c");
+        let x = b.input_bus("x", 3);
+        // eq_const over 8 bits where 5 are constant-folded away.
+        let y = b.eq_const(&x, 0b101);
+        b.output("y", &[y]);
+        let m = map(&b.finish(), MapMode::Depth);
+        assert_eq!(m.lut_count(), 1);
+    }
+
+    #[test]
+    fn ff_boundaries_cut_paths() {
+        let mut b = Builder::new("ff");
+        let x = b.input_bus("x", 16);
+        let y = b.xor_many(&x);
+        let q = b.reg(y, false);
+        let z = b.input_bus("z", 16);
+        let w = b.xor_many(&z);
+        let out = b.xor2(q, w);
+        b.output("o", &[out]);
+        let m = map(&b.finish(), MapMode::Depth);
+        // Deepest comb path is the 16-input tree (depth 2) plus the
+        // combiner: q is a register so the x-tree path ends there.
+        assert_eq!(m.depth, 3);
+        assert_eq!(m.ff_count, 1);
+    }
+
+    #[test]
+    fn registers_alone_use_no_luts() {
+        let mut b = Builder::new("r");
+        let x = b.input_bus("x", 8);
+        let q = b.reg_word_en(&x, b.lit(true), 0);
+        b.output("q", &q);
+        let m = map(&b.finish(), MapMode::Depth);
+        assert_eq!(m.lut_count(), 0);
+        assert_eq!(m.ff_count, 8);
+        assert_eq!(m.depth, 0);
+    }
+
+    #[test]
+    fn fanout_counts_cover_all_lut_inputs() {
+        let n = xor_tree(16);
+        let m = map(&n, MapMode::Depth);
+        let total: usize = m.fanout.values().sum();
+        let inputs: usize = m.luts.iter().map(|l| l.leaves.len()).sum();
+        // plus the single primary output net
+        assert_eq!(total, inputs + 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Synthesis reports: the rows of the paper's Tables 1–3.
+
+use crate::map::{map, MapMode};
+use crate::netlist::Netlist;
+use crate::timing::{analyze, Device};
+
+/// One table row: a module synthesised to a device.
+#[derive(Debug, Clone)]
+pub struct SynthReport {
+    pub module: String,
+    pub device: &'static str,
+    pub family: &'static str,
+    /// Pre-layout (depth-oriented mapping) LUT count.
+    pub luts_pre: usize,
+    /// Post-layout (area-recovered) LUT count.
+    pub luts_post: usize,
+    pub ffs: usize,
+    pub lut_util_pre: f64,
+    pub lut_util_post: f64,
+    pub ff_util: f64,
+    pub fmax_pre_mhz: f64,
+    pub fmax_post_mhz: f64,
+    pub levels: usize,
+    /// Virtex slices occupied post-layout (a slice packs 2 LUTs + 2
+    /// FFs; LUT/FF pairs share a slice when counts allow).
+    pub slices_post: usize,
+    /// Does the design fit the device at all?
+    pub fits: bool,
+}
+
+/// Synthesise a netlist to a device: map in both modes, run STA.
+pub fn synthesize(n: &Netlist, dev: &Device) -> SynthReport {
+    let pre = map(n, MapMode::Depth);
+    let post = map(n, MapMode::Area);
+    let t_pre = analyze(&pre, dev, false);
+    let t_post = analyze(&post, dev, true);
+    let slices_post = post.lut_count().div_ceil(2).max(pre.ff_count.div_ceil(2));
+    SynthReport {
+        module: n.name.clone(),
+        device: dev.name,
+        family: dev.family,
+        luts_pre: pre.lut_count(),
+        luts_post: post.lut_count(),
+        ffs: pre.ff_count,
+        lut_util_pre: pre.lut_count() as f64 / dev.luts as f64,
+        lut_util_post: post.lut_count() as f64 / dev.luts as f64,
+        ff_util: pre.ff_count as f64 / dev.ffs as f64,
+        fmax_pre_mhz: t_pre.fmax_mhz,
+        fmax_post_mhz: t_post.fmax_mhz,
+        levels: t_post.levels,
+        slices_post,
+        fits: post.lut_count() <= dev.luts && pre.ff_count <= dev.ffs,
+    }
+}
+
+impl SynthReport {
+    /// Format like the paper's tables: LUTs (util %), FFs (util %), fMax.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<28} {:<11} pre: {:>5} LUT ({:>4.1}%) {:>6.1} MHz | post: {:>5} LUT ({:>4.1}%) {:>6.1} MHz | {:>4} FF ({:>4.1}%) | {} levels{}",
+            self.module,
+            self.device,
+            self.luts_pre,
+            100.0 * self.lut_util_pre,
+            self.fmax_pre_mhz,
+            self.luts_post,
+            100.0 * self.lut_util_post,
+            self.fmax_post_mhz,
+            self.ffs,
+            100.0 * self.ff_util,
+            self.levels,
+            if self.fits { "" } else { "  ** DOES NOT FIT **" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::timing::devices;
+
+    fn sample() -> Netlist {
+        let mut b = Builder::new("sample");
+        let x = b.input_bus("x", 32);
+        let y = b.xor_many(&x);
+        let q = b.reg(y, false);
+        b.output("q", &[q]);
+        b.finish()
+    }
+
+    #[test]
+    fn slices_pack_two_luts_and_two_ffs() {
+        let r = synthesize(&sample(), &devices::XC2V40_6);
+        assert_eq!(
+            r.slices_post,
+            r.luts_post.div_ceil(2).max(r.ffs.div_ceil(2))
+        );
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let r = synthesize(&sample(), &devices::XC2V40_6);
+        assert!(r.luts_post <= r.luts_pre);
+        assert!(r.fmax_pre_mhz > r.fmax_post_mhz);
+        assert_eq!(r.ffs, 1);
+        assert!(r.fits);
+        assert!((r.lut_util_pre - r.luts_pre as f64 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_design_reports_unfit() {
+        let mut b = Builder::new("big");
+        // ~700 independent 4-LUTs won't fit 512.
+        let mut outs = Vec::new();
+        for i in 0..700 {
+            let x = b.input_bus(&format!("x{i}"), 4);
+            outs.push(b.xor_many(&x));
+        }
+        b.output("o", &outs);
+        let r = synthesize(&b.finish(), &devices::XC2V40_6);
+        assert!(!r.fits);
+    }
+
+    #[test]
+    fn table_row_renders() {
+        let r = synthesize(&sample(), &devices::XCV50_4);
+        let row = r.table_row();
+        assert!(row.contains("XCV50-4"));
+        assert!(row.contains("MHz"));
+    }
+}

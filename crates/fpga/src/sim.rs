@@ -1,0 +1,225 @@
+//! Functional netlist simulation: topological combinational evaluation
+//! plus flip-flop stepping.  Used to prove every `p5-rtl` netlist
+//! equivalent to its behavioural Rust counterpart.
+
+use crate::netlist::{Netlist, NodeKind, Sig};
+use std::collections::HashMap;
+
+/// A netlist simulator instance.
+pub struct Sim<'a> {
+    n: &'a Netlist,
+    /// Current value of every node.
+    values: Vec<bool>,
+    /// FF state (indexed like `n.dffs`).
+    ff_state: Vec<bool>,
+    order: Vec<Sig>,
+    input_index: HashMap<String, Vec<Sig>>,
+    output_index: HashMap<String, Vec<Sig>>,
+    dirty: bool,
+}
+
+impl<'a> Sim<'a> {
+    pub fn new(n: &'a Netlist) -> Self {
+        n.validate();
+        let order = n.topo_order();
+        let input_index = n
+            .inputs
+            .iter()
+            .map(|b| (b.name.clone(), b.sigs.clone()))
+            .collect();
+        let output_index = n
+            .outputs
+            .iter()
+            .map(|b| (b.name.clone(), b.sigs.clone()))
+            .collect();
+        let ff_state = n.dffs.iter().map(|d| d.init).collect();
+        let mut sim = Self {
+            n,
+            values: vec![false; n.nodes.len()],
+            ff_state,
+            order,
+            input_index,
+            output_index,
+            dirty: true,
+        };
+        sim.eval();
+        sim
+    }
+
+    /// Set a named input bus from an integer (LSB-first).
+    pub fn set(&mut self, name: &str, value: u64) {
+        let sigs = self
+            .input_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no input bus named {name}"))
+            .clone();
+        assert!(sigs.len() <= 64);
+        for (i, s) in sigs.iter().enumerate() {
+            self.values[*s as usize] = (value >> i) & 1 == 1;
+        }
+        self.dirty = true;
+    }
+
+    /// Set a wide input bus from bytes (8 bits per byte, LSB-first).
+    pub fn set_bytes(&mut self, name: &str, bytes: &[u8]) {
+        let sigs = self
+            .input_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no input bus named {name}"))
+            .clone();
+        assert_eq!(sigs.len(), bytes.len() * 8, "bus width mismatch for {name}");
+        for (i, s) in sigs.iter().enumerate() {
+            self.values[*s as usize] = (bytes[i / 8] >> (i % 8)) & 1 == 1;
+        }
+        self.dirty = true;
+    }
+
+    /// Propagate combinational logic.
+    pub fn eval(&mut self) {
+        // Refresh FF outputs and constants first.
+        for (i, node) in self.n.nodes.iter().enumerate() {
+            match node {
+                NodeKind::Const(v) => self.values[i] = *v,
+                NodeKind::FfOutput(idx) => self.values[i] = self.ff_state[*idx as usize],
+                _ => {}
+            }
+        }
+        for &s in &self.order {
+            let v = match self.n.nodes[s as usize] {
+                NodeKind::Input | NodeKind::Const(_) | NodeKind::FfOutput(_) => continue,
+                NodeKind::Not(a) => !self.values[a as usize],
+                NodeKind::And(a, b) => self.values[a as usize] && self.values[b as usize],
+                NodeKind::Or(a, b) => self.values[a as usize] || self.values[b as usize],
+                NodeKind::Xor(a, b) => self.values[a as usize] ^ self.values[b as usize],
+            };
+            self.values[s as usize] = v;
+        }
+        self.dirty = false;
+    }
+
+    /// Read a named output bus as an integer.
+    pub fn get(&mut self, name: &str) -> u64 {
+        if self.dirty {
+            self.eval();
+        }
+        let sigs = self
+            .output_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no output bus named {name}"));
+        assert!(sigs.len() <= 64);
+        sigs.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, s)| acc | ((self.values[*s as usize] as u64) << i))
+    }
+
+    /// Read a wide output bus as bytes.
+    pub fn get_bytes(&mut self, name: &str) -> Vec<u8> {
+        if self.dirty {
+            self.eval();
+        }
+        let sigs = self
+            .output_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no output bus named {name}"))
+            .clone();
+        let mut out = vec![0u8; sigs.len().div_ceil(8)];
+        for (i, s) in sigs.iter().enumerate() {
+            if self.values[*s as usize] {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Clock edge: evaluate combinational logic, then latch every FF
+    /// (SR has priority over CE, as on a Virtex slice register).
+    pub fn step(&mut self) {
+        self.eval();
+        let next: Vec<bool> = self
+            .n
+            .dffs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                if let Some(sr) = d.sr {
+                    if self.values[sr as usize] {
+                        return d.init;
+                    }
+                }
+                if let Some(en) = d.en {
+                    if !self.values[en as usize] {
+                        return self.ff_state[i];
+                    }
+                }
+                self.values[d.d.expect("validated") as usize]
+            })
+            .collect();
+        self.ff_state = next;
+        self.dirty = true;
+        self.eval();
+    }
+
+    /// Reset all FFs to their init values.
+    pub fn reset(&mut self) {
+        for (i, d) in self.n.dffs.iter().enumerate() {
+            self.ff_state[i] = d.init;
+        }
+        self.dirty = true;
+        self.eval();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    #[test]
+    fn combinational_eval() {
+        let mut b = Builder::new("c");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor2(a, c);
+        b.output("x", &[x]);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        for (p, q) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            sim.set("a", p);
+            sim.set("b", q);
+            assert_eq!(sim.get("x"), p ^ q);
+        }
+    }
+
+    #[test]
+    fn wide_bus_bytes() {
+        let mut b = Builder::new("w");
+        let a = b.input_bus("data", 32);
+        // Swap the two halves.
+        let mut swapped = a[16..].to_vec();
+        swapped.extend_from_slice(&a[..16]);
+        b.output("out", &swapped);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        sim.set_bytes("data", &[0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(sim.get_bytes("out"), vec![0x33, 0x44, 0x11, 0x22]);
+    }
+
+    #[test]
+    fn shift_register_and_reset() {
+        let mut b = Builder::new("sr");
+        let d = b.input("d");
+        let q1 = b.reg(d, false);
+        let q2 = b.reg(q1, true);
+        b.output("q2", &[q2]);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        assert_eq!(sim.get("q2"), 1, "init value");
+        sim.set("d", 1);
+        sim.step(); // q1=1, q2=0(init of q1 was false)
+        assert_eq!(sim.get("q2"), 0);
+        sim.step();
+        assert_eq!(sim.get("q2"), 1);
+        sim.reset();
+        assert_eq!(sim.get("q2"), 1);
+    }
+}

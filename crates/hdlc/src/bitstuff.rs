@@ -1,0 +1,253 @@
+//! Bit-synchronous HDLC framing (RFC 1662 §5): zero-bit insertion
+//! instead of octet stuffing.
+//!
+//! PPP over SONET/SDH settled on the octet-stuffed variant the P⁵
+//! implements (and RFC 2615 §6 discusses why), but bit-synchronous
+//! framing is the classic alternative on synchronous links and makes a
+//! natural baseline: its overhead is a *fraction of a bit per run of
+//! ones* instead of a whole byte per flag/escape octet.  The
+//! `ablation_escape_density` criterion group compares the two
+//! transparency mechanisms' expansion.
+//!
+//! Rules: after five consecutive `1` bits of frame data, a `0` is
+//! inserted; the flag `01111110` delimits frames; seven or more ones in
+//! a row is an abort.
+
+use crate::FLAG;
+
+/// Bit-level writer producing a byte stream (LSB-first transmission
+/// order, matching the octet conventions used elsewhere in this crate).
+#[derive(Debug, Default, Clone)]
+struct BitWriter {
+    out: Vec<u8>,
+    cur: u8,
+    nbits: u8,
+}
+
+impl BitWriter {
+    fn push_bit(&mut self, bit: bool) {
+        if bit {
+            self.cur |= 1 << self.nbits;
+        }
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.out.push(self.cur);
+            self.cur = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Pad the final partial byte with trailing flag bits, as a
+    /// continuously-flagged line would.
+    fn finish(mut self) -> Vec<u8> {
+        let mut i = 0;
+        while self.nbits != 0 {
+            self.push_bit((FLAG >> i) & 1 == 1);
+            i += 1;
+        }
+        self.out
+    }
+}
+
+/// Encode one frame with zero-bit insertion, bracketed by flags.
+pub fn bitstuff_frame(body: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::default();
+    // Opening flag, bit-verbatim.
+    for i in 0..8 {
+        w.push_bit((FLAG >> i) & 1 == 1);
+    }
+    let mut run = 0u8;
+    for &byte in body {
+        for i in 0..8 {
+            let bit = (byte >> i) & 1 == 1;
+            w.push_bit(bit);
+            if bit {
+                run += 1;
+                if run == 5 {
+                    w.push_bit(false); // inserted zero
+                    run = 0;
+                }
+            } else {
+                run = 0;
+            }
+        }
+    }
+    for i in 0..8 {
+        w.push_bit((FLAG >> i) & 1 == 1);
+    }
+    w.finish()
+}
+
+/// Decode outcome for one bit-stuffed region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitDeframe {
+    /// Complete frames recovered, in order.
+    Frames(Vec<Vec<u8>>),
+}
+
+/// Decode a bit-stuffed stream: delete inserted zeros, split on flags.
+/// Aborts (≥7 ones) and non-octet-aligned frames are dropped.
+pub fn bitunstuff_stream(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    let mut bits: Vec<bool> = Vec::new();
+    let mut run = 0u8;
+    let mut in_frame = false;
+    let mut aborted = false;
+    let mut recent: u8 = 0; // last 8 raw bits, newest in MSB position 7
+
+    for &byte in stream {
+        for i in 0..8 {
+            let bit = (byte >> i) & 1 == 1;
+            recent = (recent >> 1) | ((bit as u8) << 7);
+            if bit {
+                run += 1;
+                if run >= 7 {
+                    // Abort: discard the frame in progress.
+                    aborted = true;
+                    bits.clear();
+                    in_frame = false;
+                }
+                if in_frame && !aborted {
+                    bits.push(true);
+                }
+            } else {
+                if run == 5 {
+                    // Inserted zero: delete.
+                    run = 0;
+                    continue;
+                }
+                if run == 6 {
+                    // A flag just completed (01111110 ends on this 0).
+                    run = 0;
+                    if in_frame && !aborted {
+                        // Remove the flag's 7 bits that leaked into the
+                        // collected data (0111111 pattern minus inserted
+                        // handling): the flag bits were never pushed
+                        // because each push happened before we could
+                        // know — handle by trimming the trailing 6 ones
+                        // and one zero we pushed.
+                        //
+                        // Simpler: the six ones of the flag *were*
+                        // pushed (run 1..=6 with in_frame); pop them and
+                        // the zero that opened the flag is this bit.
+                        for _ in 0..6 {
+                            bits.pop();
+                        }
+                        // The flag's leading 0 was pushed too.
+                        bits.pop();
+                        if !bits.is_empty() && bits.len().is_multiple_of(8) {
+                            let mut body = vec![0u8; bits.len() / 8];
+                            for (k, &bv) in bits.iter().enumerate() {
+                                if bv {
+                                    body[k / 8] |= 1 << (k % 8);
+                                }
+                            }
+                            frames.push(body);
+                        }
+                    }
+                    bits.clear();
+                    in_frame = true;
+                    aborted = false;
+                    continue;
+                }
+                run = 0;
+                if in_frame && !aborted {
+                    bits.push(false);
+                }
+            }
+        }
+    }
+    frames
+}
+
+/// Wire overhead of bit stuffing for a body, in bits (excluding flags).
+pub fn bitstuff_overhead_bits(body: &[u8]) -> usize {
+    let mut run = 0u8;
+    let mut inserted = 0usize;
+    for &byte in body {
+        for i in 0..8 {
+            if (byte >> i) & 1 == 1 {
+                run += 1;
+                if run == 5 {
+                    inserted += 1;
+                    run = 0;
+                }
+            } else {
+                run = 0;
+            }
+        }
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stuff::{stuff, Accm};
+
+    #[test]
+    fn round_trip_simple() {
+        let body = b"hello bit stuffing".to_vec();
+        let wire = bitstuff_frame(&body);
+        assert_eq!(bitunstuff_stream(&wire), vec![body]);
+    }
+
+    #[test]
+    fn round_trip_all_ones() {
+        // 0xFF bytes force maximal zero insertion.
+        let body = vec![0xFF; 32];
+        let wire = bitstuff_frame(&body);
+        assert!(wire.len() > body.len() + 2, "zeros were inserted");
+        assert_eq!(bitunstuff_stream(&wire), vec![body]);
+    }
+
+    #[test]
+    fn round_trip_flag_bytes() {
+        // 0x7E in the payload must be transparent without escaping.
+        let body = vec![0x7E; 16];
+        let wire = bitstuff_frame(&body);
+        assert_eq!(bitunstuff_stream(&wire), vec![body]);
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut wire = bitstuff_frame(b"one");
+        wire.extend(bitstuff_frame(b"two!"));
+        assert_eq!(
+            bitunstuff_stream(&wire),
+            vec![b"one".to_vec(), b"two!".to_vec()]
+        );
+    }
+
+    #[test]
+    fn random_round_trips() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let body: Vec<u8> = (0..rng.gen_range(1..200)).map(|_| rng.gen()).collect();
+            let wire = bitstuff_frame(&body);
+            assert_eq!(bitunstuff_stream(&wire), vec![body]);
+        }
+    }
+
+    #[test]
+    fn overhead_is_fractional_vs_octet_stuffing() {
+        // The paper's worst case for octet stuffing (all flags) doubles
+        // the frame; bit stuffing grows the same payload by ~1 bit per 7.
+        let body = vec![0x7E; 1000];
+        let octet_overhead_bits = (stuff(&body, Accm::SONET).len() - body.len()) * 8;
+        let bit_overhead = bitstuff_overhead_bits(&body);
+        assert!(bit_overhead * 4 < octet_overhead_bits);
+        // But bit stuffing needs bit-granular shifters at 32 bits/clock —
+        // the paper's byte-oriented datapath trades overhead for a
+        // byte-aligned (cheaper) sorter.
+    }
+
+    #[test]
+    fn worst_case_expansion_ratio() {
+        let body = vec![0xFFu8; 700];
+        let inserted = bitstuff_overhead_bits(&body);
+        // One zero per five ones: 5600 bits -> 1120 insertions.
+        assert_eq!(inserted, 1120);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: framing is lossless and robust for arbitrary payloads,
+//! including pathological flag/escape runs, under arbitrary stream
+//! chunkings.
+
+use p5_hdlc::{
+    destuff, stuff, Accm, DeframeEvent, Deframer, DeframerConfig, DestuffOutcome, Framer,
+    FramerConfig,
+};
+use proptest::prelude::*;
+
+/// Payload generator biased toward flags and escapes — the adversarial
+/// input for the byte sorter.
+fn nasty_body() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => Just(p5_hdlc::FLAG),
+            3 => Just(p5_hdlc::ESCAPE),
+            4 => any::<u8>(),
+        ],
+        0..600,
+    )
+}
+
+proptest! {
+    #[test]
+    fn stuff_destuff_identity(body in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let wire = stuff(&body, Accm::SONET);
+        prop_assert!(!wire.contains(&p5_hdlc::FLAG));
+        prop_assert_eq!(destuff(&wire), DestuffOutcome::Ok(body));
+    }
+
+    #[test]
+    fn stuff_destuff_identity_async_accm(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let wire = stuff(&body, Accm::ASYNC_DEFAULT);
+        prop_assert!(wire.iter().all(|&b| b != p5_hdlc::FLAG && (b >= 0x20 || b == p5_hdlc::ESCAPE)));
+        prop_assert_eq!(destuff(&wire), DestuffOutcome::Ok(body));
+    }
+
+    #[test]
+    fn frame_sequence_round_trips(bodies in proptest::collection::vec(nasty_body(), 1..8)) {
+        let bodies: Vec<Vec<u8>> = bodies.into_iter().filter(|b| !b.is_empty()).collect();
+        let mut framer = Framer::new(FramerConfig::default());
+        let mut wire = Vec::new();
+        for b in &bodies {
+            framer.encode_into(b, &mut wire);
+        }
+        let mut deframer = Deframer::new(DeframerConfig {
+            max_body: 4096,
+            ..Default::default()
+        });
+        let events = deframer.push_bytes(&wire);
+        let expect: Vec<DeframeEvent> =
+            bodies.iter().map(|b| DeframeEvent::Frame(b.clone())).collect();
+        prop_assert_eq!(events, expect);
+    }
+
+    #[test]
+    fn chunking_never_changes_events(
+        bodies in proptest::collection::vec(nasty_body(), 1..5),
+        chunk in 1usize..17,
+    ) {
+        let bodies: Vec<Vec<u8>> = bodies.into_iter().filter(|b| !b.is_empty()).collect();
+        let mut framer = Framer::new(FramerConfig::default());
+        let mut wire = Vec::new();
+        for b in &bodies {
+            framer.encode_into(b, &mut wire);
+        }
+        let big_cfg = DeframerConfig { max_body: 4096, ..Default::default() };
+        let whole = Deframer::new(big_cfg).push_bytes(&wire);
+        let mut chunked = Vec::new();
+        let mut d = Deframer::new(big_cfg);
+        for c in wire.chunks(chunk) {
+            chunked.extend(d.push_bytes(c));
+        }
+        prop_assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn random_garbage_never_yields_a_frame_event_with_bad_fcs(
+        garbage in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        // Whatever junk arrives, every Frame event must carry a body whose
+        // FCS verified; we can't check that from outside directly, but we
+        // can check the decoder never panics and the stats balance.
+        let mut d = Deframer::default();
+        let events = d.push_bytes(&garbage);
+        let s = *d.stats();
+        let discards = s.fcs_errors + s.aborts + s.runts + s.giants;
+        prop_assert_eq!(events.len() as u64, s.frames_ok + discards);
+    }
+}

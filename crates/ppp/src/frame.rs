@@ -1,0 +1,288 @@
+//! The PPP frame format (Figure 1 of the paper): Address, Control,
+//! Protocol, Payload — everything between the flags, before the FCS.
+//!
+//! The codec implements the programmability the paper emphasises: the
+//! address byte is a register ("this implementation allows this field to
+//! be programmable so that it is compatible with MAPOS systems"), the
+//! protocol field may be 1 or 2 bytes ("the default size of the protocol
+//! field is 2 bytes but this may be negotiated down to 1 byte using LCP"),
+//! and the address/control pair can be elided entirely (ACFC).
+
+use crate::protocol::Protocol;
+
+/// Standard all-stations address.
+pub const ADDRESS_ALL_STATIONS: u8 = 0xFF;
+/// Unnumbered-information control byte ("in normal operating conditions
+/// the value of this field is 0x03").
+pub const CONTROL_UI: u8 = 0x03;
+
+/// LCP-negotiated header compressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FieldCompression {
+    /// Address-and-Control-Field Compression: omit the FF 03 pair.
+    pub acfc: bool,
+    /// Protocol-Field Compression: send eligible protocols as one byte.
+    pub pfc: bool,
+}
+
+/// A decoded PPP frame (without flags or FCS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PppFrame {
+    pub address: u8,
+    pub control: u8,
+    pub protocol: Protocol,
+    pub payload: Vec<u8>,
+}
+
+impl PppFrame {
+    /// A conventional datagram frame with default address/control.
+    pub fn datagram(protocol: Protocol, payload: Vec<u8>) -> Self {
+        Self {
+            address: ADDRESS_ALL_STATIONS,
+            control: CONTROL_UI,
+            protocol,
+            payload,
+        }
+    }
+}
+
+/// Frame decode failures (surface as OAM error counters in hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the smallest legal header.
+    Truncated,
+    /// Address byte did not match the programmed station address.
+    AddressMismatch { got: u8, expected: u8 },
+    /// Control byte was not 0x03.
+    BadControl(u8),
+    /// Protocol field malformed (e.g. 2-byte protocol with odd first byte).
+    BadProtocol,
+}
+
+/// Encoder/decoder for the fields between flag and FCS, with the
+/// programmable address register.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameCodec {
+    /// The station address to emit and to accept (OAM register).
+    pub address: u8,
+    /// Accept any address on receive (promiscuous / MAPOS broadcast).
+    pub promiscuous: bool,
+    pub compression: FieldCompression,
+}
+
+impl Default for FrameCodec {
+    fn default() -> Self {
+        Self {
+            address: ADDRESS_ALL_STATIONS,
+            promiscuous: false,
+            compression: FieldCompression::default(),
+        }
+    }
+}
+
+impl FrameCodec {
+    /// Encode a frame into the body bytes handed to the HDLC framer.
+    pub fn encode(&self, frame: &PppFrame) -> Vec<u8> {
+        let mut out = Vec::with_capacity(frame.payload.len() + 4);
+        self.encode_into(frame, &mut out);
+        out
+    }
+
+    /// Encode appending to `out`.
+    pub fn encode_into(&self, frame: &PppFrame, out: &mut Vec<u8>) {
+        if !self.compression.acfc || !frame.protocol.is_network_layer() {
+            // LCP frames always carry the full header (RFC 1661: ACFC must
+            // not be applied to LCP packets).
+            out.push(frame.address);
+            out.push(frame.control);
+        }
+        let proto = frame.protocol.number();
+        if self.compression.pfc && frame.protocol.pfc_eligible() {
+            out.push(proto as u8);
+        } else {
+            out.extend_from_slice(&proto.to_be_bytes());
+        }
+        out.extend_from_slice(&frame.payload);
+    }
+
+    /// Decode the body bytes delivered by the HDLC deframer.
+    pub fn decode(&self, body: &[u8]) -> Result<PppFrame, FrameError> {
+        let mut rest = body;
+        let (address, control);
+        // The address/control pair may be elided only when ACFC was
+        // negotiated; a receiver distinguishes the cases by the first
+        // byte — 0xFF is never a valid (compressed) protocol first byte.
+        if rest.first() == Some(&self.address) && rest.get(1) == Some(&CONTROL_UI) {
+            address = rest[0];
+            control = rest[1];
+            rest = &rest[2..];
+        } else if self.compression.acfc {
+            address = self.address;
+            control = CONTROL_UI;
+        } else if rest.len() >= 2 {
+            if rest[0] != self.address && !self.promiscuous {
+                return Err(FrameError::AddressMismatch {
+                    got: rest[0],
+                    expected: self.address,
+                });
+            }
+            if rest[1] != CONTROL_UI {
+                return Err(FrameError::BadControl(rest[1]));
+            }
+            address = rest[0];
+            control = rest[1];
+            rest = &rest[2..];
+        } else {
+            return Err(FrameError::Truncated);
+        }
+
+        if rest.is_empty() {
+            return Err(FrameError::Truncated);
+        }
+        // Protocol field: one byte if its LSB is set and the value is odd
+        // (PFC), else two bytes.
+        let protocol = if rest[0] & 1 == 1 {
+            let p = Protocol::from_number(rest[0] as u16);
+            rest = &rest[1..];
+            p
+        } else {
+            if rest.len() < 2 {
+                return Err(FrameError::Truncated);
+            }
+            let n = u16::from_be_bytes([rest[0], rest[1]]);
+            if n & 1 == 0 {
+                return Err(FrameError::BadProtocol);
+            }
+            rest = &rest[2..];
+            Protocol::from_number(n)
+        };
+
+        Ok(PppFrame {
+            address,
+            control,
+            protocol,
+            payload: rest.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_encoding_matches_figure_1() {
+        let codec = FrameCodec::default();
+        let frame = PppFrame::datagram(Protocol::Ipv4, vec![0x45, 0x00]);
+        let body = codec.encode(&frame);
+        assert_eq!(body, vec![0xFF, 0x03, 0x00, 0x21, 0x45, 0x00]);
+    }
+
+    #[test]
+    fn round_trip_default() {
+        let codec = FrameCodec::default();
+        let frame = PppFrame::datagram(Protocol::Ipv6, b"sixsixsix".to_vec());
+        assert_eq!(codec.decode(&codec.encode(&frame)).unwrap(), frame);
+    }
+
+    #[test]
+    fn pfc_compresses_eligible_protocols_only() {
+        let codec = FrameCodec {
+            compression: FieldCompression {
+                pfc: true,
+                acfc: false,
+            },
+            ..Default::default()
+        };
+        let ip = codec.encode(&PppFrame::datagram(Protocol::Ipv4, vec![]));
+        assert_eq!(ip, vec![0xFF, 0x03, 0x21]);
+        let lcp = codec.encode(&PppFrame::datagram(Protocol::Lcp, vec![]));
+        assert_eq!(lcp, vec![0xFF, 0x03, 0xC0, 0x21]);
+        // Both decode back.
+        assert_eq!(codec.decode(&ip).unwrap().protocol, Protocol::Ipv4);
+        assert_eq!(codec.decode(&lcp).unwrap().protocol, Protocol::Lcp);
+    }
+
+    #[test]
+    fn acfc_elides_header_for_network_layer_only() {
+        let codec = FrameCodec {
+            compression: FieldCompression {
+                pfc: false,
+                acfc: true,
+            },
+            ..Default::default()
+        };
+        let ip = codec.encode(&PppFrame::datagram(Protocol::Ipv4, vec![1]));
+        assert_eq!(ip, vec![0x00, 0x21, 1]);
+        let lcp = codec.encode(&PppFrame::datagram(Protocol::Lcp, vec![1]));
+        assert_eq!(lcp, vec![0xFF, 0x03, 0xC0, 0x21, 1]);
+        assert_eq!(codec.decode(&ip).unwrap().protocol, Protocol::Ipv4);
+        assert_eq!(codec.decode(&lcp).unwrap().protocol, Protocol::Lcp);
+    }
+
+    #[test]
+    fn programmable_address_for_mapos() {
+        // Paper: "this implementation allows this field to be programmable
+        // so that it is compatible with MAPOS systems".
+        let codec = FrameCodec {
+            address: 0x03,
+            ..Default::default()
+        };
+        let frame = PppFrame {
+            address: 0x03,
+            control: CONTROL_UI,
+            protocol: Protocol::Ipv4,
+            payload: vec![9],
+        };
+        let body = codec.encode(&frame);
+        assert_eq!(body[0], 0x03);
+        assert_eq!(codec.decode(&body).unwrap(), frame);
+        // A different station's codec rejects it...
+        let other = FrameCodec::default();
+        assert!(matches!(
+            other.decode(&body),
+            Err(FrameError::AddressMismatch { got: 0x03, .. })
+        ));
+        // ...unless promiscuous.
+        let promisc = FrameCodec {
+            promiscuous: true,
+            ..Default::default()
+        };
+        assert_eq!(promisc.decode(&body).unwrap().address, 0x03);
+    }
+
+    #[test]
+    fn bad_control_rejected() {
+        let codec = FrameCodec::default();
+        assert_eq!(
+            codec.decode(&[0xFF, 0x13, 0x00, 0x21]),
+            Err(FrameError::BadControl(0x13))
+        );
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        let codec = FrameCodec::default();
+        assert_eq!(codec.decode(&[]), Err(FrameError::Truncated));
+        assert_eq!(codec.decode(&[0xFF]), Err(FrameError::Truncated));
+        assert_eq!(codec.decode(&[0xFF, 0x03]), Err(FrameError::Truncated));
+        assert_eq!(codec.decode(&[0xFF, 0x03, 0x00]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn even_two_byte_protocol_rejected() {
+        let codec = FrameCodec::default();
+        assert_eq!(
+            codec.decode(&[0xFF, 0x03, 0x00, 0x20]),
+            Err(FrameError::BadProtocol)
+        );
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let codec = FrameCodec::default();
+        let frame = PppFrame::datagram(Protocol::Ipv4, vec![]);
+        let decoded = codec.decode(&codec.encode(&frame)).unwrap();
+        assert!(decoded.payload.is_empty());
+    }
+}

@@ -1,0 +1,468 @@
+//! The RFC 1661 §4 option-negotiation automaton — all ten states, the
+//! full event/action transition table.  LCP and every NCP (here: IPCP)
+//! run an instance of this machine.
+//!
+//! The automaton itself is a pure transition function
+//! ([`Automaton::handle`]): it consumes an [`Event`] and yields the
+//! [`Action`]s the implementation must carry out, exactly as the RFC's
+//! table prescribes.  Timers and packet I/O live in
+//! [`crate::endpoint::Endpoint`].
+
+/// Automaton states (RFC 1661 §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum State {
+    Initial,
+    Starting,
+    Closed,
+    Stopped,
+    Closing,
+    Stopping,
+    ReqSent,
+    AckRcvd,
+    AckSent,
+    Opened,
+}
+
+/// Automaton events (RFC 1661 §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// lower layer is Up
+    Up,
+    /// lower layer is Down
+    Down,
+    /// administrative Open
+    Open,
+    /// administrative Close
+    Close,
+    /// Timeout with counter > 0
+    TimeoutRetry,
+    /// Timeout with counter expired
+    TimeoutGiveUp,
+    /// Receive-Configure-Request (good)
+    RcrGood,
+    /// Receive-Configure-Request (bad)
+    RcrBad,
+    /// Receive-Configure-Ack
+    Rca,
+    /// Receive-Configure-Nak/Rej
+    Rcn,
+    /// Receive-Terminate-Request
+    Rtr,
+    /// Receive-Terminate-Ack
+    Rta,
+    /// Receive-Unknown-Code
+    Ruc,
+    /// Receive-Code-Reject (permitted) or Protocol-Reject
+    RxjGood,
+    /// Receive-Code-Reject (catastrophic) or Protocol-Reject
+    RxjBad,
+    /// Receive-Echo-Request/Reply or Discard-Request
+    Rxr,
+}
+
+/// Automaton actions (RFC 1661 §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// tlu: This-Layer-Up
+    ThisLayerUp,
+    /// tld: This-Layer-Down
+    ThisLayerDown,
+    /// tls: This-Layer-Started
+    ThisLayerStarted,
+    /// tlf: This-Layer-Finished
+    ThisLayerFinished,
+    /// irc: Initialize-Restart-Count
+    InitRestartCount,
+    /// zrc: Zero-Restart-Count
+    ZeroRestartCount,
+    /// scr: Send-Configure-Request
+    SendConfigureRequest,
+    /// sca: Send-Configure-Ack
+    SendConfigureAck,
+    /// scn: Send-Configure-Nak/Rej
+    SendConfigureNak,
+    /// str: Send-Terminate-Request
+    SendTerminateRequest,
+    /// sta: Send-Terminate-Ack
+    SendTerminateAck,
+    /// scj: Send-Code-Reject
+    SendCodeReject,
+    /// ser: Send-Echo-Reply
+    SendEchoReply,
+}
+
+/// Error for events that are impossible in a state (the RFC marks these
+/// "cannot occur"; a well-driven machine never sees them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CannotOccur {
+    pub state: State,
+    pub event: Event,
+}
+
+/// The pure RFC 1661 automaton.
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    state: State,
+}
+
+impl Default for Automaton {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+use Action::*;
+use Event::*;
+use State::*;
+
+impl Automaton {
+    pub fn new() -> Self {
+        Self { state: Initial }
+    }
+
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Is the link in a phase where network-protocol traffic flows?
+    pub fn is_opened(&self) -> bool {
+        self.state == Opened
+    }
+
+    /// Apply one event; returns the action list, or `CannotOccur` for
+    /// event/state pairs the RFC marks impossible.
+    pub fn handle(&mut self, event: Event) -> Result<Vec<Action>, CannotOccur> {
+        let cannot = CannotOccur {
+            state: self.state,
+            event,
+        };
+        // Transition table, RFC 1661 §4.1, transcribed row by row.
+        let (actions, next): (&[Action], State) = match (event, self.state) {
+            (Up, Initial) => (&[], Closed),
+            (Up, Starting) => (&[InitRestartCount, SendConfigureRequest], ReqSent),
+            (Up, _) => return Err(cannot),
+
+            (Down, Closed) => (&[], Initial),
+            (Down, Stopped) => (&[ThisLayerStarted], Starting),
+            (Down, Closing) => (&[], Initial),
+            (Down, Stopping) => (&[], Starting),
+            (Down, ReqSent) | (Down, AckRcvd) | (Down, AckSent) => (&[], Starting),
+            (Down, Opened) => (&[ThisLayerDown], Starting),
+            (Down, _) => return Err(cannot),
+
+            (Open, Initial) => (&[ThisLayerStarted], Starting),
+            (Open, Starting) => (&[], Starting),
+            (Open, Closed) => (&[InitRestartCount, SendConfigureRequest], ReqSent),
+            (Open, Stopped) => (&[], Stopped), // restart option not taken
+            (Open, Closing) => (&[], Stopping),
+            (Open, Stopping) => (&[], Stopping),
+            (Open, ReqSent) => (&[], ReqSent),
+            (Open, AckRcvd) => (&[], AckRcvd),
+            (Open, AckSent) => (&[], AckSent),
+            (Open, Opened) => (&[], Opened),
+
+            (Close, Initial) => (&[], Initial),
+            (Close, Starting) => (&[ThisLayerFinished], Initial),
+            (Close, Closed) => (&[], Closed),
+            (Close, Stopped) => (&[], Closed),
+            (Close, Closing) => (&[], Closing),
+            (Close, Stopping) => (&[], Closing),
+            (Close, ReqSent) | (Close, AckRcvd) | (Close, AckSent) => {
+                (&[InitRestartCount, SendTerminateRequest], Closing)
+            }
+            (Close, Opened) => (
+                &[ThisLayerDown, InitRestartCount, SendTerminateRequest],
+                Closing,
+            ),
+
+            (TimeoutRetry, Closing) => (&[SendTerminateRequest], Closing),
+            (TimeoutRetry, Stopping) => (&[SendTerminateRequest], Stopping),
+            (TimeoutRetry, ReqSent) => (&[SendConfigureRequest], ReqSent),
+            (TimeoutRetry, AckRcvd) => (&[SendConfigureRequest], ReqSent),
+            (TimeoutRetry, AckSent) => (&[SendConfigureRequest], AckSent),
+            (TimeoutRetry, _) => return Err(cannot),
+
+            (TimeoutGiveUp, Closing) => (&[ThisLayerFinished], Closed),
+            (TimeoutGiveUp, Stopping) => (&[ThisLayerFinished], Stopped),
+            (TimeoutGiveUp, ReqSent) | (TimeoutGiveUp, AckRcvd) | (TimeoutGiveUp, AckSent) => {
+                (&[ThisLayerFinished], Stopped)
+            }
+            (TimeoutGiveUp, _) => return Err(cannot),
+
+            (RcrGood, Closed) => (&[SendTerminateAck], Closed),
+            (RcrGood, Stopped) => (
+                &[InitRestartCount, SendConfigureRequest, SendConfigureAck],
+                AckSent,
+            ),
+            (RcrGood, Closing) => (&[], Closing),
+            (RcrGood, Stopping) => (&[], Stopping),
+            (RcrGood, ReqSent) => (&[SendConfigureAck], AckSent),
+            (RcrGood, AckRcvd) => (&[SendConfigureAck, ThisLayerUp], Opened),
+            (RcrGood, AckSent) => (&[SendConfigureAck], AckSent),
+            (RcrGood, Opened) => (
+                &[ThisLayerDown, SendConfigureRequest, SendConfigureAck],
+                AckSent,
+            ),
+            (RcrGood, _) => return Err(cannot),
+
+            (RcrBad, Closed) => (&[SendTerminateAck], Closed),
+            (RcrBad, Stopped) => (
+                &[InitRestartCount, SendConfigureRequest, SendConfigureNak],
+                ReqSent,
+            ),
+            (RcrBad, Closing) => (&[], Closing),
+            (RcrBad, Stopping) => (&[], Stopping),
+            (RcrBad, ReqSent) => (&[SendConfigureNak], ReqSent),
+            (RcrBad, AckRcvd) => (&[SendConfigureNak], AckRcvd),
+            (RcrBad, AckSent) => (&[SendConfigureNak], ReqSent),
+            (RcrBad, Opened) => (
+                &[ThisLayerDown, SendConfigureRequest, SendConfigureNak],
+                ReqSent,
+            ),
+            (RcrBad, _) => return Err(cannot),
+
+            (Rca, Closed) | (Rca, Stopped) => (&[SendTerminateAck], self.state),
+            (Rca, Closing) => (&[], Closing),
+            (Rca, Stopping) => (&[], Stopping),
+            (Rca, ReqSent) => (&[InitRestartCount], AckRcvd),
+            // Crossed connection: out-of-sequence Ack, restart.
+            (Rca, AckRcvd) => (&[SendConfigureRequest], ReqSent),
+            (Rca, AckSent) => (&[InitRestartCount, ThisLayerUp], Opened),
+            (Rca, Opened) => (&[ThisLayerDown, SendConfigureRequest], ReqSent),
+            (Rca, _) => return Err(cannot),
+
+            (Rcn, Closed) | (Rcn, Stopped) => (&[SendTerminateAck], self.state),
+            (Rcn, Closing) => (&[], Closing),
+            (Rcn, Stopping) => (&[], Stopping),
+            (Rcn, ReqSent) => (&[InitRestartCount, SendConfigureRequest], ReqSent),
+            (Rcn, AckRcvd) => (&[SendConfigureRequest], ReqSent),
+            (Rcn, AckSent) => (&[InitRestartCount, SendConfigureRequest], AckSent),
+            (Rcn, Opened) => (&[ThisLayerDown, SendConfigureRequest], ReqSent),
+            (Rcn, _) => return Err(cannot),
+
+            (Rtr, Closed) | (Rtr, Stopped) => (&[SendTerminateAck], self.state),
+            (Rtr, Closing) => (&[SendTerminateAck], Closing),
+            (Rtr, Stopping) => (&[SendTerminateAck], Stopping),
+            (Rtr, ReqSent) | (Rtr, AckRcvd) | (Rtr, AckSent) => (&[SendTerminateAck], ReqSent),
+            (Rtr, Opened) => (
+                &[ThisLayerDown, ZeroRestartCount, SendTerminateAck],
+                Stopping,
+            ),
+            (Rtr, _) => return Err(cannot),
+
+            (Rta, Closed) => (&[], Closed),
+            (Rta, Stopped) => (&[], Stopped),
+            (Rta, Closing) => (&[ThisLayerFinished], Closed),
+            (Rta, Stopping) => (&[ThisLayerFinished], Stopped),
+            (Rta, ReqSent) => (&[], ReqSent),
+            (Rta, AckRcvd) => (&[], ReqSent),
+            (Rta, AckSent) => (&[], AckSent),
+            (Rta, Opened) => (&[ThisLayerDown, SendConfigureRequest], ReqSent),
+            (Rta, _) => return Err(cannot),
+
+            (Ruc, Initial) | (Ruc, Starting) => return Err(cannot),
+            (Ruc, s) => (&[SendCodeReject], s),
+
+            (RxjGood, Closed) => (&[], Closed),
+            (RxjGood, Stopped) => (&[], Stopped),
+            (RxjGood, Closing) => (&[], Closing),
+            (RxjGood, Stopping) => (&[], Stopping),
+            (RxjGood, ReqSent) => (&[], ReqSent),
+            (RxjGood, AckRcvd) => (&[], ReqSent),
+            (RxjGood, AckSent) => (&[], AckSent),
+            (RxjGood, Opened) => (&[], Opened),
+            (RxjGood, _) => return Err(cannot),
+
+            (RxjBad, Closed) | (RxjBad, Stopped) => (&[ThisLayerFinished], self.state),
+            (RxjBad, Closing) => (&[ThisLayerFinished], Closed),
+            (RxjBad, Stopping) => (&[ThisLayerFinished], Stopped),
+            (RxjBad, ReqSent) | (RxjBad, AckRcvd) | (RxjBad, AckSent) => {
+                (&[ThisLayerFinished], Stopped)
+            }
+            (RxjBad, Opened) => (
+                &[ThisLayerDown, InitRestartCount, SendTerminateRequest],
+                Stopping,
+            ),
+            (RxjBad, _) => return Err(cannot),
+
+            (Rxr, Opened) => (&[SendEchoReply], Opened),
+            (Rxr, Initial) | (Rxr, Starting) => return Err(cannot),
+            (Rxr, s) => (&[], s),
+        };
+        self.state = next;
+        Ok(actions.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(events: &[Event]) -> (Automaton, Vec<Action>) {
+        let mut a = Automaton::new();
+        let mut actions = Vec::new();
+        for &e in events {
+            actions.extend(a.handle(e).unwrap());
+        }
+        (a, actions)
+    }
+
+    #[test]
+    fn active_open_happy_path() {
+        // Open, lower layer up, peer requests, peer acks.
+        let (a, actions) = drive(&[Open, Up, RcrGood, Rca]);
+        assert_eq!(a.state(), Opened);
+        assert!(actions.contains(&ThisLayerUp));
+        assert!(actions.contains(&SendConfigureRequest));
+        assert!(actions.contains(&SendConfigureAck));
+    }
+
+    #[test]
+    fn happy_path_other_interleaving() {
+        // Ack arrives before the peer's request.
+        let (a, actions) = drive(&[Open, Up, Rca, RcrGood]);
+        assert_eq!(a.state(), Opened);
+        assert_eq!(actions.last(), Some(&ThisLayerUp));
+    }
+
+    #[test]
+    fn never_opened_without_both_ack_exchanges() {
+        let (a, _) = drive(&[Open, Up, Rca]);
+        assert_ne!(a.state(), Opened);
+        let (a, _) = drive(&[Open, Up, RcrGood]);
+        assert_ne!(a.state(), Opened);
+    }
+
+    #[test]
+    fn passive_open_waits_in_starting() {
+        let (a, actions) = drive(&[Open]);
+        assert_eq!(a.state(), Starting);
+        assert_eq!(actions, vec![ThisLayerStarted]);
+    }
+
+    #[test]
+    fn up_before_open_sits_in_closed_and_rejects_requests() {
+        let (mut a, _) = drive(&[Up]);
+        assert_eq!(a.state(), Closed);
+        let acts = a.handle(RcrGood).unwrap();
+        assert_eq!(acts, vec![SendTerminateAck]);
+        assert_eq!(a.state(), Closed);
+    }
+
+    #[test]
+    fn close_from_opened_terminates_gracefully() {
+        let (mut a, _) = drive(&[Open, Up, RcrGood, Rca]);
+        let acts = a.handle(Close).unwrap();
+        assert_eq!(
+            acts,
+            vec![ThisLayerDown, InitRestartCount, SendTerminateRequest]
+        );
+        assert_eq!(a.state(), Closing);
+        let acts = a.handle(Rta).unwrap();
+        assert_eq!(acts, vec![ThisLayerFinished]);
+        assert_eq!(a.state(), Closed);
+    }
+
+    #[test]
+    fn peer_terminate_in_opened_goes_to_stopping() {
+        let (mut a, _) = drive(&[Open, Up, RcrGood, Rca]);
+        let acts = a.handle(Rtr).unwrap();
+        assert_eq!(acts, vec![ThisLayerDown, ZeroRestartCount, SendTerminateAck]);
+        assert_eq!(a.state(), Stopping);
+        // Zero restart count means the next timeout finishes immediately.
+        let acts = a.handle(TimeoutGiveUp).unwrap();
+        assert_eq!(acts, vec![ThisLayerFinished]);
+        assert_eq!(a.state(), Stopped);
+    }
+
+    #[test]
+    fn timeout_retries_resend_configure_request() {
+        let (mut a, _) = drive(&[Open, Up]);
+        assert_eq!(a.state(), ReqSent);
+        assert_eq!(a.handle(TimeoutRetry).unwrap(), vec![SendConfigureRequest]);
+        assert_eq!(a.state(), ReqSent);
+        assert_eq!(a.handle(TimeoutGiveUp).unwrap(), vec![ThisLayerFinished]);
+        assert_eq!(a.state(), Stopped);
+    }
+
+    #[test]
+    fn nak_in_req_sent_resends_request() {
+        let (mut a, _) = drive(&[Open, Up]);
+        let acts = a.handle(Rcn).unwrap();
+        assert_eq!(acts, vec![InitRestartCount, SendConfigureRequest]);
+        assert_eq!(a.state(), ReqSent);
+    }
+
+    #[test]
+    fn renegotiation_from_opened_on_rcr() {
+        let (mut a, _) = drive(&[Open, Up, RcrGood, Rca]);
+        let acts = a.handle(RcrGood).unwrap();
+        assert_eq!(
+            acts,
+            vec![ThisLayerDown, SendConfigureRequest, SendConfigureAck]
+        );
+        assert_eq!(a.state(), AckSent);
+    }
+
+    #[test]
+    fn catastrophic_code_reject_tears_down() {
+        let (mut a, _) = drive(&[Open, Up, RcrGood, Rca]);
+        let acts = a.handle(RxjBad).unwrap();
+        assert!(acts.contains(&ThisLayerDown));
+        assert!(acts.contains(&SendTerminateRequest));
+        assert_eq!(a.state(), Stopping);
+    }
+
+    #[test]
+    fn echo_request_in_opened_gets_reply() {
+        let (mut a, _) = drive(&[Open, Up, RcrGood, Rca]);
+        assert_eq!(a.handle(Rxr).unwrap(), vec![SendEchoReply]);
+        assert_eq!(a.state(), Opened);
+    }
+
+    #[test]
+    fn echo_outside_opened_is_ignored() {
+        let (mut a, _) = drive(&[Open, Up]);
+        assert!(a.handle(Rxr).unwrap().is_empty());
+        assert_eq!(a.state(), ReqSent);
+    }
+
+    #[test]
+    fn down_from_opened_signals_layer_down() {
+        let (mut a, _) = drive(&[Open, Up, RcrGood, Rca]);
+        assert_eq!(a.handle(Down).unwrap(), vec![ThisLayerDown]);
+        assert_eq!(a.state(), Starting);
+    }
+
+    #[test]
+    fn impossible_events_are_reported() {
+        let mut a = Automaton::new();
+        assert!(a.handle(TimeoutRetry).is_err());
+        assert!(a.handle(Rca).is_err());
+        assert_eq!(a.state(), Initial);
+    }
+
+    #[test]
+    fn unknown_code_always_code_rejects_in_live_states() {
+        for pre in [
+            vec![Up],
+            vec![Open, Up],
+            vec![Open, Up, RcrGood],
+            vec![Open, Up, RcrGood, Rca],
+        ] {
+            let (mut a, _) = drive(&pre);
+            let before = a.state();
+            assert_eq!(a.handle(Ruc).unwrap(), vec![SendCodeReject]);
+            assert_eq!(a.state(), before);
+        }
+    }
+
+    #[test]
+    fn crossed_ack_restarts_negotiation() {
+        // AckRcvd + another Rca is the crossed-connection glitch.
+        let (mut a, _) = drive(&[Open, Up, Rca]);
+        assert_eq!(a.state(), AckRcvd);
+        assert_eq!(a.handle(Rca).unwrap(), vec![SendConfigureRequest]);
+        assert_eq!(a.state(), ReqSent);
+    }
+}

@@ -1,0 +1,302 @@
+//! LCP packet and configuration-option codecs (RFC 1661 §5, §6).
+//!
+//! The paper: "An extensible Link Control Protocol (LCP) to establish,
+//! configure, and test the data-link connection."  These are the packets
+//! the host microprocessor exchanges through the P⁵'s OAM interface.
+
+/// LCP (and, code-compatibly, NCP) packet codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PacketCode {
+    ConfigureRequest = 1,
+    ConfigureAck = 2,
+    ConfigureNak = 3,
+    ConfigureReject = 4,
+    TerminateRequest = 5,
+    TerminateAck = 6,
+    CodeReject = 7,
+    ProtocolReject = 8,
+    EchoRequest = 9,
+    EchoReply = 10,
+    DiscardRequest = 11,
+}
+
+impl PacketCode {
+    pub fn from_u8(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => Self::ConfigureRequest,
+            2 => Self::ConfigureAck,
+            3 => Self::ConfigureNak,
+            4 => Self::ConfigureReject,
+            5 => Self::TerminateRequest,
+            6 => Self::TerminateAck,
+            7 => Self::CodeReject,
+            8 => Self::ProtocolReject,
+            9 => Self::EchoRequest,
+            10 => Self::EchoReply,
+            11 => Self::DiscardRequest,
+            _ => return None,
+        })
+    }
+}
+
+/// A control-protocol packet: Code, Identifier, Length, Data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub code: PacketCode,
+    pub id: u8,
+    pub data: Vec<u8>,
+}
+
+/// Packet parse failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    Truncated,
+    /// The length field disagrees with the received byte count.
+    BadLength,
+    /// Unknown code — the automaton answers with Code-Reject (RUC event).
+    UnknownCode(u8),
+}
+
+impl Packet {
+    pub fn new(code: PacketCode, id: u8, data: Vec<u8>) -> Self {
+        Self { code, id, data }
+    }
+
+    /// Serialise as Code | Id | Length(2, big-endian, incl. header) | Data.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let len = (self.data.len() + 4) as u16;
+        let mut out = Vec::with_capacity(len as usize);
+        out.push(self.code as u8);
+        out.push(self.id);
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parse a packet from a PPP information field.  Trailing padding
+    /// beyond the length field is permitted (RFC 1661 §5) and dropped.
+    pub fn parse(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < 4 {
+            return Err(PacketError::Truncated);
+        }
+        let code = PacketCode::from_u8(bytes[0]).ok_or(PacketError::UnknownCode(bytes[0]))?;
+        let id = bytes[1];
+        let len = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        if len < 4 || len > bytes.len() {
+            return Err(PacketError::BadLength);
+        }
+        Ok(Self {
+            code,
+            id,
+            data: bytes[4..len].to_vec(),
+        })
+    }
+}
+
+/// A raw Type-Length-Value configuration option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigOption {
+    pub kind: u8,
+    pub data: Vec<u8>,
+}
+
+impl ConfigOption {
+    /// Serialise Type | Length(incl. header) | Data.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.push(self.kind);
+        out.push((self.data.len() + 2) as u8);
+        out.extend_from_slice(&self.data);
+    }
+
+    /// Parse a whole option list (the data of a Configure-* packet).
+    pub fn parse_list(mut bytes: &[u8]) -> Result<Vec<ConfigOption>, PacketError> {
+        let mut opts = Vec::new();
+        while !bytes.is_empty() {
+            if bytes.len() < 2 {
+                return Err(PacketError::Truncated);
+            }
+            let len = bytes[1] as usize;
+            if len < 2 || len > bytes.len() {
+                return Err(PacketError::BadLength);
+            }
+            opts.push(ConfigOption {
+                kind: bytes[0],
+                data: bytes[2..len].to_vec(),
+            });
+            bytes = &bytes[len..];
+        }
+        Ok(opts)
+    }
+
+    /// Serialise an option list.
+    pub fn write_list(opts: &[ConfigOption]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for o in opts {
+            o.write(&mut out);
+        }
+        out
+    }
+}
+
+/// Typed LCP configuration options (RFC 1661 §6, RFC 1570 for FCS
+/// alternatives).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LcpOption {
+    /// Type 1: Maximum-Receive-Unit.
+    Mru(u16),
+    /// Type 2: Async-Control-Character-Map.
+    Accm(u32),
+    /// Type 5: Magic-Number (loopback detection).
+    MagicNumber(u32),
+    /// Type 7: Protocol-Field-Compression.
+    Pfc,
+    /// Type 8: Address-and-Control-Field-Compression.
+    Acfc,
+    /// Type 9: FCS-Alternatives bitmask (1 = null, 2 = CCITT-16,
+    /// 4 = CCITT-32 — the P⁵ negotiates 32-bit CRC).
+    FcsAlternatives(u8),
+    /// Unrecognised option, kept raw for Configure-Reject.
+    Unknown(ConfigOption),
+}
+
+/// FCS-Alternatives flag: no FCS.
+pub const FCS_ALT_NULL: u8 = 1;
+/// FCS-Alternatives flag: CCITT 16-bit.
+pub const FCS_ALT_CCITT16: u8 = 2;
+/// FCS-Alternatives flag: CCITT 32-bit.
+pub const FCS_ALT_CCITT32: u8 = 4;
+
+impl LcpOption {
+    pub fn to_raw(&self) -> ConfigOption {
+        match self {
+            LcpOption::Mru(v) => ConfigOption {
+                kind: 1,
+                data: v.to_be_bytes().to_vec(),
+            },
+            LcpOption::Accm(v) => ConfigOption {
+                kind: 2,
+                data: v.to_be_bytes().to_vec(),
+            },
+            LcpOption::MagicNumber(v) => ConfigOption {
+                kind: 5,
+                data: v.to_be_bytes().to_vec(),
+            },
+            LcpOption::Pfc => ConfigOption {
+                kind: 7,
+                data: vec![],
+            },
+            LcpOption::Acfc => ConfigOption {
+                kind: 8,
+                data: vec![],
+            },
+            LcpOption::FcsAlternatives(v) => ConfigOption {
+                kind: 9,
+                data: vec![*v],
+            },
+            LcpOption::Unknown(raw) => raw.clone(),
+        }
+    }
+
+    pub fn from_raw(raw: &ConfigOption) -> Self {
+        match (raw.kind, raw.data.as_slice()) {
+            (1, [a, b]) => LcpOption::Mru(u16::from_be_bytes([*a, *b])),
+            (2, [a, b, c, d]) => LcpOption::Accm(u32::from_be_bytes([*a, *b, *c, *d])),
+            (5, [a, b, c, d]) => LcpOption::MagicNumber(u32::from_be_bytes([*a, *b, *c, *d])),
+            (7, []) => LcpOption::Pfc,
+            (8, []) => LcpOption::Acfc,
+            (9, [v]) => LcpOption::FcsAlternatives(*v),
+            _ => LcpOption::Unknown(raw.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_round_trip() {
+        let p = Packet::new(PacketCode::ConfigureRequest, 7, vec![1, 4, 0x05, 0xDC]);
+        let bytes = p.to_bytes();
+        assert_eq!(bytes[2..4], [0, 8]);
+        assert_eq!(Packet::parse(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn packet_with_padding_parses() {
+        let mut bytes = Packet::new(PacketCode::EchoRequest, 1, vec![0; 4]).to_bytes();
+        bytes.extend_from_slice(&[0xEE; 10]); // padding
+        let p = Packet::parse(&bytes).unwrap();
+        assert_eq!(p.data.len(), 4);
+    }
+
+    #[test]
+    fn unknown_code_surfaces_for_code_reject() {
+        let bytes = [0x63, 1, 0, 4];
+        assert_eq!(Packet::parse(&bytes), Err(PacketError::UnknownCode(0x63)));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert_eq!(
+            Packet::parse(&[1, 1, 0, 3]),
+            Err(PacketError::BadLength)
+        );
+        assert_eq!(
+            Packet::parse(&[1, 1, 0, 99, 0]),
+            Err(PacketError::BadLength)
+        );
+        assert_eq!(Packet::parse(&[1, 1]), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn option_list_round_trip() {
+        let opts = vec![
+            LcpOption::Mru(1500).to_raw(),
+            LcpOption::MagicNumber(0xDEADBEEF).to_raw(),
+            LcpOption::Pfc.to_raw(),
+            LcpOption::Acfc.to_raw(),
+            LcpOption::FcsAlternatives(FCS_ALT_CCITT32).to_raw(),
+        ];
+        let bytes = ConfigOption::write_list(&opts);
+        assert_eq!(ConfigOption::parse_list(&bytes).unwrap(), opts);
+    }
+
+    #[test]
+    fn typed_option_round_trip() {
+        for opt in [
+            LcpOption::Mru(1500),
+            LcpOption::Accm(0),
+            LcpOption::MagicNumber(42),
+            LcpOption::Pfc,
+            LcpOption::Acfc,
+            LcpOption::FcsAlternatives(FCS_ALT_CCITT16 | FCS_ALT_CCITT32),
+        ] {
+            assert_eq!(LcpOption::from_raw(&opt.to_raw()), opt);
+        }
+    }
+
+    #[test]
+    fn malformed_option_is_unknown_not_panic() {
+        // MRU with wrong data length.
+        let raw = ConfigOption {
+            kind: 1,
+            data: vec![1, 2, 3],
+        };
+        assert!(matches!(LcpOption::from_raw(&raw), LcpOption::Unknown(_)));
+    }
+
+    #[test]
+    fn truncated_option_list_rejected() {
+        assert_eq!(
+            ConfigOption::parse_list(&[1, 4, 0]),
+            Err(PacketError::BadLength)
+        );
+        assert_eq!(ConfigOption::parse_list(&[1]), Err(PacketError::Truncated));
+        assert_eq!(
+            ConfigOption::parse_list(&[1, 1]),
+            Err(PacketError::BadLength)
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! PPP Link Quality Monitoring (RFC 1989) — the paper's reference list
+//! includes RFC 1333 (LQM, obsoleted by 1989).  Each side periodically
+//! transmits a Link-Quality-Report (protocol 0xC025) carrying its
+//! transmit/receive counters; comparing deltas on both sides measures
+//! loss in each direction — the management view on top of the P⁵'s OAM
+//! counters.
+
+/// The Link-Quality-Report packet body: twelve 32-bit big-endian
+/// counters (RFC 1989 §2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LqrPacket {
+    pub magic_number: u32,
+    pub last_out_lqrs: u32,
+    pub last_out_packets: u32,
+    pub last_out_octets: u32,
+    pub peer_in_lqrs: u32,
+    pub peer_in_packets: u32,
+    pub peer_in_discards: u32,
+    pub peer_in_errors: u32,
+    pub peer_in_octets: u32,
+    pub peer_out_lqrs: u32,
+    pub peer_out_packets: u32,
+    pub peer_out_octets: u32,
+}
+
+impl LqrPacket {
+    pub const WIRE_LEN: usize = 48;
+
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let fields = [
+            self.magic_number,
+            self.last_out_lqrs,
+            self.last_out_packets,
+            self.last_out_octets,
+            self.peer_in_lqrs,
+            self.peer_in_packets,
+            self.peer_in_discards,
+            self.peer_in_errors,
+            self.peer_in_octets,
+            self.peer_out_lqrs,
+            self.peer_out_packets,
+            self.peer_out_octets,
+        ];
+        fields.iter().flat_map(|f| f.to_be_bytes()).collect()
+    }
+
+    pub fn parse(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let f = |i: usize| u32::from_be_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        Some(Self {
+            magic_number: f(0),
+            last_out_lqrs: f(1),
+            last_out_packets: f(2),
+            last_out_octets: f(3),
+            peer_in_lqrs: f(4),
+            peer_in_packets: f(5),
+            peer_in_discards: f(6),
+            peer_in_errors: f(7),
+            peer_in_octets: f(8),
+            peer_out_lqrs: f(9),
+            peer_out_packets: f(10),
+            peer_out_octets: f(11),
+        })
+    }
+}
+
+/// Loss measured over one reporting interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QualityDelta {
+    /// Packets we sent in the interval (by our own count).
+    pub sent: u32,
+    /// Of those, packets the peer reports having received.
+    pub received: u32,
+}
+
+impl QualityDelta {
+    pub fn lost(&self) -> u32 {
+        self.sent.saturating_sub(self.received)
+    }
+
+    /// Fraction of packets delivered (1.0 = perfect).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.received as f64 / self.sent as f64
+        }
+    }
+}
+
+/// One side's LQM instance: keeps local counters, builds outgoing
+/// reports, digests incoming ones.
+#[derive(Debug, Clone, Default)]
+pub struct LqrMonitor {
+    pub magic: u32,
+    // Local transmit counters.
+    out_lqrs: u32,
+    out_packets: u32,
+    out_octets: u32,
+    // Local receive counters (fed from the OAM).
+    in_lqrs: u32,
+    in_packets: u32,
+    in_discards: u32,
+    in_errors: u32,
+    in_octets: u32,
+    /// Last report received from the peer.
+    last_peer_report: Option<LqrPacket>,
+    /// Snapshot of our out_packets when the previous measurement was
+    /// taken, and the peer's in_packets at that time.
+    prev_out_packets: u32,
+    prev_peer_in_packets: u32,
+    measurement: Option<QualityDelta>,
+}
+
+impl LqrMonitor {
+    pub fn new(magic: u32) -> Self {
+        Self {
+            magic,
+            ..Default::default()
+        }
+    }
+
+    /// Record locally transmitted traffic (datapath tap).
+    pub fn note_sent(&mut self, packets: u32, octets: u32) {
+        self.out_packets += packets;
+        self.out_octets += octets;
+    }
+
+    /// Record locally received traffic (from the OAM counters).
+    pub fn note_received(&mut self, packets: u32, octets: u32, discards: u32, errors: u32) {
+        self.in_packets += packets;
+        self.in_octets += octets;
+        self.in_discards += discards;
+        self.in_errors += errors;
+    }
+
+    /// Build the next outgoing report (counts itself as an out-LQR).
+    pub fn build_report(&mut self) -> LqrPacket {
+        self.out_lqrs += 1;
+        let peer = self.last_peer_report.unwrap_or_default();
+        LqrPacket {
+            magic_number: self.magic,
+            last_out_lqrs: self.out_lqrs,
+            last_out_packets: self.out_packets,
+            last_out_octets: self.out_octets,
+            peer_in_lqrs: self.in_lqrs,
+            peer_in_packets: self.in_packets,
+            peer_in_discards: self.in_discards,
+            peer_in_errors: self.in_errors,
+            peer_in_octets: self.in_octets,
+            // Echo the peer's own out-counters back (RFC 1989: copied
+            // from the last received LQR).
+            peer_out_lqrs: peer.last_out_lqrs,
+            peer_out_packets: peer.last_out_packets,
+            peer_out_octets: peer.last_out_octets,
+        }
+    }
+
+    /// Digest a received report; updates the outbound-loss measurement.
+    pub fn receive_report(&mut self, report: LqrPacket) {
+        self.in_lqrs += 1;
+        // Outbound loss: how many of the packets we sent since the last
+        // report did the peer actually receive?
+        let sent_now = report.peer_out_packets; // peer echoes our count
+        let recv_now = report.peer_in_packets;
+        if self.last_peer_report.is_some() && sent_now >= self.prev_out_packets {
+            let sent = sent_now - self.prev_out_packets;
+            let received = recv_now.saturating_sub(self.prev_peer_in_packets);
+            self.measurement = Some(QualityDelta {
+                sent,
+                received: received.min(sent),
+            });
+        }
+        self.prev_out_packets = sent_now;
+        self.prev_peer_in_packets = recv_now;
+        self.last_peer_report = Some(report);
+    }
+
+    /// The latest interval measurement, if two reports have arrived.
+    pub fn outbound_quality(&self) -> Option<QualityDelta> {
+        self.measurement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_round_trip() {
+        let p = LqrPacket {
+            magic_number: 0xDEADBEEF,
+            last_out_packets: 123,
+            peer_in_octets: 4567,
+            ..Default::default()
+        };
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), LqrPacket::WIRE_LEN);
+        assert_eq!(LqrPacket::parse(&bytes), Some(p));
+        assert_eq!(LqrPacket::parse(&bytes[..40]), None);
+    }
+
+    /// Simulate two monitors over a link that drops some of A's packets.
+    fn run_interval(a: &mut LqrMonitor, b: &mut LqrMonitor, send: u32, deliver: u32) {
+        a.note_sent(send, send * 100);
+        b.note_received(deliver, deliver * 100, 0, send - deliver);
+        // A reports; B digests and replies; A digests.
+        let ra = a.build_report();
+        b.receive_report(LqrPacket::parse(&ra.to_bytes()).unwrap());
+        let rb = b.build_report();
+        a.receive_report(LqrPacket::parse(&rb.to_bytes()).unwrap());
+    }
+
+    #[test]
+    fn measures_outbound_loss() {
+        let mut a = LqrMonitor::new(1);
+        let mut b = LqrMonitor::new(2);
+        run_interval(&mut a, &mut b, 100, 100); // priming interval
+        run_interval(&mut a, &mut b, 100, 93); // 7 lost
+        let q = a.outbound_quality().expect("measured after two reports");
+        assert_eq!(q.sent, 100);
+        assert_eq!(q.received, 93);
+        assert_eq!(q.lost(), 7);
+        assert!((q.delivery_ratio() - 0.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_link_measures_no_loss() {
+        let mut a = LqrMonitor::new(1);
+        let mut b = LqrMonitor::new(2);
+        for _ in 0..5 {
+            run_interval(&mut a, &mut b, 50, 50);
+        }
+        let q = a.outbound_quality().unwrap();
+        assert_eq!(q.lost(), 0);
+        assert_eq!(q.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn quality_updates_per_interval() {
+        let mut a = LqrMonitor::new(1);
+        let mut b = LqrMonitor::new(2);
+        run_interval(&mut a, &mut b, 10, 10);
+        run_interval(&mut a, &mut b, 10, 5);
+        assert_eq!(a.outbound_quality().unwrap().lost(), 5);
+        run_interval(&mut a, &mut b, 10, 10);
+        assert_eq!(a.outbound_quality().unwrap().lost(), 0);
+    }
+
+    #[test]
+    fn idle_interval_is_perfect_by_convention() {
+        let q = QualityDelta { sent: 0, received: 0 };
+        assert_eq!(q.delivery_ratio(), 1.0);
+    }
+}

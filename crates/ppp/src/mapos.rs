@@ -1,0 +1,113 @@
+//! MAPOS — Multiple Access Protocol over SONET/SDH (RFC 2171) addressing.
+//!
+//! MAPOS reuses HDLC framing but gives the address octet real meaning:
+//! frames are switched by address through a frame switch.  The paper cites
+//! MAPOS ([1],[2]) as the reason the P⁵'s address field is programmable
+//! rather than hard-wired to 0xFF.
+//!
+//! RFC 2171 §2.2 address format: the least significant bit is always 1
+//! (end of address field, HDLC convention); the most significant bit
+//! selects group (1) vs unicast (0); 0xFF is the broadcast address.
+
+/// A MAPOS station address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaposAddress(u8);
+
+/// Errors constructing a MAPOS address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressError {
+    /// LSB must be 1 in every MAPOS address octet.
+    LsbClear,
+}
+
+impl MaposAddress {
+    /// The all-stations broadcast address.
+    pub const BROADCAST: MaposAddress = MaposAddress(0xFF);
+
+    /// Wrap a raw address octet, enforcing the always-one LSB.
+    pub fn new(octet: u8) -> Result<Self, AddressError> {
+        if octet & 1 == 0 {
+            return Err(AddressError::LsbClear);
+        }
+        Ok(Self(octet))
+    }
+
+    /// Build a unicast address from a 6-bit switch port number
+    /// (bit 7 = 0, bit 0 = 1).
+    pub fn unicast(port: u8) -> Result<Self, AddressError> {
+        if port >= 0x40 {
+            return Err(AddressError::LsbClear); // out of unicast range
+        }
+        Ok(Self((port << 1) | 1))
+    }
+
+    /// Build a group (multicast) address from a 6-bit group number.
+    pub fn group(group: u8) -> Result<Self, AddressError> {
+        if group >= 0x40 {
+            return Err(AddressError::LsbClear);
+        }
+        Ok(Self(0x80 | (group << 1) | 1))
+    }
+
+    pub fn octet(self) -> u8 {
+        self.0
+    }
+
+    pub fn is_broadcast(self) -> bool {
+        self.0 == 0xFF
+    }
+
+    pub fn is_group(self) -> bool {
+        self.0 & 0x80 != 0
+    }
+
+    pub fn is_unicast(self) -> bool {
+        !self.is_group()
+    }
+
+    /// Should a station with address `self` accept a frame sent to `dest`?
+    pub fn accepts(self, dest: MaposAddress) -> bool {
+        dest.is_broadcast() || dest == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_is_always_one() {
+        assert_eq!(MaposAddress::new(0x02), Err(AddressError::LsbClear));
+        assert!(MaposAddress::new(0x03).is_ok());
+        for port in 0..0x40 {
+            assert_eq!(MaposAddress::unicast(port).unwrap().octet() & 1, 1);
+            assert_eq!(MaposAddress::group(port).unwrap().octet() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn unicast_and_group_ranges() {
+        let u = MaposAddress::unicast(5).unwrap();
+        assert!(u.is_unicast() && !u.is_group() && !u.is_broadcast());
+        let g = MaposAddress::group(5).unwrap();
+        assert!(g.is_group() && !g.is_unicast());
+        assert!(MaposAddress::unicast(0x40).is_err());
+        assert!(MaposAddress::group(0x40).is_err());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let a = MaposAddress::unicast(1).unwrap();
+        let b = MaposAddress::unicast(2).unwrap();
+        assert!(a.accepts(MaposAddress::BROADCAST));
+        assert!(b.accepts(MaposAddress::BROADCAST));
+        assert!(a.accepts(a));
+        assert!(!a.accepts(b));
+    }
+
+    #[test]
+    fn broadcast_is_group_shaped() {
+        assert!(MaposAddress::BROADCAST.is_group());
+        assert!(MaposAddress::BROADCAST.is_broadcast());
+    }
+}

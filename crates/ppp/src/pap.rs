@@ -1,0 +1,235 @@
+//! PAP — the Password Authentication Protocol (RFC 1334), the simplest
+//! member of the "family of protocols" PPP negotiates after LCP and
+//! before the NCPs.  Protocol number 0xC023.
+
+/// PAP packet codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PapCode {
+    AuthenticateRequest = 1,
+    AuthenticateAck = 2,
+    AuthenticateNak = 3,
+}
+
+/// A PAP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PapPacket {
+    Request {
+        id: u8,
+        peer_id: Vec<u8>,
+        password: Vec<u8>,
+    },
+    Ack {
+        id: u8,
+        message: Vec<u8>,
+    },
+    Nak {
+        id: u8,
+        message: Vec<u8>,
+    },
+}
+
+impl PapPacket {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (code, id, data) = match self {
+            PapPacket::Request {
+                id,
+                peer_id,
+                password,
+            } => {
+                let mut d = vec![peer_id.len() as u8];
+                d.extend_from_slice(peer_id);
+                d.push(password.len() as u8);
+                d.extend_from_slice(password);
+                (PapCode::AuthenticateRequest, *id, d)
+            }
+            PapPacket::Ack { id, message } => {
+                let mut d = vec![message.len() as u8];
+                d.extend_from_slice(message);
+                (PapCode::AuthenticateAck, *id, d)
+            }
+            PapPacket::Nak { id, message } => {
+                let mut d = vec![message.len() as u8];
+                d.extend_from_slice(message);
+                (PapCode::AuthenticateNak, *id, d)
+            }
+        };
+        let len = (4 + data.len()) as u16;
+        let mut out = vec![code as u8, id];
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&data);
+        out
+    }
+
+    pub fn parse(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let id = bytes[1];
+        let len = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        if len < 4 || len > bytes.len() {
+            return None;
+        }
+        let data = &bytes[4..len];
+        match bytes[0] {
+            1 => {
+                let pid_len = *data.first()? as usize;
+                let peer_id = data.get(1..1 + pid_len)?.to_vec();
+                let pw_len = *data.get(1 + pid_len)? as usize;
+                let password = data.get(2 + pid_len..2 + pid_len + pw_len)?.to_vec();
+                Some(PapPacket::Request {
+                    id,
+                    peer_id,
+                    password,
+                })
+            }
+            2 | 3 => {
+                let msg_len = *data.first()? as usize;
+                let message = data.get(1..1 + msg_len)?.to_vec();
+                Some(if bytes[0] == 2 {
+                    PapPacket::Ack { id, message }
+                } else {
+                    PapPacket::Nak { id, message }
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Authenticator policy: validate a peer-id/password pair.
+pub trait Credentials {
+    fn check(&self, peer_id: &[u8], password: &[u8]) -> bool;
+}
+
+/// A fixed credential table.
+#[derive(Debug, Clone, Default)]
+pub struct CredentialTable {
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl CredentialTable {
+    pub fn with(mut self, peer_id: &[u8], password: &[u8]) -> Self {
+        self.entries.push((peer_id.to_vec(), password.to_vec()));
+        self
+    }
+}
+
+impl Credentials for CredentialTable {
+    fn check(&self, peer_id: &[u8], password: &[u8]) -> bool {
+        self.entries
+            .iter()
+            .any(|(p, w)| p == peer_id && w == password)
+    }
+}
+
+/// The authenticator (server) side: answer requests.
+pub fn authenticate<C: Credentials>(creds: &C, request: &PapPacket) -> Option<PapPacket> {
+    let PapPacket::Request {
+        id,
+        peer_id,
+        password,
+    } = request
+    else {
+        return None;
+    };
+    Some(if creds.check(peer_id, password) {
+        PapPacket::Ack {
+            id: *id,
+            message: b"welcome".to_vec(),
+        }
+    } else {
+        PapPacket::Nak {
+            id: *id,
+            message: b"bad credentials".to_vec(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let p = PapPacket::Request {
+            id: 7,
+            peer_id: b"station-a".to_vec(),
+            password: b"hunter2".to_vec(),
+        };
+        assert_eq!(PapPacket::parse(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn ack_nak_round_trip() {
+        for p in [
+            PapPacket::Ack {
+                id: 1,
+                message: b"ok".to_vec(),
+            },
+            PapPacket::Nak {
+                id: 2,
+                message: vec![],
+            },
+        ] {
+            assert_eq!(PapPacket::parse(&p.to_bytes()), Some(p));
+        }
+    }
+
+    #[test]
+    fn truncated_requests_are_rejected() {
+        let p = PapPacket::Request {
+            id: 7,
+            peer_id: b"x".to_vec(),
+            password: b"y".to_vec(),
+        };
+        let bytes = p.to_bytes();
+        for cut in 1..bytes.len() {
+            // Shorter buffers either fail the length check or the field
+            // bounds; never panic.
+            let _ = PapPacket::parse(&bytes[..cut]);
+        }
+        // Length field longer than the buffer.
+        let mut bad = bytes.clone();
+        bad[3] = 0xFF;
+        assert_eq!(PapPacket::parse(&bad), None);
+    }
+
+    #[test]
+    fn good_credentials_get_ack() {
+        let creds = CredentialTable::default().with(b"station-a", b"secret");
+        let req = PapPacket::Request {
+            id: 3,
+            peer_id: b"station-a".to_vec(),
+            password: b"secret".to_vec(),
+        };
+        match authenticate(&creds, &req) {
+            Some(PapPacket::Ack { id: 3, .. }) => {}
+            other => panic!("expected Ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_credentials_get_nak() {
+        let creds = CredentialTable::default().with(b"station-a", b"secret");
+        let req = PapPacket::Request {
+            id: 4,
+            peer_id: b"station-a".to_vec(),
+            password: b"wrong".to_vec(),
+        };
+        assert!(matches!(
+            authenticate(&creds, &req),
+            Some(PapPacket::Nak { id: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn non_requests_are_not_answered() {
+        let creds = CredentialTable::default();
+        let ack = PapPacket::Ack {
+            id: 1,
+            message: vec![],
+        };
+        assert_eq!(authenticate(&creds, &ack), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! The PPP protocol field registry (Figure 1 of the paper; RFC 1661 §2).
+//!
+//! "Protocols starting with a 0 bit are network layer protocols such as IP
+//! or IPX, those starting with a 1 bit are used to negotiate other
+//! protocols including LCP and NCP."
+
+/// Well-known PPP protocol numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// 0x0021 — Internet Protocol version 4.
+    Ipv4,
+    /// 0x002B — Novell IPX (mentioned in the paper's §2).
+    Ipx,
+    /// 0x0057 — Internet Protocol version 6.
+    Ipv6,
+    /// 0x8021 — IP Control Protocol (the NCP for IPv4).
+    Ipcp,
+    /// 0xC021 — Link Control Protocol.
+    Lcp,
+    /// 0xC023 — Password Authentication Protocol.
+    Pap,
+    /// 0xC223 — Challenge Handshake Authentication Protocol.
+    Chap,
+    /// 0xC025 — Link Quality Report.
+    Lqr,
+    /// Anything else.
+    Other(u16),
+}
+
+impl Protocol {
+    pub const fn number(self) -> u16 {
+        match self {
+            Protocol::Ipv4 => 0x0021,
+            Protocol::Ipx => 0x002B,
+            Protocol::Ipv6 => 0x0057,
+            Protocol::Ipcp => 0x8021,
+            Protocol::Lcp => 0xC021,
+            Protocol::Pap => 0xC023,
+            Protocol::Chap => 0xC223,
+            Protocol::Lqr => 0xC025,
+            Protocol::Other(n) => n,
+        }
+    }
+
+    pub const fn from_number(n: u16) -> Self {
+        match n {
+            0x0021 => Protocol::Ipv4,
+            0x002B => Protocol::Ipx,
+            0x0057 => Protocol::Ipv6,
+            0x8021 => Protocol::Ipcp,
+            0xC021 => Protocol::Lcp,
+            0xC023 => Protocol::Pap,
+            0xC223 => Protocol::Chap,
+            0xC025 => Protocol::Lqr,
+            other => Protocol::Other(other),
+        }
+    }
+
+    /// Network-layer protocols have a most-significant bit of 0
+    /// (first transmitted byte starts with a 0 bit).
+    pub const fn is_network_layer(self) -> bool {
+        self.number() & 0x8000 == 0
+    }
+
+    /// Can the protocol field be compressed to one byte (PFC)?  Only
+    /// protocols whose upper byte is zero.
+    pub const fn pfc_eligible(self) -> bool {
+        self.number() <= 0x00FF
+    }
+}
+
+/// RFC 1661 well-formedness: protocol numbers are assigned such that the
+/// least significant byte is odd and the most significant byte is even.
+pub const fn is_well_formed(n: u16) -> bool {
+    (n & 0x0001) == 1 && (n & 0x0100) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_numbers() {
+        for p in [
+            Protocol::Ipv4,
+            Protocol::Ipx,
+            Protocol::Ipv6,
+            Protocol::Ipcp,
+            Protocol::Lcp,
+            Protocol::Pap,
+            Protocol::Chap,
+            Protocol::Lqr,
+            Protocol::Other(0x0FB1),
+        ] {
+            assert_eq!(Protocol::from_number(p.number()), p);
+        }
+    }
+
+    #[test]
+    fn layer_classification_matches_paper() {
+        assert!(Protocol::Ipv4.is_network_layer());
+        assert!(Protocol::Ipx.is_network_layer());
+        assert!(!Protocol::Lcp.is_network_layer());
+        assert!(!Protocol::Ipcp.is_network_layer());
+    }
+
+    #[test]
+    fn well_formedness_rule() {
+        assert!(is_well_formed(0x0021));
+        assert!(is_well_formed(0xC021));
+        assert!(!is_well_formed(0x0100)); // odd MSB byte rule violated + even LSB
+        assert!(!is_well_formed(0x0020)); // even LSB byte
+    }
+
+    #[test]
+    fn pfc_eligibility() {
+        assert!(Protocol::Ipv4.pfc_eligible());
+        assert!(!Protocol::Lcp.pfc_eligible());
+    }
+}

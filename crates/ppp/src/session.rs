@@ -1,0 +1,292 @@
+//! A complete PPP session: LCP + IPCP endpoints bundled behind one
+//! demultiplexer, with RFC 1661 §5.7 Protocol-Reject for traffic in
+//! unknown protocols — the full software stack a host runs on top of
+//! the P⁵'s shared-memory frame interface.
+
+use crate::endpoint::{Endpoint, EndpointConfig, LayerEvent};
+use crate::ipcp::IpcpNegotiator;
+use crate::lcp::{Packet, PacketCode};
+use crate::lcp_negotiator::LcpNegotiator;
+use crate::protocol::Protocol;
+
+/// Events a session surfaces to its owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// LCP reached Opened.
+    LinkUp,
+    /// LCP left Opened.
+    LinkDown,
+    /// IPCP reached Opened with the negotiated addresses (ours, peer's).
+    NetworkUp([u8; 4], [u8; 4]),
+    /// An IPv4 datagram arrived on the open link.
+    Datagram(Vec<u8>),
+    /// A frame arrived in a protocol we rejected.
+    RejectedProtocol(u16),
+}
+
+/// A PPP session endpoint (one side of the link).
+pub struct Session {
+    pub lcp: Endpoint<LcpNegotiator>,
+    pub ipcp: Endpoint<IpcpNegotiator>,
+    link_up: bool,
+    network_up: bool,
+    /// Outbound (protocol, information field) frames.
+    outbox: Vec<(u16, Vec<u8>)>,
+    events: Vec<SessionEvent>,
+    reject_id: u8,
+}
+
+impl Session {
+    pub fn new(magic: u32, ip: [u8; 4]) -> Self {
+        Self::with_config(magic, ip, EndpointConfig::default())
+    }
+
+    pub fn with_config(magic: u32, ip: [u8; 4], cfg: EndpointConfig) -> Self {
+        Self {
+            lcp: Endpoint::new(LcpNegotiator::new(1500, magic), cfg),
+            ipcp: Endpoint::new(IpcpNegotiator::new(ip), cfg),
+            link_up: false,
+            network_up: false,
+            outbox: Vec::new(),
+            events: Vec::new(),
+            reject_id: 0,
+        }
+    }
+
+    /// Begin: administrative open + PHY up.
+    pub fn start(&mut self) {
+        self.lcp.open();
+        self.lcp.lower_up();
+        self.ipcp.open();
+    }
+
+    /// Administrative close.
+    pub fn stop(&mut self) {
+        self.ipcp.close();
+        self.lcp.close();
+    }
+
+    pub fn is_network_up(&self) -> bool {
+        self.network_up
+    }
+
+    /// Queue an IPv4 datagram (only sensible once the network is up).
+    pub fn send_datagram(&mut self, datagram: Vec<u8>) {
+        self.outbox.push((Protocol::Ipv4.number(), datagram));
+    }
+
+    /// Advance timers.
+    pub fn tick(&mut self, now: u64) {
+        self.lcp.tick(now);
+        self.ipcp.tick(now);
+        self.pump();
+    }
+
+    /// Demultiplex one received frame (protocol number + information
+    /// field) into the right endpoint, per RFC 1661 §5.7 rejecting
+    /// unknown protocols while the link is open.
+    pub fn receive(&mut self, protocol: u16, info: &[u8]) {
+        match Protocol::from_number(protocol) {
+            Protocol::Lcp => self.lcp.receive(info),
+            Protocol::Ipcp if self.link_up => self.ipcp.receive(info),
+            Protocol::Ipv4 if self.network_up => {
+                self.events.push(SessionEvent::Datagram(info.to_vec()));
+            }
+            _ if self.link_up => {
+                // Protocol-Reject: LCP packet whose data is the rejected
+                // protocol number followed by the offending information.
+                self.reject_id = self.reject_id.wrapping_add(1);
+                let mut data = protocol.to_be_bytes().to_vec();
+                data.extend_from_slice(&info[..info.len().min(32)]);
+                let pkt = Packet::new(PacketCode::ProtocolReject, self.reject_id, data);
+                self.outbox.push((Protocol::Lcp.number(), pkt.to_bytes()));
+                self.events.push(SessionEvent::RejectedProtocol(protocol));
+            }
+            _ => { /* link down: silently discard (RFC 1661 phase rule) */ }
+        }
+        self.pump();
+    }
+
+    /// Drain outbound frames for the transmit queue.
+    pub fn poll_output(&mut self) -> Vec<(u16, Vec<u8>)> {
+        self.pump();
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drain session events.
+    pub fn poll_events(&mut self) -> Vec<SessionEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Move endpoint outputs/layer events into the session state.
+    fn pump(&mut self) {
+        for (proto, pkt) in self.lcp.poll_output() {
+            self.outbox.push((proto.number(), pkt.to_bytes()));
+        }
+        for ev in self.lcp.poll_layer_events() {
+            match ev {
+                LayerEvent::Up => {
+                    self.link_up = true;
+                    self.events.push(SessionEvent::LinkUp);
+                    self.ipcp.lower_up();
+                }
+                LayerEvent::Down | LayerEvent::Finished => {
+                    if self.link_up {
+                        self.link_up = false;
+                        self.network_up = false;
+                        self.events.push(SessionEvent::LinkDown);
+                        self.ipcp.lower_down();
+                    }
+                }
+                LayerEvent::Started => {}
+            }
+        }
+        for (proto, pkt) in self.ipcp.poll_output() {
+            self.outbox.push((proto.number(), pkt.to_bytes()));
+        }
+        for ev in self.ipcp.poll_layer_events() {
+            if ev == LayerEvent::Up {
+                self.network_up = true;
+                let ours = self.ipcp.negotiator.our_addr();
+                let theirs = self.ipcp.negotiator.peer_addr().unwrap_or([0; 4]);
+                self.events.push(SessionEvent::NetworkUp(ours, theirs));
+            }
+            if ev == LayerEvent::Down {
+                self.network_up = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn converge(a: &mut Session, b: &mut Session) {
+        for now in 0..60 {
+            a.tick(now);
+            b.tick(now);
+            for (proto, info) in a.poll_output() {
+                b.receive(proto, &info);
+            }
+            for (proto, info) in b.poll_output() {
+                a.receive(proto, &info);
+            }
+            if a.is_network_up() && b.is_network_up() {
+                return;
+            }
+        }
+        panic!(
+            "sessions did not converge: a lcp {:?} ipcp {:?}, b lcp {:?} ipcp {:?}",
+            a.lcp.state(),
+            a.ipcp.state(),
+            b.lcp.state(),
+            b.ipcp.state()
+        );
+    }
+
+    #[test]
+    fn full_bring_up_and_datagram_exchange() {
+        let mut a = Session::new(0x0A, [10, 1, 1, 1]);
+        let mut b = Session::new(0x0B, [10, 1, 1, 2]);
+        a.start();
+        b.start();
+        converge(&mut a, &mut b);
+        let ev = a.poll_events();
+        assert!(ev.contains(&SessionEvent::LinkUp));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, SessionEvent::NetworkUp([10, 1, 1, 1], [10, 1, 1, 2]))));
+
+        a.send_datagram(b"ping".to_vec());
+        for (proto, info) in a.poll_output() {
+            b.receive(proto, &info);
+        }
+        assert!(b
+            .poll_events()
+            .contains(&SessionEvent::Datagram(b"ping".to_vec())));
+    }
+
+    #[test]
+    fn unknown_protocol_gets_protocol_reject() {
+        let mut a = Session::new(1, [10, 0, 0, 1]);
+        let mut b = Session::new(2, [10, 0, 0, 2]);
+        a.start();
+        b.start();
+        converge(&mut a, &mut b);
+        a.poll_output();
+        // Deliver an IPX frame (0x002B) — not negotiated.
+        a.receive(0x002B, b"ipx payload");
+        let out = a.poll_output();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Protocol::Lcp.number());
+        let pkt = Packet::parse(&out[0].1).unwrap();
+        assert_eq!(pkt.code, PacketCode::ProtocolReject);
+        assert_eq!(&pkt.data[..2], &0x002Bu16.to_be_bytes());
+        assert!(a
+            .poll_events()
+            .contains(&SessionEvent::RejectedProtocol(0x002B)));
+    }
+
+    #[test]
+    fn traffic_before_link_up_is_discarded() {
+        let mut a = Session::new(1, [10, 0, 0, 1]);
+        a.start();
+        a.poll_output();
+        a.receive(Protocol::Ipv4.number(), b"early");
+        assert!(a.poll_events().is_empty());
+        let out = a.poll_output();
+        assert!(out.iter().all(|(p, _)| *p == Protocol::Lcp.number()));
+    }
+
+    #[test]
+    fn datagrams_before_network_up_do_not_surface() {
+        let mut a = Session::new(1, [10, 0, 0, 1]);
+        let mut b = Session::new(2, [10, 0, 0, 2]);
+        a.start();
+        b.start();
+        // Only LCP has converged when we inject IPv4.
+        for now in 0..6 {
+            a.tick(now);
+            b.tick(now);
+            for (proto, info) in a.poll_output() {
+                if proto == Protocol::Lcp.number() {
+                    b.receive(proto, &info);
+                }
+            }
+            for (proto, info) in b.poll_output() {
+                if proto == Protocol::Lcp.number() {
+                    a.receive(proto, &info);
+                }
+            }
+        }
+        a.receive(Protocol::Ipv4.number(), b"too soon");
+        let evs = a.poll_events();
+        assert!(!evs.contains(&SessionEvent::Datagram(b"too soon".to_vec())));
+    }
+
+    #[test]
+    fn stop_tears_the_session_down() {
+        let mut a = Session::new(1, [10, 0, 0, 1]);
+        let mut b = Session::new(2, [10, 0, 0, 2]);
+        a.start();
+        b.start();
+        converge(&mut a, &mut b);
+        a.poll_events();
+        b.poll_events();
+        a.stop();
+        for now in 100..130 {
+            a.tick(now);
+            b.tick(now);
+            for (proto, info) in a.poll_output() {
+                b.receive(proto, &info);
+            }
+            for (proto, info) in b.poll_output() {
+                a.receive(proto, &info);
+            }
+        }
+        assert!(!a.is_network_up());
+        assert!(!b.is_network_up());
+        assert!(b.poll_events().contains(&SessionEvent::LinkDown));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests on the RFC 1661 automaton: total over all event
+//! sequences, safety invariants, and convergence of paired endpoints
+//! under arbitrary interleavings.
+
+use p5_ppp::endpoint::{Endpoint, EndpointConfig};
+use p5_ppp::fsm::{Action, Automaton, Event, State};
+use p5_ppp::lcp_negotiator::LcpNegotiator;
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        Just(Event::Up),
+        Just(Event::Down),
+        Just(Event::Open),
+        Just(Event::Close),
+        Just(Event::TimeoutRetry),
+        Just(Event::TimeoutGiveUp),
+        Just(Event::RcrGood),
+        Just(Event::RcrBad),
+        Just(Event::Rca),
+        Just(Event::Rcn),
+        Just(Event::Rtr),
+        Just(Event::Rta),
+        Just(Event::Ruc),
+        Just(Event::RxjGood),
+        Just(Event::RxjBad),
+        Just(Event::Rxr),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn automaton_never_panics_and_balances_layer_signals(
+        events in proptest::collection::vec(arb_event(), 0..200),
+    ) {
+        let mut a = Automaton::new();
+        let mut up_downs = 0i64;
+        for e in events {
+            if let Ok(actions) = a.handle(e) {
+                for act in actions {
+                    match act {
+                        Action::ThisLayerUp => {
+                            up_downs += 1;
+                            prop_assert_eq!(a.state(), State::Opened,
+                                "tlu only on entering Opened");
+                        }
+                        Action::ThisLayerDown => up_downs -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            // tlu/tld strictly alternate: never two ups without a down.
+            prop_assert!((0..=1).contains(&up_downs), "unbalanced layer: {up_downs}");
+            // Opened state and the up/down balance agree.
+            prop_assert_eq!(a.state() == State::Opened, up_downs == 1);
+        }
+    }
+
+    #[test]
+    fn opened_requires_an_ack_exchange(
+        events in proptest::collection::vec(arb_event(), 0..100),
+    ) {
+        // The automaton can only be Opened after both an Rca (our request
+        // acked) and an RcrGood (we acked theirs) since the last restart.
+        let mut a = Automaton::new();
+        let mut saw_rca = false;
+        let mut saw_rcr = false;
+        for e in events {
+            let before = a.state();
+            if a.handle(e).is_err() {
+                continue;
+            }
+            match e {
+                Event::Rca => saw_rca = true,
+                Event::RcrGood => saw_rcr = true,
+                Event::Down | Event::Up | Event::Close | Event::TimeoutGiveUp => {
+                    saw_rca = false;
+                    saw_rcr = false;
+                }
+                _ => {}
+            }
+            if a.state() == State::Opened && before != State::Opened {
+                prop_assert!(saw_rca && saw_rcr,
+                    "entered Opened without a full exchange (event {e:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn paired_endpoints_survive_arbitrary_loss_and_reordering(
+        drops in proptest::collection::vec(any::<bool>(), 0..120),
+    ) {
+        // Whatever the loss pattern, nothing panics and the endpoints
+        // stay in legal states; with a quiet tail they converge or stop.
+        let cfg = EndpointConfig { restart_period: 2, max_configure: 30, max_terminate: 2 };
+        let mut a = Endpoint::new(LcpNegotiator::new(1500, 1), cfg);
+        let mut b = Endpoint::new(LcpNegotiator::new(1500, 2), cfg);
+        a.open(); a.lower_up();
+        b.open(); b.lower_up();
+        let mut now = 0u64;
+        for &drop in &drops {
+            now += 1;
+            a.tick(now);
+            b.tick(now);
+            for (_, p) in a.poll_output() {
+                if !drop {
+                    b.receive(&p.to_bytes());
+                }
+            }
+            for (_, p) in b.poll_output() {
+                if !drop {
+                    a.receive(&p.to_bytes());
+                }
+            }
+        }
+        // Quiet lossless tail.
+        for _ in 0..40 {
+            now += 1;
+            a.tick(now);
+            b.tick(now);
+            for (_, p) in a.poll_output() {
+                b.receive(&p.to_bytes());
+            }
+            for (_, p) in b.poll_output() {
+                a.receive(&p.to_bytes());
+            }
+        }
+        let ok = |s: State| matches!(s, State::Opened | State::Stopped | State::ReqSent | State::AckSent | State::AckRcvd);
+        prop_assert!(ok(a.state()), "a ended in {:?}", a.state());
+        prop_assert!(ok(b.state()), "b ended in {:?}", b.state());
+        // If either side is Opened after the quiet tail, both must be.
+        if a.state() == State::Opened || b.state() == State::Opened {
+            prop_assert_eq!(a.state(), State::Opened);
+            prop_assert_eq!(b.state(), State::Opened);
+        }
+    }
+}

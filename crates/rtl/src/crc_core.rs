@@ -1,0 +1,302 @@
+//! The parallel CRC core: the XOR-tree realisation of the Pei–Zukowski
+//! step matrices from `p5-crc`.
+//!
+//! "The CRC core computes a 32-bit Frame Check Sequence FCS via an
+//! 8 x 32-bit parallel matrix (for the 8-bit P⁵) or via a 32 x 32-bit
+//! parallel matrix (for the 32-bit P⁵)."
+//!
+//! Interface:
+//! * `data` (8·W bits), `en` (advance), `init` (synchronous preset);
+//! * `crc` — the register contents;
+//! * `fcs_ok` — residue comparator against the magic value (receive
+//!   path check).
+
+use p5_crc::{CrcParams, StepMatrix, Term};
+use p5_fpga::{Builder, Netlist};
+
+/// Build the CRC core netlist for a given parameter set and input width
+/// in bytes.
+pub fn build_crc_core(params: CrcParams, width_bytes: usize) -> Netlist {
+    let m = StepMatrix::for_bytes(params, width_bytes);
+    let w = params.width as usize;
+    let mut b = Builder::new(format!(
+        "crc{}_{}x{} core",
+        params.width,
+        width_bytes * 8,
+        params.width
+    ));
+
+    let data = b.input_bus("data", width_bytes * 8);
+    let en = b.input("en");
+    let init = b.input("init");
+
+    // The CRC register: the preset rides the dedicated sync-set pin,
+    // the enable rides the CE pin (free on Virtex slices).
+    let state = b.state_word_ctrl(w, params.init as u64, Some(en), Some(init));
+
+    // One XOR tree per next-state bit, straight from the matrix terms.
+    let mut next = Vec::with_capacity(w);
+    for bit in 0..w {
+        let terms: Vec<_> = m
+            .terms_for_output_bit(bit)
+            .into_iter()
+            .map(|t| match t {
+                Term::State(i) => state[i],
+                Term::Data(j) => data[j],
+            })
+            .collect();
+        next.push(b.xor_many(&terms));
+    }
+    b.bind_word(&state, &next);
+
+    b.output("crc", &state);
+    let ok = b.eq_const(&state, params.good_residue as u64);
+    b.output("fcs_ok", &[ok]);
+
+    b.finish()
+}
+
+/// Build the complete CRC *unit* for a datapath width.
+///
+/// The paper: "The CRC unit co-ordinates and synchronises data being fed
+/// into the CRC core", and the 32-bit system carries "extra decisional
+/// logic involved in the CRC ... mechanisms".  Concretely: the last word
+/// of a frame may hold 1–4 valid bytes, so the 32-bit unit instantiates
+/// the step matrices for every width and selects by the lane count —
+/// this is real area the 8-bit unit does not pay (its words are always
+/// one byte).
+///
+/// Interface: `data` (8·W bits), `len` (valid byte count, 1..=W, 3 bits),
+/// `en`, `init`; outputs `crc` and `fcs_ok`.
+pub fn build_crc_unit(params: CrcParams, width_bytes: usize) -> Netlist {
+    if width_bytes == 1 {
+        // Degenerate case: the core is the unit.
+        let mut n = build_crc_core(params, 1);
+        n.name = format!("crc{} unit 8-bit", params.width);
+        return n;
+    }
+    let w = params.width as usize;
+    let mut b = Builder::new(format!("crc{} unit {}-bit", params.width, width_bytes * 8));
+    let data = b.input_bus("data", width_bytes * 8);
+    // byte_mode: the coordination FSM drains a partial final word one
+    // byte at a time through the 8-wide matrix (the `byte_lane` select
+    // steers which lane feeds it).
+    let byte_mode = b.input("byte_mode");
+    let byte_lane = b.input_bus("byte_lane", 2);
+    let en = b.input("en");
+    let init = b.input("init");
+
+    let state = b.state_word_ctrl(w, params.init as u64, Some(en), Some(init));
+
+    // The full-word matrix.
+    let m_word = StepMatrix::for_bytes(params, width_bytes);
+    let mut next_word = Vec::with_capacity(w);
+    for bit in 0..w {
+        let terms: Vec<_> = m_word
+            .terms_for_output_bit(bit)
+            .into_iter()
+            .map(|t| match t {
+                Term::State(i) => state[i],
+                Term::Data(j) => data[j],
+            })
+            .collect();
+        next_word.push(b.xor_many(&terms));
+    }
+
+    // The byte matrix, fed from the selected lane.
+    let lane_hot = b.decode(&byte_lane);
+    let lanes: Vec<Vec<_>> = (0..width_bytes)
+        .map(|i| data[i * 8..(i + 1) * 8].to_vec())
+        .collect();
+    let byte = b.onehot_mux_word(&lane_hot[..width_bytes], &lanes);
+    let m_byte = StepMatrix::for_bytes(params, 1);
+    let mut next_byte = Vec::with_capacity(w);
+    for bit in 0..w {
+        let terms: Vec<_> = m_byte
+            .terms_for_output_bit(bit)
+            .into_iter()
+            .map(|t| match t {
+                Term::State(i) => state[i],
+                Term::Data(j) => byte[j],
+            })
+            .collect();
+        next_byte.push(b.xor_many(&terms));
+    }
+
+    let stepped = b.mux_word(byte_mode, &next_byte, &next_word);
+    b.bind_word(&state, &stepped);
+
+    b.output("crc", &state);
+    let ok = b.eq_const(&state, params.good_residue as u64);
+    b.output("fcs_ok", &[ok]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p5_crc::{CrcEngine, MatrixEngine, FCS16, FCS32};
+    use p5_fpga::{devices, map, synthesize, MapMode, Sim};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn run_words(params: CrcParams, width: usize, words: &[Vec<u8>]) -> (u64, u64) {
+        let n = build_crc_core(params, width);
+        let mut sim = Sim::new(&n);
+        sim.set("en", 1);
+        sim.set("init", 0);
+        for wbytes in words {
+            sim.set_bytes("data", wbytes);
+            sim.step();
+        }
+        (sim.get("crc"), sim.get("fcs_ok"))
+    }
+
+    #[test]
+    fn crc32_core_matches_matrix_engine_w4() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let words: Vec<Vec<u8>> = (0..50).map(|_| (0..4).map(|_| rng.gen()).collect()).collect();
+        let (hw, _) = run_words(FCS32, 4, &words);
+        let mut sw = MatrixEngine::new(FCS32, 4);
+        for w in &words {
+            sw.update(w);
+        }
+        assert_eq!(hw as u32, sw.residue());
+    }
+
+    #[test]
+    fn crc32_core_matches_matrix_engine_w1() {
+        let data = b"parallel crc in gates";
+        let words: Vec<Vec<u8>> = data.iter().map(|&x| vec![x]).collect();
+        let (hw, _) = run_words(FCS32, 1, &words);
+        let mut sw = MatrixEngine::new(FCS32, 1);
+        sw.update(data);
+        assert_eq!(hw as u32, sw.residue());
+    }
+
+    #[test]
+    fn crc16_core_matches() {
+        let data = b"fcs16 core";
+        let words: Vec<Vec<u8>> = data.chunks(2).map(|c| c.to_vec()).collect();
+        let (hw, _) = run_words(FCS16, 2, &words);
+        let mut sw = MatrixEngine::new(FCS16, 2);
+        sw.update(data);
+        assert_eq!(hw as u32, sw.residue());
+    }
+
+    #[test]
+    fn fcs_ok_asserts_on_good_frame() {
+        // Stream body + FCS through the checker; fcs_ok must rise.
+        let body = b"check me in hardware";
+        let fcs = p5_crc::fcs32(body);
+        let mut stream = body.to_vec();
+        stream.extend_from_slice(&p5_crc::fcs32_wire_bytes(fcs));
+        let words: Vec<Vec<u8>> = stream.chunks(4).map(|c| c.to_vec()).collect();
+        let (_, ok) = run_words(FCS32, 4, &words);
+        assert_eq!(ok, 1);
+        // A corrupted stream must not.
+        let mut bad = stream.clone();
+        bad[3] ^= 1;
+        let words: Vec<Vec<u8>> = bad.chunks(4).map(|c| c.to_vec()).collect();
+        let (_, ok) = run_words(FCS32, 4, &words);
+        assert_eq!(ok, 0);
+    }
+
+    #[test]
+    fn init_resets_the_register() {
+        let n = build_crc_core(FCS32, 4);
+        let mut sim = Sim::new(&n);
+        sim.set("en", 1);
+        sim.set("init", 0);
+        sim.set_bytes("data", &[1, 2, 3, 4]);
+        sim.step();
+        assert_ne!(sim.get("crc"), FCS32.init as u64);
+        sim.set("init", 1);
+        sim.step();
+        assert_eq!(sim.get("crc"), FCS32.init as u64);
+    }
+
+    #[test]
+    fn enable_holds_state() {
+        let n = build_crc_core(FCS32, 4);
+        let mut sim = Sim::new(&n);
+        sim.set("en", 0);
+        sim.set("init", 0);
+        sim.set_bytes("data", &[9, 9, 9, 9]);
+        let before = sim.get("crc");
+        sim.step();
+        assert_eq!(sim.get("crc"), before);
+    }
+
+    #[test]
+    fn core_has_32_state_ffs() {
+        let n = build_crc_core(FCS32, 4);
+        assert_eq!(n.ff_count(), 32);
+        let n8 = build_crc_core(FCS32, 1);
+        assert_eq!(n8.ff_count(), 32);
+    }
+
+    #[test]
+    fn wide_core_is_bigger_but_not_deeper_than_a_byte_core() {
+        let w1 = map(&build_crc_core(FCS32, 1), MapMode::Depth);
+        let w4 = map(&build_crc_core(FCS32, 4), MapMode::Depth);
+        assert!(w4.lut_count() > w1.lut_count());
+        // Both are shallow XOR trees + mux: a handful of levels.
+        assert!(w4.depth <= w1.depth + 2, "w1 {} w4 {}", w1.depth, w4.depth);
+        assert!(w4.depth <= 6);
+    }
+
+    #[test]
+    fn crc_unit_handles_partial_last_words() {
+        use p5_fpga::Sim;
+        let n = build_crc_unit(FCS32, 4);
+        let mut sim = Sim::new(&n);
+        sim.set("en", 1);
+        sim.set("init", 0);
+        // An 11-byte message: two full words, then a 3-byte tail drained
+        // byte-serially (what the coordination FSM does at end of frame).
+        let msg = b"partialword";
+        let mut fed = 0usize;
+        while fed + 4 <= msg.len() {
+            sim.set("byte_mode", 0);
+            sim.set_bytes("data", &msg[fed..fed + 4]);
+            sim.step();
+            fed += 4;
+        }
+        let mut word = [0u8; 4];
+        word[..msg.len() - fed].copy_from_slice(&msg[fed..]);
+        sim.set_bytes("data", &word);
+        sim.set("byte_mode", 1);
+        for lane in 0..(msg.len() - fed) {
+            sim.set("byte_lane", lane as u64);
+            sim.step();
+        }
+        let mut sw = MatrixEngine::new(FCS32, 4);
+        sw.update(msg);
+        assert_eq!(sim.get("crc") as u32, sw.residue());
+    }
+
+    #[test]
+    fn crc_unit_w4_pays_the_decisional_logic_tax() {
+        // Paper: the 32-bit system's size is "partly due to extra
+        // decisional logic involved in the CRC" — the 4-matrix unit must
+        // be much more than 4x the byte core's XOR trees alone.
+        let unit1 = map(&build_crc_unit(FCS32, 1), MapMode::Area);
+        let unit4 = map(&build_crc_unit(FCS32, 4), MapMode::Area);
+        let ratio = unit4.lut_count() as f64 / unit1.lut_count() as f64;
+        assert!(ratio > 3.0, "ratio {ratio:.1}");
+        let core4 = map(&build_crc_core(FCS32, 4), MapMode::Area);
+        assert!(unit4.lut_count() > core4.lut_count());
+    }
+
+    #[test]
+    fn both_cores_meet_line_clock_on_virtex_ii() {
+        for width in [1usize, 4] {
+            let r = synthesize(&build_crc_core(FCS32, width), &devices::XC2V1000_6);
+            assert!(
+                r.fmax_post_mhz > 78.125,
+                "width {width}: {:.1} MHz",
+                r.fmax_post_mhz
+            );
+        }
+    }
+}

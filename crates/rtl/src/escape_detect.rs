@@ -1,0 +1,278 @@
+//! The Escape Detect unit in gates — Figure 6's problem.
+//!
+//! * **8-bit version**: an unescaped `0x7D` is deleted (one bubble
+//!   cycle) and the following byte has bit 5 complemented.
+//! * **32-bit version**: a per-lane escape chain (an escape octet may
+//!   escape into the *next word*), a keep-mask compaction network, and
+//!   a 3-byte refill buffer that closes the bubbles — "1 byte of the
+//!   next set of incoming bytes must be inserted into this bubble".
+//!
+//! No backpressure is needed on receive: deletion only ever shrinks the
+//! stream, so the unit is always ready; under-full cycles surface as
+//! `out_valid` bubbles instead.
+
+use crate::escape_gen::SorterStyle;
+use crate::sorter::{merge_behind_count, prefix_popcount, route_bytes_ranged};
+use p5_fpga::{Builder, Netlist, Sig};
+
+/// Build the Escape Detect netlist for width 1 or 4 bytes.
+pub fn build_escape_detect(width: usize, style: SorterStyle) -> Netlist {
+    match width {
+        1 => build_w1(),
+        4 => build_w4(style),
+        other => panic!("unsupported escape-detect width {other}"),
+    }
+}
+
+fn build_w1() -> Netlist {
+    let mut b = Builder::new("escape-detect 8-bit");
+    let in_data = b.input_bus("in_data", 8);
+    let in_valid = b.input("in_valid");
+
+    let pending = b.state_word(1, 0)[0];
+    let is_esc = b.eq_const(&in_data, 0x7D);
+
+    // Drop an unescaped escape octet; unescape the byte after it.
+    let not_pending = b.not(pending);
+    let drop = b.and_many(&[in_valid, is_esc, not_pending]);
+    let not_drop = b.not(drop);
+    let emit = b.and2(in_valid, not_drop);
+
+    let mut unescaped = in_data.clone();
+    unescaped[5] = b.xor2(in_data[5], pending);
+
+    let out_reg = b.reg_word_en(&unescaped, emit, 0);
+    let out_valid = b.reg(emit, false);
+
+    // pending sets on a dropped escape, clears after consuming one byte.
+    let next_pending = {
+        let not_valid = b.not(in_valid);
+        let hold = b.and2(pending, not_valid);
+        b.or2(drop, hold)
+    };
+    b.bind_word(&[pending], &[next_pending]);
+
+    b.output("out_data", &out_reg);
+    b.output("out_valid", &[out_valid]);
+    b.finish()
+}
+
+fn build_w4(style: SorterStyle) -> Netlist {
+    let mut b = Builder::new(match style {
+        SorterStyle::OneHot => "escape-detect 32-bit",
+        SorterStyle::Barrel => "escape-detect 32-bit (barrel)",
+    });
+    let in_data = b.input_bus("in_data", 32);
+    let in_valid = b.input("in_valid");
+    let lanes: Vec<Vec<Sig>> = (0..4).map(|i| in_data[i * 8..(i + 1) * 8].to_vec()).collect();
+
+    // ---- Stage 1: escape chain + compaction --------------------------
+    // e[i] = "lane i is preceded by an unconsumed escape".
+    let pending = b.state_word(1, 0)[0];
+    let mut e = vec![pending];
+    let mut drops = Vec::new();
+    let mut keeps = Vec::new();
+    let mut bytes = Vec::new();
+    for (i, lane) in lanes.iter().enumerate() {
+        let is_esc = b.eq_const(lane, 0x7D);
+        let not_e = b.not(e[i]);
+        let drop = b.and2(is_esc, not_e);
+        drops.push(drop);
+        keeps.push(b.not(drop));
+        let mut fixed = lane.clone();
+        fixed[5] = b.xor2(lane[5], e[i]);
+        bytes.push(fixed);
+        e.push(drop);
+    }
+    // pending carries the final lane's dangling escape across words.
+    let next_pending = {
+        let not_valid = b.not(in_valid);
+        let hold = b.and2(pending, not_valid);
+        let adv = b.and2(in_valid, e[4]);
+        b.or2(adv, hold)
+    };
+    b.bind_word(&[pending], &[next_pending]);
+
+    // Compact kept bytes to the low slots.
+    let prefix = prefix_popcount(&mut b, &keeps, 3);
+    // Kept byte of lane i lands in slots [i - ceil(i/2), i] (drops are
+    // never adjacent: an escape's follower is data by construction).
+    type RangedSource = (Vec<Sig>, Vec<Sig>, Sig, usize, usize);
+    let sources: Vec<RangedSource> = (0..4)
+        .map(|i| {
+            let en = b.and2(keeps[i], in_valid);
+            (bytes[i].clone(), prefix[i].clone(), en, i - i.div_ceil(2), i)
+        })
+        .collect();
+    let compact = route_bytes_ranged(&mut b, &sources, 4);
+    let klen_raw = b.resize(&prefix[4], 3);
+    let zero3 = b.const_word(0, 3);
+    let klen = b.mux_word(in_valid, &klen_raw, &zero3);
+
+    // Stage register.
+    let compact_flat: Vec<Sig> = compact.iter().flatten().copied().collect();
+    let one = b.lit(true);
+    let s1_data = b.reg_word_en(&compact_flat, one, 0);
+    let s1: Vec<Vec<Sig>> = (0..4).map(|i| s1_data[i * 8..(i + 1) * 8].to_vec()).collect();
+    let s1_len = b.reg_word_en(&klen, one, 0);
+
+    // ---- Stage 2: bubble-filling refill buffer -----------------------
+    let buf: Vec<Vec<Sig>> = (0..3).map(|_| b.state_word(8, 0)).collect();
+    let cnt = b.state_word(2, 0);
+    let cnt3 = b.resize(&cnt, 3);
+    let zero = b.lit(false);
+    let (total, _) = b.add(&cnt3, &s1_len, zero);
+    let merged = merge_behind_count(&mut b, &buf, &s1, &cnt3, 3, 7, style);
+    let four = b.const_word(4, 3);
+    let emit = b.ge(&total, &four);
+
+    let out_flat: Vec<Sig> = merged[..4].iter().flatten().copied().collect();
+    let out_reg = b.reg_word_en(&out_flat, emit, 0);
+    let out_valid = b.reg(emit, false);
+
+    // Refill-buffer shift: 0 or 4, one mux per byte.
+    let zero_b = b.const_word(0, 8);
+    for (i, w) in buf.iter().enumerate() {
+        let low = merged.get(i).cloned().unwrap_or_else(|| zero_b.clone());
+        let high = merged.get(i + 4).cloned().unwrap_or_else(|| zero_b.clone());
+        let nextw = b.mux_word(emit, &high, &low);
+        b.bind_word(w, &nextw);
+    }
+    let (total_minus_4, _) = b.sub(&total, &four);
+    let next_cnt3 = b.mux_word(emit, &total_minus_4, &total);
+    let next_cnt = b.resize(&next_cnt3, 2);
+    b.bind_word(&cnt, &next_cnt);
+
+    b.output("out_data", &out_reg);
+    b.output("out_valid", &[out_valid]);
+    b.output("occupancy", &cnt);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p5_fpga::{map, MapMode, Sim};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Feed a (flag-free) stuffed stream, collect destuffed output.
+    fn run_netlist(n: &Netlist, width: usize, wire: &[u8], drain: usize) -> Vec<u8> {
+        let mut sim = Sim::new(n);
+        let mut out = Vec::new();
+        let mut idx = 0usize;
+        let mut quiet = 0;
+        // Note: a trailing partial word (wire not a multiple of the
+        // width) is never fed — the line always pads to full words.
+        while idx + width <= wire.len() || quiet < drain {
+            if idx + width <= wire.len() {
+                sim.set_bytes("in_data", &wire[idx..idx + width]);
+                sim.set("in_valid", 1);
+                idx += width;
+            } else {
+                sim.set("in_valid", 0);
+                quiet += 1;
+            }
+            sim.step();
+            if sim.get("out_valid") == 1 {
+                out.extend(sim.get_bytes("out_data"));
+            }
+        }
+        out
+    }
+
+    fn stuffed(body: &[u8]) -> Vec<u8> {
+        p5_hdlc::stuff(body, p5_hdlc::Accm::SONET)
+    }
+
+    #[test]
+    fn w1_destuffs_correctly() {
+        let n = build_escape_detect(1, SorterStyle::OneHot);
+        let body = [0x31, 0x33, 0x7E, 0x96, 0x7D, 0x00, 0x7E, 0x7E];
+        let got = run_netlist(&n, 1, &stuffed(&body), 4);
+        assert_eq!(got, body);
+    }
+
+    #[test]
+    fn w1_random_streams() {
+        let n = build_escape_detect(1, SorterStyle::OneHot);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let body: Vec<u8> = (0..50)
+                .map(|_| match rng.gen_range(0..3) {
+                    0 => 0x7E,
+                    1 => 0x7D,
+                    _ => rng.gen(),
+                })
+                .collect();
+            let got = run_netlist(&n, 1, &stuffed(&body), 4);
+            assert_eq!(got, body);
+        }
+    }
+
+    #[test]
+    fn figure6_case_escape_spans_words() {
+        // 7D as the last lane of a word: the escaped byte arrives in the
+        // next word — the paper's "bubble" case.
+        for style in [SorterStyle::OneHot, SorterStyle::Barrel] {
+            let n = build_escape_detect(4, style);
+            let body = [0x11, 0x22, 0x33, 0x7E, 0x44, 0x55, 0x66, 0x77];
+            let mut wire = stuffed(&body); // 7D lands at index 3, 5E at 4
+            assert_eq!(wire[3], 0x7D);
+            // Pad to full words (the line pads with framing on a link).
+            let mut expect = body.to_vec();
+            while !wire.len().is_multiple_of(4) {
+                wire.push(0x00);
+                expect.push(0x00);
+            }
+            let got = run_netlist(&n, 4, &wire, 8);
+            assert_eq!(got[..], expect[..got.len().min(expect.len())]);
+            assert!(expect.len() - got.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn w4_random_streams_both_styles() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for style in [SorterStyle::OneHot, SorterStyle::Barrel] {
+            let n = build_escape_detect(4, style);
+            for round in 0..10 {
+                let body: Vec<u8> = (0..rng.gen_range(8..120))
+                    .map(|_| match rng.gen_range(0..4) {
+                        0 => 0x7E,
+                        1 => 0x7D,
+                        _ => rng.gen(),
+                    })
+                    .collect();
+                let mut wire = stuffed(&body);
+                // Word-align the wire with harmless padding bytes so the
+                // last word is full (framing flags do this on a link).
+                while !wire.len().is_multiple_of(4) {
+                    wire.push(0x00);
+                }
+                let mut expect = body.clone();
+                expect.extend(std::iter::repeat_n(0x00, wire.len() - stuffed(&body).len()));
+                let got = run_netlist(&n, 4, &wire, 10);
+                assert!(expect.len() - got.len() <= 3, "round {round} {style:?}");
+                assert_eq!(got[..], expect[..got.len()], "round {round} {style:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_escapes_word_shrinks_to_two_bytes() {
+        // 4 lanes of 7D 5E 7D 5E → 2 data bytes: a 2-byte bubble.
+        let n = build_escape_detect(4, SorterStyle::OneHot);
+        let wire = [0x7D, 0x5E, 0x7D, 0x5E, 0x7D, 0x5E, 0x7D, 0x5E];
+        let got = run_netlist(&n, 4, &wire, 8);
+        assert_eq!(got, vec![0x7E, 0x7E, 0x7E, 0x7E][..got.len()].to_vec());
+    }
+
+    #[test]
+    fn w4_is_an_order_of_magnitude_bigger_than_w1() {
+        let w1 = map(&build_escape_detect(1, SorterStyle::OneHot), MapMode::Area);
+        let w4 = map(&build_escape_detect(4, SorterStyle::OneHot), MapMode::Area);
+        let ratio = w4.lut_count() as f64 / w1.lut_count() as f64;
+        assert!(ratio > 6.0, "ratio {ratio:.1}");
+        assert!(w4.ff_count > 4 * w1.ff_count);
+    }
+}

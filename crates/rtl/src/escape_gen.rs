@@ -1,0 +1,382 @@
+//! The Escape Generate unit in gates — the module of the paper's
+//! Table 3 and Figure 5.
+//!
+//! * **8-bit version**: a comparator, an output mux and a single
+//!   escape-pending flop; a matched byte "halts the input data for 1
+//!   clock cycle while simple manipulation takes place".
+//! * **32-bit version**: per-lane comparators, a prefix-sum position
+//!   network, a one-hot byte-routing (sorting) network expanding 4
+//!   lanes into up to 8 bytes, and a 7-byte resynchronisation buffer
+//!   with an occupancy counter that asserts backpressure — the paper's
+//!   "data reordering mechanism" with "buffering and decisional
+//!   mechanisms".
+//!
+//! Handshake: `in_valid`/`in_ready` on the input word, registered
+//! `out_data`/`out_valid` on the output word.  Output words are always
+//! full; residue stays in the buffer until more data arrives.
+
+use crate::sorter::{merge_behind_count, prefix_popcount, route_bytes_ranged};
+use p5_fpga::{Builder, Netlist, Sig};
+
+/// Structure used for the staging merge network (an ablation axis —
+/// DESIGN.md §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SorterStyle {
+    /// One-hot decode of the occupancy count driving wide AND-OR muxes
+    /// (shallow, LUT-hungry — the style the paper's area numbers imply).
+    OneHot,
+    /// Logarithmic barrel shifter conditioned on the count bits
+    /// (fewer LUTs, deeper).
+    Barrel,
+}
+
+/// Build the Escape Generate netlist for a datapath width of 1 or 4
+/// bytes.
+pub fn build_escape_gen(width: usize, style: SorterStyle) -> Netlist {
+    match width {
+        1 => build_w1(),
+        4 => build_w4(style),
+        other => panic!("unsupported escape-gen width {other}"),
+    }
+}
+
+fn is_escape_char(b: &mut Builder, byte: &[Sig]) -> Sig {
+    let is_7e = b.eq_const(byte, 0x7E);
+    let is_7d = b.eq_const(byte, 0x7D);
+    b.or2(is_7e, is_7d)
+}
+
+/// Escaped form: the byte with bit 5 complemented.
+fn escaped(b: &mut Builder, byte: &[Sig]) -> Vec<Sig> {
+    let mut out = byte.to_vec();
+    out[5] = b.not(byte[5]);
+    out
+}
+
+fn build_w1() -> Netlist {
+    let mut b = Builder::new("escape-gen 8-bit");
+    let in_data = b.input_bus("in_data", 8);
+    let in_valid = b.input("in_valid");
+
+    let pending = b.state_word(1, 0)[0];
+    let matched = is_escape_char(&mut b, &in_data);
+
+    // A matched byte is *not* consumed in the cycle that emits the 0x7D
+    // marker — "the system will halt the input data for 1 clock cycle".
+    // It is consumed the next cycle, when the escaped form goes out.
+    let not_matched = b.not(matched);
+    let in_ready = b.or2(pending, not_matched);
+
+    // Output byte selection: escaped data while pending, escape marker
+    // on a fresh match, else pass-through.
+    let esc_byte = escaped(&mut b, &in_data);
+    let marker = b.const_word(0x7D, 8);
+    let after_match = b.mux_word(matched, &marker, &in_data);
+    let out_next = b.mux_word(pending, &esc_byte, &after_match);
+
+    let emit = in_valid;
+    let out_reg = b.reg_word_en(&out_next, emit, 0);
+    let out_valid = b.reg(emit, false);
+
+    // pending: set on a fresh (unconsumed) match, cleared once the
+    // escaped byte went out; held while no input is presented.
+    let zero = b.lit(false);
+    let fresh_match = {
+        let np = b.not(pending);
+        b.and2(matched, np)
+    };
+    let next_if_valid = b.mux(pending, zero, fresh_match);
+    let next_pending = b.mux(in_valid, next_if_valid, pending);
+    b.bind_word(&[pending], &[next_pending]);
+
+    b.output("out_data", &out_reg);
+    b.output("out_valid", &[out_valid]);
+    b.output("in_ready", &[in_ready]);
+    b.finish()
+}
+
+fn build_w4(style: SorterStyle) -> Netlist {
+    let mut b = Builder::new(match style {
+        SorterStyle::OneHot => "escape-gen 32-bit",
+        SorterStyle::Barrel => "escape-gen 32-bit (barrel)",
+    });
+    let in_data = b.input_bus("in_data", 32);
+    let in_valid = b.input("in_valid");
+    let lanes: Vec<Vec<Sig>> = (0..4).map(|i| in_data[i * 8..(i + 1) * 8].to_vec()).collect();
+
+    // ---- Stage 1 (combinational): expansion network ----------------
+    let matches: Vec<Sig> = lanes.iter().map(|l| is_escape_char(&mut b, l)).collect();
+    // pos[i] = i + popcount(match[0..i]) — where lane i's (first) byte
+    // lands among the 8 expansion slots.
+    let prefix = prefix_popcount(&mut b, &matches, 3);
+    let mut sources = Vec::new();
+    for (i, lane) in lanes.iter().enumerate() {
+        let lane_const = b.const_word(i as u64, 3);
+        let zero = b.lit(false);
+        let (pos, _) = b.add(&prefix[i], &lane_const, zero);
+        // First byte: 0x7D marker if matched, else the data byte.
+        // Reachable slots: i (no earlier match) .. 2i (all earlier
+        // lanes matched).
+        let marker = b.const_word(0x7D, 8);
+        let first = b.mux_word(matches[i], &marker, lane);
+        sources.push((first, pos.clone(), in_valid, i, 2 * i));
+        // Second byte (only when matched): the escaped data at pos+1,
+        // reachable in slots i+1 ..= 2i+1.
+        let one = b.const_word(1, 3);
+        let zero = b.lit(false);
+        let (pos1, _) = b.add(&pos, &one, zero);
+        let esc = escaped(&mut b, lane);
+        let en = b.and2(matches[i], in_valid);
+        sources.push((esc, pos1, en, i + 1, 2 * i + 1));
+    }
+    let exp = route_bytes_ranged(&mut b, &sources, 8);
+    // Expansion length: 4 + #matches when a word is present.
+    let four = b.const_word(4, 4);
+    let total_matches = b.resize(&prefix[4], 4);
+    let zero = b.lit(false);
+    let (len_full, _) = b.add(&four, &total_matches, zero);
+    let zero_w = b.const_word(0, 4);
+    let exp_len = b.mux_word(in_valid, &len_full, &zero_w);
+
+    // ---- Stage 1/2 pipeline register --------------------------------
+    // Handshake: the stage register holds one expanded word until the
+    // merge can absorb it (occupancy ≤ 3).
+    let s1_valid = b.state_word(1, 0)[0];
+    let cnt = b.state_word(3, 0); // resynchronisation-buffer occupancy
+    let three = b.const_word(3, 3);
+    let cnt_le_3 = b.ge(&three, &cnt);
+    let consume_s1 = b.and2(s1_valid, cnt_le_3);
+    let not_s1 = b.not(s1_valid);
+    let in_ready = b.or2(not_s1, consume_s1);
+    let accepted = b.and2(in_valid, in_ready);
+
+    let exp_flat: Vec<Sig> = exp.iter().flatten().copied().collect();
+    let exp_reg_flat = b.reg_word_en(&exp_flat, accepted, 0);
+    let exp_reg: Vec<Vec<Sig>> = (0..8)
+        .map(|i| exp_reg_flat[i * 8..(i + 1) * 8].to_vec())
+        .collect();
+    let exp_len_reg = b.reg_word_en(&exp_len, accepted, 0);
+    let not_consume = b.not(consume_s1);
+    let keep_s1 = b.and2(s1_valid, not_consume);
+    let s1_next = b.or2(accepted, keep_s1);
+    b.bind_word(&[s1_valid], &[s1_next]);
+
+    // ---- Stage 2: resynchronisation buffer + output packing ---------
+    let buf: Vec<Vec<Sig>> = (0..7).map(|_| b.state_word(8, 0)).collect();
+    let zero_len = b.const_word(0, 4);
+    let fresh_len = b.mux_word(consume_s1, &exp_len_reg, &zero_len);
+    let zero = b.lit(false);
+    let cnt4 = b.resize(&cnt, 4);
+    let (total, _) = b.add(&cnt4, &fresh_len, zero);
+
+    let merged = merge_behind_count(&mut b, &buf, &exp_reg, &cnt, 7, 11, style);
+
+    let four4 = b.const_word(4, 4);
+    let emit = b.ge(&total, &four4);
+
+    // Output register: the first four merged slots.
+    let out_flat: Vec<Sig> = merged[..4].iter().flatten().copied().collect();
+    let out_reg = b.reg_word_en(&out_flat, emit, 0);
+    let out_valid = b.reg(emit, false);
+
+    // Buffer update: the shift is only ever 0 or 4 (drop an emitted
+    // word), so a single 2:1 mux per byte suffices.
+    let zero_b = b.const_word(0, 8);
+    for (i, w) in buf.iter().enumerate() {
+        let low = merged.get(i).cloned().unwrap_or_else(|| zero_b.clone());
+        let high = merged.get(i + 4).cloned().unwrap_or_else(|| zero_b.clone());
+        let nextw = b.mux_word(emit, &high, &low);
+        b.bind_word(w, &nextw);
+    }
+    let (total_minus_4, _) = b.sub(&total, &four4);
+    let next_cnt4 = b.mux_word(emit, &total_minus_4, &total);
+    let next_cnt = b.resize(&next_cnt4, 3);
+    b.bind_word(&cnt, &next_cnt);
+
+    b.output("out_data", &out_reg);
+    b.output("out_valid", &[out_valid]);
+    b.output("in_ready", &[in_ready]);
+    b.output("occupancy", &cnt);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p5_fpga::{map, synthesize, devices, MapMode, Sim};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Drive an escape-gen netlist with a byte stream (hold-on-stall
+    /// handshake) and collect the emitted bytes.
+    fn run_netlist(n: &Netlist, width: usize, stream: &[u8], drain_cycles: usize) -> Vec<u8> {
+        let mut sim = Sim::new(n);
+        let mut out = Vec::new();
+        let mut idx = 0usize;
+        let mut cycles = 0;
+        while idx + width <= stream.len() || cycles < drain_cycles {
+            let feeding = idx + width <= stream.len();
+            if feeding {
+                sim.set_bytes("in_data", &stream[idx..idx + width]);
+                sim.set("in_valid", 1);
+            } else {
+                sim.set("in_valid", 0);
+                cycles += 1;
+            }
+            let ready = sim.get("in_ready") == 1;
+            sim.step();
+            if sim.get("out_valid") == 1 {
+                out.extend(sim.get_bytes("out_data"));
+            }
+            if feeding && ready {
+                idx += width;
+            }
+            assert!(out.len() < stream.len() * 3 + 64, "runaway output");
+        }
+        out
+    }
+
+    fn behavioural_stuffed(stream: &[u8]) -> Vec<u8> {
+        p5_hdlc::stuff(stream, p5_hdlc::Accm::SONET)
+    }
+
+    #[test]
+    fn w1_netlist_matches_behavioural_stuffing() {
+        let n = build_escape_gen(1, SorterStyle::OneHot);
+        let stream = [0x31, 0x33, 0x7E, 0x96, 0x7D, 0x7E, 0x00];
+        let got = run_netlist(&n, 1, &stream, 4);
+        assert_eq!(got, behavioural_stuffed(&stream));
+    }
+
+    #[test]
+    fn w1_netlist_random_streams() {
+        let n = build_escape_gen(1, SorterStyle::OneHot);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let stream: Vec<u8> = (0..64)
+                .map(|_| match rng.gen_range(0..3) {
+                    0 => 0x7E,
+                    1 => 0x7D,
+                    _ => rng.gen(),
+                })
+                .collect();
+            let got = run_netlist(&n, 1, &stream, 4);
+            assert_eq!(got, behavioural_stuffed(&stream));
+        }
+    }
+
+    #[test]
+    fn w4_netlist_matches_behavioural_prefix() {
+        for style in [SorterStyle::OneHot, SorterStyle::Barrel] {
+            let n = build_escape_gen(4, style);
+            let stream = [
+                0x7E, 0x12, 0x34, 0x56, // Figure 5's case: flag in lane 0
+                0x11, 0x22, 0x7D, 0x44, 0x7E, 0x7E, 0x7E, 0x7E, // worst-ish
+                0xAA, 0xBB, 0xCC, 0xDD,
+            ];
+            let got = run_netlist(&n, 4, &stream, 8);
+            let expect = behavioural_stuffed(&stream);
+            // Output is in full words; at most 3 bytes may still sit in
+            // the staging buffer.
+            assert!(expect.len() - got.len() <= 3, "{} vs {}", got.len(), expect.len());
+            assert_eq!(got[..], expect[..got.len()], "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn w4_netlist_random_streams_both_styles() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for style in [SorterStyle::OneHot, SorterStyle::Barrel] {
+            let n = build_escape_gen(4, style);
+            for round in 0..10 {
+                let len = 4 * rng.gen_range(4..40);
+                let stream: Vec<u8> = (0..len)
+                    .map(|_| match rng.gen_range(0..4) {
+                        0 => 0x7E,
+                        1 => 0x7D,
+                        _ => rng.gen(),
+                    })
+                    .collect();
+                let got = run_netlist(&n, 4, &stream, 12);
+                let expect = behavioural_stuffed(&stream);
+                assert!(expect.len() - got.len() <= 3, "round {round}");
+                assert_eq!(got[..], expect[..got.len()], "round {round} style {style:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn w4_all_flags_exerts_backpressure() {
+        let n = build_escape_gen(4, SorterStyle::OneHot);
+        let mut sim = Sim::new(&n);
+        let mut stalls = 0;
+        let mut fed = 0;
+        let stream = [0x7E; 32];
+        let mut idx = 0;
+        for _ in 0..64 {
+            if idx + 4 <= stream.len() {
+                sim.set_bytes("in_data", &stream[idx..idx + 4]);
+                sim.set("in_valid", 1);
+            } else {
+                sim.set("in_valid", 0);
+            }
+            let ready = sim.get("in_ready") == 1;
+            sim.step();
+            if idx + 4 <= stream.len() {
+                if ready {
+                    idx += 4;
+                    fed += 1;
+                } else {
+                    stalls += 1;
+                }
+            }
+        }
+        assert!(fed >= 8, "all input eventually accepted");
+        assert!(stalls > 0, "doubling traffic must stall the input");
+    }
+
+    #[test]
+    fn resource_ratios_match_table_3() {
+        // Paper, Table 3: 32-bit escape generate 492 LUTs / 168 FFs;
+        // 8-bit 22 LUTs / 6 FFs — ratios 25× and 28×.  Our netlists must
+        // land in the same regime: w4 well over 10× the w1 in both.
+        let w1 = map(&build_escape_gen(1, SorterStyle::Barrel), MapMode::Area);
+        let w4 = map(&build_escape_gen(4, SorterStyle::Barrel), MapMode::Area);
+        let lut_ratio = w4.lut_count() as f64 / w1.lut_count() as f64;
+        let ff_ratio = w4.ff_count as f64 / w1.ff_count as f64;
+        assert!(
+            (8.0..80.0).contains(&lut_ratio),
+            "LUT ratio {lut_ratio:.1} (w1 {}, w4 {})",
+            w1.lut_count(),
+            w4.lut_count()
+        );
+        assert!(
+            (8.0..60.0).contains(&ff_ratio),
+            "FF ratio {ff_ratio:.1} (w1 {}, w4 {})",
+            w1.ff_count,
+            w4.ff_count
+        );
+        // The 32-bit unit nearly fills an XC2V40, as the paper found
+        // (492/512 = 96%).
+        let r = synthesize(&build_escape_gen(4, SorterStyle::Barrel), &devices::XC2V40_6);
+        assert!(
+            (0.7..=1.1).contains(&r.lut_util_post),
+            "paper: 96% of an XC2V40; got {:.0}%",
+            100.0 * r.lut_util_post
+        );
+    }
+
+    #[test]
+    fn barrel_style_trades_area_for_depth() {
+        let onehot = map(&build_escape_gen(4, SorterStyle::OneHot), MapMode::Area);
+        let barrel = map(&build_escape_gen(4, SorterStyle::Barrel), MapMode::Area);
+        // The structures must genuinely differ.
+        assert_ne!(onehot.lut_count(), barrel.lut_count());
+    }
+
+    #[test]
+    fn w1_is_tiny() {
+        let m = map(&build_escape_gen(1, SorterStyle::OneHot), MapMode::Area);
+        assert!(m.lut_count() <= 40, "w1 LUTs {}", m.lut_count());
+        assert!(m.ff_count <= 12, "w1 FFs {}", m.ff_count);
+    }
+}

@@ -1,0 +1,25 @@
+//! Structural RTL of the P⁵ — gate-level netlists for every module the
+//! paper synthesises, built on the `p5-fpga` IR.
+//!
+//! These are the designs behind Tables 1–3: the parallel CRC cores
+//! (8×32 and 32×32 matrices), the Escape Generate and Escape Detect
+//! units in both datapath widths (including the 32-bit byte-sorting
+//! expansion/compaction networks of Figures 5 and 6), and the
+//! transmit/receive control FSMs.  Every netlist is verified by
+//! gate-level simulation against its behavioural counterpart, then
+//! technology-mapped and timed by `p5-fpga` to regenerate the paper's
+//! resource/fMax numbers.
+
+pub mod control;
+pub mod crc_core;
+pub mod escape_detect;
+pub mod escape_gen;
+pub mod oam_regfile;
+pub mod sorter;
+pub mod system;
+
+pub use crc_core::{build_crc_core, build_crc_unit};
+pub use escape_detect::build_escape_detect;
+pub use escape_gen::{build_escape_gen, SorterStyle};
+pub use oam_regfile::build_oam_regfile;
+pub use system::{synthesize_system, system_modules, SystemReport};

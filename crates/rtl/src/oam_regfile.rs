@@ -1,0 +1,188 @@
+//! The Protocol OAM register file in gates: the microprocessor-facing
+//! register map, counters and interrupt logic of Figure 2.
+//!
+//! The paper's Tables 1–2 cover the *datapath* ("the main focus of this
+//! paper is on the data-path implementation of the P⁵"), so this module
+//! is reported separately by `synthesis_report` — it is the block that
+//! makes the device programmable.
+//!
+//! Bus: `addr[6]` (word offset), `wdata[16]`, `wr`, plus datapath event
+//! strobes; outputs `rdata[16]`, the configuration registers, and the
+//! `irq` line.
+
+use p5_fpga::{Builder, Netlist, Sig};
+
+/// Counter width (hardware counters saturate to software polling rate;
+/// 16 bits is the classic choice).
+const CNT_W: usize = 16;
+
+/// Build the OAM register-file netlist.
+pub fn build_oam_regfile() -> Netlist {
+    let mut b = Builder::new("protocol OAM");
+    let addr = b.input_bus("addr", 6);
+    let wdata = b.input_bus("wdata", CNT_W);
+    let wr = b.input("wr");
+    // Datapath event strobes.
+    let ev_rx_frame = b.input("ev_rx_frame");
+    let ev_rx_error = b.input("ev_rx_error");
+    let ev_tx_frame = b.input("ev_tx_frame");
+    let ev_tx_done = b.input("ev_tx_done");
+
+    // Register write decodes.
+    let wr_at = |b: &mut Builder, a: u64, wr: Sig, addr: &[Sig]| {
+        let hit = b.eq_const(addr, a);
+        b.and2(hit, wr)
+    };
+
+    // --- configuration registers -------------------------------------
+    let we_ctrl = wr_at(&mut b, 0, wr, &addr);
+    let ctrl = b.reg_word_en(&wdata[..8], we_ctrl, 0b0000_0011);
+    let we_address = wr_at(&mut b, 2, wr, &addr);
+    let station = b.reg_word_en(&wdata[..8], we_address, 0xFF);
+    let we_maxlen = wr_at(&mut b, 3, wr, &addr);
+    let max_body = b.reg_word_en(&wdata[..11], we_maxlen, 1504);
+    let we_inten = wr_at(&mut b, 4, wr, &addr);
+    let int_enable = b.reg_word_en(&wdata[..3], we_inten, 0);
+
+    // --- interrupt pending: set by events, W1C by the host ------------
+    let we_intpend = wr_at(&mut b, 5, wr, &addr);
+    let pend = b.state_word(3, 0);
+    let causes = [ev_rx_frame, ev_rx_error, ev_tx_done];
+    let mut pend_next = Vec::new();
+    for (i, &cause) in causes.iter().enumerate() {
+        let clear = b.and2(we_intpend, wdata[i]);
+        let keep = {
+            let nc = b.not(clear);
+            b.and2(pend[i], nc)
+        };
+        pend_next.push(b.or2(cause, keep));
+    }
+    b.bind_word(&pend, &pend_next);
+    // irq = |(pending & enable)
+    let masked: Vec<Sig> = pend
+        .iter()
+        .zip(&int_enable)
+        .map(|(&p, &e)| b.and2(p, e))
+        .collect();
+    let irq = b.or_many(&masked);
+
+    // --- counters ------------------------------------------------------
+    let counter = |b: &mut Builder, inc: Sig| -> Vec<Sig> {
+        let q = b.state_word(CNT_W, 0);
+        let one = b.const_word(1, CNT_W);
+        let zero = b.lit(false);
+        let (plus1, carry) = b.add(&q, &one, zero);
+        // Saturate at all-ones rather than wrap.
+        let not_sat = b.not(carry);
+        let do_inc = b.and2(inc, not_sat);
+        let next = b.mux_word(do_inc, &plus1, &q);
+        b.bind_word(&q, &next);
+        q
+    };
+    let rx_frames = counter(&mut b, ev_rx_frame);
+    let rx_errors = counter(&mut b, ev_rx_error);
+    let tx_frames = counter(&mut b, ev_tx_frame);
+
+    // --- read mux --------------------------------------------------------
+    let sels: Vec<Sig> = (0..9u64).map(|a| b.eq_const(&addr, a)).collect();
+    let pad = |b: &mut Builder, w: &[Sig]| -> Vec<Sig> { b.resize(w, CNT_W) };
+    let words = [
+        pad(&mut b, &ctrl),
+        pad(&mut b, &[]), // offset 1: status (live bits come from datapath)
+        pad(&mut b, &station),
+        pad(&mut b, &max_body),
+        pad(&mut b, &int_enable),
+        pad(&mut b, &pend),
+        rx_frames.clone(),
+        rx_errors.clone(),
+        tx_frames.clone(),
+    ];
+    let rdata = b.onehot_mux_word(&sels, &words);
+
+    b.output("rdata", &rdata);
+    b.output("cfg_ctrl", &ctrl);
+    b.output("cfg_address", &station);
+    b.output("cfg_max_body", &max_body);
+    b.output("irq", &[irq]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p5_fpga::{map, MapMode, Sim};
+
+    fn write(sim: &mut Sim, addr: u64, data: u64) {
+        sim.set("addr", addr);
+        sim.set("wdata", data);
+        sim.set("wr", 1);
+        sim.step();
+        sim.set("wr", 0);
+    }
+
+    fn read(sim: &mut Sim, addr: u64) -> u64 {
+        sim.set("addr", addr);
+        sim.get("rdata")
+    }
+
+    fn fresh(sim: &mut Sim) {
+        for name in ["ev_rx_frame", "ev_rx_error", "ev_tx_frame", "ev_tx_done", "wr"] {
+            sim.set(name, 0);
+        }
+    }
+
+    #[test]
+    fn defaults_and_programming() {
+        let n = build_oam_regfile();
+        let mut sim = Sim::new(&n);
+        fresh(&mut sim);
+        assert_eq!(read(&mut sim, 2), 0xFF, "default station address");
+        assert_eq!(read(&mut sim, 3), 1504, "default max body");
+        write(&mut sim, 2, 0x0B);
+        assert_eq!(read(&mut sim, 2), 0x0B);
+        assert_eq!(sim.get("cfg_address"), 0x0B);
+        write(&mut sim, 3, 9000 & 0x7FF);
+        assert_eq!(sim.get("cfg_max_body"), 9000 & 0x7FF);
+    }
+
+    #[test]
+    fn counters_count_and_saturate() {
+        let n = build_oam_regfile();
+        let mut sim = Sim::new(&n);
+        fresh(&mut sim);
+        for _ in 0..5 {
+            sim.set("ev_rx_frame", 1);
+            sim.step();
+        }
+        sim.set("ev_rx_frame", 0);
+        assert_eq!(read(&mut sim, 6), 5);
+        assert_eq!(read(&mut sim, 7), 0);
+    }
+
+    #[test]
+    fn interrupt_set_mask_and_w1c() {
+        let n = build_oam_regfile();
+        let mut sim = Sim::new(&n);
+        fresh(&mut sim);
+        sim.set("ev_rx_error", 1);
+        sim.step();
+        sim.set("ev_rx_error", 0);
+        sim.step();
+        assert_eq!(read(&mut sim, 5) & 0b010, 0b010, "pending latched");
+        assert_eq!(sim.get("irq"), 0, "masked");
+        write(&mut sim, 4, 0b010);
+        assert_eq!(sim.get("irq"), 1);
+        write(&mut sim, 5, 0b010); // W1C
+        assert_eq!(read(&mut sim, 5) & 0b010, 0);
+        assert_eq!(sim.get("irq"), 0);
+    }
+
+    #[test]
+    fn regfile_is_modest_in_area() {
+        let n = build_oam_regfile();
+        let m = map(&n, MapMode::Area);
+        // Plenty of FFs (registers + counters), modest LUTs.
+        assert!(m.ff_count >= 70, "ffs {}", m.ff_count);
+        assert!(m.lut_count() < 400, "luts {}", m.lut_count());
+    }
+}

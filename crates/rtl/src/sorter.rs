@@ -1,0 +1,332 @@
+//! Byte-sorting network primitives shared by the 32-bit escape units:
+//! lane prefix-popcounts, one-hot byte routing, and the staging merge
+//! that aligns freshly produced bytes behind the carry buffer.
+//!
+//! This is "the byte sorter mechanisms built with large decision-making
+//! combinational logic" the paper identifies as the reason the 32-bit
+//! system is ~11× (not 4×) the size of the 8-bit one.  Two structural
+//! realisations are provided for the ablation in DESIGN.md §6.2:
+//! one-hot AND-OR muxing (shallow, wide) and logarithmic barrel
+//! shifting (narrow, deeper).
+
+use crate::escape_gen::SorterStyle;
+use p5_fpga::{Builder, Sig};
+
+/// A byte as 8 signals, LSB first.
+pub type ByteSig = Vec<Sig>;
+
+fn zero_byte(b: &mut Builder) -> ByteSig {
+    b.const_word(0, 8)
+}
+
+/// Prefix popcounts of a bit vector: `out[i]` = number of set bits among
+/// `bits[0..i]`, as a `width`-bit word.  `out.len() == bits.len() + 1`
+/// (the last entry is the total).
+pub fn prefix_popcount(b: &mut Builder, bits: &[Sig], width: usize) -> Vec<Vec<Sig>> {
+    let mut out = Vec::with_capacity(bits.len() + 1);
+    let mut acc = b.const_word(0, width);
+    out.push(acc.clone());
+    for &bit in bits {
+        let mut bit_word = vec![bit];
+        let zero = b.lit(false);
+        bit_word.extend(std::iter::repeat_n(zero, width - 1));
+        let (sum, _) = b.add(&acc, &bit_word, zero);
+        acc = sum;
+        out.push(acc.clone());
+    }
+    out
+}
+
+/// Route enabled `sources` (byte, position, enable) to `n_slots` output
+/// slots: slot `j` receives the enabled source whose position equals
+/// `j`; unmatched slots read zero.
+pub fn route_bytes_en(
+    b: &mut Builder,
+    sources: &[(ByteSig, Vec<Sig>, Sig)],
+    n_slots: usize,
+) -> Vec<ByteSig> {
+    let ranged: Vec<_> = sources
+        .iter()
+        .map(|(byte, pos, en)| (byte.clone(), pos.clone(), *en, 0usize, n_slots - 1))
+        .collect();
+    route_bytes_ranged(b, &ranged, n_slots)
+}
+
+/// Like [`route_bytes_en`] but with a static reachability range per
+/// source `(lo, hi)`: slot `j` only instantiates selector logic for
+/// sources that can actually land there.  This is the pruning a
+/// designer applies by construction (lane `i`'s first byte can only
+/// reach slots `i..=2i`), and it substantially shrinks the sorter.
+pub fn route_bytes_ranged(
+    b: &mut Builder,
+    sources: &[(ByteSig, Vec<Sig>, Sig, usize, usize)],
+    n_slots: usize,
+) -> Vec<ByteSig> {
+    (0..n_slots)
+        .map(|j| {
+            let mut sels = Vec::new();
+            let mut words = Vec::new();
+            for (byte, pos, en, lo, hi) in sources {
+                if j < *lo || j > *hi {
+                    continue;
+                }
+                let hit = b.eq_const(pos, j as u64);
+                sels.push(b.and2(hit, *en));
+                words.push(byte.clone());
+            }
+            if words.is_empty() {
+                return zero_byte(b);
+            }
+            b.onehot_mux_word(&sels, &words)
+        })
+        .collect()
+}
+
+/// Shift a vector of bytes towards higher slots by `amount` (a small
+/// word), zero-filling, producing `n_slots` outputs — log-stage barrel.
+fn barrel_shift_up(
+    b: &mut Builder,
+    bytes: &[ByteSig],
+    amount: &[Sig],
+    n_slots: usize,
+) -> Vec<ByteSig> {
+    let mut cur: Vec<ByteSig> = (0..n_slots)
+        .map(|j| bytes.get(j).cloned().unwrap_or_else(|| zero_byte(b)))
+        .collect();
+    for (k, &abit) in amount.iter().enumerate() {
+        let dist = 1usize << k;
+        if dist >= n_slots {
+            break;
+        }
+        let shifted: Vec<ByteSig> = (0..n_slots)
+            .map(|j| {
+                if j >= dist {
+                    cur[j - dist].clone()
+                } else {
+                    zero_byte(b)
+                }
+            })
+            .collect();
+        cur = (0..n_slots)
+            .map(|j| b.mux_word(abit, &shifted[j], &cur[j]))
+            .collect();
+    }
+    cur
+}
+
+/// Merge a carry buffer with freshly produced bytes: output slot `j`
+/// reads `carry[j]` when `j < cnt`, else `fresh[j - cnt]`.
+pub fn merge_behind_count(
+    b: &mut Builder,
+    carry: &[ByteSig],
+    fresh: &[ByteSig],
+    cnt: &[Sig],
+    cnt_max: usize,
+    n_slots: usize,
+    style: SorterStyle,
+) -> Vec<ByteSig> {
+    match style {
+        SorterStyle::OneHot => {
+            let hot: Vec<Sig> = (0..=cnt_max).map(|v| b.eq_const(cnt, v as u64)).collect();
+            (0..n_slots)
+                .map(|j| {
+                    let words: Vec<ByteSig> = (0..=cnt_max)
+                        .map(|c| {
+                            if j < c {
+                                carry.get(j).cloned().unwrap_or_else(|| zero_byte(b))
+                            } else {
+                                fresh.get(j - c).cloned().unwrap_or_else(|| zero_byte(b))
+                            }
+                        })
+                        .collect();
+                    b.onehot_mux_word(&hot, &words)
+                })
+                .collect()
+        }
+        SorterStyle::Barrel => {
+            let shifted = barrel_shift_up(b, fresh, cnt, n_slots);
+            // Comparators must be wide enough for j+1 up to n_slots.
+            let cmp_width = usize::BITS as usize - n_slots.leading_zeros() as usize;
+            let cmp_width = cmp_width.max(cnt.len());
+            let cnt_wide = b.resize(cnt, cmp_width);
+            (0..n_slots)
+                .map(|j| {
+                    // j < cnt  ⇔  cnt ≥ j+1
+                    let jp1 = b.const_word((j + 1) as u64, cmp_width);
+                    let in_carry = b.ge(&cnt_wide, &jp1);
+                    let cb = carry.get(j).cloned().unwrap_or_else(|| zero_byte(b));
+                    b.mux_word(in_carry, &cb, &shifted[j])
+                })
+                .collect()
+        }
+    }
+}
+
+/// Select `n_out` bytes starting at slot `offset` from `slots` — the
+/// shift-down after emitting an output word.
+pub fn take_from_offset(
+    b: &mut Builder,
+    slots: &[ByteSig],
+    offset: &[Sig],
+    offset_max: usize,
+    n_out: usize,
+    style: SorterStyle,
+) -> Vec<ByteSig> {
+    match style {
+        SorterStyle::OneHot => {
+            let hot: Vec<Sig> = (0..=offset_max).map(|v| b.eq_const(offset, v as u64)).collect();
+            (0..n_out)
+                .map(|j| {
+                    let words: Vec<ByteSig> = (0..=offset_max)
+                        .map(|c| slots.get(j + c).cloned().unwrap_or_else(|| zero_byte(b)))
+                        .collect();
+                    b.onehot_mux_word(&hot, &words)
+                })
+                .collect()
+        }
+        SorterStyle::Barrel => {
+            let mut cur: Vec<ByteSig> = slots.to_vec();
+            for (k, &obit) in offset.iter().enumerate() {
+                let dist = 1usize << k;
+                let shifted: Vec<ByteSig> = (0..cur.len())
+                    .map(|j| cur.get(j + dist).cloned().unwrap_or_else(|| zero_byte(b)))
+                    .collect();
+                cur = (0..cur.len())
+                    .map(|j| b.mux_word(obit, &shifted[j], &cur[j]))
+                    .collect();
+            }
+            cur.truncate(n_out);
+            while cur.len() < n_out {
+                cur.push(zero_byte(b));
+            }
+            cur
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p5_fpga::Sim;
+
+    #[test]
+    fn prefix_popcount_counts() {
+        let mut b = Builder::new("ppc");
+        let bits = b.input_bus("bits", 4);
+        let counts = prefix_popcount(&mut b, &bits.clone(), 3);
+        for (i, c) in counts.iter().enumerate() {
+            b.output(&format!("c{i}"), c);
+        }
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        for v in 0..16u64 {
+            sim.set("bits", v);
+            for i in 0..=4 {
+                let expect = (v & ((1 << i) - 1)).count_ones() as u64;
+                assert_eq!(sim.get(&format!("c{i}")), expect, "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_bytes_places_enabled_sources() {
+        let mut b = Builder::new("route");
+        let d0 = b.input_bus("d0", 8);
+        let d1 = b.input_bus("d1", 8);
+        let p0 = b.input_bus("p0", 2);
+        let p1 = b.input_bus("p1", 2);
+        let e1 = b.input("e1");
+        let one = b.lit(true);
+        let slots = route_bytes_en(&mut b, &[(d0, p0, one), (d1, p1, e1)], 4);
+        for (j, s) in slots.iter().enumerate() {
+            b.output(&format!("s{j}"), s);
+        }
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        sim.set("d0", 0xAA);
+        sim.set("d1", 0xBB);
+        sim.set("p0", 2);
+        sim.set("p1", 0);
+        sim.set("e1", 1);
+        assert_eq!(sim.get("s2"), 0xAA);
+        assert_eq!(sim.get("s0"), 0xBB);
+        assert_eq!(sim.get("s1"), 0);
+        sim.set("e1", 0);
+        assert_eq!(sim.get("s0"), 0, "disabled source routes nothing");
+    }
+
+    fn merge_fixture(style: SorterStyle) {
+        let mut b = Builder::new("merge");
+        let carry: Vec<_> = (0..3).map(|i| b.input_bus(&format!("c{i}"), 8)).collect();
+        let fresh: Vec<_> = (0..4).map(|i| b.input_bus(&format!("f{i}"), 8)).collect();
+        let cnt = b.input_bus("cnt", 2);
+        let merged = merge_behind_count(&mut b, &carry, &fresh, &cnt.clone(), 3, 7, style);
+        for (j, s) in merged.iter().enumerate() {
+            b.output(&format!("m{j}"), s);
+        }
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        for i in 0..3 {
+            sim.set(&format!("c{i}"), 0x10 + i as u64);
+        }
+        for i in 0..4 {
+            sim.set(&format!("f{i}"), 0x20 + i as u64);
+        }
+        for cnt in 0..=3u64 {
+            sim.set("cnt", cnt);
+            for j in 0..7usize {
+                let expect = if (j as u64) < cnt {
+                    0x10 + j as u64
+                } else if j - (cnt as usize) < 4 {
+                    0x20 + (j as u64 - cnt)
+                } else {
+                    0
+                };
+                assert_eq!(sim.get(&format!("m{j}")), expect, "{style:?} cnt={cnt} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_behind_count_onehot() {
+        merge_fixture(SorterStyle::OneHot);
+    }
+
+    #[test]
+    fn merge_behind_count_barrel() {
+        merge_fixture(SorterStyle::Barrel);
+    }
+
+    fn take_fixture(style: SorterStyle) {
+        let mut b = Builder::new("take");
+        let slots: Vec<_> = (0..6).map(|i| b.input_bus(&format!("s{i}"), 8)).collect();
+        let off = b.input_bus("off", 3);
+        let out = take_from_offset(&mut b, &slots, &off.clone(), 4, 3, style);
+        for (j, s) in out.iter().enumerate() {
+            b.output(&format!("o{j}"), s);
+        }
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        for i in 0..6 {
+            sim.set(&format!("s{i}"), 0x40 + i as u64);
+        }
+        for off in 0..=4u64 {
+            sim.set("off", off);
+            for j in 0..3usize {
+                let idx = j + off as usize;
+                let expect = if idx < 6 { 0x40 + idx as u64 } else { 0 };
+                assert_eq!(sim.get(&format!("o{j}")), expect, "{style:?} off={off} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn take_from_offset_onehot() {
+        take_fixture(SorterStyle::OneHot);
+    }
+
+    #[test]
+    fn take_from_offset_barrel() {
+        take_fixture(SorterStyle::Barrel);
+    }
+}

@@ -1,0 +1,205 @@
+//! System-level synthesis: the complete 8-bit and 32-bit P⁵ datapaths
+//! as module collections, with aggregate resource/timing reports —
+//! the generators behind Tables 1 and 2.
+//!
+//! The P⁵ datapath of Figure 2 comprises, per direction, a control
+//! FSM, a CRC core and an escape unit; the system totals are the sum
+//! over modules, and the system fMax is the slowest module's (all
+//! modules share the line clock).
+
+use crate::control::{build_rx_control, build_tx_control_w1, build_tx_control_w4};
+use crate::crc_core::build_crc_unit;
+use crate::escape_detect::build_escape_detect;
+use crate::escape_gen::{build_escape_gen, SorterStyle};
+use p5_crc::FCS32;
+use p5_fpga::{synthesize, Device, Netlist, SynthReport};
+
+/// The module netlists of one P⁵ datapath width.
+pub fn system_modules(width: usize) -> Vec<Netlist> {
+    assert!(width == 1 || width == 4);
+    let tx_control = if width == 1 {
+        build_tx_control_w1()
+    } else {
+        build_tx_control_w4()
+    };
+    vec![
+        tx_control,
+        build_crc_unit(FCS32, width), // transmit CRC
+        build_escape_gen(width, SorterStyle::Barrel),
+        build_escape_detect(width, SorterStyle::Barrel),
+        build_crc_unit(FCS32, width), // receive CRC
+        build_rx_control(),
+    ]
+}
+
+/// A synthesised system: per-module rows plus totals.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    pub name: String,
+    pub device: &'static str,
+    pub modules: Vec<SynthReport>,
+    pub total_luts_pre: usize,
+    pub total_luts_post: usize,
+    pub total_ffs: usize,
+    pub lut_util_post: f64,
+    pub ff_util: f64,
+    /// Slowest module pre-layout.
+    pub fmax_pre_mhz: f64,
+    /// Slowest module post-layout.
+    pub fmax_post_mhz: f64,
+    pub fits: bool,
+    /// Does the post-layout clock sustain the 78.125 MHz line rate?
+    pub meets_line_rate: bool,
+}
+
+/// The clock both datapath widths must meet (625 Mbps / 8 =
+/// 2.5 Gbps / 32 = 78.125 MHz).
+pub const LINE_CLOCK_MHZ: f64 = 78.125;
+
+/// Synthesise a full system (width 1 or 4) onto a device.
+pub fn synthesize_system(width: usize, device: &Device) -> SystemReport {
+    let modules: Vec<SynthReport> = system_modules(width)
+        .iter()
+        .map(|m| synthesize(m, device))
+        .collect();
+    let total_luts_pre = modules.iter().map(|m| m.luts_pre).sum();
+    let total_luts_post = modules.iter().map(|m| m.luts_post).sum();
+    let total_ffs = modules.iter().map(|m| m.ffs).sum();
+    let fmax_pre = modules
+        .iter()
+        .map(|m| m.fmax_pre_mhz)
+        .fold(f64::INFINITY, f64::min);
+    let fmax_post = modules
+        .iter()
+        .map(|m| m.fmax_post_mhz)
+        .fold(f64::INFINITY, f64::min);
+    SystemReport {
+        name: format!("P5 {}-bit system", width * 8),
+        device: device.name,
+        modules,
+        total_luts_pre,
+        total_luts_post,
+        total_ffs,
+        lut_util_post: total_luts_post as f64 / device.luts as f64,
+        ff_util: total_ffs as f64 / device.ffs as f64,
+        fmax_pre_mhz: fmax_pre,
+        fmax_post_mhz: fmax_post,
+        fits: total_luts_post <= device.luts && total_ffs <= device.ffs,
+        meets_line_rate: fmax_post >= LINE_CLOCK_MHZ,
+    }
+}
+
+impl SystemReport {
+    /// Render as a paper-style table block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} on {}\n", self.name, self.device));
+        for m in &self.modules {
+            out.push_str(&format!("  {}\n", m.table_row()));
+        }
+        out.push_str(&format!(
+            "  TOTAL: pre {} LUT / post {} LUT ({:.1}%) | {} FF ({:.1}%) | fMax pre {:.1} / post {:.1} MHz | line rate (78.125 MHz): {}{}\n",
+            self.total_luts_pre,
+            self.total_luts_post,
+            100.0 * self.lut_util_post,
+            self.total_ffs,
+            100.0 * self.ff_util,
+            self.fmax_pre_mhz,
+            self.fmax_post_mhz,
+            if self.meets_line_rate { "MET" } else { "MISSED" },
+            if self.fits { "" } else { "  ** DOES NOT FIT **" },
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p5_fpga::devices;
+
+    #[test]
+    fn thirty_two_bit_system_is_roughly_11x_the_8_bit() {
+        // The paper's headline area observation: "the 32-bit version of
+        // the system is not 4 times bigger than the 8-bit version as one
+        // might predict, but is approximately 11 times bigger."
+        let w8 = synthesize_system(1, &devices::XCV600_4);
+        let w32 = synthesize_system(4, &devices::XCV600_4);
+        let ratio = w32.total_luts_post as f64 / w8.total_luts_post as f64;
+        assert!(
+            (4.3..20.0).contains(&ratio),
+            "area ratio {ratio:.1} (8-bit {}, 32-bit {})",
+            w8.total_luts_post,
+            w32.total_luts_post
+        );
+        assert!(ratio > 4.0, "must exceed the naive 4x scaling");
+    }
+
+    #[test]
+    fn eight_bit_system_fits_xcv50() {
+        let r = synthesize_system(1, &devices::XCV50_4);
+        assert!(r.fits, "{}", r.render());
+        // Paper Table 1: ~12% of an XCV50.
+        assert!(r.lut_util_post < 0.35, "{}", r.render());
+    }
+
+    #[test]
+    fn thirty_two_bit_system_fits_a_quarter_of_xc2v1000() {
+        // Paper §5: "approximately 25% of the resources of a XC2V-1000".
+        let r = synthesize_system(4, &devices::XC2V1000_6);
+        assert!(r.fits);
+        assert!(
+            (0.05..0.60).contains(&r.lut_util_post),
+            "utilisation {:.0}%",
+            100.0 * r.lut_util_post
+        );
+    }
+
+    #[test]
+    fn line_rate_met_on_virtex_ii_missed_on_virtex() {
+        // Paper §4/§5: speed requirements met with Virtex-II, and the
+        // Virtex -4 parts fall short.
+        let v2 = synthesize_system(4, &devices::XC2V1000_6);
+        assert!(v2.meets_line_rate, "{}", v2.render());
+        let v = synthesize_system(4, &devices::XCV600_4);
+        assert!(!v.meets_line_rate, "{}", v.render());
+    }
+
+    #[test]
+    fn escape_units_dominate_the_size_increase() {
+        // "It has been discovered that this size increase is mainly due
+        // to the byte sorter and buffering mechanisms ... which are
+        // heavy in combinational logic" (and "partly due to extra
+        // decisional logic involved in the CRC").  So: the escape pair
+        // must contribute the largest share of the 32-bit − 8-bit LUT
+        // increase, with the CRC pair second.
+        let escape_luts = |width: usize| -> usize {
+            let r = synthesize_system(width, &devices::XC2V1000_6);
+            r.modules
+                .iter()
+                .filter(|m| m.module.contains("escape"))
+                .map(|m| m.luts_post)
+                .sum()
+        };
+        let crc_luts = |width: usize| -> usize {
+            let r = synthesize_system(width, &devices::XC2V1000_6);
+            r.modules
+                .iter()
+                .filter(|m| m.module.contains("crc"))
+                .map(|m| m.luts_post)
+                .sum()
+        };
+        let total = |width: usize| synthesize_system(width, &devices::XC2V1000_6).total_luts_post;
+        let escape_increase = escape_luts(4) - escape_luts(1);
+        let crc_increase = crc_luts(4) - crc_luts(1);
+        let total_increase = total(4) - total(1);
+        assert!(
+            escape_increase > crc_increase,
+            "escape +{escape_increase} vs crc +{crc_increase}"
+        );
+        assert!(
+            escape_increase * 2 > total_increase,
+            "escape +{escape_increase} of +{total_increase} total"
+        );
+    }
+}

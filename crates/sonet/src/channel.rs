@@ -1,0 +1,128 @@
+//! The transmission channel between framer and defamer: a configurable
+//! bit-error process standing in for the optical section the paper's
+//! testbed would provide.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Channel impairment statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    pub bytes_carried: u64,
+    pub bits_flipped: u64,
+    pub bursts_injected: u64,
+}
+
+/// A byte pipe that flips bits at a configured rate, optionally in
+/// bursts (a crude Gilbert–Elliott model: each error seeds a short run of
+/// elevated error probability).
+#[derive(Debug, Clone)]
+pub struct BitErrorChannel {
+    /// Probability that any given bit is flipped.
+    ber: f64,
+    /// Expected burst length in bits once an error occurs (1 = no bursts).
+    burst_len: u32,
+    /// Remaining bits of an active burst.
+    burst_remaining: u32,
+    rng: StdRng,
+    stats: ChannelStats,
+}
+
+impl BitErrorChannel {
+    /// An error-free channel.
+    pub fn clean() -> Self {
+        Self::new(0.0, 1, 0)
+    }
+
+    pub fn new(ber: f64, burst_len: u32, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&ber), "BER must be a probability");
+        assert!(burst_len >= 1);
+        Self {
+            ber,
+            burst_len,
+            burst_remaining: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Carry bytes across the channel, impairing them in place.
+    pub fn transmit(&mut self, buf: &mut [u8]) {
+        self.stats.bytes_carried += buf.len() as u64;
+        if self.ber == 0.0 {
+            return;
+        }
+        for byte in buf.iter_mut() {
+            for bit in 0..8 {
+                let flip = if self.burst_remaining > 0 {
+                    self.burst_remaining -= 1;
+                    self.rng.gen_bool(0.5)
+                } else if self.rng.gen_bool(self.ber) {
+                    if self.burst_len > 1 {
+                        self.burst_remaining = self.rng.gen_range(0..self.burst_len * 2);
+                        self.stats.bursts_injected += 1;
+                    }
+                    true
+                } else {
+                    false
+                };
+                if flip {
+                    *byte ^= 1 << bit;
+                    self.stats.bits_flipped += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_is_transparent() {
+        let mut ch = BitErrorChannel::clean();
+        let mut buf = vec![0xA5; 1000];
+        ch.transmit(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0xA5));
+        assert_eq!(ch.stats().bits_flipped, 0);
+        assert_eq!(ch.stats().bytes_carried, 1000);
+    }
+
+    #[test]
+    fn ber_injects_roughly_the_right_number_of_errors() {
+        let mut ch = BitErrorChannel::new(1e-3, 1, 42);
+        let mut buf = vec![0u8; 100_000];
+        ch.transmit(&mut buf);
+        let flipped: u64 = buf.iter().map(|b| b.count_ones() as u64).sum();
+        assert_eq!(flipped, ch.stats().bits_flipped);
+        // 800k bits at 1e-3 → ~800; allow wide tolerance.
+        assert!((400..1600).contains(&flipped), "flipped {flipped}");
+    }
+
+    #[test]
+    fn bursts_cluster_errors() {
+        let mut ch = BitErrorChannel::new(1e-4, 16, 7);
+        let mut buf = vec![0u8; 100_000];
+        ch.transmit(&mut buf);
+        assert!(ch.stats().bursts_injected > 0);
+        // With bursts, flips per burst should exceed 1 on average.
+        assert!(ch.stats().bits_flipped > ch.stats().bursts_injected);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut ch = BitErrorChannel::new(1e-3, 4, seed);
+            let mut buf = vec![0u8; 10_000];
+            ch.transmit(&mut buf);
+            buf
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

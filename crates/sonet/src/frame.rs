@@ -1,0 +1,683 @@
+//! STM-N / OC-3N frame construction and delineation.
+//!
+//! Frame geometry: 9 rows × 270·N columns of bytes every 125 µs.  The
+//! first 9·N columns are section overhead (SOH); the rest is the payload
+//! area whose first column carries the path overhead (POH).  We use a
+//! *locked* payload mapping (fixed AU pointer, SPE does not float) —
+//! see DESIGN.md §2 for why this preserves the behaviour the P⁵ cares
+//! about (a byte-synchronous octet pipe with parity supervision).
+//!
+//! Overhead implemented: A1/A2 framing, J0 section trace, B1 and B2
+//! BIP-8 parity, H1/H2 fixed pointer, and the POH bytes J1, B3, C2
+//! (0x16 = PPP with x⁴³+1 scrambling, RFC 2615), G1.
+
+use crate::scramble::{FrameScrambler, PayloadScrambler};
+use std::collections::VecDeque;
+
+/// A1 framing byte.
+pub const A1: u8 = 0xF6;
+/// A2 framing byte.
+pub const A2: u8 = 0x28;
+/// C2 path signal label for PPP with payload scrambling (RFC 2615).
+pub const C2_PPP_SCRAMBLED: u8 = 0x16;
+/// HDLC flag used as inter-frame fill when the transmit queue runs dry.
+pub const IDLE_FILL: u8 = 0x7E;
+
+/// SDH multiplexing level (with the SONET name and line rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StmLevel {
+    /// STM-1 / OC-3, 155.52 Mbps.
+    Stm1,
+    /// STM-4 / OC-12, 622.08 Mbps — the 8-bit P⁵'s 625 Mbps class link.
+    Stm4,
+    /// STM-16 / OC-48, 2488.32 Mbps — the 32-bit P⁵'s 2.5 Gbps link.
+    Stm16,
+}
+
+impl StmLevel {
+    /// The interleave factor N.
+    pub const fn n(self) -> usize {
+        match self {
+            StmLevel::Stm1 => 1,
+            StmLevel::Stm4 => 4,
+            StmLevel::Stm16 => 16,
+        }
+    }
+
+    /// Bytes per row.
+    pub const fn row_bytes(self) -> usize {
+        270 * self.n()
+    }
+
+    /// Section overhead bytes per row.
+    pub const fn soh_bytes(self) -> usize {
+        9 * self.n()
+    }
+
+    /// Total frame size in bytes.
+    pub const fn frame_bytes(self) -> usize {
+        9 * self.row_bytes()
+    }
+
+    /// Payload capacity per frame (payload area minus the POH column).
+    pub const fn payload_per_frame(self) -> usize {
+        9 * (self.row_bytes() - self.soh_bytes()) - 9
+    }
+
+    /// Line rate in bits per second (8000 frames/s).
+    pub const fn line_rate_bps(self) -> u64 {
+        (self.frame_bytes() as u64) * 8 * 8000
+    }
+
+    /// Usable payload rate in bits per second.
+    pub const fn payload_rate_bps(self) -> u64 {
+        (self.payload_per_frame() as u64) * 8 * 8000
+    }
+}
+
+/// Even-parity BIP-8 over a byte slice.
+#[inline]
+pub fn bip8(bytes: &[u8]) -> u8 {
+    bytes.iter().fold(0, |acc, &b| acc ^ b)
+}
+
+/// Builds transmit frames from a payload byte queue.
+#[derive(Debug, Clone)]
+pub struct FrameTransmitter {
+    level: StmLevel,
+    queue: VecDeque<u8>,
+    /// B1 value for the next frame = BIP-8 of the previous *scrambled*
+    /// frame.
+    next_b1: u8,
+    /// B2 value = BIP-8 of the previous frame excluding the regenerator
+    /// section overhead rows (rows 0–2 of the SOH columns).
+    next_b2: u8,
+    /// B3: path BIP-8 over the previous frame's SPE (payload area before
+    /// line scrambling).
+    next_b3: u8,
+    frames_emitted: u64,
+    payload_bytes_sent: u64,
+    fill_bytes_sent: u64,
+    idle_fill: u8,
+    /// Section trace byte (J0) — programmable, checked by the peer.
+    pub section_trace: u8,
+    /// Path trace byte (J1).
+    pub path_trace: u8,
+    /// Remote Defect Indication to signal in G1 bit 5.
+    pub send_rdi: bool,
+    /// Remote Error Indication count to signal in G1 bits 1-4 (0..=8),
+    /// consumed one frame at a time.
+    rei_backlog: u64,
+    /// Transmit path AIS (all-ones pointer + payload) for this many
+    /// frames.
+    ais_frames: u32,
+}
+
+impl FrameTransmitter {
+    pub fn new(level: StmLevel) -> Self {
+        Self {
+            level,
+            queue: VecDeque::new(),
+            next_b1: 0,
+            next_b2: 0,
+            next_b3: 0,
+            frames_emitted: 0,
+            payload_bytes_sent: 0,
+            fill_bytes_sent: 0,
+            idle_fill: IDLE_FILL,
+            section_trace: 0x01,
+            path_trace: 0x89,
+            send_rdi: false,
+            rei_backlog: 0,
+            ais_frames: 0,
+        }
+    }
+
+    /// Queue Remote Error Indications (the count of B3 errors our
+    /// receive direction saw; G1 reports them to the far end).
+    pub fn report_remote_errors(&mut self, count: u64) {
+        self.rei_backlog += count;
+    }
+
+    /// Transmit path AIS (alarm indication signal) for `frames` frames —
+    /// what a regenerator inserts downstream of a failure.
+    pub fn send_path_ais(&mut self, frames: u32) {
+        self.ais_frames = frames;
+    }
+
+    pub fn level(&self) -> StmLevel {
+        self.level
+    }
+
+    /// Queue payload bytes (the P⁵ transmitter's wire output).
+    pub fn offer_payload(&mut self, bytes: &[u8]) {
+        self.queue.extend(bytes);
+    }
+
+    /// Bytes waiting for a frame slot.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn frames_emitted(&self) -> u64 {
+        self.frames_emitted
+    }
+
+    pub fn payload_bytes_sent(&self) -> u64 {
+        self.payload_bytes_sent
+    }
+
+    pub fn fill_bytes_sent(&self) -> u64 {
+        self.fill_bytes_sent
+    }
+
+    /// Emit the next 125 µs frame as raw line bytes (scrambled).
+    pub fn emit_frame(&mut self) -> Vec<u8> {
+        self.emit_frame_scrambled(None)
+    }
+
+    /// Emit a frame, passing every payload byte (data *and* idle fill)
+    /// through the self-synchronous x⁴³+1 scrambler.  RFC 2615 requires
+    /// the scrambler to run continuously over the SPE payload — fill
+    /// octets included — or the receiver loses scrambler alignment
+    /// across idle gaps.
+    pub fn emit_frame_scrambled(&mut self, mut x43: Option<&mut PayloadScrambler>) -> Vec<u8> {
+        let n = self.level.n();
+        let row = self.level.row_bytes();
+        let soh = self.level.soh_bytes();
+        let mut f = vec![0u8; self.level.frame_bytes()];
+
+        // Row 0 SOH: A1 ×3N, A2 ×3N, J0, zero-fill.
+        for i in 0..3 * n {
+            f[i] = A1;
+            f[3 * n + i] = A2;
+        }
+        f[6 * n] = self.section_trace; // J0 section trace
+
+        // Row 1 SOH: B1.
+        f[row] = self.next_b1;
+        // Row 3 SOH: H1/H2 fixed pointer (concatenation-style constant),
+        // H3 = 0.  Path AIS replaces the pointer with all ones.
+        let ais = self.ais_frames > 0;
+        if ais {
+            self.ais_frames -= 1;
+            f[3 * row] = 0xFF;
+            f[3 * row + n] = 0xFF;
+        } else {
+            f[3 * row] = 0x62; // H1: NDF=0110, ss=10, pointer MSBs 0
+            f[3 * row + n] = 0x0A; // H2 pointer LSBs (fixed)
+        }
+        // Row 4 SOH: B2.
+        f[4 * row] = self.next_b2;
+
+        // Path overhead column (first payload column), one byte per row.
+        let poh_col = soh;
+        f[poh_col] = self.path_trace; // J1 path trace
+        f[row + poh_col] = self.next_b3; // B3 path BIP-8 (previous SPE)
+        f[2 * row + poh_col] = C2_PPP_SCRAMBLED;
+        // G1: REI in bits 4-7 (0..=8 errors), RDI in bit 3.
+        let rei = self.rei_backlog.min(8) as u8;
+        self.rei_backlog -= rei as u64;
+        f[3 * row + poh_col] = (rei << 4) | (u8::from(self.send_rdi) << 3);
+
+        // Fill the payload (everything right of the POH column).
+        let mut payload_filled = 0usize;
+        let mut fill_used = 0usize;
+        for r in 0..9 {
+            for c in (soh + 1)..row {
+                let idx = r * row + c;
+                let byte = match self.queue.pop_front() {
+                    Some(b) => {
+                        payload_filled += 1;
+                        b
+                    }
+                    None => {
+                        fill_used += 1;
+                        self.idle_fill
+                    }
+                };
+                f[idx] = match x43.as_deref_mut() {
+                    Some(scr) => scr.scramble_byte(byte),
+                    None => byte,
+                };
+            }
+        }
+
+        // B3 for the next frame: path BIP-8 over this frame's SPE
+        // (everything right of the SOH columns), before line scrambling.
+        let mut b3 = 0u8;
+        for r in 0..9 {
+            for c in soh..row {
+                b3 ^= f[r * row + c];
+            }
+        }
+        self.next_b3 = b3;
+
+        // Scramble everything except row-0 SOH.
+        let mut scr = FrameScrambler::new();
+        // The scrambler runs over the whole frame but the first row of
+        // SOH is transmitted unscrambled; keystream still advances.
+        for (i, b) in f.iter_mut().enumerate() {
+            let key = scr.keystream_byte();
+            let in_row0_soh = i < soh;
+            if !in_row0_soh {
+                *b ^= key;
+            }
+        }
+
+        // Parity for the *next* frame.
+        self.next_b1 = bip8(&f);
+        let mut b2 = 0u8;
+        for r in 0..9 {
+            for c in 0..row {
+                // Exclude regenerator-section overhead (rows 0..3 of the
+                // SOH columns).
+                if r < 3 && c < soh {
+                    continue;
+                }
+                b2 ^= f[r * row + c];
+            }
+        }
+        self.next_b2 = b2;
+
+        self.frames_emitted += 1;
+        self.payload_bytes_sent += payload_filled as u64;
+        self.fill_bytes_sent += fill_used as u64;
+        f
+    }
+}
+
+/// Receive-side defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxDefect {
+    /// Out of frame: framing bytes failed while aligned.
+    OutOfFrame,
+    /// B1 parity mismatch (regenerator section).
+    B1Error,
+    /// B2 parity mismatch (multiplex section).
+    B2Error,
+    /// B3 parity mismatch (path).
+    B3Error,
+    /// Unexpected path signal label.
+    PayloadLabelMismatch(u8),
+    /// All-ones pointer: path alarm indication signal.
+    PathAis,
+    /// Far end reports a defect (G1 RDI).
+    RemoteDefect,
+    /// Section trace (J0) did not match the provisioned value.
+    SectionTraceMismatch(u8),
+    /// Path trace (J1) did not match the provisioned value.
+    PathTraceMismatch(u8),
+}
+
+/// Receive-side counters (what a SONET line card reports to management).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectionStats {
+    pub frames_ok: u64,
+    pub oof_events: u64,
+    pub b1_errors: u64,
+    pub b2_errors: u64,
+    /// Path BIP-8 (B3) mismatches.
+    pub b3_errors: u64,
+    pub label_mismatches: u64,
+    pub hunts: u64,
+    /// Frames received with the path-AIS all-ones pointer.
+    pub path_ais_frames: u64,
+    /// Remote Error Indications accumulated from G1.
+    pub remote_errors: u64,
+    /// Frames with the RDI bit set in G1.
+    pub remote_defect_frames: u64,
+    /// Section (J0) trace mismatches.
+    pub section_trace_mismatches: u64,
+    /// Path (J1) trace mismatches.
+    pub path_trace_mismatches: u64,
+}
+
+enum RxState {
+    /// Searching the byte stream for the A1/A2 signature.
+    Hunt,
+    /// Aligned; collecting one frame worth of bytes.
+    Aligned,
+}
+
+/// Delineates frames from a raw line-byte stream and recovers the payload.
+pub struct FrameReceiver {
+    level: StmLevel,
+    state: RxState,
+    window: VecDeque<u8>,
+    buf: Vec<u8>,
+    stats: SectionStats,
+    expected_b1: Option<u8>,
+    expected_b2: Option<u8>,
+    expected_b3: Option<u8>,
+    /// Provisioned trace values to police (None = don't check).
+    pub expected_section_trace: Option<u8>,
+    pub expected_path_trace: Option<u8>,
+    defects: Vec<RxDefect>,
+    /// Consecutive bad framing patterns while aligned (≥ 2 ⇒ re-hunt,
+    /// mirroring the M=... out-of-frame persistency check).
+    bad_framings: u32,
+}
+
+impl FrameReceiver {
+    pub fn new(level: StmLevel) -> Self {
+        Self {
+            level,
+            state: RxState::Hunt,
+            window: VecDeque::new(),
+            buf: Vec::with_capacity(level.frame_bytes()),
+            stats: SectionStats::default(),
+            expected_b1: None,
+            expected_b2: None,
+            expected_b3: None,
+            expected_section_trace: None,
+            expected_path_trace: None,
+            defects: Vec::new(),
+            bad_framings: 0,
+        }
+    }
+
+    pub fn stats(&self) -> &SectionStats {
+        &self.stats
+    }
+
+    /// Drain defects observed since the last call.
+    pub fn poll_defects(&mut self) -> Vec<RxDefect> {
+        std::mem::take(&mut self.defects)
+    }
+
+    /// Push line bytes; returns recovered payload bytes (in order).
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::new();
+        for &b in bytes {
+            match self.state {
+                RxState::Hunt => {
+                    self.window.push_back(b);
+                    let sig = 4; // hunt for A1 A1 A2 A2 ... wait, need A1×k A2×k boundary
+                    let _ = sig;
+                    // Keep the window at the signature length: the last
+                    // 3N bytes of A1 run plus first byte of A2 suffices,
+                    // but to place the frame start we need the *start* of
+                    // the A1 run.  We hunt for exactly A1×3N followed by
+                    // A2: then the A1 run started 3N+1 bytes ago.
+                    let need = 3 * self.level.n() + 1;
+                    if self.window.len() > need {
+                        self.window.pop_front();
+                    }
+                    if self.window.len() == need
+                        && self.window.iter().take(need - 1).all(|&x| x == A1)
+                        && *self.window.back().unwrap() == A2
+                    {
+                        // Frame begins at the first A1 in the window.
+                        self.buf.clear();
+                        self.buf.extend(self.window.iter());
+                        self.window.clear();
+                        self.state = RxState::Aligned;
+                        self.stats.hunts += 1;
+                    }
+                }
+                RxState::Aligned => {
+                    self.buf.push(b);
+                    if self.buf.len() == self.level.frame_bytes() {
+                        let frame = std::mem::take(&mut self.buf);
+                        payload.extend(self.process_frame(&frame));
+                    }
+                }
+            }
+        }
+        payload
+    }
+
+    fn process_frame(&mut self, line: &[u8]) -> Vec<u8> {
+        let n = self.level.n();
+        let row = self.level.row_bytes();
+        let soh = self.level.soh_bytes();
+
+        // Framing check on the raw (unscrambled) row-0 bytes.
+        let a1_ok = line[..3 * n].iter().all(|&b| b == A1);
+        let a2_ok = line[3 * n..6 * n].iter().all(|&b| b == A2);
+        if !(a1_ok && a2_ok) {
+            self.bad_framings += 1;
+            if self.bad_framings >= 2 {
+                self.state = RxState::Hunt;
+                self.window.clear();
+                self.stats.oof_events += 1;
+                self.defects.push(RxDefect::OutOfFrame);
+                self.expected_b1 = None;
+                self.expected_b2 = None;
+                self.expected_b3 = None;
+                self.bad_framings = 0;
+                return Vec::new();
+            }
+        } else {
+            self.bad_framings = 0;
+        }
+
+        // Parity over the line image (B1 of frame k covers scrambled
+        // frame k-1).
+        let this_b1 = bip8(line);
+        let mut this_b2 = 0u8;
+        for r in 0..9 {
+            for c in 0..row {
+                if r < 3 && c < soh {
+                    continue;
+                }
+                this_b2 ^= line[r * row + c];
+            }
+        }
+
+        // Descramble (all but row-0 SOH).
+        let mut f = line.to_vec();
+        let mut scr = FrameScrambler::new();
+        for (i, b) in f.iter_mut().enumerate() {
+            let key = scr.keystream_byte();
+            if i >= soh {
+                *b ^= key;
+            }
+        }
+
+        // Check parity carried in this frame against the previous frame.
+        if let Some(exp) = self.expected_b1 {
+            if f[row] != exp {
+                self.stats.b1_errors += 1;
+                self.defects.push(RxDefect::B1Error);
+            }
+        }
+        if let Some(exp) = self.expected_b2 {
+            if f[4 * row] != exp {
+                self.stats.b2_errors += 1;
+                self.defects.push(RxDefect::B2Error);
+            }
+        }
+        self.expected_b1 = Some(this_b1);
+        self.expected_b2 = Some(this_b2);
+
+        // Path BIP-8 over this frame's descrambled SPE; checked against
+        // the B3 carried in the *next* frame.
+        let mut this_b3 = 0u8;
+        for r in 0..9 {
+            for c in soh..row {
+                this_b3 ^= f[r * row + c];
+            }
+        }
+        if let Some(exp) = self.expected_b3 {
+            if f[row + soh] != exp {
+                self.stats.b3_errors += 1;
+                self.defects.push(RxDefect::B3Error);
+            }
+        }
+        self.expected_b3 = Some(this_b3);
+
+        // Pointer-borne alarms: all-ones H1/H2 is path AIS (H1/H2 are
+        // under the frame-synchronous scrambler, so check descrambled).
+        if f[3 * row] == 0xFF && f[3 * row + n] == 0xFF {
+            self.stats.path_ais_frames += 1;
+            self.defects.push(RxDefect::PathAis);
+        }
+
+        // G1: remote error/defect indications from the far end.
+        let g1 = f[3 * row + soh];
+        let rei = (g1 >> 4) as u64;
+        if rei <= 8 {
+            self.stats.remote_errors += rei;
+        }
+        if g1 & 0x08 != 0 {
+            self.stats.remote_defect_frames += 1;
+            self.defects.push(RxDefect::RemoteDefect);
+        }
+
+        // Trace supervision.
+        if let Some(exp) = self.expected_section_trace {
+            let j0 = line[6 * n];
+            if j0 != exp {
+                self.stats.section_trace_mismatches += 1;
+                self.defects.push(RxDefect::SectionTraceMismatch(j0));
+            }
+        }
+        if let Some(exp) = self.expected_path_trace {
+            let j1 = f[soh];
+            if j1 != exp {
+                self.stats.path_trace_mismatches += 1;
+                self.defects.push(RxDefect::PathTraceMismatch(j1));
+            }
+        }
+
+        // Path signal label.
+        let c2 = f[2 * row + soh];
+        if c2 != C2_PPP_SCRAMBLED {
+            self.stats.label_mismatches += 1;
+            self.defects.push(RxDefect::PayloadLabelMismatch(c2));
+        }
+
+        // Extract payload (everything right of the POH column).
+        let mut payload = Vec::with_capacity(self.level.payload_per_frame());
+        for r in 0..9 {
+            payload.extend_from_slice(&f[r * row + soh + 1..(r + 1) * row]);
+        }
+        self.stats.frames_ok += 1;
+        payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_and_rates() {
+        assert_eq!(StmLevel::Stm1.frame_bytes(), 2430);
+        assert_eq!(StmLevel::Stm16.frame_bytes(), 38880);
+        assert_eq!(StmLevel::Stm1.line_rate_bps(), 155_520_000);
+        assert_eq!(StmLevel::Stm4.line_rate_bps(), 622_080_000);
+        assert_eq!(StmLevel::Stm16.line_rate_bps(), 2_488_320_000);
+        // Payload rate close to but below line rate.
+        assert!(StmLevel::Stm16.payload_rate_bps() > 2_300_000_000);
+        assert!(StmLevel::Stm16.payload_rate_bps() < StmLevel::Stm16.line_rate_bps());
+    }
+
+    #[test]
+    fn frame_starts_with_framing_pattern() {
+        let mut tx = FrameTransmitter::new(StmLevel::Stm4);
+        let f = tx.emit_frame();
+        let n = 4;
+        assert!(f[..3 * n].iter().all(|&b| b == A1));
+        assert!(f[3 * n..6 * n].iter().all(|&b| b == A2));
+    }
+
+    #[test]
+    fn payload_round_trips_through_aligned_receiver() {
+        let mut tx = FrameTransmitter::new(StmLevel::Stm1);
+        let data: Vec<u8> = (0..200u8).collect();
+        tx.offer_payload(&data);
+        let mut rx = FrameReceiver::new(StmLevel::Stm1);
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            got.extend(rx.push(&tx.emit_frame()));
+        }
+        assert_eq!(&got[..200], &data[..]);
+        // Remainder is idle fill.
+        assert!(got[200..].iter().all(|&b| b == IDLE_FILL));
+        assert_eq!(rx.stats().frames_ok, 2);
+        assert_eq!(rx.stats().b1_errors, 0);
+        assert_eq!(rx.stats().b2_errors, 0);
+    }
+
+    #[test]
+    fn receiver_locks_on_mid_stream() {
+        let mut tx = FrameTransmitter::new(StmLevel::Stm1);
+        let mut line = Vec::new();
+        for _ in 0..3 {
+            line.extend(tx.emit_frame());
+        }
+        // Start 1000 bytes in: the receiver must hunt and then deliver the
+        // later frames' payload.
+        let mut rx = FrameReceiver::new(StmLevel::Stm1);
+        let got = rx.push(&line[1000..]);
+        assert!(rx.stats().frames_ok >= 1);
+        assert!(!got.is_empty());
+        assert_eq!(rx.stats().hunts, 1);
+    }
+
+    #[test]
+    fn corrupted_payload_byte_trips_b1_and_b2() {
+        let mut tx = FrameTransmitter::new(StmLevel::Stm1);
+        let mut rx = FrameReceiver::new(StmLevel::Stm1);
+        let f1 = tx.emit_frame();
+        let mut f1 = f1;
+        f1[1500] ^= 0xFF; // payload area corruption
+        rx.push(&f1);
+        // Parity for f1 is carried in f2.
+        rx.push(&tx.emit_frame());
+        rx.push(&tx.emit_frame());
+        assert_eq!(rx.stats().b1_errors, 1);
+        assert_eq!(rx.stats().b2_errors, 1);
+    }
+
+    #[test]
+    fn corrupted_framing_causes_rehunt_and_recovery() {
+        let mut tx = FrameTransmitter::new(StmLevel::Stm1);
+        let mut rx = FrameReceiver::new(StmLevel::Stm1);
+        rx.push(&tx.emit_frame());
+        // Two consecutive frames with smashed A1s.
+        for _ in 0..2 {
+            let mut f = tx.emit_frame();
+            f[0] = 0x00;
+            f[1] = 0x00;
+            rx.push(&f);
+        }
+        assert_eq!(rx.stats().oof_events, 1);
+        // Clean frames afterwards: re-lock.
+        let before = rx.stats().frames_ok;
+        for _ in 0..3 {
+            rx.push(&tx.emit_frame());
+        }
+        assert!(rx.stats().frames_ok > before);
+        assert_eq!(rx.stats().hunts, 2);
+    }
+
+    #[test]
+    fn single_bad_framing_is_tolerated() {
+        let mut tx = FrameTransmitter::new(StmLevel::Stm1);
+        let mut rx = FrameReceiver::new(StmLevel::Stm1);
+        rx.push(&tx.emit_frame());
+        let mut f = tx.emit_frame();
+        f[0] = 0x00; // one bad A1
+        rx.push(&f);
+        rx.push(&tx.emit_frame());
+        assert_eq!(rx.stats().oof_events, 0, "single hit must not lose lock");
+    }
+
+    #[test]
+    fn backlog_accounting() {
+        let mut tx = FrameTransmitter::new(StmLevel::Stm1);
+        let cap = StmLevel::Stm1.payload_per_frame();
+        tx.offer_payload(&vec![0xAA; cap + 100]);
+        assert_eq!(tx.backlog(), cap + 100);
+        tx.emit_frame();
+        assert_eq!(tx.backlog(), 100);
+        assert_eq!(tx.payload_bytes_sent(), cap as u64);
+        tx.emit_frame();
+        assert_eq!(tx.backlog(), 0);
+        assert_eq!(tx.fill_bytes_sent(), (cap - 100) as u64);
+    }
+}

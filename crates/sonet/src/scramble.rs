@@ -1,0 +1,197 @@
+//! The two scramblers of PPP over SONET/SDH.
+//!
+//! 1. The ITU-T G.707 **frame-synchronous** scrambler, generator
+//!    1 + x⁶ + x⁷, reset to all-ones at the first payload byte of every
+//!    frame.  It whitens everything except the first row of the
+//!    regenerator section overhead (so A1/A2 stay visible for alignment).
+//! 2. The RFC 2615 **self-synchronous** x⁴³ + 1 payload scrambler, added
+//!    for PPP because a malicious payload could otherwise mimic the
+//!    frame-sync scrambler and kill clock recovery.  Self-synchronous:
+//!    the descrambler realigns itself after any slip within 43 bits.
+
+/// ITU G.707 frame-synchronous scrambler (1 + x⁶ + x⁷), byte-oriented.
+#[derive(Debug, Clone)]
+pub struct FrameScrambler {
+    state: u8, // 7-bit LFSR state
+}
+
+impl Default for FrameScrambler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameScrambler {
+    pub fn new() -> Self {
+        Self { state: 0x7F }
+    }
+
+    /// Reset to the all-ones preset (done at the start of every frame's
+    /// scrambled region).
+    pub fn reset(&mut self) {
+        self.state = 0x7F;
+    }
+
+    /// Next keystream byte (MSB transmitted first).
+    #[inline]
+    pub fn keystream_byte(&mut self) -> u8 {
+        let mut key = 0u8;
+        for _ in 0..8 {
+            let out = (self.state >> 6) & 1; // x^7 tap output
+            key = (key << 1) | out;
+            let fb = ((self.state >> 6) ^ (self.state >> 5)) & 1; // x^7 ^ x^6
+            self.state = ((self.state << 1) | fb) & 0x7F;
+        }
+        key
+    }
+
+    /// Scramble (or descramble — XOR is an involution) a buffer in place.
+    pub fn apply(&mut self, buf: &mut [u8]) {
+        for b in buf {
+            *b ^= self.keystream_byte();
+        }
+    }
+}
+
+/// RFC 2615 self-synchronous x⁴³ + 1 scrambler.
+///
+/// Transmit: `out[n] = in[n] ^ out[n-43]`; receive: `out[n] = in[n] ^
+/// in[n-43]`.  The 43-bit history lives in a shift register; bits are
+/// processed MSB-first to match serial transmission order.
+#[derive(Debug, Clone)]
+pub struct PayloadScrambler {
+    /// 43-bit delay line, bit 0 = oldest.
+    history: u64,
+}
+
+impl Default for PayloadScrambler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PayloadScrambler {
+    pub fn new() -> Self {
+        Self { history: 0 }
+    }
+
+    /// Scramble one byte for transmission.
+    #[inline]
+    pub fn scramble_byte(&mut self, byte: u8) -> u8 {
+        let mut out = 0u8;
+        for i in (0..8).rev() {
+            let in_bit = (byte >> i) & 1;
+            let delayed = ((self.history >> 42) & 1) as u8;
+            let out_bit = in_bit ^ delayed;
+            out = (out << 1) | out_bit;
+            self.history = ((self.history << 1) | out_bit as u64) & ((1u64 << 43) - 1);
+        }
+        out
+    }
+
+    /// Descramble one received byte.
+    #[inline]
+    pub fn descramble_byte(&mut self, byte: u8) -> u8 {
+        let mut out = 0u8;
+        for i in (0..8).rev() {
+            let in_bit = (byte >> i) & 1;
+            let delayed = ((self.history >> 42) & 1) as u8;
+            let out_bit = in_bit ^ delayed;
+            out = (out << 1) | out_bit;
+            // Self-synchronous: the *received* bit enters the delay line.
+            self.history = ((self.history << 1) | in_bit as u64) & ((1u64 << 43) - 1);
+        }
+        out
+    }
+
+    pub fn scramble(&mut self, buf: &mut [u8]) {
+        for b in buf {
+            *b = self.scramble_byte(*b);
+        }
+    }
+
+    pub fn descramble(&mut self, buf: &mut [u8]) {
+        for b in buf {
+            *b = self.descramble_byte(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_scrambler_period_is_127() {
+        let mut s = FrameScrambler::new();
+        let first: Vec<u8> = (0..127).map(|_| s.keystream_byte()).collect();
+        let second: Vec<u8> = (0..127).map(|_| s.keystream_byte()).collect();
+        assert_eq!(first, second);
+        // ...and it is not shorter.
+        assert_ne!(first[..63], first[64..127]);
+    }
+
+    #[test]
+    fn frame_scrambler_is_involution() {
+        let mut a = FrameScrambler::new();
+        let mut b = FrameScrambler::new();
+        let mut buf = b"hello sonet frame".to_vec();
+        let orig = buf.clone();
+        a.apply(&mut buf);
+        assert_ne!(buf, orig);
+        b.apply(&mut buf);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    fn frame_scrambler_first_key_bits_are_ones() {
+        // All-ones preset means the first keystream bit run is 1111111 0...
+        let mut s = FrameScrambler::new();
+        assert_eq!(s.keystream_byte() & 0xFE, 0xFE);
+    }
+
+    #[test]
+    fn payload_scrambler_round_trip() {
+        let mut tx = PayloadScrambler::new();
+        let mut rx = PayloadScrambler::new();
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut wire = data.clone();
+        tx.scramble(&mut wire);
+        assert_ne!(wire, data);
+        let mut out = wire;
+        rx.descramble(&mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn payload_descrambler_self_synchronises() {
+        // Start the descrambler mid-stream with garbage history: after 43
+        // bits (6 bytes) it must lock on.
+        let mut tx = PayloadScrambler::new();
+        let data = [0xA5u8; 64];
+        let wire: Vec<u8> = data.iter().map(|&b| tx.scramble_byte(b)).collect();
+        let mut rx = PayloadScrambler { history: 0x7FF_FFFF_FFFF };
+        let out: Vec<u8> = wire.iter().map(|&b| rx.descramble_byte(b)).collect();
+        assert_eq!(&out[6..], &data[6..], "must resync within 43 bits");
+        assert_ne!(out[0], data[0], "garbage history corrupts the first bits");
+    }
+
+    #[test]
+    fn single_wire_bit_error_corrupts_exactly_two_bits() {
+        // x^43+1 error propagation: one wire error hits the current bit and
+        // the bit 43 later, nothing else — which is why PPP's FCS still
+        // catches it.
+        let mut tx = PayloadScrambler::new();
+        let data = vec![0u8; 32];
+        let mut wire: Vec<u8> = data.iter().map(|&b| tx.scramble_byte(b)).collect();
+        wire[4] ^= 0x80; // flip one bit
+        let mut rx = PayloadScrambler::new();
+        let out: Vec<u8> = wire.iter().map(|&b| rx.descramble_byte(b)).collect();
+        let flipped: u32 = out
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Tests for the path-layer supervision added to the SONET substrate:
+//! B3 path parity, G1 REI/RDI far-end reporting, path AIS, and
+//! J0/J1 trace policing.
+
+use p5_sonet::frame::{FrameReceiver, FrameTransmitter, RxDefect, StmLevel};
+
+fn fresh_pair() -> (FrameTransmitter, FrameReceiver) {
+    (
+        FrameTransmitter::new(StmLevel::Stm1),
+        FrameReceiver::new(StmLevel::Stm1),
+    )
+}
+
+#[test]
+fn b3_is_clean_on_a_clean_path() {
+    let (mut tx, mut rx) = fresh_pair();
+    tx.offer_payload(&vec![0x42; 4000]);
+    for _ in 0..4 {
+        rx.push(&tx.emit_frame());
+    }
+    assert_eq!(rx.stats().b3_errors, 0);
+    assert_eq!(rx.stats().b1_errors, 0);
+}
+
+#[test]
+fn payload_corruption_trips_b3() {
+    let (mut tx, mut rx) = fresh_pair();
+    rx.push(&tx.emit_frame());
+    let mut f = tx.emit_frame();
+    f[1200] ^= 0x01; // payload-area hit
+    rx.push(&f);
+    rx.push(&tx.emit_frame());
+    rx.push(&tx.emit_frame());
+    assert_eq!(rx.stats().b3_errors, 1);
+    assert!(rx.poll_defects().contains(&RxDefect::B3Error));
+}
+
+#[test]
+fn soh_corruption_trips_b1_but_not_b3() {
+    let (mut tx, mut rx) = fresh_pair();
+    rx.push(&tx.emit_frame());
+    let mut f = tx.emit_frame();
+    f[StmLevel::Stm1.row_bytes() * 8 + 2] ^= 0x01; // row 8, SOH column
+    rx.push(&f);
+    rx.push(&tx.emit_frame());
+    rx.push(&tx.emit_frame());
+    assert!(rx.stats().b1_errors >= 1);
+    assert_eq!(rx.stats().b3_errors, 0, "B3 covers the SPE only");
+}
+
+#[test]
+fn path_ais_is_detected() {
+    let (mut tx, mut rx) = fresh_pair();
+    rx.push(&tx.emit_frame());
+    tx.send_path_ais(3);
+    for _ in 0..3 {
+        rx.push(&tx.emit_frame());
+    }
+    rx.push(&tx.emit_frame());
+    assert_eq!(rx.stats().path_ais_frames, 3);
+    // Recovery: pointer back to normal.
+    rx.push(&tx.emit_frame());
+    assert_eq!(rx.stats().path_ais_frames, 3);
+}
+
+#[test]
+fn rei_carries_far_end_error_counts() {
+    let (mut tx, mut rx) = fresh_pair();
+    tx.report_remote_errors(11); // > 8: spread over two frames
+    rx.push(&tx.emit_frame());
+    rx.push(&tx.emit_frame());
+    rx.push(&tx.emit_frame());
+    assert_eq!(rx.stats().remote_errors, 11);
+}
+
+#[test]
+fn rdi_signals_remote_defect() {
+    let (mut tx, mut rx) = fresh_pair();
+    tx.send_rdi = true;
+    rx.push(&tx.emit_frame());
+    rx.push(&tx.emit_frame());
+    assert_eq!(rx.stats().remote_defect_frames, 2);
+    tx.send_rdi = false;
+    rx.push(&tx.emit_frame());
+    assert_eq!(rx.stats().remote_defect_frames, 2);
+}
+
+#[test]
+fn trace_policing_catches_misconnection() {
+    // A receiver provisioned for trace 0x55 connected to a transmitter
+    // sending the default traces — the classic fibre-misconnect check.
+    let (mut tx, mut rx) = fresh_pair();
+    rx.expected_section_trace = Some(0x55);
+    rx.expected_path_trace = Some(0x66);
+    rx.push(&tx.emit_frame());
+    assert_eq!(rx.stats().section_trace_mismatches, 1);
+    assert_eq!(rx.stats().path_trace_mismatches, 1);
+    // Re-provision the transmitter: mismatches stop.
+    tx.section_trace = 0x55;
+    tx.path_trace = 0x66;
+    rx.push(&tx.emit_frame());
+    assert_eq!(rx.stats().section_trace_mismatches, 1);
+    assert_eq!(rx.stats().path_trace_mismatches, 1);
+}
+
+#[test]
+fn rei_rdi_do_not_disturb_payload() {
+    let (mut tx, mut rx) = fresh_pair();
+    tx.send_rdi = true;
+    tx.report_remote_errors(3);
+    let data: Vec<u8> = (0..=255u8).cycle().take(3000).collect();
+    tx.offer_payload(&data);
+    let mut got = Vec::new();
+    for _ in 0..3 {
+        got.extend(rx.push(&tx.emit_frame()));
+    }
+    assert_eq!(&got[..data.len()], &data[..]);
+}

@@ -1,0 +1,54 @@
+//! Full synthesis report — regenerates Tables 1, 2 and 3 plus the §5
+//! headline claims in one run (the per-table binaries live in
+//! `p5-bench`; this example aggregates them through the public API).
+//!
+//! ```sh
+//! cargo run --release --example synthesis_report
+//! ```
+
+use p5_fpga::{devices, synthesize};
+use p5_rtl::{build_escape_gen, synthesize_system, SorterStyle};
+
+fn main() {
+    println!("=== Table 1: P5 8-bit implementation ===");
+    for dev in [devices::XCV50_4, devices::XC2V40_6] {
+        print!("{}", synthesize_system(1, &dev).render());
+    }
+
+    println!("\n=== Table 2: P5 32-bit implementation ===");
+    for dev in [devices::XCV600_4, devices::XC2V1000_6] {
+        print!("{}", synthesize_system(4, &dev).render());
+    }
+
+    println!("\n=== Table 3: Escape Generator on XC2V40-6 ===");
+    let dev = devices::XC2V40_6;
+    let w32 = synthesize(&build_escape_gen(4, SorterStyle::Barrel), &dev);
+    let w8 = synthesize(&build_escape_gen(1, SorterStyle::Barrel), &dev);
+    println!("  {}", w32.table_row());
+    println!("  {}", w8.table_row());
+
+    println!("\n=== Headline claims (paper section 5) ===");
+    let s8 = synthesize_system(1, &devices::XCV600_4);
+    let s32 = synthesize_system(4, &devices::XCV600_4);
+    println!(
+        "32-bit / 8-bit system area: {:.1}x   (paper: ~11x)",
+        s32.total_luts_post as f64 / s8.total_luts_post as f64
+    );
+    println!(
+        "escape-gen 32/8 ratios: {:.0}x LUTs, {:.0}x FFs   (paper: 25x, 28x)",
+        w32.luts_post as f64 / w8.luts_post as f64,
+        w32.ffs as f64 / w8.ffs as f64
+    );
+    let v2 = synthesize_system(4, &devices::XC2V1000_6);
+    println!(
+        "XC2V1000 utilisation: {:.0}%   (paper: ~25%, room for a MicroBlaze)",
+        100.0 * v2.lut_util_post
+    );
+    println!(
+        "78.125 MHz line clock: Virtex-II {} ({:.1} MHz), Virtex {} ({:.1} MHz)",
+        if v2.meets_line_rate { "MET" } else { "missed" },
+        v2.fmax_post_mhz,
+        if s32.meets_line_rate { "met" } else { "MISSED" },
+        s32.fmax_post_mhz
+    );
+}

@@ -1,0 +1,124 @@
+//! End-to-end programmability: two peers negotiate the FCS via LCP
+//! (RFC 1570 FCS-Alternatives), then firmware reprograms both P⁵s'
+//! FCS mode through the OAM — the full "programmable" story of the
+//! paper: protocol negotiation driving datapath configuration.
+
+use p5_core::oam::{ctrl, regs, MmioBus, Oam};
+use p5_core::{DatapathWidth, P5};
+use p5_ppp::endpoint::{Endpoint, EndpointConfig, Negotiator, Verdict};
+use p5_ppp::lcp::{LcpOption, FCS_ALT_CCITT16, FCS_ALT_CCITT32};
+use p5_ppp::lcp_negotiator::LcpNegotiator;
+
+#[test]
+fn fcs16_reconfiguration_after_negotiation() {
+    // Peers agree on 16-bit FCS out of band (we drive the negotiator
+    // verdict machinery directly), then firmware flips both devices.
+    let mut a = P5::new(DatapathWidth::W32);
+    let mut b = P5::new(DatapathWidth::W32);
+
+    // The LCP layer: a peer asks for FCS-16; our policy Naks anything
+    // without 32-bit support, but both-bits requests are acceptable.
+    let mut negotiator = LcpNegotiator::new(1500, 7);
+    let verdict = negotiator
+        .review_peer_request(&[LcpOption::FcsAlternatives(FCS_ALT_CCITT16 | FCS_ALT_CCITT32).to_raw()]);
+    assert_eq!(verdict, Verdict::Ack, "16+32 offer is acceptable");
+    let verdict = negotiator.review_peer_request(&[LcpOption::FcsAlternatives(FCS_ALT_CCITT16).to_raw()]);
+    assert!(
+        matches!(verdict, Verdict::Nak(_)),
+        "16-only gets Nak'd toward 32 by the default policy"
+    );
+
+    // Suppose the operator policy accepts FCS-16; firmware reprograms
+    // both ends identically (FCS mode must match on a link).
+    for dev in [&mut a, &mut b] {
+        let mut bus = Oam::new(dev.oam.clone());
+        let c = bus.read(regs::CTRL);
+        bus.write(regs::CTRL, c | ctrl::FCS16);
+    }
+    // Reconfiguration requires re-instantiating the datapath (hardware:
+    // a reset pulse; model: rebuild from the same OAM).
+    let mut a = P5::with_oam(DatapathWidth::W32, a.oam.clone());
+    let mut b = P5::with_oam(DatapathWidth::W32, b.oam.clone());
+
+    a.submit(0x0021, b"sixteen bit link".to_vec());
+    a.run_until_idle(1_000_000);
+    let wire = a.take_wire_out();
+    // FCS-16: 1 flag + 4 header + 16 payload + 2 fcs + 1 flag (no
+    // escapes in this payload).
+    assert_eq!(wire.len(), 1 + 4 + 16 + 2 + 1);
+    b.put_wire_in(&wire);
+    b.run_until_idle(1_000_000);
+    let got = b.take_received();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].payload, b"sixteen bit link");
+    assert_eq!(b.rx_counters().fcs_errors, 0);
+}
+
+#[test]
+fn mismatched_fcs_modes_fail_loudly_not_silently() {
+    // One end on FCS-32, the other on FCS-16: every frame must be
+    // *detected* as bad (never delivered corrupt).
+    let mut a = P5::new(DatapathWidth::W32); // FCS-32 transmitter
+    let oam_b = p5_core::OamHandle::new();
+    oam_b.with_state(|s| s.ctrl |= ctrl::FCS16);
+    let mut b = P5::with_oam(DatapathWidth::W32, oam_b);
+
+    for i in 0..10u8 {
+        a.submit(0x0021, vec![i; 50]);
+    }
+    a.run_until_idle(1_000_000);
+    b.put_wire_in(&a.take_wire_out());
+    b.run_until_idle(1_000_000);
+    assert!(b.take_received().is_empty(), "no frame may pass the check");
+    assert_eq!(b.rx_counters().fcs_errors, 10);
+}
+
+#[test]
+fn lcp_negotiation_over_fcs16_link() {
+    // Whole stack on FCS-16: LCP still converges.
+    let make = || {
+        let oam = p5_core::OamHandle::new();
+        oam.with_state(|s| s.ctrl |= ctrl::FCS16);
+        P5::with_oam(DatapathWidth::W32, oam)
+    };
+    let mut pa = make();
+    let mut pb = make();
+    let cfg = EndpointConfig {
+        restart_period: 10,
+        ..Default::default()
+    };
+    let mut a = Endpoint::new(LcpNegotiator::new(1500, 1), cfg);
+    let mut b = Endpoint::new(LcpNegotiator::new(1500, 2), cfg);
+    a.open();
+    a.lower_up();
+    b.open();
+    b.lower_up();
+    for now in 0..60 {
+        a.tick(now);
+        b.tick(now);
+        for (p, pkt) in a.poll_output() {
+            pa.submit(p.number(), pkt.to_bytes());
+        }
+        for (p, pkt) in b.poll_output() {
+            pb.submit(p.number(), pkt.to_bytes());
+        }
+        pa.run(256);
+        pb.run(256);
+        let w = pa.take_wire_out();
+        pb.put_wire_in(&w);
+        let w = pb.take_wire_out();
+        pa.put_wire_in(&w);
+        pa.run(256);
+        pb.run(256);
+        for f in pa.take_received() {
+            a.receive(&f.payload);
+        }
+        for f in pb.take_received() {
+            b.receive(&f.payload);
+        }
+        if a.is_opened() && b.is_opened() {
+            return;
+        }
+    }
+    panic!("LCP failed over the FCS-16 link: {:?}/{:?}", a.state(), b.state());
+}

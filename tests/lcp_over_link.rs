@@ -1,0 +1,154 @@
+//! LCP/IPCP negotiation over the real (simulated) link, including a
+//! lossy link that forces the RFC 1661 restart machinery to work.
+
+use p5_core::{DatapathWidth, P5};
+use p5_ppp::endpoint::{Endpoint, EndpointConfig, LayerEvent};
+use p5_ppp::ipcp::IpcpNegotiator;
+use p5_ppp::lcp_negotiator::LcpNegotiator;
+use p5_ppp::protocol::Protocol;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+struct Peer {
+    p5: P5,
+    lcp: Endpoint<LcpNegotiator>,
+    ipcp: Endpoint<IpcpNegotiator>,
+    lcp_up: bool,
+}
+
+impl Peer {
+    fn new(magic: u32, ip: [u8; 4]) -> Self {
+        let cfg = EndpointConfig {
+            restart_period: 5,
+            max_configure: 20,
+            max_terminate: 2,
+        };
+        let mut lcp = Endpoint::new(LcpNegotiator::new(1500, magic), cfg);
+        let mut ipcp = Endpoint::new(IpcpNegotiator::new(ip), cfg);
+        lcp.open();
+        lcp.lower_up();
+        ipcp.open();
+        Self {
+            p5: P5::new(DatapathWidth::W32),
+            lcp,
+            ipcp,
+            lcp_up: false,
+        }
+    }
+
+    fn poll(&mut self, now: u64) {
+        self.lcp.tick(now);
+        self.ipcp.tick(now);
+        for (proto, pkt) in self.lcp.poll_output() {
+            self.p5.submit(proto.number(), pkt.to_bytes());
+        }
+        for (proto, pkt) in self.ipcp.poll_output() {
+            self.p5.submit(proto.number(), pkt.to_bytes());
+        }
+        for ev in self.lcp.poll_layer_events() {
+            match ev {
+                LayerEvent::Up => {
+                    self.lcp_up = true;
+                    self.ipcp.lower_up();
+                }
+                LayerEvent::Down => {
+                    self.lcp_up = false;
+                    self.ipcp.lower_down();
+                }
+                _ => {}
+            }
+        }
+        self.p5.run(512);
+        for f in self.p5.take_received() {
+            match Protocol::from_number(f.protocol) {
+                Protocol::Lcp => self.lcp.receive(&f.payload),
+                Protocol::Ipcp if self.lcp_up => self.ipcp.receive(&f.payload),
+                _ => {}
+            }
+        }
+    }
+}
+
+fn ferry(a: &mut Peer, b: &mut Peer, lose: &mut impl FnMut() -> bool) {
+    let w = a.p5.take_wire_out();
+    if !lose() {
+        b.p5.put_wire_in(&w);
+    }
+    let w = b.p5.take_wire_out();
+    if !lose() {
+        a.p5.put_wire_in(&w);
+    }
+}
+
+#[test]
+fn clean_link_brings_ipcp_up() {
+    let mut a = Peer::new(0xAAAA_0001, [10, 9, 0, 1]);
+    let mut b = Peer::new(0xBBBB_0002, [10, 9, 0, 2]);
+    let mut never = || false;
+    for now in 0..300 {
+        a.poll(now);
+        b.poll(now);
+        ferry(&mut a, &mut b, &mut never);
+        if a.ipcp.is_opened() && b.ipcp.is_opened() {
+            break;
+        }
+    }
+    assert!(a.lcp.is_opened() && b.lcp.is_opened());
+    assert!(a.ipcp.is_opened() && b.ipcp.is_opened());
+    assert_eq!(a.ipcp.negotiator.peer_addr(), Some([10, 9, 0, 2]));
+    assert_eq!(b.ipcp.negotiator.peer_addr(), Some([10, 9, 0, 1]));
+}
+
+#[test]
+fn lossy_link_converges_via_retransmission() {
+    let mut a = Peer::new(0xAAAA_0001, [10, 9, 0, 1]);
+    let mut b = Peer::new(0xBBBB_0002, [10, 9, 0, 2]);
+    let mut rng = StdRng::seed_from_u64(5);
+    // 30% of wire transfers vanish early on, then the link cleans up.
+    let mut step = 0u32;
+    let mut lossy = move || {
+        step += 1;
+        step < 600 && rng.gen_bool(0.30)
+    };
+    let mut opened_at = None;
+    for now in 0..4000u64 {
+        a.poll(now);
+        b.poll(now);
+        ferry(&mut a, &mut b, &mut lossy);
+        if a.ipcp.is_opened() && b.ipcp.is_opened() {
+            opened_at = Some(now);
+            break;
+        }
+    }
+    assert!(
+        opened_at.is_some(),
+        "negotiation must survive 30% early loss (a {:?}/{:?}, b {:?}/{:?})",
+        a.lcp.state(),
+        a.ipcp.state(),
+        b.lcp.state(),
+        b.ipcp.state()
+    );
+}
+
+#[test]
+fn graceful_close_propagates() {
+    let mut a = Peer::new(1, [10, 0, 0, 1]);
+    let mut b = Peer::new(2, [10, 0, 0, 2]);
+    let mut never = || false;
+    for now in 0..300 {
+        a.poll(now);
+        b.poll(now);
+        ferry(&mut a, &mut b, &mut never);
+        if a.ipcp.is_opened() && b.ipcp.is_opened() {
+            break;
+        }
+    }
+    assert!(a.lcp.is_opened());
+    a.lcp.close();
+    for now in 300..600 {
+        a.poll(now);
+        b.poll(now);
+        ferry(&mut a, &mut b, &mut never);
+    }
+    assert!(!a.lcp.is_opened());
+    assert!(!b.lcp.is_opened());
+}
