@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion`: the group / `bench_function` /
+//! `iter` API over a deliberately small timing loop.  No statistics,
+//! plots or baselines — each benchmark runs a short calibrated burst
+//! and prints mean wall-clock time (plus throughput when declared).
+//! Under `cargo test` (which executes `harness = false` bench binaries)
+//! the burst stays small so the suite remains fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark label: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (self.function.is_empty(), self.parameter.is_empty()) {
+            (true, _) => self.parameter.clone(),
+            (_, true) => self.function.clone(),
+            _ => format!("{}/{}", self.function, self.parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId::from_parameter(s)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId::from_parameter(s)
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench("", &id.into(), None, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's burst is already
+    /// calibrated, so the requested sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&self.name, &id.into(), self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench(
+    group: &str,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // One calibration pass sizes the burst so a bench binary finishes in
+    // well under a second even when invoked by `cargo test`.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let burst = (Duration::from_millis(20).as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
+    let mut b = Bencher {
+        iters: burst,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / burst as f64;
+    let label = if group.is_empty() {
+        id.label()
+    } else {
+        format!("{group}/{}", id.label())
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:.0} elem/s", n as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<48} {:>12.3} µs/iter{rate}", mean * 1e6);
+}
+
+/// Expands to a function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Expands to `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Bytes(8));
+        let mut ran = 0u64;
+        g.bench_function(BenchmarkId::new("f", "p"), |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran >= 2, "calibration + burst must both run");
+    }
+}

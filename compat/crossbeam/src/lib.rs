@@ -1,0 +1,99 @@
+//! Offline stand-in for `crossbeam`: the `channel` module subset the
+//! threaded pipeline tests use (`bounded`, `unbounded`, cloneable
+//! senders, blocking/non-blocking receive, iteration until
+//! disconnect), implemented over `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Cloneable sending half of a channel.
+    pub struct Sender<T>(Flavor<T>);
+
+    enum Flavor<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
+                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while a bounded channel is full; errors once every
+        /// receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Bounded(s) => s.send(value),
+                Flavor::Unbounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator; ends when all senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Channel with capacity `cap`; sends block while full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_round_trip_and_disconnect() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, [1, 2]);
+    }
+
+    #[test]
+    fn try_recv_on_empty() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert!(rx.try_recv().is_err());
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 9);
+    }
+}

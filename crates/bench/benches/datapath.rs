@@ -72,5 +72,10 @@ fn bench_stuffing_density(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_behavioral, bench_cycle_model, bench_stuffing_density);
+criterion_group!(
+    benches,
+    bench_behavioral,
+    bench_cycle_model,
+    bench_stuffing_density
+);
 criterion_main!(benches);

@@ -38,7 +38,10 @@ fn run(capacity: usize, payload: &[u8]) -> (u64, u64, f64, usize) {
 }
 
 fn main() {
-    print!("{}", heading("Ablation - resynchronisation buffer depth (32-bit escape generate)"));
+    print!(
+        "{}",
+        heading("Ablation - resynchronisation buffer depth (32-bit escape generate)")
+    );
     // The provable minimum: worst-case expansion (2w) + opening flag +
     // up to w-1 residue bytes parked mid-frame = 3w+1.  (Capacities
     // below this deadlock: the residue keeps `free` under the

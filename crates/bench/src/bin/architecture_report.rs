@@ -29,7 +29,10 @@ fn main() {
 "#
     );
 
-    print!("{}", heading("Figures 3 & 4 - per-module inventory (from the netlists)"));
+    print!(
+        "{}",
+        heading("Figures 3 & 4 - per-module inventory (from the netlists)")
+    );
     for width in [1usize, 4] {
         println!("\n{}-bit datapath:", width * 8);
         println!(

@@ -10,7 +10,10 @@ use p5_ppp::frame::{FrameCodec, PppFrame};
 use p5_ppp::protocol::Protocol;
 
 fn main() {
-    print!("{}", heading("Figure 1 - the PPP frame format (live encode)"));
+    print!(
+        "{}",
+        heading("Figure 1 - the PPP frame format (live encode)")
+    );
     let payload = vec![0x31, 0x33, 0x7E, 0x96]; // the paper's example bytes
     let frame = PppFrame::datagram(Protocol::Ipv4, payload.clone());
     let codec = FrameCodec::default();
@@ -20,8 +23,14 @@ fn main() {
     println!("field      bytes        value");
     println!("---------  -----------  -----------------------------------");
     println!("flag       7E           frame delimiter");
-    println!("address    {:02X}           all-stations (programmable: MAPOS)", body[0]);
-    println!("control    {:02X}           unnumbered information", body[1]);
+    println!(
+        "address    {:02X}           all-stations (programmable: MAPOS)",
+        body[0]
+    );
+    println!(
+        "control    {:02X}           unnumbered information",
+        body[1]
+    );
     println!(
         "protocol   {:02X} {:02X}        {:?}",
         body[2],

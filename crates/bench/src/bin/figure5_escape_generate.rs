@@ -15,7 +15,10 @@ use p5_core::word::Word;
 use p5_hdlc::FcsMode;
 
 fn trace() {
-    print!("{}", heading("Figure 5 - escape expansion trace (32-bit unit)"));
+    print!(
+        "{}",
+        heading("Figure 5 - escape expansion trace (32-bit unit)")
+    );
     let mut esc = EscapeGen::new(4, EscapeGen::default_capacity(4));
     // The paper's example: 7E 12 xx xx — the flag expands to 7D 5E.
     let words = [
@@ -41,7 +44,10 @@ fn trace() {
 }
 
 fn sweep() {
-    print!("{}", heading("Figure 5 sweep - flag density vs expansion / stalls / occupancy"));
+    print!(
+        "{}",
+        heading("Figure 5 sweep - flag density vs expansion / stalls / occupancy")
+    );
     println!(
         "{:>8} | {:>11} | {:>10} | {:>10} | {:>12} | {:>12}",
         "density", "bytes/cycle", "expansion", "stall rate", "max occupancy", "backpressure"

@@ -13,7 +13,10 @@ use p5_core::word::Word;
 use p5_hdlc::{FcsMode, Framer, FramerConfig};
 
 fn trace() {
-    print!("{}", heading("Figure 6 - escape deletion trace (32-bit unit)"));
+    print!(
+        "{}",
+        heading("Figure 6 - escape deletion trace (32-bit unit)")
+    );
     let mut det = EscapeDetect::new(4, EscapeDetect::default_capacity(4));
     // A stuffed stream containing 7D 5E (an escaped flag) mid-word.
     let words = [
@@ -39,7 +42,10 @@ fn trace() {
 }
 
 fn sweep() {
-    print!("{}", heading("Figure 6 sweep - escape density vs bubbles / occupancy"));
+    print!(
+        "{}",
+        heading("Figure 6 sweep - escape density vs bubbles / occupancy")
+    );
     println!(
         "{:>8} | {:>11} | {:>11} | {:>13} | {:>9}",
         "density", "bytes/cycle", "bubble rate", "max occupancy", "frames ok"

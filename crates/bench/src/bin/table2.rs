@@ -22,7 +22,5 @@ fn main() {
          bigger ... but approximately 11 times bigger\")",
         w32.total_luts_post as f64 / w8.total_luts_post as f64
     );
-    println!(
-        "paper anchors: ~25% of XC2V1000; line clock met on Virtex-II only"
-    );
+    println!("paper anchors: ~25% of XC2V1000; line clock met on Virtex-II only");
 }

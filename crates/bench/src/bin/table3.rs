@@ -9,7 +9,10 @@ use p5_fpga::{devices, synthesize};
 use p5_rtl::{build_escape_gen, SorterStyle};
 
 fn main() {
-    print!("{}", heading("Table 3 - Escape Generator implementation (XC2V40-6)"));
+    print!(
+        "{}",
+        heading("Table 3 - Escape Generator implementation (XC2V40-6)")
+    );
     let dev = devices::XC2V40_6;
     let w32 = synthesize(&build_escape_gen(4, SorterStyle::Barrel), &dev);
     let w8 = synthesize(&build_escape_gen(1, SorterStyle::Barrel), &dev);
@@ -20,7 +23,5 @@ fn main() {
         w32.luts_post as f64 / w8.luts_post as f64,
         w32.ffs as f64 / w8.ffs as f64,
     );
-    println!(
-        "paper anchors: 32-bit 492 LUT (96%) / 168 FF (32%); 8-bit 22 LUT (4%) / 6 FF (~1%)"
-    );
+    println!("paper anchors: 32-bit 492 LUT (96%) / 168 FF (32%); 8-bit 22 LUT (4%) / 6 FF (~1%)");
 }

@@ -25,7 +25,10 @@ fn datapath_bytes_per_cycle(width: DatapathWidth) -> f64 {
 }
 
 fn main() {
-    print!("{}", heading("Throughput report - cycle model x synthesis clock"));
+    print!(
+        "{}",
+        heading("Throughput report - cycle model x synthesis clock")
+    );
     println!(
         "{:<8} {:<12} {:>12} {:>12} {:>14} {:>12}",
         "width", "device", "bytes/cycle", "fMax (MHz)", "rate (Gbps)", "target"

@@ -49,9 +49,9 @@ pub fn imix_sizes(count: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| match rng.gen_range(0..12) {
-            0..=6 => 40,    // ~58% small
-            7..=10 => 576,  // ~33% medium
-            _ => 1500,      // ~9% full MTU
+            0..=6 => 40,   // ~58% small
+            7..=10 => 576, // ~33% medium
+            _ => 1500,     // ~9% full MTU
         })
         .collect()
 }

@@ -205,7 +205,8 @@ mod tests {
             drv.init(DriverConfig::default());
             assert!(drv.self_test(&mut dev), "width {width:?}");
             // Loopback cleared afterwards.
-            dev.oam.read_state(|s| assert_eq!(s.ctrl & ctrl::LOOPBACK, 0));
+            dev.oam
+                .read_state(|s| assert_eq!(s.ctrl & ctrl::LOOPBACK, 0));
         }
     }
 

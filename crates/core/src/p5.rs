@@ -73,7 +73,11 @@ impl P5 {
                 s.ctrl & ctrl::PROMISCUOUS != 0,
             )
         });
-        let fcs = if fcs16 { FcsMode::Fcs16 } else { FcsMode::Fcs32 };
+        let fcs = if fcs16 {
+            FcsMode::Fcs16
+        } else {
+            FcsMode::Fcs32
+        };
         let w = width.bytes();
         let mut rx = RxPipeline::new(w, address, fcs, max_body);
         rx.control.promiscuous = promiscuous;
@@ -129,9 +133,7 @@ impl P5 {
         let addr = self.oam.read_state(|s| s.address);
         self.tx.control.address = addr;
         self.rx.control.address = addr;
-        self.rx.control.promiscuous = self
-            .oam
-            .read_state(|s| s.ctrl & ctrl::PROMISCUOUS != 0);
+        self.rx.control.promiscuous = self.oam.read_state(|s| s.ctrl & ctrl::PROMISCUOUS != 0);
 
         let loopback = self.oam.read_state(|s| s.ctrl & ctrl::LOOPBACK != 0);
         if tx_en {
@@ -149,8 +151,8 @@ impl P5 {
             let input = if self.rx.ready() && !self.wire_in.is_empty() {
                 let n = self.width.bytes().min(self.wire_in.len());
                 let mut buf = [0u8; 4];
-                for slot in buf.iter_mut().take(n) {
-                    *slot = self.wire_in.pop_front().unwrap();
+                for (slot, b) in buf.iter_mut().zip(self.wire_in.drain(..n)) {
+                    *slot = b;
                 }
                 Some(Word::data(&buf[..n]))
             } else {
@@ -191,14 +193,14 @@ impl P5 {
         self.tx_was_busy = tx_busy;
 
         let new_frames = c.frames_ok > prev.frames_ok;
-        let new_errors = (c.fcs_errors + c.aborts + c.runts + c.giants + c.header_errors
-            + c.address_mismatches)
-            > (prev.fcs_errors
-                + prev.aborts
-                + prev.runts
-                + prev.giants
-                + prev.header_errors
-                + prev.address_mismatches);
+        let new_errors =
+            (c.fcs_errors + c.aborts + c.runts + c.giants + c.header_errors + c.address_mismatches)
+                > (prev.fcs_errors
+                    + prev.aborts
+                    + prev.runts
+                    + prev.giants
+                    + prev.header_errors
+                    + prev.address_mismatches);
         self.counters_snapshot = c;
 
         let rx_in_frame = self.rx.escape.occupancy() > 0 || !self.rx.control.idle();
@@ -297,7 +299,10 @@ mod tests {
     fn interrupts_fire_on_rx_frame_and_error() {
         let (mut a, mut b) = link_pair(DatapathWidth::W32);
         let mut bus = Oam::new(b.oam.clone());
-        bus.write(regs::INT_ENABLE, Interrupt::RxFrame as u32 | Interrupt::RxError as u32);
+        bus.write(
+            regs::INT_ENABLE,
+            Interrupt::RxFrame as u32 | Interrupt::RxError as u32,
+        );
         a.submit(0x0021, b"ding".to_vec());
         shuttle(&mut a, &mut b, 500);
         assert!(b.oam.irq_asserted());

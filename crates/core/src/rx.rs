@@ -186,7 +186,11 @@ impl RxCrc {
 
     pub fn clock(&mut self, input: Option<Word>, out_ready: bool) -> Option<Word> {
         self.stats.cycles += 1;
-        let out = if out_ready { self.regs.pop_front() } else { None };
+        let out = if out_ready {
+            self.regs.pop_front()
+        } else {
+            None
+        };
         if let Some(mut w) = input {
             self.stats.words_in += 1;
             if w.sof {

@@ -26,7 +26,9 @@ struct Staged {
 enum Item {
     Byte(Staged),
     /// Frame-end strobe with no byte attached.
-    End { abort: bool },
+    End {
+        abort: bool,
+    },
 }
 
 /// Ring buffer of tagged bytes with word-granularity pop.
@@ -197,7 +199,10 @@ mod tests {
         let mut s = ByteStager::new(32);
         s.push_byte(9, true, false);
         s.push_byte(8, false, false);
-        assert!(s.pop_word(4, false).is_none(), "mid-frame partial must wait");
+        assert!(
+            s.pop_word(4, false).is_none(),
+            "mid-frame partial must wait"
+        );
         assert_eq!(s.pop_word(4, true).unwrap().lanes(), &[9, 8]);
     }
 

@@ -67,16 +67,18 @@ impl TxControl {
         if !out_ready {
             return None;
         }
-        if self.cur.is_none() {
-            let desc = self.queue.pop_front()?;
-            let mut body = Vec::with_capacity(desc.payload.len() + 4);
-            body.push(self.address);
-            body.push(0x03); // UI control field
-            body.extend_from_slice(&desc.protocol.to_be_bytes());
-            body.extend_from_slice(&desc.payload);
-            self.cur = Some((body, 0));
-        }
-        let (body, pos) = self.cur.as_mut().unwrap();
+        let (body, pos) = match &mut self.cur {
+            Some(cur) => cur,
+            cur @ None => {
+                let desc = self.queue.pop_front()?;
+                let mut body = Vec::with_capacity(desc.payload.len() + 4);
+                body.push(self.address);
+                body.push(0x03); // UI control field
+                body.extend_from_slice(&desc.protocol.to_be_bytes());
+                body.extend_from_slice(&desc.payload);
+                cur.insert((body, 0))
+            }
+        };
         let take = self.width.min(body.len() - *pos);
         let mut w = Word::data(&body[*pos..*pos + take]);
         w.sof = *pos == 0;
@@ -318,8 +320,8 @@ impl EscapeGen {
         // Assemble the next wire word from the resynchronisation buffer.
         let fresh = if self.staging.len() >= self.width {
             let mut w = Word::default();
-            for lane in 0..self.width {
-                w.bytes[lane] = self.staging.pop_front().unwrap();
+            for (lane, b) in self.staging.drain(..self.width).enumerate() {
+                w.bytes[lane] = b;
                 w.len = (lane + 1) as u8;
             }
             Some(w)
@@ -334,9 +336,8 @@ impl EscapeGen {
             Some(w)
         } else if drain && !self.staging.is_empty() {
             let mut w = Word::default();
-            let n = self.staging.len();
-            for lane in 0..n {
-                w.bytes[lane] = self.staging.pop_front().unwrap();
+            for (lane, b) in self.staging.drain(..).enumerate() {
+                w.bytes[lane] = b;
                 w.len = (lane + 1) as u8;
             }
             Some(w)

@@ -84,7 +84,9 @@ impl Builder {
 
     /// Named input bus, LSB first.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<Sig> {
-        let sigs: Vec<Sig> = (0..width).map(|_| self.n.add_node(NodeKind::Input)).collect();
+        let sigs: Vec<Sig> = (0..width)
+            .map(|_| self.n.add_node(NodeKind::Input))
+            .collect();
         self.n.inputs.push(Bus {
             name: name.to_string(),
             sigs: sigs.clone(),
@@ -193,10 +195,7 @@ impl Builder {
     /// Word-wise 2:1 mux.
     pub fn mux_word(&mut self, s: Sig, a: &[Sig], b: &[Sig]) -> Vec<Sig> {
         assert_eq!(a.len(), b.len());
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| self.mux(s, x, y))
-            .collect()
+        a.iter().zip(b).map(|(&x, &y)| self.mux(s, x, y)).collect()
     }
 
     /// One-hot select: OR over `and(sel[i], word_i)`.
@@ -248,7 +247,9 @@ impl Builder {
 
     /// Constant word.
     pub fn const_word(&mut self, value: u64, width: usize) -> Vec<Sig> {
-        (0..width).map(|i| self.lit((value >> i) & 1 == 1)).collect()
+        (0..width)
+            .map(|i| self.lit((value >> i) & 1 == 1))
+            .collect()
     }
 
     /// Ripple-carry adder core (used for narrow words and within

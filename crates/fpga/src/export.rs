@@ -100,9 +100,7 @@ pub fn to_blif(net: &LutNetwork) -> String {
             if !is_lut_root && !is_input {
                 // FF output or constant feeding a primary output: alias.
                 match net.n.nodes[s as usize] {
-                    NodeKind::FfOutput(i) => {
-                        writeln!(out, ".names ff{i}_q {name}\n1 1").unwrap()
-                    }
+                    NodeKind::FfOutput(i) => writeln!(out, ".names ff{i}_q {name}\n1 1").unwrap(),
                     NodeKind::Const(v) => {
                         writeln!(out, ".names const{} {name}\n1 1", u8::from(v)).unwrap()
                     }

@@ -65,5 +65,5 @@ pub use map::{map, MapMode, MappedNetlist};
 pub use netlist::{Netlist, NodeKind, Sig};
 pub use report::{synthesize, SynthReport};
 pub use sim::Sim;
-pub use verilog::to_verilog;
 pub use timing::{devices, Device, TimingReport};
+pub use verilog::to_verilog;

@@ -22,7 +22,12 @@ pub struct TruthLut {
 /// Evaluate the cone of `root` terminating at `leaves` under one leaf
 /// assignment.
 fn eval_cone(n: &Netlist, root: Sig, assign: &HashMap<Sig, bool>) -> bool {
-    fn rec(n: &Netlist, s: Sig, assign: &HashMap<Sig, bool>, memo: &mut HashMap<Sig, bool>) -> bool {
+    fn rec(
+        n: &Netlist,
+        s: Sig,
+        assign: &HashMap<Sig, bool>,
+        memo: &mut HashMap<Sig, bool>,
+    ) -> bool {
         if let Some(&v) = assign.get(&s) {
             return v;
         }

@@ -165,9 +165,8 @@ pub fn map(n: &Netlist, mode: MapMode) -> MappedNetlist {
         // Compute depth of each candidate from leaf best depths; dedup.
         for c in &mut cands {
             // Constants are free inputs: drop them from the leaf set.
-            c.leaves.retain(|&l| {
-                !matches!(n.nodes[l as usize], crate::netlist::NodeKind::Const(_))
-            });
+            c.leaves
+                .retain(|&l| !matches!(n.nodes[l as usize], crate::netlist::NodeKind::Const(_)));
             c.depth = 1 + c
                 .leaves
                 .iter()
@@ -220,6 +219,9 @@ pub fn map(n: &Netlist, mode: MapMode) -> MappedNetlist {
         if chosen.contains_key(&s) {
             continue;
         }
+        // Infallible post-validate(): every non-leaf node has at least the
+        // trivial cut {its own fanins}, so best_cut is populated for any
+        // node the root-cover walk can reach.
         let cut = best_cut[s as usize]
             .as_ref()
             .unwrap_or_else(|| panic!("no cut for covered node {s}"));

@@ -95,6 +95,13 @@ impl Netlist {
     }
 
     /// Bind the D input of the flip-flop whose Q is `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not an `FfOutput` node or the D input is already
+    /// bound — both are builder bugs, not data-dependent conditions.  Use
+    /// `p5-lint` (rules P5L002/P5L003) to diagnose a netlist without
+    /// tripping these asserts.
     pub fn connect_dff(&mut self, q: Sig, d: Sig) {
         let NodeKind::FfOutput(idx) = self.nodes[q as usize] else {
             panic!("connect_dff: {q} is not a flip-flop output");
@@ -105,6 +112,12 @@ impl Netlist {
     }
 
     /// All flip-flops must have bound D inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unbound D or a combinational cycle.  This is the
+    /// hard gate before simulation/mapping; for a non-panicking
+    /// diagnosis of the same conditions, run `p5-lint` instead.
     pub fn validate(&self) {
         for (i, dff) in self.dffs.iter().enumerate() {
             assert!(dff.d.is_some(), "flip-flop {i} has unbound D");
@@ -147,7 +160,11 @@ impl Netlist {
     }
 
     /// Topological order of the combinational nodes (leaves first).
-    /// Panics on combinational cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on combinational cycles (see `validate`); `p5-lint` rule
+    /// P5L001 reports the offending SCC without panicking.
     pub fn topo_order(&self) -> Vec<Sig> {
         #[derive(Clone, Copy, PartialEq)]
         enum Mark {

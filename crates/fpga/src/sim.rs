@@ -107,9 +107,9 @@ impl<'a> Sim<'a> {
             .get(name)
             .unwrap_or_else(|| panic!("no output bus named {name}"));
         assert!(sigs.len() <= 64);
-        sigs.iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, s)| acc | ((self.values[*s as usize] as u64) << i))
+        sigs.iter().enumerate().fold(0u64, |acc, (i, s)| {
+            acc | ((self.values[*s as usize] as u64) << i)
+        })
     }
 
     /// Read a wide output bus as bytes.

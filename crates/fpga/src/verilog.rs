@@ -111,11 +111,15 @@ pub fn to_verilog(net: &LutNetwork) -> String {
             let name = sig_name(net, s);
             let driven = net.luts.iter().any(|l| l.root == s);
             if !driven && !net.n.inputs.iter().any(|ib| ib.sigs.contains(&s)) {
-                writeln!(out, "  assign {name} = {};", match net.n.nodes[s as usize] {
-                    NodeKind::FfOutput(i) => format!("ff{i}_q"),
-                    NodeKind::Const(v) => format!("1'b{}", u8::from(v)),
-                    _ => sig_name(net, s),
-                })
+                writeln!(
+                    out,
+                    "  assign {name} = {};",
+                    match net.n.nodes[s as usize] {
+                        NodeKind::FfOutput(i) => format!("ff{i}_q"),
+                        NodeKind::Const(v) => format!("1'b{}", u8::from(v)),
+                        _ => sig_name(net, s),
+                    }
+                )
                 .unwrap();
             }
         }
@@ -192,7 +196,10 @@ mod tests {
 
     #[test]
     fn identifier_sanitisation() {
-        assert_eq!(ident("escape-gen 32-bit (barrel)"), "escape_gen_32_bit__barrel_");
+        assert_eq!(
+            ident("escape-gen 32-bit (barrel)"),
+            "escape_gen_32_bit__barrel_"
+        );
         assert_eq!(ident("3state"), "_3state");
     }
 }

@@ -212,7 +212,10 @@ mod tests {
     #[test]
     fn simple_round_trip() {
         let events = round_trip(b"\xff\x03\x00\x21hello ip");
-        assert_eq!(events, vec![DeframeEvent::Frame(b"\xff\x03\x00\x21hello ip".to_vec())]);
+        assert_eq!(
+            events,
+            vec![DeframeEvent::Frame(b"\xff\x03\x00\x21hello ip".to_vec())]
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ mod tests {
     fn paper_worked_example() {
         // Paper §2: 31 33 7E 96 → 31 33 7D 5E 96.
         let body = [0x31, 0x33, 0x7E, 0x96];
-        assert_eq!(stuff(&body, Accm::SONET), vec![0x31, 0x33, 0x7D, 0x5E, 0x96]);
+        assert_eq!(
+            stuff(&body, Accm::SONET),
+            vec![0x31, 0x33, 0x7D, 0x5E, 0x96]
+        );
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! `p5lint` — lint every builder-exported P⁵ netlist.
+//!
+//! ```text
+//! p5lint [--json] [--device NAME] [--clock MHZ] [--strict]
+//! ```
+//!
+//! Human-readable report by default, one JSON array with `--json`.
+//! Exits 1 when any module has a finding at warning severity or above
+//! (`--strict` lowers the bar to info).
+
+use std::process::ExitCode;
+
+use p5_fpga::{devices, Device};
+use p5_lint::{lint_full, shipped_netlists, Severity, LINE_CLOCK_MHZ};
+
+const USAGE: &str = "usage: p5lint [--json] [--device NAME] [--clock MHZ] [--strict]";
+
+struct Options {
+    json: bool,
+    strict: bool,
+    help: bool,
+    device: Device,
+    clock_mhz: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        strict: false,
+        help: false,
+        device: devices::XC2V1000_6,
+        clock_mhz: LINE_CLOCK_MHZ,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
+            "--device" => {
+                let name = args.next().ok_or("--device needs a device name")?;
+                opts.device = *devices::ALL
+                    .iter()
+                    .find(|d| d.name.eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| {
+                        let known: Vec<&str> = devices::ALL.iter().map(|d| d.name).collect();
+                        format!("unknown device `{name}` (known: {})", known.join(", "))
+                    })?;
+            }
+            "--clock" => {
+                let mhz = args.next().ok_or("--clock needs a frequency in MHz")?;
+                opts.clock_mhz = mhz
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| *f > 0.0)
+                    .ok_or_else(|| format!("bad clock frequency `{mhz}`"))?;
+            }
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let bar = if opts.strict {
+        Severity::Info
+    } else {
+        Severity::Warning
+    };
+    let reports: Vec<_> = shipped_netlists()
+        .iter()
+        .map(|n| lint_full(n, &opts.device, opts.clock_mhz))
+        .collect();
+    let failing = reports
+        .iter()
+        .filter(|r| r.max_severity() >= Some(bar))
+        .count();
+
+    if opts.json {
+        let body: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for r in &reports {
+            print!("{}", r.render_human());
+        }
+        println!(
+            "p5lint: {} module(s) on {} at {} MHz, {failing} failing",
+            reports.len(),
+            opts.device.name,
+            opts.clock_mhz
+        );
+    }
+    if failing > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,70 @@
+//! `P5L007` — fanout hotspots, cross-checked against the device timing
+//! model.
+//!
+//! The STA in `p5_fpga::timing` prices a post-layout net at
+//! `t_net_base + t_net_fanout·log₂(1+fanout) + t_congestion·utilisation`.
+//! A net whose priced delay, plus the *minimum possible* path overhead
+//! around it (clock-to-Q, one LUT, setup), already exceeds the clock
+//! period cannot be fixed by restructuring logic — only by replicating
+//! the driver.  Flagging those nets separates "pipeline deeper" from
+//! "duplicate this register" before anyone reads a full timing report.
+
+use p5_fpga::{Device, MappedNetlist, Netlist, NodeKind, Sig};
+
+use crate::report::{Finding, Rule, Severity};
+
+/// Human label for the driver of a net, for actionable messages.
+fn driver_label(n: &Netlist, sig: Sig) -> String {
+    for bus in &n.inputs {
+        if let Some(bit) = bus.sigs.iter().position(|&s| s == sig) {
+            return format!("input {}[{bit}]", bus.name);
+        }
+    }
+    match n.nodes.get(sig as usize) {
+        Some(NodeKind::FfOutput(idx)) => format!("flip-flop {idx} Q"),
+        Some(NodeKind::Const(v)) => format!("constant {v}"),
+        _ => format!("node {sig}"),
+    }
+}
+
+/// Flag nets whose fanout-priced delay alone blows the `clock_mhz`
+/// budget on `device` (post-layout model, utilisation from the mapping).
+pub fn check_fanout_hotspots(
+    n: &Netlist,
+    m: &MappedNetlist,
+    device: &Device,
+    clock_mhz: f64,
+    findings: &mut Vec<Finding>,
+) {
+    let period_ns = 1000.0 / clock_mhz;
+    let utilisation = (m.lut_count() as f64 / device.luts as f64).min(1.0);
+    // The cheapest path any net can sit on: FF → net → LUT → FF.
+    let overhead_ns = device.t_cq + device.t_lut + device.t_su;
+    let mut nets: Vec<(Sig, usize)> = m.fanout.iter().map(|(&s, &fo)| (s, fo)).collect();
+    nets.sort_unstable();
+    for (sig, fo) in nets {
+        let net_ns = device.t_net_base
+            + device.t_net_fanout * ((1 + fo) as f64).log2()
+            + device.t_congestion * utilisation;
+        if overhead_ns + net_ns > period_ns {
+            findings.push(
+                Finding::new(
+                    Rule::FanoutHotspot,
+                    Severity::Warning,
+                    format!(
+                        "net driven by {} (fanout {fo}) needs {:.2} ns on {} at {:.0}% \
+                         utilisation; with {:.2} ns register+LUT overhead it exceeds the \
+                         {:.2} ns period of {clock_mhz} MHz — replicate the driver",
+                        driver_label(n, sig),
+                        net_ns,
+                        device.name,
+                        utilisation * 100.0,
+                        overhead_ns,
+                        period_ns,
+                    ),
+                )
+                .with_nodes(vec![sig]),
+            );
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Bounds-checked graph traversals over the netlist IR.
+//!
+//! Everything here must hold on *malformed* netlists — the lint runs
+//! before anyone is allowed to call [`Netlist::validate`] (which
+//! panics).  So every node reference is range-checked and cycles are
+//! found by SCC decomposition instead of the panicking `topo_order`.
+
+use std::collections::HashSet;
+
+use p5_fpga::{Netlist, NodeKind, Sig};
+
+/// Like [`Netlist::fanins`] but returns no fanins for an out-of-range
+/// signal instead of panicking.
+pub fn fanins_checked(n: &Netlist, sig: Sig) -> [Option<Sig>; 2] {
+    match n.nodes.get(sig as usize) {
+        None | Some(NodeKind::Input) | Some(NodeKind::Const(_)) | Some(NodeKind::FfOutput(_)) => {
+            [None, None]
+        }
+        Some(&NodeKind::Not(a)) => [Some(a), None],
+        Some(&NodeKind::And(a, b)) | Some(&NodeKind::Or(a, b)) | Some(&NodeKind::Xor(a, b)) => {
+            [Some(a), Some(b)]
+        }
+    }
+}
+
+/// Is this signal a combinational leaf (input, constant, FF output, or
+/// out of range — which stops traversal either way)?
+pub fn is_leaf_checked(n: &Netlist, sig: Sig) -> bool {
+    matches!(
+        n.nodes.get(sig as usize),
+        None | Some(NodeKind::Input) | Some(NodeKind::Const(_)) | Some(NodeKind::FfOutput(_))
+    )
+}
+
+/// The backward combinational cone of `root`: every node reachable from
+/// it through gate fanins, stopping at (but including) leaves.  `root`
+/// itself is always in the cone.
+pub fn comb_cone(n: &Netlist, root: Sig) -> HashSet<Sig> {
+    let mut cone = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(s) = stack.pop() {
+        if !cone.insert(s) {
+            continue;
+        }
+        for f in fanins_checked(n, s).into_iter().flatten() {
+            if !cone.contains(&f) {
+                stack.push(f);
+            }
+        }
+    }
+    cone
+}
+
+/// Does the backward combinational cone of `root` contain `target`?
+/// Early-exits without materialising the full cone.
+pub fn cone_contains(n: &Netlist, root: Sig, target: Sig) -> bool {
+    let mut seen = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(s) = stack.pop() {
+        if s == target {
+            return true;
+        }
+        if !seen.insert(s) {
+            continue;
+        }
+        for f in fanins_checked(n, s).into_iter().flatten() {
+            stack.push(f);
+        }
+    }
+    false
+}
+
+/// All combinational cycles, as strongly connected components of the
+/// gate graph: every SCC with more than one node, plus single nodes
+/// with a self-edge.  Uses an iterative Tarjan so corrupted netlists of
+/// any depth cannot blow the stack.
+pub fn comb_cycles(n: &Netlist) -> Vec<Vec<Sig>> {
+    let num = n.nodes.len();
+    // Tarjan state.
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; num];
+    let mut lowlink = vec![0u32; num];
+    let mut on_stack = vec![false; num];
+    let mut scc_stack: Vec<Sig> = Vec::new();
+    let mut next_index = 0u32;
+    let mut cycles = Vec::new();
+
+    for start in 0..num as Sig {
+        if index[start as usize] != UNSEEN {
+            continue;
+        }
+        // Explicit DFS frame: (node, next fanin slot to visit).
+        let mut frames: Vec<(Sig, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut slot)) = frames.last_mut() {
+            if *slot == 0 {
+                index[v as usize] = next_index;
+                lowlink[v as usize] = next_index;
+                next_index += 1;
+                scc_stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let fanins = fanins_checked(n, v);
+            if let Some(w) = fanins.iter().skip(*slot).flatten().next().copied() {
+                *slot += 1;
+                // Skip edges to out-of-range sigs (reported elsewhere).
+                if (w as usize) < num {
+                    if index[w as usize] == UNSEEN {
+                        frames.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                    }
+                }
+                continue;
+            }
+            // v is fully expanded.
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+            }
+            if lowlink[v as usize] == index[v as usize] {
+                let mut scc = Vec::new();
+                while let Some(w) = scc_stack.pop() {
+                    on_stack[w as usize] = false;
+                    scc.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                let self_loop = scc.len() == 1
+                    && fanins_checked(n, scc[0])
+                        .into_iter()
+                        .flatten()
+                        .any(|f| f == scc[0]);
+                if scc.len() > 1 || self_loop {
+                    scc.sort_unstable();
+                    cycles.push(scc);
+                }
+            }
+        }
+    }
+    cycles.sort();
+    cycles
+}
+
+/// Every node and flip-flop alive from the primary outputs: fixpoint of
+/// backward reachability where reaching a flip-flop's Q pulls in its D,
+/// CE and SR cones.  Returns `(live_nodes, live_dffs)`.
+pub fn live_from_outputs(n: &Netlist) -> (HashSet<Sig>, HashSet<usize>) {
+    let mut live = HashSet::new();
+    let mut live_dffs = HashSet::new();
+    let mut stack: Vec<Sig> = n
+        .outputs
+        .iter()
+        .flat_map(|b| b.sigs.iter().copied())
+        .collect();
+    while let Some(s) = stack.pop() {
+        if !live.insert(s) {
+            continue;
+        }
+        for f in fanins_checked(n, s).into_iter().flatten() {
+            stack.push(f);
+        }
+        if let Some(NodeKind::FfOutput(idx)) = n.nodes.get(s as usize) {
+            if let Some(dff) = n.dffs.get(*idx as usize) {
+                if live_dffs.insert(*idx as usize) {
+                    stack.extend([dff.d, dff.en, dff.sr].into_iter().flatten());
+                }
+            }
+        }
+    }
+    (live, live_dffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p5_fpga::Builder;
+
+    #[test]
+    fn checked_helpers_tolerate_wild_sigs() {
+        let b = Builder::new("empty");
+        let n = b.finish();
+        assert_eq!(fanins_checked(&n, 999), [None, None]);
+        assert!(is_leaf_checked(&n, 999));
+        assert!(!cone_contains(&n, 999, 3));
+        assert!(comb_cone(&n, 999).contains(&999));
+    }
+
+    #[test]
+    fn cone_stops_at_registers() {
+        let mut b = Builder::new("c");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and2(x, y);
+        let q = b.reg(g, false);
+        let z = b.not(q);
+        b.output("z", &[z]);
+        let n = b.finish();
+        let cone = comb_cone(&n, z);
+        assert!(cone.contains(&q), "FF output is a leaf of the cone");
+        assert!(!cone.contains(&g), "cone must not cross the register");
+        assert!(cone_contains(&n, z, q));
+        assert!(!cone_contains(&n, z, x));
+    }
+
+    #[test]
+    fn scc_finds_a_planted_cycle() {
+        let mut b = Builder::new("s");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.or2(g1, x);
+        b.output("o", &[g2]);
+        let mut n = b.finish();
+        assert!(comb_cycles(&n).is_empty());
+        // Rewire g1 to read g2: g1 ↔ g2 cycle.
+        n.nodes[g1 as usize] = NodeKind::And(g2, y);
+        let cycles = comb_cycles(&n);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], {
+            let mut v = vec![g1, g2];
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn liveness_follows_ff_control_pins() {
+        let mut b = Builder::new("l");
+        let x = b.input("x");
+        let en = b.input("en");
+        let nen = b.not(en);
+        let q = b.reg_en(x, nen, false);
+        b.output("q", &[q]);
+        let n = b.finish();
+        let (live, live_dffs) = live_from_outputs(&n);
+        assert!(live.contains(&nen), "CE cone is live");
+        assert_eq!(live_dffs.len(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Pipeline-protocol rules over the valid/ready ("stall") handshake the
+//! P⁵ stages use (paper §4: the escape-insertion stage inflates the
+//! stream, so backpressure must reach every upstream register).
+//!
+//! The checks key off the bus-naming convention every `p5-rtl` builder
+//! follows — `in_data`/`in_valid`/`in_ready` upstream, `out_data`/
+//! `out_valid`/`out_ready` downstream — and each rule applies only when
+//! the pins it talks about exist, because the convention is deliberately
+//! partial: `escape_detect` is always-ready (a shrinking stream needs no
+//! `in_ready`), and `tx_control` exposes a Mealy `out_valid` gated by
+//! `out_ready`, which is legal precisely because its `out_data` is
+//! registered.
+
+use p5_fpga::{Netlist, Sig};
+
+use crate::graph;
+use crate::report::{Finding, Rule, Severity};
+
+/// The handshake pins a module exposes, resolved by bus name.
+struct Interface {
+    in_data: Vec<Sig>,
+    in_valid: Option<Sig>,
+    in_ready: Vec<Sig>,
+    out_data: Vec<Sig>,
+    out_ready: Option<Sig>,
+}
+
+fn interface(n: &Netlist) -> Interface {
+    let single = |bus: Option<&p5_fpga::netlist::Bus>| bus.and_then(|b| b.sigs.first().copied());
+    Interface {
+        in_data: n
+            .input_bus("in_data")
+            .map(|b| b.sigs.clone())
+            .unwrap_or_default(),
+        in_valid: single(n.input_bus("in_valid")),
+        in_ready: n
+            .output_bus("in_ready")
+            .map(|b| b.sigs.clone())
+            .unwrap_or_default(),
+        out_data: n
+            .output_bus("out_data")
+            .map(|b| b.sigs.clone())
+            .unwrap_or_default(),
+        out_ready: single(n.input_bus("out_ready")),
+    }
+}
+
+/// Run every protocol rule that applies to this module's interface.
+pub fn check_handshake(n: &Netlist, findings: &mut Vec<Finding>) {
+    let iface = interface(n);
+    check_ready_comb_loop(n, &iface, findings);
+    check_ungated_capture(n, &iface, findings);
+    check_stall_stability(n, &iface, findings);
+    check_self_gated_enables(n, findings);
+}
+
+/// `P5L008` — `in_ready` must not depend combinationally on `in_valid`.
+/// Composed with an upstream stage whose `valid` looks at our `ready`
+/// (the dual Mealy convention), that closes a combinational loop across
+/// module boundaries — invisible to any per-module cycle check.
+fn check_ready_comb_loop(n: &Netlist, iface: &Interface, findings: &mut Vec<Finding>) {
+    let Some(valid) = iface.in_valid else { return };
+    for &ready in &iface.in_ready {
+        if graph::cone_contains(n, ready, valid) {
+            findings.push(
+                Finding::new(
+                    Rule::HandshakeCombLoop,
+                    Severity::Error,
+                    "in_ready depends combinationally on in_valid: composing with a \
+                     valid-follows-ready upstream closes a combinational loop",
+                )
+                .with_nodes(vec![ready, valid]),
+            );
+        }
+    }
+}
+
+/// `P5L009` — any register whose next-state cone reads `in_data` must be
+/// qualified by `in_valid`, either through its CE pin or through a mux
+/// in its D cone.  An unqualified capture register clocks in garbage on
+/// every idle cycle.
+fn check_ungated_capture(n: &Netlist, iface: &Interface, findings: &mut Vec<Finding>) {
+    let Some(valid) = iface.in_valid else { return };
+    if iface.in_data.is_empty() {
+        return;
+    }
+    for (i, dff) in n.dffs.iter().enumerate() {
+        let Some(d) = dff.d else { continue };
+        let d_cone = graph::comb_cone(n, d);
+        if !iface.in_data.iter().any(|s| d_cone.contains(s)) {
+            continue;
+        }
+        let gated_by_d = d_cone.contains(&valid);
+        let gated_by_en = dff.en.is_some_and(|en| graph::cone_contains(n, en, valid));
+        if !gated_by_d && !gated_by_en {
+            findings.push(
+                Finding::new(
+                    Rule::UngatedCapture,
+                    Severity::Warning,
+                    format!(
+                        "flip-flop {i} captures in_data but neither its CE nor its D cone \
+                         consults in_valid: it reloads on idle cycles"
+                    ),
+                )
+                .with_nodes(vec![dff.q]),
+            );
+        }
+    }
+}
+
+/// `P5L010` — `out_data` must be stable while the consumer stalls: no
+/// combinational path from `out_ready` into an `out_data` bit.  (A Mealy
+/// `out_valid` gated by `out_ready` is fine — it is the *data* that the
+/// downstream stage latches late.)
+fn check_stall_stability(n: &Netlist, iface: &Interface, findings: &mut Vec<Finding>) {
+    let Some(ready) = iface.out_ready else { return };
+    let unstable: Vec<Sig> = iface
+        .out_data
+        .iter()
+        .copied()
+        .filter(|&bit| graph::cone_contains(n, bit, ready))
+        .collect();
+    if !unstable.is_empty() {
+        findings.push(
+            Finding::new(
+                Rule::UnstableUnderStall,
+                Severity::Warning,
+                format!(
+                    "{} out_data bit(s) depend combinationally on out_ready and can glitch \
+                     mid-stall",
+                    unstable.len()
+                ),
+            )
+            .with_nodes(unstable),
+        );
+    }
+}
+
+/// `P5L011` — a register whose clock-enable cone contains its own Q can
+/// latch itself shut: once Q reaches the value that deasserts CE,
+/// nothing inside the module can ever change it again (the classic
+/// stall-deadlock wiring slip).
+fn check_self_gated_enables(n: &Netlist, findings: &mut Vec<Finding>) {
+    for (i, dff) in n.dffs.iter().enumerate() {
+        let Some(en) = dff.en else { continue };
+        if graph::cone_contains(n, en, dff.q) {
+            findings.push(
+                Finding::new(
+                    Rule::SelfGatedEnable,
+                    Severity::Warning,
+                    format!(
+                        "flip-flop {i} gates its own clock-enable through Q (node {})",
+                        dff.q
+                    ),
+                )
+                .with_nodes(vec![dff.q, en]),
+            );
+        }
+    }
+}

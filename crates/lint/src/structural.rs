@@ -1,0 +1,347 @@
+//! Structural wiring rules: reference validity, unbound flip-flops,
+//! combinational loops, bus aliasing, dead logic and reset coverage.
+
+use std::collections::HashMap;
+
+use p5_fpga::{Netlist, NodeKind, Sig};
+
+use crate::graph;
+use crate::report::{Finding, Rule, Severity};
+
+fn in_range(n: &Netlist, s: Sig) -> bool {
+    (s as usize) < n.nodes.len()
+}
+
+/// `P5L003` — every `Sig` must resolve: gate fanins, flip-flop pins and
+/// bus bits in range, FF ↔ node cross-links consistent, and no `Input`
+/// node orphaned outside every input bus.
+pub fn check_sig_validity(n: &Netlist, findings: &mut Vec<Finding>) {
+    for (i, kind) in n.nodes.iter().enumerate() {
+        for f in graph::fanins_checked(n, i as Sig).into_iter().flatten() {
+            if !in_range(n, f) {
+                findings.push(
+                    Finding::new(
+                        Rule::InvalidSig,
+                        Severity::Error,
+                        format!(
+                            "node {i} reads out-of-range signal {f} (only {} nodes exist)",
+                            n.nodes.len()
+                        ),
+                    )
+                    .with_nodes(vec![i as Sig]),
+                );
+            }
+        }
+        if let NodeKind::FfOutput(idx) = kind {
+            match n.dffs.get(*idx as usize) {
+                None => findings.push(
+                    Finding::new(
+                        Rule::InvalidSig,
+                        Severity::Error,
+                        format!("node {i} claims to be the output of nonexistent flip-flop {idx}"),
+                    )
+                    .with_nodes(vec![i as Sig]),
+                ),
+                Some(dff) if dff.q != i as Sig => findings.push(
+                    Finding::new(
+                        Rule::InvalidSig,
+                        Severity::Error,
+                        format!(
+                            "broken cross-link: node {i} points at flip-flop {idx}, whose Q is node {}",
+                            dff.q
+                        ),
+                    )
+                    .with_nodes(vec![i as Sig, dff.q]),
+                ),
+                _ => {}
+            }
+        }
+    }
+    for (i, dff) in n.dffs.iter().enumerate() {
+        for (pin, sig) in [
+            ("Q", Some(dff.q)),
+            ("D", dff.d),
+            ("CE", dff.en),
+            ("SR", dff.sr),
+        ] {
+            if let Some(s) = sig {
+                if !in_range(n, s) {
+                    findings.push(Finding::new(
+                        Rule::InvalidSig,
+                        Severity::Error,
+                        format!("flip-flop {i} {pin} pin references out-of-range signal {s}"),
+                    ));
+                }
+            }
+        }
+        if in_range(n, dff.q)
+            && !matches!(n.nodes[dff.q as usize], NodeKind::FfOutput(idx) if idx as usize == i)
+        {
+            findings.push(
+                Finding::new(
+                    Rule::InvalidSig,
+                    Severity::Error,
+                    format!(
+                        "flip-flop {i} Q points at node {} which is not its FfOutput",
+                        dff.q
+                    ),
+                )
+                .with_nodes(vec![dff.q]),
+            );
+        }
+    }
+    for (dir, buses) in [("input", &n.inputs), ("output", &n.outputs)] {
+        for bus in buses.iter() {
+            for (bit, &s) in bus.sigs.iter().enumerate() {
+                if !in_range(n, s) {
+                    findings.push(Finding::new(
+                        Rule::InvalidSig,
+                        Severity::Error,
+                        format!(
+                            "{dir} bus `{}` bit {bit} references out-of-range signal {s}",
+                            bus.name
+                        ),
+                    ));
+                } else if dir == "input" && !matches!(n.nodes[s as usize], NodeKind::Input) {
+                    findings.push(
+                        Finding::new(
+                            Rule::InvalidSig,
+                            Severity::Error,
+                            format!(
+                                "input bus `{}` bit {bit} is driven by node {s}, which is not an Input node",
+                                bus.name
+                            ),
+                        )
+                        .with_nodes(vec![s]),
+                    );
+                }
+            }
+        }
+    }
+    // Orphan inputs: an Input node no bus names is unreachable from the
+    // outside world, so nothing can ever drive it in simulation.
+    let mut named: Vec<bool> = vec![false; n.nodes.len()];
+    for bus in &n.inputs {
+        for &s in &bus.sigs {
+            if in_range(n, s) {
+                named[s as usize] = true;
+            }
+        }
+    }
+    let orphans: Vec<Sig> = n
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, k)| matches!(k, NodeKind::Input) && !named[*i])
+        .map(|(i, _)| i as Sig)
+        .collect();
+    if !orphans.is_empty() {
+        findings.push(
+            Finding::new(
+                Rule::InvalidSig,
+                Severity::Error,
+                format!(
+                    "{} Input node(s) belong to no input bus and can never be driven",
+                    orphans.len()
+                ),
+            )
+            .with_nodes(orphans),
+        );
+    }
+}
+
+/// `P5L002` — a flip-flop whose D input was never bound latches
+/// nothing; `connect_dff` was forgotten.
+pub fn check_unbound_dffs(n: &Netlist, findings: &mut Vec<Finding>) {
+    for (i, dff) in n.dffs.iter().enumerate() {
+        if dff.d.is_none() {
+            findings.push(
+                Finding::new(
+                    Rule::UnboundDff,
+                    Severity::Error,
+                    format!("flip-flop {i} (Q = node {}) has an unbound D input", dff.q),
+                )
+                .with_nodes(vec![dff.q]),
+            );
+        }
+    }
+}
+
+/// `P5L001` — combinational cycles, one finding per strongly connected
+/// component of the gate graph.
+pub fn check_comb_loops(n: &Netlist, findings: &mut Vec<Finding>) {
+    for cycle in graph::comb_cycles(n) {
+        findings.push(
+            Finding::new(
+                Rule::CombLoop,
+                Severity::Error,
+                format!("combinational loop through {} node(s)", cycle.len()),
+            )
+            .with_nodes(cycle),
+        );
+    }
+}
+
+/// `P5L004` — the same driver named more than once.  Within a single
+/// bus this is a warning (two "different" bits of a word share one
+/// driver — almost always a copy-paste index bug); the same signal
+/// appearing in several buses is informational (deliberate re-export).
+/// Constants are exempt: tying many bits to 0/1 is normal.
+pub fn check_bus_aliases(n: &Netlist, findings: &mut Vec<Finding>) {
+    let is_const = |s: Sig| matches!(n.nodes.get(s as usize), Some(NodeKind::Const(_)));
+    for (dir, buses) in [("input", &n.inputs), ("output", &n.outputs)] {
+        let mut seen_across: HashMap<Sig, &str> = HashMap::new();
+        for bus in buses.iter() {
+            let mut seen_in_bus: HashMap<Sig, usize> = HashMap::new();
+            for (bit, &s) in bus.sigs.iter().enumerate() {
+                if is_const(s) {
+                    continue;
+                }
+                if let Some(&first) = seen_in_bus.get(&s) {
+                    findings.push(
+                        Finding::new(
+                            Rule::BusAlias,
+                            Severity::Warning,
+                            format!(
+                                "{dir} bus `{}` bits {first} and {bit} are the same signal {s}",
+                                bus.name
+                            ),
+                        )
+                        .with_nodes(vec![s]),
+                    );
+                } else {
+                    seen_in_bus.insert(s, bit);
+                }
+            }
+            for &s in bus.sigs.iter() {
+                if is_const(s) {
+                    continue;
+                }
+                if let Some(&other) = seen_across.get(&s) {
+                    if other != bus.name {
+                        findings.push(
+                            Finding::new(
+                                Rule::BusAlias,
+                                Severity::Info,
+                                format!(
+                                    "{dir} buses `{other}` and `{}` share signal {s}",
+                                    bus.name
+                                ),
+                            )
+                            .with_nodes(vec![s]),
+                        );
+                    }
+                } else {
+                    seen_across.insert(s, &bus.name);
+                }
+            }
+        }
+    }
+}
+
+/// `P5L005` — gates and flip-flops no primary output can observe.
+/// Informational: word-level operators (`add`/`sub`) discard carry
+/// chains, so shipped netlists legitimately carry a little residue.
+pub fn check_dead_logic(n: &Netlist, findings: &mut Vec<Finding>) {
+    let (live, live_dffs) = graph::live_from_outputs(n);
+    let dead_gates: Vec<Sig> = (0..n.nodes.len() as Sig)
+        .filter(|&s| {
+            !live.contains(&s)
+                && matches!(
+                    n.nodes[s as usize],
+                    NodeKind::Not(_) | NodeKind::And(..) | NodeKind::Or(..) | NodeKind::Xor(..)
+                )
+        })
+        .collect();
+    if !dead_gates.is_empty() {
+        findings.push(
+            Finding::new(
+                Rule::DeadLogic,
+                Severity::Info,
+                format!(
+                    "{} of {} gates are unreachable from every output",
+                    dead_gates.len(),
+                    n.gate_count()
+                ),
+            )
+            .with_nodes(dead_gates),
+        );
+    }
+    let dead_ffs: Vec<Sig> = n
+        .dffs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !live_dffs.contains(i))
+        .map(|(_, d)| d.q)
+        .collect();
+    if !dead_ffs.is_empty() {
+        findings.push(
+            Finding::new(
+                Rule::DeadLogic,
+                Severity::Info,
+                format!(
+                    "{} of {} flip-flops are unreachable from every output",
+                    dead_ffs.len(),
+                    n.ff_count()
+                ),
+            )
+            .with_nodes(dead_ffs),
+        );
+    }
+}
+
+/// `P5L006` — reset/init hygiene: a module that resets *some* state must
+/// reset all of it (a partial SR domain desynchronises an FSM from its
+/// datapath on reframe), an SR tied to constant-false can never fire,
+/// one tied to constant-true holds the register in reset forever, and a
+/// constant-false CE describes a register that never loads.
+pub fn check_reset_coverage(n: &Netlist, findings: &mut Vec<Finding>) {
+    let const_val = |s: Sig| match n.nodes.get(s as usize) {
+        Some(NodeKind::Const(v)) => Some(*v),
+        _ => None,
+    };
+    let with_sr = n.dffs.iter().filter(|d| d.sr.is_some()).count();
+    if with_sr > 0 && with_sr < n.dffs.len() {
+        let uncovered: Vec<Sig> = n
+            .dffs
+            .iter()
+            .filter(|d| d.sr.is_none())
+            .map(|d| d.q)
+            .collect();
+        findings.push(
+            Finding::new(
+                Rule::ResetCoverage,
+                Severity::Warning,
+                format!(
+                    "partial reset domain: {with_sr} of {} flip-flops have an SR pin; the rest keep stale state across a reset",
+                    n.dffs.len()
+                ),
+            )
+            .with_nodes(uncovered),
+        );
+    }
+    for (i, dff) in n.dffs.iter().enumerate() {
+        if let Some(v) = dff.sr.and_then(const_val) {
+            let msg = if v {
+                format!(
+                    "flip-flop {i} SR is tied to constant true: permanently held at its init value"
+                )
+            } else {
+                format!("flip-flop {i} SR is tied to constant false: the reset can never assert")
+            };
+            findings.push(
+                Finding::new(Rule::ResetCoverage, Severity::Warning, msg).with_nodes(vec![dff.q]),
+            );
+        }
+        if dff.en.and_then(const_val) == Some(false) {
+            findings.push(
+                Finding::new(
+                    Rule::ResetCoverage,
+                    Severity::Warning,
+                    format!("flip-flop {i} CE is tied to constant false: the register never loads"),
+                )
+                .with_nodes(vec![dff.q]),
+            );
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Seeded-fault tests: for every rule ID, corrupt a known-good netlist
+//! in exactly the way the rule describes and prove the rule — and only
+//! a rule of at least that severity — fires.  The `Netlist` IR keeps
+//! its fields public precisely so faults can be injected post-build.
+
+use p5_fpga::{devices, Builder, Netlist, NodeKind, Sig};
+use p5_lint::{lint_full, lint_netlist, Report, Rule, Severity, LINE_CLOCK_MHZ};
+
+fn findings_for(r: &Report, rule: Rule) -> usize {
+    r.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+fn assert_fires(r: &Report, rule: Rule, severity: Severity) {
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == rule && f.severity == severity),
+        "expected {} at {severity}, got:\n{}",
+        rule.code(),
+        r.render_human()
+    );
+}
+
+/// A small known-clean module with a full handshake on both sides.
+fn clean_stage() -> Netlist {
+    let mut b = Builder::new("stage");
+    let in_data = b.input_bus("in_data", 4);
+    let in_valid = b.input("in_valid");
+    let out_ready = b.input("out_ready");
+    let data_q = b.reg_word_en(&in_data, in_valid, 0);
+    let valid_q = b.reg(in_valid, false);
+    b.output("out_data", &data_q);
+    b.output("out_valid", &[valid_q]);
+    b.output("in_ready", &[out_ready]);
+    b.finish()
+}
+
+#[test]
+fn clean_stage_is_clean() {
+    let n = clean_stage();
+    let r = lint_full(&n, &devices::XC2V1000_6, LINE_CLOCK_MHZ);
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn p5l001_comb_loop_fires_on_a_rewired_gate() {
+    let mut b = Builder::new("loopy");
+    let x = b.input("x");
+    let y = b.input("y");
+    let g1 = b.and2(x, y);
+    let g2 = b.or2(g1, y);
+    b.output("o", &[g2]);
+    let mut n = b.finish();
+    n.nodes[g1 as usize] = NodeKind::And(g2, y);
+    let r = lint_netlist(&n);
+    assert_fires(&r, Rule::CombLoop, Severity::Error);
+    let cyc = r
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::CombLoop)
+        .unwrap();
+    assert_eq!(cyc.nodes, {
+        let mut v = vec![g1, g2];
+        v.sort_unstable();
+        v
+    });
+}
+
+#[test]
+fn p5l001_comb_loop_fires_on_a_self_loop() {
+    let mut b = Builder::new("self");
+    let x = b.input("x");
+    let y = b.input("y");
+    let g = b.and2(x, y);
+    b.output("o", &[g]);
+    let mut n = b.finish();
+    n.nodes[g as usize] = NodeKind::And(g, g);
+    assert_fires(&lint_netlist(&n), Rule::CombLoop, Severity::Error);
+}
+
+#[test]
+fn p5l002_unbound_dff_fires() {
+    let mut n = clean_stage();
+    n.dffs[0].d = None;
+    assert_fires(&lint_netlist(&n), Rule::UnboundDff, Severity::Error);
+}
+
+#[test]
+fn p5l003_invalid_sig_fires_on_out_of_range_refs() {
+    // Out-of-range output bus bit.
+    let mut n = clean_stage();
+    n.outputs[0].sigs.push(u32::MAX);
+    assert_fires(&lint_netlist(&n), Rule::InvalidSig, Severity::Error);
+
+    // Out-of-range flip-flop CE.
+    let mut n = clean_stage();
+    n.dffs[0].en = Some(9999);
+    assert_fires(&lint_netlist(&n), Rule::InvalidSig, Severity::Error);
+
+    // Broken FF cross-link.
+    let mut n = clean_stage();
+    n.dffs[0].q = n.dffs[1].q;
+    assert_fires(&lint_netlist(&n), Rule::InvalidSig, Severity::Error);
+
+    // Orphan input node: member of no input bus.
+    let mut n = clean_stage();
+    n.nodes.push(NodeKind::Input);
+    assert_fires(&lint_netlist(&n), Rule::InvalidSig, Severity::Error);
+}
+
+#[test]
+fn p5l004_bus_alias_fires_on_a_doubled_bit() {
+    let mut b = Builder::new("alias");
+    let x = b.input("x");
+    let y = b.input("y");
+    let g = b.xor2(x, y);
+    b.output("o", &[g, g]);
+    let r = lint_netlist(&b.finish());
+    assert_fires(&r, Rule::BusAlias, Severity::Warning);
+}
+
+#[test]
+fn p5l004_cross_bus_sharing_is_only_informational() {
+    let mut b = Builder::new("share");
+    let x = b.input("x");
+    let q = b.reg(x, false);
+    b.output("q", &[q]);
+    b.output("q_mirror", &[q]);
+    let r = lint_netlist(&b.finish());
+    assert_fires(&r, Rule::BusAlias, Severity::Info);
+    assert!(r.is_clean(), "deliberate re-export must stay clean");
+}
+
+#[test]
+fn p5l005_dead_logic_fires_on_an_orphan_gate() {
+    let mut b = Builder::new("dead");
+    let x = b.input("x");
+    let y = b.input("y");
+    let _orphan = b.and2(x, y);
+    let g = b.or2(x, y);
+    b.output("o", &[g]);
+    let r = lint_netlist(&b.finish());
+    assert_fires(&r, Rule::DeadLogic, Severity::Info);
+    assert!(r.is_clean(), "dead logic alone must not fail a module");
+}
+
+#[test]
+fn p5l005_dead_logic_fires_on_an_unobservable_flip_flop() {
+    let mut b = Builder::new("deadff");
+    let x = b.input("x");
+    let _q = b.reg(x, false);
+    let g = b.not(x);
+    b.output("o", &[g]);
+    let r = lint_netlist(&b.finish());
+    let ff_finding = r
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::DeadLogic && f.message.contains("flip-flops"));
+    assert!(ff_finding.is_some(), "{}", r.render_human());
+}
+
+#[test]
+fn p5l006_reset_coverage_fires_on_a_partial_sr_domain() {
+    let mut b = Builder::new("rst");
+    let x = b.input_bus("x", 2);
+    let rst = b.input("rst");
+    let q0 = b.reg_ctrl(x[0], None, Some(rst), false);
+    let q1 = b.reg_ctrl(x[1], None, Some(rst), false);
+    b.output("q", &[q0, q1]);
+    let mut n = b.finish();
+    assert!(lint_netlist(&n).is_clean());
+    n.dffs[1].sr = None;
+    assert_fires(&lint_netlist(&n), Rule::ResetCoverage, Severity::Warning);
+}
+
+#[test]
+fn p5l006_reset_coverage_fires_on_constant_control_pins() {
+    // SR that can never assert.
+    let mut b = Builder::new("rst_const");
+    let x = b.input("x");
+    let never = b.lit(false);
+    let q = b.reg_ctrl(x, None, Some(never), false);
+    b.output("q", &[q]);
+    assert_fires(
+        &lint_netlist(&b.finish()),
+        Rule::ResetCoverage,
+        Severity::Warning,
+    );
+
+    // CE that never enables.
+    let mut b = Builder::new("en_const");
+    let x = b.input("x");
+    let never = b.lit(false);
+    let q = b.reg_en(x, never, false);
+    b.output("q", &[q]);
+    assert_fires(
+        &lint_netlist(&b.finish()),
+        Rule::ResetCoverage,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn p5l007_fanout_hotspot_fires_when_the_budget_shrinks() {
+    // A register fanning out to 32 sinks: comfortably fine at the line
+    // clock, impossible at 500 MHz on a -4 Virtex, where the priced net
+    // delay plus FF+LUT overhead exceeds the 2 ns period.
+    let mut b = Builder::new("hot");
+    let x = b.input("x");
+    let q = b.reg(x, false);
+    let mut bits = Vec::new();
+    for i in 0..32 {
+        let other = b.input(&format!("y{i}"));
+        bits.push(b.and2(q, other));
+    }
+    let folded = b.xor_many(&bits);
+    b.output("o", &[folded]);
+    let n = b.finish();
+    let clean = lint_full(&n, &devices::XCV50_4, LINE_CLOCK_MHZ);
+    assert!(
+        findings_for(&clean, Rule::FanoutHotspot) == 0,
+        "{}",
+        clean.render_human()
+    );
+    let hot = lint_full(&n, &devices::XCV50_4, 500.0);
+    assert_fires(&hot, Rule::FanoutHotspot, Severity::Warning);
+}
+
+#[test]
+fn p5l008_handshake_comb_loop_fires_on_mealy_ready() {
+    let mut b = Builder::new("mealy_ready");
+    let in_data = b.input_bus("in_data", 4);
+    let in_valid = b.input("in_valid");
+    let full = b.input("full");
+    let nfull = b.not(full);
+    // in_ready = !full & in_valid — ready must never consult valid.
+    let ready = b.and2(nfull, in_valid);
+    let q = b.reg_word_en(&in_data, in_valid, 0);
+    b.output("out_data", &q);
+    b.output("in_ready", &[ready]);
+    assert_fires(
+        &lint_netlist(&b.finish()),
+        Rule::HandshakeCombLoop,
+        Severity::Error,
+    );
+}
+
+#[test]
+fn p5l009_ungated_capture_fires_on_a_free_running_register() {
+    let mut b = Builder::new("ungated");
+    let in_data = b.input_bus("in_data", 4);
+    let in_valid = b.input("in_valid");
+    // Captures every cycle, valid or not.
+    let q = b.reg_word_en(&in_data, b.lit(true), 0);
+    let vq = b.reg(in_valid, false);
+    b.output("out_data", &q);
+    b.output("out_valid", &[vq]);
+    assert_fires(
+        &lint_netlist(&b.finish()),
+        Rule::UngatedCapture,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn p5l010_unstable_under_stall_fires_on_ready_in_the_data_cone() {
+    let mut b = Builder::new("unstable");
+    let x = b.input_bus("x", 2);
+    let out_ready = b.input("out_ready");
+    let b0 = b.and2(x[0], out_ready);
+    b.output("out_data", &[b0, x[1]]);
+    assert_fires(
+        &lint_netlist(&b.finish()),
+        Rule::UnstableUnderStall,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn p5l011_self_gated_enable_fires_on_a_q_gated_ce() {
+    let mut b = Builder::new("selfgate");
+    let x = b.input("x");
+    let q = b.reg(x, false);
+    b.output("q", &[q]);
+    let mut n = b.finish();
+    // Once Q goes low the register can never reload: CE = Q.
+    n.dffs[0].en = Some(q);
+    assert_fires(&lint_netlist(&n), Rule::SelfGatedEnable, Severity::Warning);
+}
+
+/// Meta-coverage: the scenarios above exercise every rule in the
+/// catalogue, so a new rule without a seeded fault fails this test.
+#[test]
+fn every_rule_id_has_a_firing_scenario() {
+    let mut fired: Vec<Rule> = Vec::new();
+
+    let mut loopy = clean_stage();
+    let g = loopy.nodes.len() as Sig;
+    loopy.nodes.push(NodeKind::And(g, 2));
+    loopy.outputs[0].sigs[0] = g;
+    fired.extend(lint_netlist(&loopy).findings.iter().map(|f| f.rule));
+
+    let mut unbound = clean_stage();
+    unbound.dffs[0].d = None;
+    fired.extend(lint_netlist(&unbound).findings.iter().map(|f| f.rule));
+
+    let mut wild = clean_stage();
+    wild.outputs[0].sigs.push(u32::MAX);
+    fired.extend(lint_netlist(&wild).findings.iter().map(|f| f.rule));
+
+    let mut dirty = clean_stage();
+    // Alias two out_data bits, orphan a gate, strip the CE gating, wire
+    // ready→valid and ready→data, self-gate a CE, and unbalance resets.
+    let in_valid = dirty.inputs[1].sigs[0];
+    let out_ready = dirty.inputs[2].sigs[0];
+    let q0 = dirty.dffs[0].q;
+    dirty.outputs[0].sigs[1] = dirty.outputs[0].sigs[0];
+    dirty.nodes.push(NodeKind::And(q0, out_ready)); // orphan gate: dead logic
+    let ready_gate = dirty.nodes.len() as Sig;
+    dirty.nodes.push(NodeKind::And(in_valid, out_ready));
+    let ready_bus = dirty
+        .outputs
+        .iter_mut()
+        .find(|b| b.name == "in_ready")
+        .unwrap();
+    ready_bus.sigs[0] = ready_gate;
+    let data_gate = dirty.nodes.len() as Sig;
+    dirty.nodes.push(NodeKind::Or(q0, out_ready));
+    dirty.outputs[0].sigs[2] = data_gate;
+    dirty.dffs[0].en = None; // ungated in_data capture
+    dirty.dffs[1].en = Some(dirty.dffs[1].q); // self-gated CE
+    dirty.dffs[1].sr = Some(in_valid); // partial reset domain
+    fired.extend(lint_netlist(&dirty).findings.iter().map(|f| f.rule));
+
+    let hot = lint_full(&clean_stage(), &devices::XCV50_4, 1000.0);
+    fired.extend(hot.findings.iter().map(|f| f.rule));
+
+    for rule in Rule::ALL {
+        assert!(
+            fired.contains(&rule),
+            "no seeded fault fired {} ({})",
+            rule.code(),
+            rule.name()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! The acceptance gate for the builders: every netlist we ship — both
+//! datapath widths of the tx/rx pipelines, the width-4 escape sorters,
+//! the FCS-16 CRC unit and the OAM register file — must lint clean
+//! (no warning- or error-severity finding) on every device in the
+//! library at the 78.125 MHz line clock.
+
+use p5_fpga::devices;
+use p5_lint::{lint_full, lint_netlist, shipped_netlists, LINE_CLOCK_MHZ};
+
+#[test]
+fn shipped_set_is_substantial_and_uniquely_named() {
+    let modules = shipped_netlists();
+    assert!(
+        modules.len() >= 6,
+        "expected the full export set, got {} modules",
+        modules.len()
+    );
+    let mut names: Vec<&str> = modules.iter().map(|n| n.name.as_str()).collect();
+    let total = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), total, "duplicate module names in shipped set");
+}
+
+#[test]
+fn every_shipped_netlist_lints_clean_structurally() {
+    for n in shipped_netlists() {
+        let r = lint_netlist(&n);
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+}
+
+#[test]
+fn every_shipped_netlist_lints_clean_with_timing_on_every_device() {
+    for n in shipped_netlists() {
+        for dev in &devices::ALL {
+            let r = lint_full(&n, dev, LINE_CLOCK_MHZ);
+            assert!(r.is_clean(), "on {}: {}", dev.name, r.render_human());
+        }
+    }
+}
+
+#[test]
+fn reports_serialise_for_the_whole_shipped_set() {
+    for n in shipped_netlists() {
+        let r = lint_full(&n, &devices::XC2V1000_6, LINE_CLOCK_MHZ);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"module\":"), "{json}");
+        assert!(!r.render_human().is_empty());
+    }
+}

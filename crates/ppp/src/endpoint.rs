@@ -279,8 +279,7 @@ impl<N: Negotiator> Endpoint<N> {
         // Arm/disarm the restart timer by state (RFC 1661 §4.6: the timer
         // runs exactly in the four -ing/-Sent states).
         match self.automaton.state() {
-            State::Closing | State::Stopping | State::ReqSent | State::AckRcvd
-            | State::AckSent => {
+            State::Closing | State::Stopping | State::ReqSent | State::AckRcvd | State::AckSent => {
                 if self.deadline.is_none() {
                     self.deadline = Some(self.now + self.config.restart_period);
                 }
@@ -347,10 +346,7 @@ impl<N: Negotiator> Endpoint<N> {
                 self.deadline = Some(self.now + self.config.restart_period);
             }
             Action::SendTerminateAck => {
-                let id = self
-                    .pending_terminate_id
-                    .take()
-                    .unwrap_or(self.next_id);
+                let id = self.pending_terminate_id.take().unwrap_or(self.next_id);
                 self.send(Packet::new(PacketCode::TerminateAck, id, vec![]));
             }
             Action::SendCodeReject => {
@@ -376,8 +372,14 @@ mod tests {
     use crate::lcp_negotiator::LcpNegotiator;
 
     fn lcp_pair() -> (Endpoint<LcpNegotiator>, Endpoint<LcpNegotiator>) {
-        let a = Endpoint::new(LcpNegotiator::new(1500, 0x1111_1111), EndpointConfig::default());
-        let b = Endpoint::new(LcpNegotiator::new(2048, 0x2222_2222), EndpointConfig::default());
+        let a = Endpoint::new(
+            LcpNegotiator::new(1500, 0x1111_1111),
+            EndpointConfig::default(),
+        );
+        let b = Endpoint::new(
+            LcpNegotiator::new(2048, 0x2222_2222),
+            EndpointConfig::default(),
+        );
         (a, b)
     }
 
@@ -513,7 +515,11 @@ mod tests {
         a.open();
         a.lower_up();
         let req = &a.poll_output()[0].1;
-        let stale = Packet::new(PacketCode::ConfigureAck, req.id.wrapping_add(5), req.data.clone());
+        let stale = Packet::new(
+            PacketCode::ConfigureAck,
+            req.id.wrapping_add(5),
+            req.data.clone(),
+        );
         a.receive(&stale.to_bytes());
         assert_eq!(a.state(), State::ReqSent);
     }

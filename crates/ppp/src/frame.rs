@@ -266,7 +266,10 @@ mod tests {
         assert_eq!(codec.decode(&[]), Err(FrameError::Truncated));
         assert_eq!(codec.decode(&[0xFF]), Err(FrameError::Truncated));
         assert_eq!(codec.decode(&[0xFF, 0x03]), Err(FrameError::Truncated));
-        assert_eq!(codec.decode(&[0xFF, 0x03, 0x00]), Err(FrameError::Truncated));
+        assert_eq!(
+            codec.decode(&[0xFF, 0x03, 0x00]),
+            Err(FrameError::Truncated)
+        );
     }
 
     #[test]

@@ -367,7 +367,10 @@ mod tests {
     fn peer_terminate_in_opened_goes_to_stopping() {
         let (mut a, _) = drive(&[Open, Up, RcrGood, Rca]);
         let acts = a.handle(Rtr).unwrap();
-        assert_eq!(acts, vec![ThisLayerDown, ZeroRestartCount, SendTerminateAck]);
+        assert_eq!(
+            acts,
+            vec![ThisLayerDown, ZeroRestartCount, SendTerminateAck]
+        );
         assert_eq!(a.state(), Stopping);
         // Zero restart count means the next timeout finishes immediately.
         let acts = a.handle(TimeoutGiveUp).unwrap();

@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn acceptable_address_is_acked() {
         let mut n = IpcpNegotiator::new([10, 0, 0, 1]);
-        assert_eq!(n.review_peer_request(&[addr_opt([10, 0, 0, 2])]), Verdict::Ack);
+        assert_eq!(
+            n.review_peer_request(&[addr_opt([10, 0, 0, 2])]),
+            Verdict::Ack
+        );
     }
 
     #[test]

@@ -239,10 +239,7 @@ mod tests {
 
     #[test]
     fn bad_length_rejected() {
-        assert_eq!(
-            Packet::parse(&[1, 1, 0, 3]),
-            Err(PacketError::BadLength)
-        );
+        assert_eq!(Packet::parse(&[1, 1, 0, 3]), Err(PacketError::BadLength));
         assert_eq!(
             Packet::parse(&[1, 1, 0, 99, 0]),
             Err(PacketError::BadLength)

@@ -216,7 +216,9 @@ mod tests {
     fn non_default_mru_is_requested() {
         let mut n = LcpNegotiator::new(4470, 1);
         let req = n.our_request();
-        assert!(req.iter().any(|r| LcpOption::from_raw(r) == LcpOption::Mru(4470)));
+        assert!(req
+            .iter()
+            .any(|r| LcpOption::from_raw(r) == LcpOption::Mru(4470)));
     }
 
     #[test]
@@ -260,9 +262,13 @@ mod tests {
         let mut n = LcpNegotiator::new(9000, 7).with_compression();
         n.peer_rejected(&[LcpOption::Mru(9000).to_raw(), LcpOption::Pfc.to_raw()]);
         let req = n.our_request();
-        assert!(!req.iter().any(|r| matches!(LcpOption::from_raw(r), LcpOption::Mru(_))));
+        assert!(!req
+            .iter()
+            .any(|r| matches!(LcpOption::from_raw(r), LcpOption::Mru(_))));
         assert!(!req.iter().any(|r| LcpOption::from_raw(r) == LcpOption::Pfc));
-        assert!(req.iter().any(|r| matches!(LcpOption::from_raw(r), LcpOption::MagicNumber(_))));
+        assert!(req
+            .iter()
+            .any(|r| matches!(LcpOption::from_raw(r), LcpOption::MagicNumber(_))));
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod ipcp;
 pub mod lcp;
 pub mod lcp_negotiator;
 pub mod lqr;
-pub mod pap;
 pub mod mapos;
+pub mod pap;
 pub mod protocol;
 pub mod session;
 

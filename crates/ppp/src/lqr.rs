@@ -251,7 +251,10 @@ mod tests {
 
     #[test]
     fn idle_interval_is_perfect_by_convention() {
-        let q = QualityDelta { sent: 0, received: 0 };
+        let q = QualityDelta {
+            sent: 0,
+            received: 0,
+        };
         assert_eq!(q.delivery_ratio(), 1.0);
     }
 }

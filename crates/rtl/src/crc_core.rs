@@ -154,7 +154,9 @@ mod tests {
     #[test]
     fn crc32_core_matches_matrix_engine_w4() {
         let mut rng = StdRng::seed_from_u64(1);
-        let words: Vec<Vec<u8>> = (0..50).map(|_| (0..4).map(|_| rng.gen()).collect()).collect();
+        let words: Vec<Vec<u8>> = (0..50)
+            .map(|_| (0..4).map(|_| rng.gen()).collect())
+            .collect();
         let (hw, _) = run_words(FCS32, 4, &words);
         let mut sw = MatrixEngine::new(FCS32, 4);
         for w in &words {

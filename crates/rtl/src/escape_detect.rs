@@ -64,7 +64,9 @@ fn build_w4(style: SorterStyle) -> Netlist {
     });
     let in_data = b.input_bus("in_data", 32);
     let in_valid = b.input("in_valid");
-    let lanes: Vec<Vec<Sig>> = (0..4).map(|i| in_data[i * 8..(i + 1) * 8].to_vec()).collect();
+    let lanes: Vec<Vec<Sig>> = (0..4)
+        .map(|i| in_data[i * 8..(i + 1) * 8].to_vec())
+        .collect();
 
     // ---- Stage 1: escape chain + compaction --------------------------
     // e[i] = "lane i is preceded by an unconsumed escape".
@@ -101,7 +103,13 @@ fn build_w4(style: SorterStyle) -> Netlist {
     let sources: Vec<RangedSource> = (0..4)
         .map(|i| {
             let en = b.and2(keeps[i], in_valid);
-            (bytes[i].clone(), prefix[i].clone(), en, i - i.div_ceil(2), i)
+            (
+                bytes[i].clone(),
+                prefix[i].clone(),
+                en,
+                i - i.div_ceil(2),
+                i,
+            )
         })
         .collect();
     let compact = route_bytes_ranged(&mut b, &sources, 4);
@@ -113,7 +121,9 @@ fn build_w4(style: SorterStyle) -> Netlist {
     let compact_flat: Vec<Sig> = compact.iter().flatten().copied().collect();
     let one = b.lit(true);
     let s1_data = b.reg_word_en(&compact_flat, one, 0);
-    let s1: Vec<Vec<Sig>> = (0..4).map(|i| s1_data[i * 8..(i + 1) * 8].to_vec()).collect();
+    let s1: Vec<Vec<Sig>> = (0..4)
+        .map(|i| s1_data[i * 8..(i + 1) * 8].to_vec())
+        .collect();
     let s1_len = b.reg_word_en(&klen, one, 0);
 
     // ---- Stage 2: bubble-filling refill buffer -----------------------

@@ -102,7 +102,9 @@ fn build_w4(style: SorterStyle) -> Netlist {
     });
     let in_data = b.input_bus("in_data", 32);
     let in_valid = b.input("in_valid");
-    let lanes: Vec<Vec<Sig>> = (0..4).map(|i| in_data[i * 8..(i + 1) * 8].to_vec()).collect();
+    let lanes: Vec<Vec<Sig>> = (0..4)
+        .map(|i| in_data[i * 8..(i + 1) * 8].to_vec())
+        .collect();
 
     // ---- Stage 1 (combinational): expansion network ----------------
     let matches: Vec<Sig> = lanes.iter().map(|l| is_escape_char(&mut b, l)).collect();
@@ -203,7 +205,7 @@ fn build_w4(style: SorterStyle) -> Netlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p5_fpga::{map, synthesize, devices, MapMode, Sim};
+    use p5_fpga::{devices, map, synthesize, MapMode, Sim};
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     /// Drive an escape-gen netlist with a byte stream (hold-on-stall
@@ -277,7 +279,12 @@ mod tests {
             let expect = behavioural_stuffed(&stream);
             // Output is in full words; at most 3 bytes may still sit in
             // the staging buffer.
-            assert!(expect.len() - got.len() <= 3, "{} vs {}", got.len(), expect.len());
+            assert!(
+                expect.len() - got.len() <= 3,
+                "{} vs {}",
+                got.len(),
+                expect.len()
+            );
             assert_eq!(got[..], expect[..got.len()], "style {style:?}");
         }
     }
@@ -299,7 +306,11 @@ mod tests {
                 let got = run_netlist(&n, 4, &stream, 12);
                 let expect = behavioural_stuffed(&stream);
                 assert!(expect.len() - got.len() <= 3, "round {round}");
-                assert_eq!(got[..], expect[..got.len()], "round {round} style {style:?}");
+                assert_eq!(
+                    got[..],
+                    expect[..got.len()],
+                    "round {round} style {style:?}"
+                );
             }
         }
     }
@@ -357,7 +368,10 @@ mod tests {
         );
         // The 32-bit unit nearly fills an XC2V40, as the paper found
         // (492/512 = 96%).
-        let r = synthesize(&build_escape_gen(4, SorterStyle::Barrel), &devices::XC2V40_6);
+        let r = synthesize(
+            &build_escape_gen(4, SorterStyle::Barrel),
+            &devices::XC2V40_6,
+        );
         assert!(
             (0.7..=1.1).contains(&r.lut_util_post),
             "paper: 96% of an XC2V40; got {:.0}%",

@@ -126,7 +126,13 @@ mod tests {
     }
 
     fn fresh(sim: &mut Sim) {
-        for name in ["ev_rx_frame", "ev_rx_error", "ev_tx_frame", "ev_tx_done", "wr"] {
+        for name in [
+            "ev_rx_frame",
+            "ev_rx_error",
+            "ev_tx_frame",
+            "ev_tx_done",
+            "wr",
+        ] {
             sim.set(name, 0);
         }
     }

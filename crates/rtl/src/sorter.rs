@@ -174,7 +174,9 @@ pub fn take_from_offset(
 ) -> Vec<ByteSig> {
     match style {
         SorterStyle::OneHot => {
-            let hot: Vec<Sig> = (0..=offset_max).map(|v| b.eq_const(offset, v as u64)).collect();
+            let hot: Vec<Sig> = (0..=offset_max)
+                .map(|v| b.eq_const(offset, v as u64))
+                .collect();
             (0..n_out)
                 .map(|j| {
                     let words: Vec<ByteSig> = (0..=offset_max)
@@ -282,7 +284,11 @@ mod tests {
                 } else {
                     0
                 };
-                assert_eq!(sim.get(&format!("m{j}")), expect, "{style:?} cnt={cnt} j={j}");
+                assert_eq!(
+                    sim.get(&format!("m{j}")),
+                    expect,
+                    "{style:?} cnt={cnt} j={j}"
+                );
             }
         }
     }
@@ -315,7 +321,11 @@ mod tests {
             for j in 0..3usize {
                 let idx = j + off as usize;
                 let expect = if idx < 6 { 0x40 + idx as u64 } else { 0 };
-                assert_eq!(sim.get(&format!("o{j}")), expect, "{style:?} off={off} j={j}");
+                assert_eq!(
+                    sim.get(&format!("o{j}")),
+                    expect,
+                    "{style:?} off={off} j={j}"
+                );
             }
         }
     }

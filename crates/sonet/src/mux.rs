@@ -14,7 +14,11 @@ pub fn interleave(tributaries: &[Vec<u8>]) -> Vec<u8> {
     assert!(n == 4 || n == 16, "SDH multiplexes 4 or 16 tributaries");
     let trib_row = StmLevel::Stm1.row_bytes();
     for t in tributaries {
-        assert_eq!(t.len(), StmLevel::Stm1.frame_bytes(), "tributaries are STM-1 frames");
+        assert_eq!(
+            t.len(),
+            StmLevel::Stm1.frame_bytes(),
+            "tributaries are STM-1 frames"
+        );
     }
     let out_row = trib_row * n;
     let mut out = vec![0u8; out_row * 9];
@@ -50,7 +54,11 @@ mod tests {
     #[test]
     fn interleave_roundtrip_4() {
         let tribs: Vec<Vec<u8>> = (0..4u8)
-            .map(|i| (0..2430).map(|j| (j as u8).wrapping_mul(3).wrapping_add(i)).collect())
+            .map(|i| {
+                (0..2430)
+                    .map(|j| (j as u8).wrapping_mul(3).wrapping_add(i))
+                    .collect()
+            })
             .collect();
         let line = interleave(&tribs);
         assert_eq!(line.len(), StmLevel::Stm4.frame_bytes());
@@ -90,9 +98,8 @@ mod tests {
         for (t, d) in txs.iter_mut().zip(&data) {
             t.offer_payload(d);
         }
-        let mut rxs: Vec<FrameReceiver> = (0..4)
-            .map(|_| FrameReceiver::new(StmLevel::Stm1))
-            .collect();
+        let mut rxs: Vec<FrameReceiver> =
+            (0..4).map(|_| FrameReceiver::new(StmLevel::Stm1)).collect();
         let mut got: Vec<Vec<u8>> = vec![Vec::new(); 4];
         for _ in 0..2 {
             let frames: Vec<Vec<u8>> = txs.iter_mut().map(|t| t.emit_frame()).collect();

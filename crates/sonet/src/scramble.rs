@@ -170,7 +170,9 @@ mod tests {
         let mut tx = PayloadScrambler::new();
         let data = [0xA5u8; 64];
         let wire: Vec<u8> = data.iter().map(|&b| tx.scramble_byte(b)).collect();
-        let mut rx = PayloadScrambler { history: 0x7FF_FFFF_FFFF };
+        let mut rx = PayloadScrambler {
+            history: 0x7FF_FFFF_FFFF,
+        };
         let out: Vec<u8> = wire.iter().map(|&b| rx.descramble_byte(b)).collect();
         assert_eq!(&out[6..], &data[6..], "must resync within 43 bits");
         assert_ne!(out[0], data[0], "garbage history corrupts the first bits");

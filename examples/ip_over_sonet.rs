@@ -70,8 +70,10 @@ fn main() {
         }
     }
     let stats = path.section_stats();
-    println!("SONET section: {} frames, {} hunts, B1 errs {}, B2 errs {}",
-        stats.frames_ok, stats.hunts, stats.b1_errors, stats.b2_errors);
+    println!(
+        "SONET section: {} frames, {} hunts, B1 errs {}, B2 errs {}",
+        stats.frames_ok, stats.hunts, stats.b1_errors, stats.b2_errors
+    );
 
     // Read the OAM over the bus, as firmware would.
     let bus = Oam::new(rx_p5.oam.clone());
@@ -104,6 +106,9 @@ fn main() {
         "accounting hole: {accounted} vs {} sent",
         sent.len()
     );
-    assert!(delivered > sent.len() * 8 / 10, "most frames survive 1e-6 BER");
+    assert!(
+        delivered > sent.len() * 8 / 10,
+        "most frames survive 1e-6 BER"
+    );
     println!("end-to-end integrity holds: no silent corruption.");
 }

@@ -138,7 +138,10 @@ fn main() {
     );
 
     // Send one IP datagram over the negotiated link as proof.
-    a.p5.submit(Protocol::Ipv4.number(), b"ping over negotiated link".to_vec());
+    a.p5.submit(
+        Protocol::Ipv4.number(),
+        b"ping over negotiated link".to_vec(),
+    );
     for now in 200..260 {
         a.poll(now);
         b.poll(now);

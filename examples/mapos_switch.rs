@@ -57,9 +57,15 @@ impl Switch {
     fn ingress(&mut self, from: usize, wire: &[u8]) {
         let events = self.ports[from].deframer.push_bytes(wire);
         for ev in events {
-            let DeframeEvent::Frame(body) = ev else { continue };
-            let Some(&dest_octet) = body.first() else { continue };
-            let Ok(dest) = MaposAddress::new(dest_octet) else { continue };
+            let DeframeEvent::Frame(body) = ev else {
+                continue;
+            };
+            let Some(&dest_octet) = body.first() else {
+                continue;
+            };
+            let Ok(dest) = MaposAddress::new(dest_octet) else {
+                continue;
+            };
             for i in 0..self.ports.len() {
                 if i == from {
                     continue;

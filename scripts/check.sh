@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1+ gate: formatting, lints, tests, and netlist static analysis.
+# Everything runs offline against the vendored compat/ stand-ins.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace --offline
+
+echo "==> p5lint (shipped netlists)"
+cargo run -q -p p5-lint --bin p5lint --offline
+
+echo "==> all checks passed"

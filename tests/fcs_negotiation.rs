@@ -20,9 +20,12 @@ fn fcs16_reconfiguration_after_negotiation() {
     // without 32-bit support, but both-bits requests are acceptable.
     let mut negotiator = LcpNegotiator::new(1500, 7);
     let verdict = negotiator
-        .review_peer_request(&[LcpOption::FcsAlternatives(FCS_ALT_CCITT16 | FCS_ALT_CCITT32).to_raw()]);
+        .review_peer_request(&[
+            LcpOption::FcsAlternatives(FCS_ALT_CCITT16 | FCS_ALT_CCITT32).to_raw(),
+        ]);
     assert_eq!(verdict, Verdict::Ack, "16+32 offer is acceptable");
-    let verdict = negotiator.review_peer_request(&[LcpOption::FcsAlternatives(FCS_ALT_CCITT16).to_raw()]);
+    let verdict =
+        negotiator.review_peer_request(&[LcpOption::FcsAlternatives(FCS_ALT_CCITT16).to_raw()]);
     assert!(
         matches!(verdict, Verdict::Nak(_)),
         "16-only gets Nak'd toward 32 by the default policy"
@@ -120,5 +123,9 @@ fn lcp_negotiation_over_fcs16_link() {
             return;
         }
     }
-    panic!("LCP failed over the FCS-16 link: {:?}/{:?}", a.state(), b.state());
+    panic!(
+        "LCP failed over the FCS-16 link: {:?}/{:?}",
+        a.state(),
+        b.state()
+    );
 }

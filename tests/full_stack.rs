@@ -64,7 +64,9 @@ fn run_stack(
 
 #[test]
 fn clean_channel_delivers_everything_w32() {
-    let datagrams: Vec<Vec<u8>> = (0..100u8).map(|i| vec![i; 40 + 11 * i as usize % 1400]).collect();
+    let datagrams: Vec<Vec<u8>> = (0..100u8)
+        .map(|i| vec![i; 40 + 11 * i as usize % 1400])
+        .collect();
     let (got, errors) = run_stack(
         DatapathWidth::W32,
         StmLevel::Stm16,
@@ -117,7 +119,9 @@ fn adversarial_payloads_survive_the_stack() {
 fn bit_errors_are_detected_never_delivered_corrupt() {
     let datagrams: Vec<Vec<u8>> = (0..200u16)
         .map(|i| {
-            (0..100).map(|j| (i.wrapping_mul(7).wrapping_add(j) & 0xFF) as u8).collect()
+            (0..100)
+                .map(|j| (i.wrapping_mul(7).wrapping_add(j) & 0xFF) as u8)
+                .collect()
         })
         .collect();
     let (got, errors) = run_stack(

@@ -17,13 +17,12 @@ fn lqr_measures_exactly_the_channel_loss() {
     let mut mon_b = LqrMonitor::new(0xB);
     let mut rng = StdRng::seed_from_u64(404);
 
-    let mut exchange =
-        |mon_a: &mut LqrMonitor, mon_b: &mut LqrMonitor| {
-            let ra = mon_a.build_report();
-            mon_b.receive_report(LqrPacket::parse(&ra.to_bytes()).unwrap());
-            let rb = mon_b.build_report();
-            mon_a.receive_report(LqrPacket::parse(&rb.to_bytes()).unwrap());
-        };
+    let exchange = |mon_a: &mut LqrMonitor, mon_b: &mut LqrMonitor| {
+        let ra = mon_a.build_report();
+        mon_b.receive_report(LqrPacket::parse(&ra.to_bytes()).unwrap());
+        let rb = mon_b.build_report();
+        mon_a.receive_report(LqrPacket::parse(&rb.to_bytes()).unwrap());
+    };
 
     let mut prev_rx_frames = 0u32;
     let mut total_corrupted = 0u32;

@@ -187,7 +187,11 @@ fn mapped_escape_gen_matches_gate_level_at_lut_granularity() {
             gates.set_bytes("in_data", &word);
             gates.set("in_valid", valid);
             for out in ["out_data", "out_valid", "in_ready", "occupancy"] {
-                assert_eq!(luts.get(out), gates.get(out), "{mode:?} cycle {cycle} {out}");
+                assert_eq!(
+                    luts.get(out),
+                    gates.get(out),
+                    "{mode:?} cycle {cycle} {out}"
+                );
             }
             luts.step();
             gates.step();

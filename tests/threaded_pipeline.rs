@@ -90,8 +90,13 @@ fn duplex_threads_cross_traffic() {
                 p5.submit(0x0021, format!("{name}-{i}").into_bytes());
             }
             let mut got = Vec::new();
-            let mut idle_rounds = 0;
-            while idle_rounds < 50 {
+            let mut rounds = 0;
+            // Done once our transmitter has drained and the peer's
+            // `count` frames have all arrived.  The round cap turns a
+            // genuine loss bug into an assertion failure rather than a
+            // hang; an idle-count heuristic would race the peer thread's
+            // scheduling.
+            while !(p5.tx.idle() && got.len() >= count as usize) && rounds < 10_000 {
                 p5.run(256);
                 let w = p5.take_wire_out();
                 if !w.is_empty() {
@@ -104,16 +109,17 @@ fn duplex_threads_cross_traffic() {
                     progressed = true;
                 }
                 p5.run(256);
-                let frames = p5.take_received();
-                if !frames.is_empty() {
-                    progressed = true;
+                got.extend(p5.take_received());
+                if !progressed {
+                    thread::yield_now();
                 }
-                got.extend(frames);
-                if p5.tx.idle() && !progressed {
-                    idle_rounds += 1;
-                } else {
-                    idle_rounds = 0;
-                }
+                rounds += 1;
+            }
+            // Flush wire bytes produced on the final round: the peer may
+            // still be waiting on them.
+            let w = p5.take_wire_out();
+            if !w.is_empty() {
+                let _ = outbound.send(w);
             }
             got
         })
