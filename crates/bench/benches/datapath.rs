@@ -50,7 +50,7 @@ fn bench_cycle_model(c: &mut Criterion) {
             b.iter(|| {
                 let mut p5 = P5::new(width);
                 for _ in 0..8 {
-                    p5.submit(0x0021, payload.clone());
+                    p5.submit(0x0021, payload.clone()).unwrap();
                 }
                 p5.run_until_idle(10_000_000);
                 p5.take_wire_out()

@@ -1,0 +1,57 @@
+//! Wire-ingest ablation: the receiver's batched, slice-based wire path
+//! (`put_wire_in` with a whole line image, `WireBuf` underneath) versus
+//! byte-at-a-time delivery — the shape the pre-stream-layer code had
+//! with its per-byte `VecDeque` pushes.
+//!
+//! Flag density matters because flags delimit frames: a dense-flag wire
+//! image fragments into many small frames and exercises the
+//! frame-boundary bookkeeping, while a 0-density payload is one long
+//! escape-free body.  The claim checked in EXPERIMENTS.md is that the
+//! batched path is never slower at any density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p5_bench::payload_with_flag_density;
+use p5_core::{DatapathWidth, P5};
+
+/// Encode `frames` copies of `payload` into one contiguous wire image.
+fn wire_image(payload: &[u8], frames: usize) -> Vec<u8> {
+    let mut tx = P5::new(DatapathWidth::W32);
+    for _ in 0..frames {
+        tx.submit(0x0021, payload.to_vec()).unwrap();
+    }
+    tx.run_until_idle(100_000_000);
+    tx.take_wire_out()
+}
+
+fn bench_wire_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_ingest");
+    g.sample_size(10);
+    for density in [0.0, 0.05, 0.5] {
+        let payload = payload_with_flag_density(1500, density, 11);
+        let wire = wire_image(&payload, 8);
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_function(BenchmarkId::new("batched", format!("{density}")), |b| {
+            b.iter(|| {
+                let mut rx = P5::new(DatapathWidth::W32);
+                rx.put_wire_in(&wire);
+                rx.run_until_idle(100_000_000);
+                rx.take_received()
+            })
+        });
+        g.bench_function(BenchmarkId::new("per_byte", format!("{density}")), |b| {
+            b.iter(|| {
+                let mut rx = P5::new(DatapathWidth::W32);
+                for &byte in &wire {
+                    rx.put_wire_in(&[byte]);
+                    rx.clock();
+                }
+                rx.run_until_idle(100_000_000);
+                rx.take_received()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire_ingest);
+criterion_main!(benches);

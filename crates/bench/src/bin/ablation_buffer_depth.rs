@@ -19,7 +19,8 @@ fn run(capacity: usize, payload: &[u8]) -> (u64, u64, f64, usize) {
     tx.submit(TxDescriptor {
         protocol: 0x0021,
         payload: payload.to_vec(),
-    });
+    })
+    .unwrap();
     let mut cycles = 0u64;
     let mut bytes = 0u64;
     while !tx.idle() {

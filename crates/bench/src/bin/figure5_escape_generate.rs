@@ -62,7 +62,8 @@ fn sweep() {
             tx.submit(TxDescriptor {
                 protocol: 0x0021,
                 payload: p,
-            });
+            })
+            .unwrap();
         }
         let mut wire_bytes = 0u64;
         let mut cycles = 0u64;

@@ -4,27 +4,49 @@
 //! "Making use of a 32-bit bus, the system had to operate at a
 //! frequency of at least [78.125 MHz].  It is imperative that at this
 //! speed the system is able to process 32 bits every clock cycle."
+//!
+//! With `--smoke` the report runs a reduced IMIX (suitable for CI) and
+//! still writes `results/BENCH_throughput.json`, so `scripts/check.sh`
+//! can gate on the numbers existing and the shape holding.
+
+use std::fmt::Write as _;
+use std::time::Instant;
 
 use p5_bench::{heading, imix_sizes, ip_like_datagram};
 use p5_core::{DatapathWidth, P5};
 use p5_fpga::devices;
 use p5_rtl::synthesize_system;
 
-fn datapath_bytes_per_cycle(width: DatapathWidth) -> f64 {
+struct DatapathRun {
+    bytes_per_cycle: f64,
+    cycles_per_byte: f64,
+    /// Host-side simulation speed: wire bits emitted per wall-clock
+    /// second (how fast the cycle model itself runs, not the modelled
+    /// line rate).
+    sim_wall_gbps: f64,
+}
+
+fn datapath_run(width: DatapathWidth, datagrams: usize) -> DatapathRun {
     let mut p5 = P5::new(width);
-    let sizes = imix_sizes(200, 42);
-    let mut body = 0u64;
+    let sizes = imix_sizes(datagrams, 42);
     for (i, len) in sizes.iter().enumerate() {
-        p5.submit(0x0021, ip_like_datagram(*len, i as u64));
-        body += *len as u64 + 8; // header + FCS overhead counts as work
+        p5.submit(0x0021, ip_like_datagram(*len, i as u64)).unwrap();
     }
+    let started = Instant::now();
     let cycles = p5.run_until_idle(100_000_000);
-    let _ = body;
+    let wall = started.elapsed();
     let wire = p5.take_wire_out();
-    wire.len() as f64 / cycles as f64
+    let bytes_per_cycle = wire.len() as f64 / cycles as f64;
+    DatapathRun {
+        bytes_per_cycle,
+        cycles_per_byte: 1.0 / bytes_per_cycle,
+        sim_wall_gbps: wire.len() as f64 * 8.0 / wall.as_secs_f64() / 1e9,
+    }
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let datagrams = if smoke { 40 } else { 200 };
     print!(
         "{}",
         heading("Throughput report - cycle model x synthesis clock")
@@ -33,6 +55,7 @@ fn main() {
         "{:<8} {:<12} {:>12} {:>12} {:>14} {:>12}",
         "width", "device", "bytes/cycle", "fMax (MHz)", "rate (Gbps)", "target"
     );
+    let mut rows = String::new();
     for (width, w, dev_list) in [
         (
             DatapathWidth::W8,
@@ -45,25 +68,52 @@ fn main() {
             vec![devices::XCV600_4, devices::XC2V1000_6],
         ),
     ] {
-        let bpc = datapath_bytes_per_cycle(width);
+        let run = datapath_run(width, datagrams);
         for dev in dev_list {
             let r = synthesize_system(w, &dev);
-            let gbps = bpc * r.fmax_post_mhz * 1e6 * 8.0 / 1e9;
+            let gbps = run.bytes_per_cycle * r.fmax_post_mhz * 1e6 * 8.0 / 1e9;
             let target = width.line_rate_bps() as f64 / 1e9;
             println!(
                 "{:<8} {:<12} {:>12.3} {:>12.1} {:>14.3} {:>9.3}  {}",
                 format!("{}-bit", w * 8),
                 dev.name,
-                bpc,
+                run.bytes_per_cycle,
                 r.fmax_post_mhz,
                 gbps,
                 target,
                 if gbps >= target { "MET" } else { "missed" },
             );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            let _ = write!(
+                rows,
+                "    {{\"width_bits\": {}, \"device\": \"{}\", \
+                 \"bytes_per_cycle\": {:.4}, \"cycles_per_byte\": {:.4}, \
+                 \"fmax_mhz\": {:.1}, \"line_rate_gbps\": {:.4}, \
+                 \"target_gbps\": {:.4}, \"met\": {}, \
+                 \"sim_wall_gbps\": {:.4}}}",
+                w * 8,
+                dev.name,
+                run.bytes_per_cycle,
+                run.cycles_per_byte,
+                r.fmax_post_mhz,
+                gbps,
+                target,
+                gbps >= target,
+                run.sim_wall_gbps,
+            );
         }
     }
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"smoke\": {smoke},\n  \
+         \"imix_datagrams\": {datagrams},\n  \"rows\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_throughput.json", &json).expect("write results/");
+    println!("\nwrote results/BENCH_throughput.json");
     println!(
-        "\nshape check (paper): the 32-bit P5 reaches 2.5 Gbps only on \
+        "shape check (paper): the 32-bit P5 reaches 2.5 Gbps only on \
          Virtex-II technology;\nthe 8-bit baseline tops out at ~625 Mbps \
          regardless of device."
     );

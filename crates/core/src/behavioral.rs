@@ -143,7 +143,7 @@ mod tests {
             // Cycle-accurate wire.
             let mut p5 = P5::new(width);
             for (proto, payload) in &frames {
-                p5.submit(*proto, payload.clone());
+                p5.submit(*proto, payload.clone()).unwrap();
             }
             p5.run_until_idle(2_000_000);
             let wire = p5.take_wire_out();

@@ -161,7 +161,7 @@ impl Driver {
                 _ => (i * 7) as u8,
             })
             .collect();
-        dev.submit(0x0021, pattern.clone());
+        dev.submit(0x0021, pattern.clone()).unwrap();
         dev.run_until_idle(1_000_000);
         let frames = dev.take_received();
         let after = self.stats();
@@ -216,7 +216,7 @@ mod tests {
         let mut drv = Driver::new(dev.oam.clone());
         drv.init(DriverConfig::default());
         drv.set_loopback(true);
-        dev.submit(0x0021, b"stay inside".to_vec());
+        dev.submit(0x0021, b"stay inside".to_vec()).unwrap();
         dev.run_until_idle(100_000);
         assert!(dev.take_wire_out().is_empty(), "nothing may reach the PHY");
         assert_eq!(dev.take_received().len(), 1);
@@ -228,7 +228,7 @@ mod tests {
         let mut drv = Driver::new(dev.oam.clone());
         drv.init(DriverConfig::default());
         drv.set_loopback(true);
-        dev.submit(0x0021, vec![1, 2, 3]);
+        dev.submit(0x0021, vec![1, 2, 3]).unwrap();
         dev.run_until_idle(100_000);
         dev.clock();
         let events = drv.service_interrupts();
@@ -244,7 +244,7 @@ mod tests {
         drv.init(DriverConfig::default());
         drv.set_loopback(true);
         for i in 0..5u8 {
-            dev.submit(0x0021, vec![i; 10]);
+            dev.submit(0x0021, vec![i; 10]).unwrap();
         }
         dev.run_until_idle(1_000_000);
         dev.clock();
@@ -263,7 +263,7 @@ mod tests {
         drv.init(DriverConfig::default());
         drv.set_loopback(true);
         // Transmit one frame with address 0xFF...
-        dev.submit(0x0021, b"probe".to_vec());
+        dev.submit(0x0021, b"probe".to_vec()).unwrap();
         dev.run(200);
         // ...then flip the station address mid-flight.
         drv.set_address(0x0B);

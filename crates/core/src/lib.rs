@@ -42,7 +42,7 @@
 //! use p5_core::{DatapathWidth, P5};
 //!
 //! let mut dev = P5::new(DatapathWidth::W32);     // the 2.5 Gbps datapath
-//! dev.submit(0x0021, vec![0xDE, 0xAD, 0x7E]);    // an IPv4 datagram
+//! dev.submit(0x0021, vec![0xDE, 0xAD, 0x7E]).unwrap(); // an IPv4 datagram
 //! dev.run_until_idle(10_000);
 //! let wire = dev.take_wire_out();                // flagged, stuffed, FCS'd
 //!
@@ -59,6 +59,7 @@ pub mod p5;
 pub mod rx;
 pub mod stager;
 pub mod stats;
+pub mod stream;
 pub mod tx;
 pub mod word;
 
@@ -66,4 +67,10 @@ pub use firmware::{Driver, DriverConfig, LinkStats};
 pub use oam::{regs, Interrupt, MmioBus, Oam, OamHandle};
 pub use p5::{DatapathWidth, ReceivedFrame, P5};
 pub use stats::StageStats;
+pub use stream::{decap, encap, RxStage, TxStage};
+pub use tx::TxQueueFull;
 pub use word::Word;
+
+// The stream layer the stages implement (re-exported so downstream code
+// can compose stacks without naming p5-stream directly).
+pub use p5_stream::{Chain, Poll, Stack, StreamStage, Throttle, WireBuf, WordStream};

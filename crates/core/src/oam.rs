@@ -33,6 +33,8 @@ pub mod regs {
     pub const GIANTS: u32 = 0x34;
     pub const ADDR_MISMATCHES: u32 = 0x38;
     pub const HEADER_ERRORS: u32 = 0x3C;
+    /// Host submissions refused because the transmit queue was full.
+    pub const TX_REJECTS: u32 = 0x40;
 }
 
 /// CTRL register bits.
@@ -78,6 +80,7 @@ pub struct OamState {
     pub giants: u32,
     pub addr_mismatches: u32,
     pub header_errors: u32,
+    pub tx_rejects: u32,
     /// Datapath-maintained live status bits.
     pub tx_busy: bool,
     pub rx_in_frame: bool,
@@ -161,6 +164,7 @@ impl MmioBus for Oam {
             regs::GIANTS => s.giants,
             regs::ADDR_MISMATCHES => s.addr_mismatches,
             regs::HEADER_ERRORS => s.header_errors,
+            regs::TX_REJECTS => s.tx_rejects,
             _ => 0,
         }
     }

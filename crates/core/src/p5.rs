@@ -3,10 +3,10 @@
 
 use crate::oam::{ctrl, Interrupt, OamHandle};
 use crate::rx::{RxCounters, RxPipeline};
-use crate::tx::{TxDescriptor, TxPipeline};
+use crate::tx::{TxDescriptor, TxPipeline, TxQueueFull};
 use crate::word::Word;
 use p5_hdlc::FcsMode;
-use std::collections::VecDeque;
+use p5_stream::{Poll, WireBuf, WordStream};
 
 pub use crate::rx::ReceivedFrame;
 
@@ -50,10 +50,10 @@ pub struct P5 {
     pub tx: TxPipeline,
     pub rx: RxPipeline,
     pub oam: OamHandle,
-    /// Wire bytes produced, awaiting the PHY.
-    wire_out: Vec<u8>,
+    /// Wire bytes produced, awaiting the PHY (batched, tag-free).
+    wire_out: WireBuf,
     /// Wire bytes delivered by the PHY, awaiting the receiver.
-    wire_in: VecDeque<u8>,
+    wire_in: WireBuf,
     pub cycles: u64,
     tx_was_busy: bool,
     counters_snapshot: RxCounters,
@@ -86,8 +86,8 @@ impl P5 {
             tx: TxPipeline::new(w, address, fcs),
             rx,
             oam,
-            wire_out: Vec::new(),
-            wire_in: VecDeque::new(),
+            wire_out: WireBuf::new(),
+            wire_in: WireBuf::new(),
             cycles: 0,
             tx_was_busy: false,
             counters_snapshot: RxCounters::default(),
@@ -98,19 +98,51 @@ impl P5 {
         self.width
     }
 
-    /// Queue a datagram for transmission (shared-memory write).
-    pub fn submit(&mut self, protocol: u16, payload: Vec<u8>) {
-        self.tx.submit(TxDescriptor { protocol, payload });
+    /// Queue a datagram for transmission (shared-memory write).  Refused
+    /// with the descriptor handed back when the bounded transmit queue is
+    /// full (see [`crate::tx::TxControl::queue_depth`]); the refusal is
+    /// counted in `StageStats::rejects` and the OAM `TX_REJECTS` register.
+    pub fn submit(&mut self, protocol: u16, payload: Vec<u8>) -> Result<(), TxQueueFull> {
+        self.tx.submit(TxDescriptor { protocol, payload })
     }
 
     /// Wire bytes the transmitter has produced since the last call.
+    /// Returns without allocating when nothing is pending; pass the `Vec`
+    /// back through [`P5::recycle_wire_vec`] to reuse its storage.
     pub fn take_wire_out(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.wire_out)
+        self.wire_out.take_vec()
     }
 
-    /// Deliver wire bytes from the PHY to the receiver.
+    /// Hand a spent `take_wire_out` buffer back for reuse.
+    pub fn recycle_wire_vec(&mut self, v: Vec<u8>) {
+        self.wire_out.recycle(v);
+    }
+
+    /// Deliver wire bytes from the PHY to the receiver (one batched copy).
     pub fn put_wire_in(&mut self, bytes: &[u8]) {
-        self.wire_in.extend(bytes);
+        self.wire_in.push_slice(bytes);
+    }
+
+    /// Move the transmitter's pending wire bytes into `out` without
+    /// re-allocating. Returns bytes moved.
+    pub fn drain_wire_into(&mut self, out: &mut WireBuf) -> usize {
+        out.move_from(&mut self.wire_out, usize::MAX)
+    }
+
+    /// Move up to `max` wire bytes from `src` to the receiver's wire-in
+    /// buffer. Returns bytes moved.
+    pub fn offer_wire_from(&mut self, src: &mut WireBuf, max: usize) -> usize {
+        self.wire_in.move_from(src, max)
+    }
+
+    pub fn has_wire_out(&self) -> bool {
+        !self.wire_out.is_empty()
+    }
+
+    /// Wire bytes delivered by the PHY but not yet clocked into the
+    /// receiver.
+    pub fn wire_in_pending(&self) -> usize {
+        self.wire_in.len()
     }
 
     /// Frames delivered to receive shared memory since the last call.
@@ -141,20 +173,21 @@ impl P5 {
                 if loopback {
                     // Diagnostic loopback: the PHY pins never see the
                     // data; it re-enters the receiver directly.
-                    self.wire_in.extend(w.lanes().iter().copied());
+                    self.wire_in.push_slice(w.lanes());
                 } else {
-                    self.wire_out.extend_from_slice(w.lanes());
+                    self.wire_out.push_slice(w.lanes());
                 }
             }
         }
         if rx_en {
             let input = if self.rx.ready() && !self.wire_in.is_empty() {
-                let n = self.width.bytes().min(self.wire_in.len());
-                let mut buf = [0u8; 4];
-                for (slot, b) in buf.iter_mut().zip(self.wire_in.drain(..n)) {
-                    *slot = b;
-                }
-                Some(Word::data(&buf[..n]))
+                // Slice-batched ingest: peek the next word's lanes in
+                // place, then bump the cursor — no per-byte dequeue.
+                let avail = self.wire_in.as_slice();
+                let n = self.width.bytes().min(avail.len());
+                let w = Word::data(&avail[..n]);
+                self.wire_in.consume(n);
+                Some(w)
             } else {
                 None
             };
@@ -215,6 +248,7 @@ impl P5 {
             s.addr_mismatches = c.address_mismatches as u32;
             s.header_errors = c.header_errors as u32;
             s.tx_frames = self.tx.control.frames_sent as u32;
+            s.tx_rejects = self.tx.control.submit_rejects as u32;
         });
         if new_frames {
             self.oam.raise(Interrupt::RxFrame);
@@ -225,6 +259,21 @@ impl P5 {
         if tx_done_edge {
             self.oam.raise(Interrupt::TxDone);
         }
+    }
+}
+
+/// The device's PHY pins as a [`WordStream`]: `offer` is the PHY
+/// delivering receive-direction wire bytes, `drain` is the PHY pulling
+/// transmit-direction wire bytes.  Neither call clocks the device — the
+/// driver loop (or a [`crate::stream::TxStage`]/[`crate::stream::RxStage`]
+/// wrapper, which do clock it) stays in charge of time.
+impl WordStream for P5 {
+    fn offer(&mut self, input: &mut WireBuf) -> Poll {
+        Poll::Ready(self.wire_in.move_from(input, usize::MAX))
+    }
+
+    fn drain(&mut self, output: &mut WireBuf) -> Poll {
+        Poll::Ready(output.move_from(&mut self.wire_out, usize::MAX))
     }
 }
 
@@ -254,7 +303,7 @@ mod tests {
         let (mut a, mut b) = link_pair(DatapathWidth::W32);
         let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 50 + i as usize]).collect();
         for p in &payloads {
-            a.submit(0x0021, p.clone());
+            a.submit(0x0021, p.clone()).unwrap();
         }
         shuttle(&mut a, &mut b, 2000);
         let got = b.take_received();
@@ -269,7 +318,8 @@ mod tests {
     #[test]
     fn loopback_delivers_datagrams_w8() {
         let (mut a, mut b) = link_pair(DatapathWidth::W8);
-        a.submit(0x0057, b"ipv6 over the byte pipe".to_vec());
+        a.submit(0x0057, b"ipv6 over the byte pipe".to_vec())
+            .unwrap();
         shuttle(&mut a, &mut b, 2000);
         let got = b.take_received();
         assert_eq!(got.len(), 1);
@@ -281,8 +331,8 @@ mod tests {
         let mut w8 = P5::new(DatapathWidth::W8);
         let mut w32 = P5::new(DatapathWidth::W32);
         for p in [&b"alpha"[..], &[0x7E, 0x7D, 0x00, 0x7E][..], &b"omega"[..]] {
-            w8.submit(0x0021, p.to_vec());
-            w32.submit(0x0021, p.to_vec());
+            w8.submit(0x0021, p.to_vec()).unwrap();
+            w32.submit(0x0021, p.to_vec()).unwrap();
         }
         w8.run_until_idle(100_000);
         w32.run_until_idle(100_000);
@@ -303,7 +353,7 @@ mod tests {
             regs::INT_ENABLE,
             Interrupt::RxFrame as u32 | Interrupt::RxError as u32,
         );
-        a.submit(0x0021, b"ding".to_vec());
+        a.submit(0x0021, b"ding".to_vec()).unwrap();
         shuttle(&mut a, &mut b, 500);
         assert!(b.oam.irq_asserted());
         assert_eq!(bus.read(regs::RX_FRAMES), 1);
@@ -311,7 +361,7 @@ mod tests {
         assert!(!b.oam.irq_asserted());
 
         // Now a corrupted frame.
-        a.submit(0x0021, b"to be broken".to_vec());
+        a.submit(0x0021, b"to be broken".to_vec()).unwrap();
         a.run_until_idle(10_000);
         let mut wire = a.take_wire_out();
         wire[5] ^= 0x10;
@@ -329,7 +379,7 @@ mod tests {
         // Switch both stations to MAPOS address 0x05.
         a_bus.write(regs::ADDRESS, 0x05);
         b_bus.write(regs::ADDRESS, 0x05);
-        a.submit(0x0021, b"mapos frame".to_vec());
+        a.submit(0x0021, b"mapos frame".to_vec()).unwrap();
         shuttle(&mut a, &mut b, 500);
         let got = b.take_received();
         assert_eq!(got.len(), 1);
@@ -342,7 +392,7 @@ mod tests {
         let (mut a, mut b) = link_pair(DatapathWidth::W32);
         let mut bus = Oam::new(b.oam.clone());
         bus.write(regs::CTRL, ctrl::TX_ENABLE); // rx disabled
-        a.submit(0x0021, b"unheard".to_vec());
+        a.submit(0x0021, b"unheard".to_vec()).unwrap();
         shuttle(&mut a, &mut b, 500);
         assert!(b.take_received().is_empty());
     }
@@ -352,7 +402,7 @@ mod tests {
         let mut a = P5::new(DatapathWidth::W32);
         let mut bus = Oam::new(a.oam.clone());
         bus.write(regs::INT_ENABLE, Interrupt::TxDone as u32);
-        a.submit(0x0021, vec![0u8; 64]);
+        a.submit(0x0021, vec![0u8; 64]).unwrap();
         a.run_until_idle(10_000);
         a.clock();
         assert!(a.oam.irq_asserted());
@@ -365,7 +415,7 @@ mod tests {
         let mut p = P5::new(DatapathWidth::W32);
         let payload = vec![0x55u8; 1500];
         for _ in 0..20 {
-            p.submit(0x0021, payload.clone());
+            p.submit(0x0021, payload.clone()).unwrap();
         }
         let cycles = p.run_until_idle(200_000);
         let wire = p.take_wire_out();
@@ -374,10 +424,50 @@ mod tests {
     }
 
     #[test]
+    fn bounded_submit_backpressures_and_counts_rejects() {
+        let mut a = P5::new(DatapathWidth::W32);
+        a.tx.control.queue_depth = 4;
+        for i in 0..4u8 {
+            a.submit(0x0021, vec![i; 8]).unwrap();
+        }
+        let err = a.submit(0x0021, vec![9; 8]).unwrap_err();
+        assert_eq!(err.0.payload, vec![9; 8], "descriptor handed back");
+        assert_eq!(a.tx.control.submit_rejects, 1);
+        assert_eq!(a.tx.control.stats.rejects, 1);
+        a.clock();
+        let bus = Oam::new(a.oam.clone());
+        assert_eq!(bus.read(regs::TX_REJECTS), 1);
+        // Once the queue drains, submissions are accepted again.
+        a.run_until_idle(10_000);
+        a.submit(0x0021, vec![1]).unwrap();
+    }
+
+    #[test]
+    fn take_wire_out_reuses_recycled_capacity() {
+        let mut a = P5::new(DatapathWidth::W32);
+        assert!(
+            a.take_wire_out().capacity() == 0,
+            "empty take allocates nothing"
+        );
+        a.submit(0x0021, vec![0x42; 256]).unwrap();
+        a.run_until_idle(10_000);
+        let wire = a.take_wire_out();
+        let cap = wire.capacity();
+        assert!(cap >= 256);
+        a.recycle_wire_vec(wire);
+        a.submit(0x0021, vec![0x43; 256]).unwrap();
+        a.run_until_idle(10_000);
+        assert!(
+            a.take_wire_out().capacity() >= cap,
+            "recycled storage reused"
+        );
+    }
+
+    #[test]
     fn duplex_traffic_both_directions() {
         let (mut a, mut b) = link_pair(DatapathWidth::W32);
-        a.submit(0x0021, b"a to b".to_vec());
-        b.submit(0x0021, b"b to a".to_vec());
+        a.submit(0x0021, b"a to b".to_vec()).unwrap();
+        b.submit(0x0021, b"b to a".to_vec()).unwrap();
         shuttle(&mut a, &mut b, 1000);
         assert_eq!(b.take_received()[0].payload, b"a to b");
         assert_eq!(a.take_received()[0].payload, b"b to a");

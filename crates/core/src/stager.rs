@@ -169,6 +169,25 @@ impl ByteStager {
         }
         Some(word)
     }
+
+    /// Pop every currently-complete word straight into a caller-provided
+    /// [`p5_stream::WireBuf`], carrying the SOF/EOF/abort tags across as
+    /// tagged lanes.  This is the batched egress path: one call empties
+    /// the stager without intermediate `Word` shuttling by the caller.
+    /// Returns the number of bytes moved.
+    pub fn pop_words_into(
+        &mut self,
+        width: usize,
+        force: bool,
+        out: &mut p5_stream::WireBuf,
+    ) -> usize {
+        let mut moved = 0;
+        while let Some(w) = self.pop_word(width, force) {
+            out.push_tagged(w.lanes(), w.sof, w.eof, w.abort);
+            moved += w.lanes().len();
+        }
+        moved
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +302,20 @@ mod tests {
         assert_eq!(s.free(), 5);
         s.pop_word(4, false);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pop_words_into_carries_tags_into_wirebuf() {
+        let mut s = ByteStager::new(32);
+        push_frame(&mut s, &[1, 2, 3, 4, 5]);
+        push_frame(&mut s, &[6, 7]);
+        let mut out = p5_stream::WireBuf::new();
+        let moved = s.pop_words_into(4, false, &mut out);
+        assert_eq!(moved, 7);
+        assert!(s.is_empty());
+        assert_eq!(out.frames_ready(), 2);
+        assert_eq!(out.pop_frame().unwrap().0, vec![1, 2, 3, 4, 5]);
+        assert_eq!(out.pop_frame().unwrap().0, vec![6, 7]);
     }
 
     #[test]

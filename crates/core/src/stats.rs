@@ -1,84 +1,8 @@
-//! Per-stage instrumentation: the observables behind the paper's
-//! Figure 5/6 discussion (stalls, buffer occupancy, backpressure).
+//! Per-stage instrumentation.
+//!
+//! `StageStats` moved to the `p5-stream` crate (it instruments generic
+//! [`p5_stream::StreamStage`]s and `Stack` boundaries as well as the
+//! cycle-accurate stages here); this module re-exports it so existing
+//! `p5_core::stats::StageStats` / `p5_core::StageStats` paths keep working.
 
-/// Counters every pipeline stage maintains.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageStats {
-    /// Clock cycles seen.
-    pub cycles: u64,
-    /// Cycles in which the stage refused input (backpressure asserted
-    /// upstream).
-    pub stall_cycles: u64,
-    /// Words accepted.
-    pub words_in: u64,
-    /// Words emitted.
-    pub words_out: u64,
-    /// Payload bytes emitted.
-    pub bytes_out: u64,
-    /// High-water mark of the internal staging/resynchronisation buffer,
-    /// in bytes (or items).
-    pub max_occupancy: usize,
-    /// Cycles in which the output was starved (nothing to emit while the
-    /// sink was ready) — the receive-side "bubbles" of Figure 6.
-    pub bubble_cycles: u64,
-}
-
-impl StageStats {
-    pub fn note_occupancy(&mut self, occ: usize) {
-        if occ > self.max_occupancy {
-            self.max_occupancy = occ;
-        }
-    }
-
-    /// Fraction of cycles spent refusing input.
-    pub fn stall_rate(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.stall_cycles as f64 / self.cycles as f64
-        }
-    }
-
-    /// Mean output bytes per cycle — the throughput the paper quotes as
-    /// "able to process 32 bits every clock cycle".
-    pub fn bytes_per_cycle(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.bytes_out as f64 / self.cycles as f64
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn rates() {
-        let s = StageStats {
-            cycles: 100,
-            stall_cycles: 25,
-            bytes_out: 320,
-            ..Default::default()
-        };
-        assert!((s.stall_rate() - 0.25).abs() < 1e-12);
-        assert!((s.bytes_per_cycle() - 3.2).abs() < 1e-12);
-    }
-
-    #[test]
-    fn empty_stats_do_not_divide_by_zero() {
-        let s = StageStats::default();
-        assert_eq!(s.stall_rate(), 0.0);
-        assert_eq!(s.bytes_per_cycle(), 0.0);
-    }
-
-    #[test]
-    fn occupancy_high_water() {
-        let mut s = StageStats::default();
-        s.note_occupancy(3);
-        s.note_occupancy(9);
-        s.note_occupancy(5);
-        assert_eq!(s.max_occupancy, 9);
-    }
-}
+pub use p5_stream::StageStats;

@@ -1,0 +1,287 @@
+//! [`StreamStage`] adapters for the cycle-accurate device: the P⁵'s two
+//! shared-memory ends as composable stages.
+//!
+//! Frame convention on tagged streams at the packet boundary: each frame
+//! is `[protocol_hi, protocol_lo, payload...]` (the PPP protocol number in
+//! its 2-byte form, then the datagram).  [`encap`]/[`decap`] build and
+//! split that shape.  [`TxStage`] consumes such frames and emits raw wire
+//! octets; [`RxStage`] consumes raw wire octets and emits such frames —
+//! so `stack![TxStage::new(..), RxStage::new(..)]` is the identity on
+//! `(protocol, payload)` pairs, modulo the device's error counters.
+
+use crate::p5::P5;
+use p5_stream::{Poll, StageStats, StreamStage, WireBuf, WordStream};
+
+/// Append one `[proto_be, payload]` frame to a tagged stream.
+pub fn encap(protocol: u16, payload: &[u8], out: &mut WireBuf) {
+    out.begin_frame();
+    out.extend_frame(&protocol.to_be_bytes());
+    out.extend_frame(payload);
+    out.end_frame(false);
+}
+
+/// Split a `[proto_be, payload]` frame.
+pub fn decap(frame: &[u8]) -> Option<(u16, &[u8])> {
+    if frame.len() < 2 {
+        return None;
+    }
+    Some((u16::from_be_bytes([frame[0], frame[1]]), &frame[2..]))
+}
+
+/// Transmit half of a P⁵ as a stage: tagged `[proto, payload]` frames in,
+/// raw wire octets out.  Each `drain` call runs the device for up to
+/// `burst` clocks, so a `Stack` step advances device time.
+pub struct TxStage {
+    dev: P5,
+    burst: u64,
+    scratch: Vec<u8>,
+    stats: StageStats,
+}
+
+impl TxStage {
+    pub fn new(dev: P5) -> Self {
+        Self::with_burst(dev, 256)
+    }
+
+    /// `burst` = device clocks ticked per `drain` call (one `Stack` step).
+    pub fn with_burst(dev: P5, burst: u64) -> Self {
+        TxStage {
+            dev,
+            burst: burst.max(1),
+            scratch: Vec::new(),
+            stats: StageStats::default(),
+        }
+    }
+
+    pub fn device(&self) -> &P5 {
+        &self.dev
+    }
+
+    pub fn device_mut(&mut self) -> &mut P5 {
+        &mut self.dev
+    }
+
+    pub fn into_device(self) -> P5 {
+        self.dev
+    }
+}
+
+impl WordStream for TxStage {
+    fn offer(&mut self, input: &mut WireBuf) -> Poll {
+        let mut accepted = 0;
+        while input.frame_ready() {
+            if self.dev.tx.control.queue_free() == 0 {
+                // Bounded shared-memory queue full: deassert ready.
+                self.stats.stall_cycles += 1;
+                return if accepted == 0 {
+                    Poll::Blocked
+                } else {
+                    Poll::Ready(accepted)
+                };
+            }
+            let meta = input
+                .pop_frame_into(&mut self.scratch)
+                .expect("frame_ready() guarantees a complete frame");
+            accepted += meta.len;
+            self.stats.words_in += 1;
+            if meta.abort {
+                continue; // an aborted frame never reaches the queue
+            }
+            if let Some((protocol, payload)) = decap(&self.scratch) {
+                self.dev
+                    .submit(protocol, payload.to_vec())
+                    .expect("queue_free checked above");
+            }
+        }
+        Poll::Ready(accepted)
+    }
+
+    fn drain(&mut self, output: &mut WireBuf) -> Poll {
+        for _ in 0..self.burst {
+            if self.is_idle() && !self.dev.has_wire_out() {
+                break;
+            }
+            self.dev.clock();
+        }
+        let n = self.dev.drain_wire_into(output);
+        self.stats.words_out += u64::from(n > 0);
+        self.stats.bytes_out += n as u64;
+        Poll::Ready(n)
+    }
+}
+
+impl StreamStage for TxStage {
+    fn name(&self) -> &'static str {
+        "p5-tx"
+    }
+
+    fn is_idle(&self) -> bool {
+        let tx = &self.dev.tx;
+        // In idle_fill mode the escape unit never idles (continuous
+        // line); the stage is done when the frame sources have drained.
+        let datapath_idle = if tx.escape.idle_fill {
+            tx.source_idle()
+        } else {
+            tx.idle()
+        };
+        datapath_idle && !self.dev.has_wire_out()
+    }
+
+    fn stats(&self) -> StageStats {
+        let mut s = self.stats;
+        s.cycles = self.dev.cycles;
+        s.rejects = self.dev.tx.control.submit_rejects;
+        s
+    }
+}
+
+/// Receive half of a P⁵ as a stage: raw wire octets in, tagged
+/// `[proto, payload]` frames out.  `offer` clocks the device while it
+/// chews the delivered bytes (up to `burst` words per call).
+pub struct RxStage {
+    dev: P5,
+    burst: u64,
+    stats: StageStats,
+}
+
+impl RxStage {
+    pub fn new(dev: P5) -> Self {
+        Self::with_burst(dev, 256)
+    }
+
+    pub fn with_burst(dev: P5, burst: u64) -> Self {
+        RxStage {
+            dev,
+            burst: burst.max(1),
+            stats: StageStats::default(),
+        }
+    }
+
+    pub fn device(&self) -> &P5 {
+        &self.dev
+    }
+
+    pub fn device_mut(&mut self) -> &mut P5 {
+        &mut self.dev
+    }
+
+    pub fn into_device(self) -> P5 {
+        self.dev
+    }
+}
+
+impl WordStream for RxStage {
+    fn offer(&mut self, input: &mut WireBuf) -> Poll {
+        let max = (self.burst as usize) * self.dev.width().bytes();
+        let n = self.dev.offer_wire_from(input, max);
+        self.stats.words_in += u64::from(n > 0);
+        // Clock the receiver through what it was just handed (bounded:
+        // destuffing shrinks, so 2x the word budget always suffices).
+        let mut budget = 2 * self.burst;
+        while self.dev.wire_in_pending() > 0 && budget > 0 {
+            self.dev.clock();
+            budget -= 1;
+        }
+        Poll::Ready(n)
+    }
+
+    fn drain(&mut self, output: &mut WireBuf) -> Poll {
+        // A few trailing clocks flush the pipeline latches after the wire
+        // goes quiet.
+        for _ in 0..8 {
+            if self.dev.rx.idle() {
+                break;
+            }
+            self.dev.clock();
+        }
+        let mut n = 0;
+        for f in self.dev.take_received() {
+            output.begin_frame();
+            output.extend_frame(&f.protocol.to_be_bytes());
+            output.extend_frame(&f.payload);
+            output.end_frame(false);
+            n += 2 + f.payload.len();
+            self.stats.words_out += 1;
+        }
+        self.stats.bytes_out += n as u64;
+        Poll::Ready(n)
+    }
+}
+
+impl StreamStage for RxStage {
+    fn name(&self) -> &'static str {
+        "p5-rx"
+    }
+
+    fn is_idle(&self) -> bool {
+        self.dev.rx.idle() && self.dev.wire_in_pending() == 0
+    }
+
+    fn stats(&self) -> StageStats {
+        let mut s = self.stats;
+        s.cycles = self.dev.cycles;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::p5::DatapathWidth;
+    use p5_stream::stack;
+
+    #[test]
+    fn tx_then_rx_stack_is_identity_on_datagrams() {
+        let mut s = stack![
+            TxStage::new(P5::new(DatapathWidth::W32)),
+            RxStage::new(P5::new(DatapathWidth::W32)),
+        ];
+        let payloads: Vec<Vec<u8>> = vec![
+            b"first".to_vec(),
+            vec![0x7E, 0x7D, 0x20, 0x7E],
+            (0..=255).collect(),
+        ];
+        for p in &payloads {
+            encap(0x0021, p, s.input());
+        }
+        assert!(s.run_until_idle(500), "stack failed to drain");
+        let mut got = Vec::new();
+        let mut frame = Vec::new();
+        while s.output().pop_frame_into(&mut frame).is_some() {
+            let (proto, payload) = decap(&frame).unwrap();
+            assert_eq!(proto, 0x0021);
+            got.push(payload.to_vec());
+        }
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn tx_stage_blocks_when_queue_full() {
+        let dev = P5::new(DatapathWidth::W32);
+        let mut tx = TxStage::new(dev);
+        tx.device_mut().tx.control.queue_depth = 1;
+        let mut input = WireBuf::new();
+        encap(0x0021, &[1, 2, 3], &mut input);
+        encap(0x0021, &[4, 5, 6], &mut input);
+        // First frame fits, second must stay in the buffer.
+        assert_eq!(tx.offer(&mut input), Poll::Ready(5));
+        assert_eq!(input.frames_ready(), 1, "second frame still queued");
+        assert!(tx.offer(&mut input).is_blocked());
+        // Drain the device, then the held frame goes through.
+        let mut wire = WireBuf::new();
+        tx.drain(&mut wire);
+        assert_eq!(tx.offer(&mut input), Poll::Ready(5));
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn w8_and_w32_stacks_agree() {
+        for width in [DatapathWidth::W8, DatapathWidth::W32] {
+            let mut s = stack![TxStage::new(P5::new(width)), RxStage::new(P5::new(width)),];
+            encap(0x8021, b"ipcp conf-req", s.input());
+            assert!(s.run_until_idle(2000));
+            let (frame, _) = s.output().pop_frame().unwrap();
+            assert_eq!(decap(&frame).unwrap(), (0x8021, &b"ipcp conf-req"[..]));
+        }
+    }
+}

@@ -18,6 +18,24 @@ pub struct TxDescriptor {
     pub payload: Vec<u8>,
 }
 
+/// The shared-memory transmit queue was full; the descriptor is handed
+/// back so the host can retry once the queue drains — this is the
+/// host-facing face of the pipeline's backpressure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxQueueFull(pub TxDescriptor);
+
+impl std::fmt::Display for TxQueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transmit queue full (frame of {} bytes refused)",
+            self.0.payload.len()
+        )
+    }
+}
+
+impl std::error::Error for TxQueueFull {}
+
 /// Transmit control unit: fetches descriptors from shared memory,
 /// prepends the (programmable) address, control and protocol fields, and
 /// streams the frame body one word per clock.
@@ -31,25 +49,48 @@ pub struct TxControl {
     /// Programmable station address (OAM register; 0xFF default, other
     /// values for MAPOS).
     pub address: u8,
+    /// Shared-memory queue bound: descriptors beyond this are refused
+    /// (configurable; the hardware queue is a fixed BRAM).
+    pub queue_depth: usize,
     /// Complete frames streamed out.
     pub frames_sent: u64,
+    /// Descriptors refused because the queue was full.
+    pub submit_rejects: u64,
     pub stats: StageStats,
 }
 
 impl TxControl {
+    /// Default shared-memory queue bound.
+    pub const DEFAULT_QUEUE_DEPTH: usize = 512;
+
     pub fn new(width: usize, address: u8) -> Self {
         Self {
             width,
             queue: VecDeque::new(),
             cur: None,
             address,
+            queue_depth: Self::DEFAULT_QUEUE_DEPTH,
             frames_sent: 0,
+            submit_rejects: 0,
             stats: StageStats::default(),
         }
     }
 
-    pub fn submit(&mut self, desc: TxDescriptor) {
+    /// Queue a descriptor, or refuse it (handing it back) when the
+    /// shared-memory queue is at its configured depth.
+    pub fn submit(&mut self, desc: TxDescriptor) -> Result<(), TxQueueFull> {
+        if self.queue.len() >= self.queue_depth {
+            self.submit_rejects += 1;
+            self.stats.rejects += 1;
+            return Err(TxQueueFull(desc));
+        }
         self.queue.push_back(desc);
+        Ok(())
+    }
+
+    /// Descriptor slots still free in the shared-memory queue.
+    pub fn queue_free(&self) -> usize {
+        self.queue_depth.saturating_sub(self.queue.len())
     }
 
     pub fn pending_frames(&self) -> usize {
@@ -380,8 +421,19 @@ impl TxPipeline {
         }
     }
 
-    pub fn submit(&mut self, desc: TxDescriptor) {
-        self.control.submit(desc);
+    pub fn submit(&mut self, desc: TxDescriptor) -> Result<(), TxQueueFull> {
+        self.control.submit(desc)
+    }
+
+    /// The frame *sources* (control + CRC and the latches between them)
+    /// have drained; only the escape unit may still hold wire bytes.  In
+    /// `idle_fill` mode the escape unit never idles (the line is
+    /// continuous), so this is the termination condition driver loops use.
+    pub fn source_idle(&self) -> bool {
+        self.control.idle()
+            && self.crc.idle()
+            && self.latch_ctl_crc.is_none()
+            && self.latch_crc_esc.is_none()
     }
 
     /// Drop the inter-stage latches (test hook for abort scenarios —
@@ -445,7 +497,7 @@ mod tests {
     fn run_to_wire(width: usize, frames: &[TxDescriptor]) -> Vec<u8> {
         let mut tx = TxPipeline::new(width, 0xFF, FcsMode::Fcs32);
         for f in frames {
-            tx.submit(f.clone());
+            tx.submit(f.clone()).unwrap();
         }
         let mut wire = Vec::new();
         for _ in 0..200_000 {
@@ -506,7 +558,7 @@ mod tests {
             payload: vec![0x7E; 256],
         }];
         let mut tx = TxPipeline::new(4, 0xFF, FcsMode::Fcs32);
-        tx.submit(frames[0].clone());
+        tx.submit(frames[0].clone()).unwrap();
         let mut wire = Vec::new();
         while !tx.idle() {
             if let Some(w) = tx.clock(true) {
@@ -583,7 +635,8 @@ mod tests {
         tx.submit(TxDescriptor {
             protocol: 0x0021,
             payload: vec![0x11; 4000],
-        });
+        })
+        .unwrap();
         let mut out_words = 0u64;
         let mut cycles = 0u64;
         while !tx.idle() {
@@ -627,7 +680,8 @@ mod tests {
         tx.submit(TxDescriptor {
             protocol: 0x0021,
             payload: b"short fcs".to_vec(),
-        });
+        })
+        .unwrap();
         let mut wire = Vec::new();
         while !tx.idle() {
             if let Some(w) = tx.clock(true) {
@@ -646,7 +700,7 @@ mod tests {
             payload: (0..=255u8).collect(),
         }];
         let mut tx = TxPipeline::new(4, 0xFF, FcsMode::Fcs32);
-        tx.submit(frames[0].clone());
+        tx.submit(frames[0].clone()).unwrap();
         let mut wire = Vec::new();
         let mut i = 0u64;
         while !tx.idle() {
@@ -675,7 +729,8 @@ mod abort_tests {
         tx.submit(TxDescriptor {
             protocol: 0x0021,
             payload: vec![0x11; 400],
-        });
+        })
+        .unwrap();
         let mut wire = Vec::new();
         // Transmit part of the frame, then pull the plug.
         for i in 0..40 {

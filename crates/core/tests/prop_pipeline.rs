@@ -45,7 +45,7 @@ proptest! {
         stalls.push(true);
         let mut tx = TxPipeline::new(width, 0xFF, FcsMode::Fcs32);
         for f in &frames {
-            tx.submit(TxDescriptor { protocol: 0x0021, payload: f.clone() });
+            tx.submit(TxDescriptor { protocol: 0x0021, payload: f.clone() }).unwrap();
         }
         let mut wire = Vec::new();
         let mut i = 0usize;
@@ -113,7 +113,7 @@ proptest! {
     ) {
         let mut tx = TxPipeline::new(4, 0xFF, FcsMode::Fcs32);
         let specials = payload.iter().filter(|&&b| b == 0x7E || b == 0x7D).count();
-        tx.submit(TxDescriptor { protocol: 0x0021, payload: payload.clone() });
+        tx.submit(TxDescriptor { protocol: 0x0021, payload: payload.clone() }).unwrap();
         let mut wire_len = 0usize;
         while !tx.idle() {
             if let Some(w) = tx.clock(true) {

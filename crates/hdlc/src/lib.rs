@@ -35,11 +35,13 @@
 pub mod bitstuff;
 pub mod deframer;
 pub mod framer;
+pub mod stream;
 pub mod stuff;
 
 pub use bitstuff::{bitstuff_frame, bitstuff_overhead_bits, bitunstuff_stream};
 pub use deframer::{DeframeEvent, Deframer, DeframerConfig, FrameError, RxStats};
 pub use framer::{Framer, FramerConfig};
+pub use stream::{DeframerStage, FramerStage};
 pub use stuff::{destuff, stuff, stuff_into, Accm, DestuffOutcome};
 
 /// The HDLC flag octet delimiting every frame.

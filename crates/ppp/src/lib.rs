@@ -44,9 +44,11 @@ pub mod mapos;
 pub mod pap;
 pub mod protocol;
 pub mod session;
+pub mod stream;
 
 pub use frame::{FieldCompression, FrameCodec, FrameError, PppFrame};
 pub use fsm::{Action, Automaton, Event, State};
 pub use lcp::{ConfigOption, LcpOption, Packet, PacketCode};
 pub use protocol::Protocol;
 pub use session::{Session, SessionEvent};
+pub use stream::EndpointStage;

@@ -39,9 +39,11 @@ pub mod frame;
 pub mod mux;
 pub mod path;
 pub mod scramble;
+pub mod stream;
 
 pub use channel::{BitErrorChannel, ChannelStats};
 pub use frame::{FrameReceiver, FrameTransmitter, RxDefect, SectionStats, StmLevel};
 pub use mux::{deinterleave, interleave};
 pub use path::{ByteLink, OcPath};
 pub use scramble::{FrameScrambler, PayloadScrambler};
+pub use stream::{ChannelStage, OcPathStage};

@@ -1,0 +1,26 @@
+//! p5-stream — the behavioural counterpart of the RTL handshake convention.
+//!
+//! The P5 netlists wire every stage together with the same four-signal
+//! interface (`in_data`/`in_valid`/`in_ready`, `out_*`), and p5-lint rules
+//! P5L008–P5L010 hold RTL to that discipline.  This crate is the software
+//! analogue: a [`WordStream`] moves bytes in *batches* through a [`WireBuf`]
+//! (tagged SOF/EOF/abort word lanes ride alongside the data, like the
+//! sideband strobes of the hardware bus), [`Poll::Blocked`] is the
+//! deasserted `ready`, and [`Stack`] sweeps stages sink→source each step so
+//! backpressure propagates combinationally backwards exactly as in the RTL
+//! pipeline of the paper's Figure 3/4.
+//!
+//! Protocol crates implement [`StreamStage`] for their framers, channels and
+//! devices; [`Stack::compose`] (or the [`stack!`] macro) then chains any
+//! sequence of them with elastic buffers at each boundary and per-boundary
+//! [`StageStats`] hooks.
+
+pub mod buf;
+pub mod stack;
+pub mod stage;
+pub mod stats;
+
+pub use buf::{FrameMeta, WireBuf};
+pub use stack::{Chain, Stack};
+pub use stage::{Pipe, Poll, StreamStage, Throttle, WordStream};
+pub use stats::StageStats;

@@ -1,0 +1,297 @@
+//! `Chain` and `Stack`: generic composition of [`StreamStage`]s with an
+//! elastic `WireBuf` at every boundary.
+//!
+//! `Stack::step` sweeps the stages **sink→source**, the same evaluation
+//! order the cycle model uses inside `TxPipeline::clock`: the downstream
+//! stage drains (freeing space / deciding its ready) before the upstream
+//! boundary offers, so backpressure propagates backwards through the whole
+//! stack within one step, exactly like the combinational `ready` chain of
+//! the RTL (lint rules P5L008–P5L010 police the same property in netlists).
+
+use crate::buf::WireBuf;
+use crate::stage::{Poll, StreamStage, WordStream};
+use crate::stats::StageStats;
+
+/// Static two-stage composition.  `Chain` is itself a [`StreamStage`], so
+/// arbitrary trees compose without boxing.
+#[derive(Debug)]
+pub struct Chain<A, B> {
+    pub first: A,
+    pub second: B,
+    mid: WireBuf,
+}
+
+impl<A: StreamStage, B: StreamStage> Chain<A, B> {
+    pub fn new(first: A, second: B) -> Self {
+        Chain {
+            first,
+            second,
+            mid: WireBuf::new(),
+        }
+    }
+
+    fn shuttle(&mut self) {
+        self.first.drain(&mut self.mid);
+        self.second.offer(&mut self.mid);
+    }
+}
+
+impl<A: StreamStage, B: StreamStage> WordStream for Chain<A, B> {
+    fn offer(&mut self, input: &mut WireBuf) -> Poll {
+        let r = self.first.offer(input);
+        self.shuttle();
+        r
+    }
+
+    fn drain(&mut self, output: &mut WireBuf) -> Poll {
+        self.shuttle();
+        self.second.drain(output)
+    }
+}
+
+impl<A: StreamStage, B: StreamStage> StreamStage for Chain<A, B> {
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn is_idle(&self) -> bool {
+        self.first.is_idle() && self.second.is_idle() && self.mid.is_empty()
+    }
+
+    fn finish(&mut self) {
+        self.first.finish();
+        self.shuttle();
+        self.second.finish();
+    }
+
+    fn stats(&self) -> StageStats {
+        let mut s = self.first.stats();
+        s.absorb(&self.second.stats());
+        s
+    }
+}
+
+/// Dynamic N-stage composition: any sequence of boxed stages joined by
+/// elastic `WireBuf`s, with a [`StageStats`] hook per boundary.
+pub struct Stack {
+    stages: Vec<Box<dyn StreamStage>>,
+    /// `stages.len() + 1` buffers; `bufs[i]` feeds `stages[i]`, the last is
+    /// the stack output.
+    bufs: Vec<WireBuf>,
+    /// `boundary[i]` instruments the interface in front of `stages[i]`
+    /// (`bytes_out` = bytes delivered *into* that buffer by the upstream
+    /// stage, `stall_cycles` = sweeps in which `stages[i]` blocked,
+    /// `bubble_cycles` = sweeps it was starved).  `boundary[len]` is the
+    /// stack output.
+    boundary: Vec<StageStats>,
+    steps: u64,
+}
+
+impl Stack {
+    /// Compose stages source→sink.  See also the [`crate::stack!`] macro.
+    ///
+    /// # Panics
+    /// Panics if `stages` is empty.
+    pub fn compose(stages: Vec<Box<dyn StreamStage>>) -> Self {
+        assert!(
+            !stages.is_empty(),
+            "Stack::compose needs at least one stage"
+        );
+        let n = stages.len();
+        Stack {
+            stages,
+            bufs: (0..=n).map(|_| WireBuf::new()).collect(),
+            boundary: vec![StageStats::default(); n + 1],
+            steps: 0,
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The buffer feeding the first stage — push frames/bytes here.
+    pub fn input(&mut self) -> &mut WireBuf {
+        self.bufs.first_mut().expect("stack has >= 1 stage")
+    }
+
+    /// The buffer the last stage drains into — pop results here.
+    pub fn output(&mut self) -> &mut WireBuf {
+        self.bufs.last_mut().expect("stack has >= 1 stage")
+    }
+
+    /// One sink→source sweep.  Every stage first drains into its output
+    /// boundary, then consumes from its input boundary.  Returns the total
+    /// bytes that crossed any boundary this sweep.
+    pub fn step(&mut self) -> usize {
+        self.steps += 1;
+        let n = self.stages.len();
+        let mut moved = 0;
+        for i in (0..n).rev() {
+            let (left, right) = self.bufs.split_at_mut(i + 1);
+            let inb = &mut left[i];
+            let outb = &mut right[0];
+            let stage = &mut self.stages[i];
+            match stage.drain(outb) {
+                Poll::Ready(k) => {
+                    moved += k;
+                    self.boundary[i + 1].bytes_out += k as u64;
+                    self.boundary[i + 1].words_out += u64::from(k > 0);
+                }
+                Poll::Blocked => self.boundary[i + 1].stall_cycles += 1,
+            }
+            self.boundary[i + 1].note_occupancy(outb.len());
+            let starved = inb.is_empty();
+            match stage.offer(inb) {
+                Poll::Ready(k) => {
+                    moved += k;
+                    self.boundary[i].words_in += u64::from(k > 0);
+                    if k == 0 && starved {
+                        self.boundary[i].bubble_cycles += 1;
+                    }
+                }
+                Poll::Blocked => self.boundary[i].stall_cycles += 1,
+            }
+        }
+        for b in &mut self.boundary {
+            b.cycles += 1;
+        }
+        moved
+    }
+
+    /// Step until every stage is idle and every internal boundary is empty
+    /// (the output boundary may hold results).  Returns `true` if idle was
+    /// reached within `max_steps`.
+    pub fn run_until_idle(&mut self, max_steps: usize) -> bool {
+        for _ in 0..max_steps {
+            self.step();
+            if self.is_idle() {
+                return true;
+            }
+        }
+        self.is_idle()
+    }
+
+    pub fn is_idle(&self) -> bool {
+        let n = self.stages.len();
+        self.stages.iter().all(|s| s.is_idle()) && self.bufs[..n].iter().all(|b| b.is_empty())
+    }
+
+    /// Signal end-of-input source→sink, sweeping between stages so each
+    /// stage's flush reaches the next before it is finished in turn.
+    pub fn finish(&mut self) {
+        for i in 0..self.stages.len() {
+            self.stages[i].finish();
+            self.step();
+            self.step();
+        }
+    }
+
+    /// Sweeps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Per-stage `(name, stats)` as reported by the stages themselves.
+    pub fn stage_stats(&self) -> Vec<(&'static str, StageStats)> {
+        self.stages.iter().map(|s| (s.name(), s.stats())).collect()
+    }
+
+    /// Per-boundary flow counters (see the field docs on `boundary`).
+    pub fn boundary_stats(&self) -> &[StageStats] {
+        &self.boundary
+    }
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stack")
+            .field(
+                "stages",
+                &self.stages.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+/// Compose a [`Stack`] from stage expressions:
+/// `let mut s = stack![FramerStage::new(..), ChannelStage::new(..)];`
+#[macro_export]
+macro_rules! stack {
+    ($($stage:expr),+ $(,)?) => {
+        $crate::Stack::compose(vec![
+            $(Box::new($stage) as Box<dyn $crate::StreamStage>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{Pipe, Throttle};
+
+    #[test]
+    fn stack_of_pipes_is_identity_on_frames() {
+        let mut s = stack![
+            Pipe::with_max_per_call(3),
+            Pipe::new(),
+            Pipe::with_max_per_call(1)
+        ];
+        s.input().push_frame(&[1, 2, 3, 4, 5]);
+        s.input().push_frame(&[6]);
+        assert!(s.run_until_idle(100));
+        let out = s.output();
+        assert_eq!(out.pop_frame().unwrap().0, vec![1, 2, 3, 4, 5]);
+        assert_eq!(out.pop_frame().unwrap().0, vec![6]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn throttled_stack_still_delivers_in_order() {
+        let mut s = stack![
+            Throttle::new(Pipe::with_max_per_call(2), vec![true, false, false]),
+            // Odd pattern length so the two gate draws per sweep (drain,
+            // offer) walk the whole pattern instead of phase-locking.
+            Throttle::new(Pipe::with_max_per_call(5), vec![false, true, true]),
+        ];
+        let payload: Vec<u8> = (0..64).collect();
+        s.input().push_slice(&payload);
+        assert!(s.run_until_idle(500));
+        assert_eq!(s.output().as_slice(), payload.as_slice());
+    }
+
+    #[test]
+    fn boundary_stats_account_for_flow() {
+        let mut s = stack![Pipe::new()];
+        s.input().push_slice(&[0; 10]);
+        assert!(s.run_until_idle(10));
+        let b = s.boundary_stats();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[1].bytes_out, 10, "output boundary saw all bytes");
+        assert!(b[0].cycles > 0);
+    }
+
+    #[test]
+    fn chain_composes_statically() {
+        let mut c = Chain::new(Pipe::with_max_per_call(2), Pipe::new());
+        let mut input = WireBuf::new();
+        let mut output = WireBuf::new();
+        input.push_frame(&[9, 8, 7]);
+        let mut guard = 0;
+        while !(input.is_empty() && c.is_idle()) {
+            c.offer(&mut input);
+            c.drain(&mut output);
+            guard += 1;
+            assert!(guard < 100);
+        }
+        c.finish();
+        c.drain(&mut output);
+        assert_eq!(output.pop_frame().unwrap().0, vec![9, 8, 7]);
+    }
+}

@@ -1,0 +1,234 @@
+//! The `WordStream`/`StreamStage` traits — the valid/ready handshake as a
+//! pair of batched transfer calls — plus two small generic stages
+//! ([`Pipe`], [`Throttle`]) used for composition and stall testing.
+
+use crate::buf::WireBuf;
+use crate::stats::StageStats;
+
+/// Outcome of one handshake attempt, the software image of the RTL
+/// `valid`/`ready` pair for a whole batch of beats:
+///
+/// * `Ready(n)` — the interface was ready; `n` bytes crossed it.  `Ready(0)`
+///   means *starved* (ready asserted, nothing valid to move), the Figure 6
+///   "bubble".
+/// * `Blocked` — ready was deasserted: the stage is applying backpressure
+///   and the caller must retry later without losing the data it offered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    Ready(usize),
+    Blocked,
+}
+
+impl Poll {
+    /// Bytes transferred (0 when blocked).
+    pub fn bytes(self) -> usize {
+        match self {
+            Poll::Ready(n) => n,
+            Poll::Blocked => 0,
+        }
+    }
+
+    pub fn is_blocked(self) -> bool {
+        matches!(self, Poll::Blocked)
+    }
+}
+
+/// A directional byte/word stream end.  `offer` drives the stage's `in_*`
+/// bus (the stage consumes from `input` while its `in_ready` holds);
+/// `drain` services its `out_*` bus (the stage appends to `output` while
+/// the caller's ready — the elastic `WireBuf` — holds).
+///
+/// Both calls are batched: a stage consumes/produces as much as its
+/// internal state allows per call, using slice operations on the
+/// [`WireBuf`], never per-byte queue traffic.
+pub trait WordStream {
+    fn offer(&mut self, input: &mut WireBuf) -> Poll;
+    fn drain(&mut self, output: &mut WireBuf) -> Poll;
+}
+
+/// A composable pipeline stage: a [`WordStream`] with identity, idleness
+/// (for run-to-completion loops), an end-of-input hook and instrumentation.
+pub trait StreamStage: WordStream {
+    fn name(&self) -> &'static str;
+
+    /// No input pending, no state in flight, nothing left to emit.
+    fn is_idle(&self) -> bool;
+
+    /// Upstream signalled end-of-input: flush anything held back (partial
+    /// frames, channel backlogs).  Stages with nothing to flush keep the
+    /// default no-op.
+    fn finish(&mut self) {}
+
+    fn stats(&self) -> StageStats {
+        StageStats::default()
+    }
+}
+
+/// An elastic FIFO stage: stores what it is offered, emits it unchanged.
+/// `max_per_call` caps the batch size per handshake, which makes `Pipe` the
+/// reference "registered stage" for word-granularity stall tests.
+#[derive(Debug, Default)]
+pub struct Pipe {
+    buf: WireBuf,
+    max_per_call: usize,
+    stats: StageStats,
+}
+
+impl Pipe {
+    pub fn new() -> Self {
+        Pipe {
+            max_per_call: usize::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// A pipe that moves at most `max` bytes per `offer`/`drain` call.
+    pub fn with_max_per_call(max: usize) -> Self {
+        Pipe {
+            max_per_call: max.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+impl WordStream for Pipe {
+    fn offer(&mut self, input: &mut WireBuf) -> Poll {
+        let n = self.buf.move_from(input, self.max_per_call);
+        self.stats.cycles += 1;
+        self.stats.words_in += u64::from(n > 0);
+        self.stats.note_occupancy(self.buf.len());
+        Poll::Ready(n)
+    }
+
+    fn drain(&mut self, output: &mut WireBuf) -> Poll {
+        let n = output.move_from(&mut self.buf, self.max_per_call);
+        self.stats.words_out += u64::from(n > 0);
+        self.stats.bytes_out += n as u64;
+        Poll::Ready(n)
+    }
+}
+
+impl StreamStage for Pipe {
+    fn name(&self) -> &'static str {
+        "pipe"
+    }
+
+    fn is_idle(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn stats(&self) -> StageStats {
+        self.stats
+    }
+}
+
+/// Wraps a stage and deasserts its ready according to a repeating pattern —
+/// the software analogue of the stall injection p5-lint's P5L010 applies to
+/// RTL stages.  Each handshake call consumes one pattern bit; a `false` bit
+/// blocks `offer` (backpressure) and starves `drain` (no output beat).
+#[derive(Debug)]
+pub struct Throttle<S> {
+    pub inner: S,
+    pattern: Vec<bool>,
+    tick: usize,
+}
+
+impl<S> Throttle<S> {
+    /// An empty pattern means "always ready".
+    pub fn new(inner: S, pattern: Vec<bool>) -> Self {
+        Throttle {
+            inner,
+            pattern,
+            tick: 0,
+        }
+    }
+
+    fn gate(&mut self) -> bool {
+        if self.pattern.is_empty() {
+            return true;
+        }
+        let g = self.pattern[self.tick % self.pattern.len()];
+        self.tick += 1;
+        g
+    }
+}
+
+impl<S: WordStream> WordStream for Throttle<S> {
+    fn offer(&mut self, input: &mut WireBuf) -> Poll {
+        if self.gate() {
+            self.inner.offer(input)
+        } else {
+            Poll::Blocked
+        }
+    }
+
+    fn drain(&mut self, output: &mut WireBuf) -> Poll {
+        if self.gate() {
+            self.inner.drain(output)
+        } else {
+            Poll::Ready(0)
+        }
+    }
+}
+
+impl<S: StreamStage> StreamStage for Throttle<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.inner.is_idle()
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
+
+    fn stats(&self) -> StageStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_passes_frames_through() {
+        let mut p = Pipe::new();
+        let mut input = WireBuf::new();
+        let mut output = WireBuf::new();
+        input.push_frame(&[1, 2, 3]);
+        assert_eq!(p.offer(&mut input), Poll::Ready(3));
+        assert!(!p.is_idle());
+        assert_eq!(p.drain(&mut output), Poll::Ready(3));
+        assert!(p.is_idle());
+        assert_eq!(output.pop_frame().unwrap().0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn narrow_pipe_still_delivers_everything() {
+        let mut p = Pipe::with_max_per_call(2);
+        let mut input = WireBuf::new();
+        let mut output = WireBuf::new();
+        input.push_frame(&[1, 2, 3, 4, 5]);
+        let mut guard = 0;
+        while !(input.is_empty() && p.is_idle()) {
+            p.offer(&mut input);
+            p.drain(&mut output);
+            guard += 1;
+            assert!(guard < 100);
+        }
+        assert_eq!(output.pop_frame().unwrap().0, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn throttle_blocks_then_admits() {
+        let mut t = Throttle::new(Pipe::new(), vec![false, true]);
+        let mut input = WireBuf::new();
+        input.push_slice(&[7; 8]);
+        assert!(t.offer(&mut input).is_blocked());
+        assert_eq!(input.len(), 8, "blocked offer must not consume");
+        assert_eq!(t.offer(&mut input), Poll::Ready(8));
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-stage instrumentation: the observables behind the paper's
+//! Figure 5/6 discussion (stalls, buffer occupancy, backpressure).
+//!
+//! `StageStats` started life inside `p5-core`; it now lives here so every
+//! crate that implements [`crate::StreamStage`] can report through the same
+//! counters, and so [`crate::Stack`] can keep a `StageStats` per boundary.
+
+/// Counters every pipeline stage (and every `Stack` boundary) maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Clock cycles (or `Stack` sweeps) seen.
+    pub cycles: u64,
+    /// Cycles in which the stage refused input (backpressure asserted
+    /// upstream).
+    pub stall_cycles: u64,
+    /// Words accepted.
+    pub words_in: u64,
+    /// Words emitted.
+    pub words_out: u64,
+    /// Payload bytes emitted.
+    pub bytes_out: u64,
+    /// High-water mark of the internal staging/resynchronisation buffer,
+    /// in bytes (or items).
+    pub max_occupancy: usize,
+    /// Cycles in which the output was starved (nothing to emit while the
+    /// sink was ready) — the receive-side "bubbles" of Figure 6.
+    pub bubble_cycles: u64,
+    /// Submissions refused outright because a bounded queue was full (the
+    /// shared-memory transmit queue's drop counter).
+    pub rejects: u64,
+}
+
+impl StageStats {
+    pub fn note_occupancy(&mut self, occ: usize) {
+        if occ > self.max_occupancy {
+            self.max_occupancy = occ;
+        }
+    }
+
+    /// Fraction of cycles spent refusing input.
+    pub fn stall_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean output bytes per cycle — the throughput the paper quotes as
+    /// "able to process 32 bits every clock cycle".
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bytes_out as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fold another stage's counters into this one (used by combinators
+    /// that report a single aggregate for several inner stages).
+    pub fn absorb(&mut self, other: &StageStats) {
+        self.cycles += other.cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.words_in += other.words_in;
+        self.words_out += other.words_out;
+        self.bytes_out += other.bytes_out;
+        self.bubble_cycles += other.bubble_cycles;
+        self.rejects += other.rejects;
+        self.note_occupancy(other.max_occupancy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = StageStats {
+            cycles: 100,
+            stall_cycles: 25,
+            bytes_out: 320,
+            ..Default::default()
+        };
+        assert!((s.stall_rate() - 0.25).abs() < 1e-12);
+        assert!((s.bytes_per_cycle() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = StageStats::default();
+        assert_eq!(s.stall_rate(), 0.0);
+        assert_eq!(s.bytes_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_high_water() {
+        let mut s = StageStats::default();
+        s.note_occupancy(3);
+        s.note_occupancy(9);
+        s.note_occupancy(5);
+        assert_eq!(s.max_occupancy, 9);
+    }
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = StageStats {
+            cycles: 10,
+            bytes_out: 100,
+            max_occupancy: 4,
+            rejects: 1,
+            ..Default::default()
+        };
+        let b = StageStats {
+            cycles: 5,
+            bytes_out: 50,
+            max_occupancy: 9,
+            rejects: 2,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.bytes_out, 150);
+        assert_eq!(a.max_occupancy, 9);
+        assert_eq!(a.rejects, 3);
+    }
+}

@@ -13,8 +13,9 @@
 //! ```
 
 use p5_core::oam::{regs, MmioBus, Oam};
-use p5_core::{DatapathWidth, P5};
-use p5_sonet::{BitErrorChannel, ByteLink, OcPath, StmLevel};
+use p5_core::{decap, encap, DatapathWidth, RxStage, TxStage, P5};
+use p5_sonet::{BitErrorChannel, OcPath, OcPathStage, StmLevel};
+use p5_stream::stack;
 
 fn main() {
     let mut tx_p5 = P5::new(DatapathWidth::W32);
@@ -22,61 +23,58 @@ fn main() {
     // transmit memory runs dry, exactly as the hardware does — so the
     // SONET framer never pads mid-HDLC-frame.
     tx_p5.tx.escape.idle_fill = true;
-    let mut rx_p5 = P5::new(DatapathWidth::W32);
+    let rx_p5 = P5::new(DatapathWidth::W32);
+    let rx_oam = rx_p5.oam.clone();
+
+    // Drive at line rate: one SPE of wire bytes per 125 µs frame — the
+    // TxStage burst is the cycles-per-frame budget, the OC path advances
+    // one frame per sweep.
+    let cycles_per_frame = StmLevel::Stm16.payload_per_frame().div_ceil(4) as u64 + 8;
     // An OC-48 path with a 1e-6 bit error rate (a poor-quality section).
-    let mut path = OcPath::new(StmLevel::Stm16, BitErrorChannel::new(1e-6, 1, 42));
+    let path = OcPath::new(StmLevel::Stm16, BitErrorChannel::new(1e-6, 1, 42));
+    let mut s = stack![
+        TxStage::with_burst(tx_p5, cycles_per_frame),
+        OcPathStage::new(path),
+        RxStage::with_burst(rx_p5, 2 * cycles_per_frame),
+    ];
 
     // Offer an IMIX of IP datagrams.
     let sizes = p5_bench::imix_sizes(300, 7);
     let mut sent = Vec::new();
     for (i, len) in sizes.iter().enumerate() {
         let d = p5_bench::ip_like_datagram(*len, i as u64);
-        tx_p5.submit(0x0021, d.clone());
+        encap(0x0021, &d, s.input());
         sent.push(d);
     }
 
-    // Drive at line rate: one SPE of wire bytes per 125 µs frame.
-    let cycles_per_frame = StmLevel::Stm16.payload_per_frame().div_ceil(4) as u64 + 8;
-    let mut guard = 0;
-    loop {
-        tx_p5.run(cycles_per_frame);
-        path.send(&tx_p5.take_wire_out());
-        path.run_frames(1);
-        rx_p5.put_wire_in(&path.recv());
-        rx_p5.run(2 * cycles_per_frame);
-        if tx_p5.tx.control.idle() && tx_p5.tx.crc.idle() && guard > 2 {
-            break;
-        }
-        guard += 1;
-        assert!(guard < 10_000, "did not drain");
-    }
+    assert!(s.run_until_idle(10_000), "did not drain");
     // Flush the SPE backlog plus a couple of frames of flag fill.
-    for _ in 0..(2 + path.frames_to_drain()) {
-        tx_p5.run(cycles_per_frame);
-        path.send(&tx_p5.take_wire_out());
-        path.run_frames(1);
-        rx_p5.put_wire_in(&path.recv());
-        rx_p5.run(2 * cycles_per_frame);
-    }
+    s.finish();
 
     // Compare deliveries.
-    let got = rx_p5.take_received();
+    let mut got = Vec::new();
+    let mut frame = Vec::new();
+    while s.output().pop_frame_into(&mut frame).is_some() {
+        let (_proto, payload) = decap(&frame).expect("frames carry a protocol");
+        got.push(payload.to_vec());
+    }
     let mut delivered = 0usize;
     let mut gi = 0usize;
     for d in &sent {
-        if gi < got.len() && &got[gi].payload == d {
+        if gi < got.len() && &got[gi] == d {
             delivered += 1;
             gi += 1;
         }
     }
-    let stats = path.section_stats();
-    println!(
-        "SONET section: {} frames, {} hunts, B1 errs {}, B2 errs {}",
-        stats.frames_ok, stats.hunts, stats.b1_errors, stats.b2_errors
-    );
+    for (name, st) in s.stage_stats() {
+        println!(
+            "stage {name:>12}: cycles={} words_in={} bytes_out={} stalls={} rejects={}",
+            st.cycles, st.words_in, st.bytes_out, st.stall_cycles, st.rejects
+        );
+    }
 
     // Read the OAM over the bus, as firmware would.
-    let bus = Oam::new(rx_p5.oam.clone());
+    let bus = Oam::new(rx_oam);
     println!(
         "OAM: rx_frames={} fcs_errors={} aborts={} giants={} runts={}",
         bus.read(regs::RX_FRAMES),

@@ -67,10 +67,10 @@ impl Peer {
         self.lcp.tick(now);
         self.ipcp.tick(now);
         for (proto, packet) in self.lcp.poll_output() {
-            self.p5.submit(proto.number(), packet.to_bytes());
+            self.p5.submit(proto.number(), packet.to_bytes()).unwrap();
         }
         for (proto, packet) in self.ipcp.poll_output() {
-            self.p5.submit(proto.number(), packet.to_bytes());
+            self.p5.submit(proto.number(), packet.to_bytes()).unwrap();
         }
         for ev in self.lcp.poll_layer_events() {
             println!("[{}] LCP {:?}", self.name, ev);
@@ -141,7 +141,8 @@ fn main() {
     a.p5.submit(
         Protocol::Ipv4.number(),
         b"ping over negotiated link".to_vec(),
-    );
+    )
+    .unwrap();
     for now in 200..260 {
         a.poll(now);
         b.poll(now);

@@ -19,22 +19,24 @@
 //! ```
 
 use p5_core::oam::{regs, MmioBus, Oam};
-use p5_core::{DatapathWidth, P5};
-use p5_hdlc::{DeframeEvent, Deframer, DeframerConfig, Framer, FramerConfig};
+use p5_core::{DatapathWidth, WireBuf, WordStream, P5};
+use p5_hdlc::{DeframerConfig, DeframerStage, FramerConfig, FramerStage};
 use p5_ppp::mapos::MaposAddress;
 
 /// The switch: deframes each ingress stream, reads the address octet,
 /// re-frames onto the egress port(s).  (A real MAPOS switch does this
-/// in hardware with the same P⁵-style datapath per port.)
+/// in hardware with the same P⁵-style datapath per port.)  Each port is
+/// a pair of stream stages — the same `DeframerStage`/`FramerStage` the
+/// golden-model test harnesses compose — joined by the switching fabric.
 struct Switch {
     ports: Vec<SwitchPort>,
 }
 
 struct SwitchPort {
     station: MaposAddress,
-    deframer: Deframer,
-    framer: Framer,
-    egress: Vec<u8>,
+    deframer: DeframerStage,
+    framer: FramerStage,
+    egress: WireBuf,
 }
 
 impl Switch {
@@ -44,9 +46,9 @@ impl Switch {
                 .iter()
                 .map(|&station| SwitchPort {
                     station,
-                    deframer: Deframer::new(DeframerConfig::default()),
-                    framer: Framer::new(FramerConfig::default()),
-                    egress: Vec::new(),
+                    deframer: DeframerStage::new(DeframerConfig::default()),
+                    framer: FramerStage::new(FramerConfig::default()),
+                    egress: WireBuf::new(),
                 })
                 .collect(),
         }
@@ -55,11 +57,13 @@ impl Switch {
     /// Carry ingress wire bytes from port `from`, switching complete
     /// frames onto the destination port's egress stream.
     fn ingress(&mut self, from: usize, wire: &[u8]) {
-        let events = self.ports[from].deframer.push_bytes(wire);
-        for ev in events {
-            let DeframeEvent::Frame(body) = ev else {
-                continue;
-            };
+        let mut line = WireBuf::new();
+        line.push_slice(wire);
+        self.ports[from].deframer.offer(&mut line);
+        let mut bodies = WireBuf::new();
+        self.ports[from].deframer.drain(&mut bodies);
+        let mut body = Vec::new();
+        while bodies.pop_frame_into(&mut body).is_some() {
             let Some(&dest_octet) = body.first() else {
                 continue;
             };
@@ -72,16 +76,17 @@ impl Switch {
                 }
                 if self.ports[i].station.accepts(dest) {
                     let port = &mut self.ports[i];
-                    let mut out = Vec::new();
-                    port.framer.encode_into(&body, &mut out);
-                    port.egress.extend(out);
+                    let mut forward = WireBuf::new();
+                    forward.push_frame(&body);
+                    port.framer.offer(&mut forward);
+                    port.framer.drain(&mut port.egress);
                 }
             }
         }
     }
 
     fn egress(&mut self, port: usize) -> Vec<u8> {
-        std::mem::take(&mut self.ports[port].egress)
+        self.ports[port].egress.take_vec()
     }
 }
 
@@ -108,7 +113,7 @@ impl Station {
         // (real firmware writes the per-frame destination the same way).
         let mut bus = Oam::new(self.p5.oam.clone());
         bus.write(regs::ADDRESS, dest.octet() as u32);
-        self.p5.submit(0x0021, payload.to_vec());
+        self.p5.submit(0x0021, payload.to_vec()).unwrap();
         self.p5.run_until_idle(1_000_000);
         bus.write(regs::ADDRESS, self.addr.octet() as u32);
     }

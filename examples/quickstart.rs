@@ -1,48 +1,52 @@
 //! Quickstart: encode one IP datagram into a PPP frame, push it through
-//! the cycle-accurate 32-bit P⁵, and decode it on the other side.
+//! the cycle-accurate 32-bit P⁵, and decode it on the other side — the
+//! two devices joined by the stream layer's `Chain` combinator.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use p5_core::{DatapathWidth, P5};
+use p5_core::{
+    decap, encap, Chain, DatapathWidth, RxStage, StreamStage, TxStage, WireBuf, WordStream, P5,
+};
 
 fn main() {
-    // Two P⁵ devices wired back to back (Figure 2, both directions).
-    let mut left = P5::new(DatapathWidth::W32);
-    let mut right = P5::new(DatapathWidth::W32);
+    // Two P⁵ devices wired back to back (Figure 2, both directions),
+    // composed as transmit-stage → receive-stage.  `Chain` is static, so
+    // the devices stay reachable for the counter read-out at the end.
+    let left = P5::new(DatapathWidth::W32);
+    let right = P5::new(DatapathWidth::W32);
+    let mut link = Chain::new(TxStage::new(left), RxStage::new(right));
 
     // A datagram with bytes that need escaping (the paper's example
     // sequence 31 33 7E 96 is in there).
     let datagram = vec![0x31, 0x33, 0x7E, 0x96, 0x7D, 0x00, 0x42];
     println!("datagram:   {:02X?}", datagram);
-    left.submit(0x0021, datagram.clone());
 
-    // Clock both devices; ferry wire bytes across.
-    for _ in 0..200 {
-        left.clock();
-        right.clock();
-        let wire = left.take_wire_out();
-        if !wire.is_empty() {
-            println!("wire chunk: {:02X?}", wire);
-        }
-        right.put_wire_in(&wire);
+    let mut input = WireBuf::new();
+    let mut output = WireBuf::new();
+    encap(0x0021, &datagram, &mut input);
+
+    // Offer the frame and sweep until both devices drain; wire bytes
+    // shuttle across the chain's internal boundary buffer.
+    let mut guard = 0;
+    while !(input.is_empty() && link.is_idle()) {
+        link.offer(&mut input);
+        link.drain(&mut output);
+        guard += 1;
+        assert!(guard < 500, "link did not drain");
     }
 
-    let frames = right.take_received();
-    assert_eq!(frames.len(), 1, "exactly one frame must arrive");
-    let frame = &frames[0];
-    println!(
-        "received:   address={:#04X} protocol={:#06X} payload={:02X?}",
-        frame.address, frame.protocol, frame.payload
-    );
-    assert_eq!(frame.payload, datagram);
-    assert_eq!(frame.protocol, 0x0021);
+    let (frame, _meta) = output.pop_frame().expect("exactly one frame must arrive");
+    let (protocol, payload) = decap(&frame).expect("frames carry a protocol");
+    println!("received:   protocol={protocol:#06X} payload={payload:02X?}");
+    assert_eq!(payload, &datagram[..]);
+    assert_eq!(protocol, 0x0021);
     println!(
         "counters:   ok={} fcs_err={} (escapes inserted on tx: {})",
-        right.rx_counters().frames_ok,
-        right.rx_counters().fcs_errors,
-        left.tx.escape.escapes_inserted,
+        link.second.device().rx_counters().frames_ok,
+        link.second.device().rx_counters().fcs_errors,
+        link.first.device().tx.escape.escapes_inserted,
     );
     println!("round trip OK — flag 7E was stuffed to 7D 5E on the wire and restored.");
 }

@@ -11,10 +11,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo build (examples)"
+cargo build -q --offline --examples
+
 echo "==> cargo test (workspace)"
 cargo test -q --workspace --offline
 
 echo "==> p5lint (shipped netlists)"
 cargo run -q -p p5-lint --bin p5lint --offline
+
+echo "==> throughput smoke (results/BENCH_throughput.json)"
+cargo run -q --release --offline -p p5-bench --bin throughput_report -- --smoke
 
 echo "==> all checks passed"

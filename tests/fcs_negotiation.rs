@@ -43,7 +43,7 @@ fn fcs16_reconfiguration_after_negotiation() {
     let mut a = P5::with_oam(DatapathWidth::W32, a.oam.clone());
     let mut b = P5::with_oam(DatapathWidth::W32, b.oam.clone());
 
-    a.submit(0x0021, b"sixteen bit link".to_vec());
+    a.submit(0x0021, b"sixteen bit link".to_vec()).unwrap();
     a.run_until_idle(1_000_000);
     let wire = a.take_wire_out();
     // FCS-16: 1 flag + 4 header + 16 payload + 2 fcs + 1 flag (no
@@ -67,7 +67,7 @@ fn mismatched_fcs_modes_fail_loudly_not_silently() {
     let mut b = P5::with_oam(DatapathWidth::W32, oam_b);
 
     for i in 0..10u8 {
-        a.submit(0x0021, vec![i; 50]);
+        a.submit(0x0021, vec![i; 50]).unwrap();
     }
     a.run_until_idle(1_000_000);
     b.put_wire_in(&a.take_wire_out());
@@ -100,10 +100,10 @@ fn lcp_negotiation_over_fcs16_link() {
         a.tick(now);
         b.tick(now);
         for (p, pkt) in a.poll_output() {
-            pa.submit(p.number(), pkt.to_bytes());
+            pa.submit(p.number(), pkt.to_bytes()).unwrap();
         }
         for (p, pkt) in b.poll_output() {
-            pb.submit(p.number(), pkt.to_bytes());
+            pb.submit(p.number(), pkt.to_bytes()).unwrap();
         }
         pa.run(256);
         pb.run(256);

@@ -3,16 +3,20 @@
 //! errors, back up through the receiving P⁵ — the paper's deployment
 //! scenario end to end.
 
-use p5_core::{DatapathWidth, P5};
-use p5_sonet::{BitErrorChannel, ByteLink, OcPath, StmLevel};
+use p5_core::oam::{regs, MmioBus, Oam};
+use p5_core::{decap, encap, DatapathWidth, RxStage, TxStage, P5};
+use p5_sonet::{BitErrorChannel, OcPath, OcPathStage, StmLevel};
+use p5_stream::stack;
 
-/// Push `datagrams` through P⁵ → OC path → P⁵; returns (delivered
-/// payloads, receiver error total).
+/// Push `datagrams` through P⁵ → OC path → P⁵ as one composed `Stack`;
+/// returns (delivered payloads, receiver error total).
 ///
 /// The transmitter runs in continuous (idle-fill) mode and is clocked
 /// at exactly the line rate — one SPE's worth of wire bytes per 125 µs
-/// frame — as the real hardware is.  This guarantees the SONET framer
-/// never has to invent fill octets in the middle of an HDLC frame.
+/// frame (`TxStage` burst = cycles per frame, `OcPathStage` advances one
+/// frame per sweep) — as the real hardware is.  This guarantees the
+/// SONET framer never has to invent fill octets in the middle of an
+/// HDLC frame.
 fn run_stack(
     width: DatapathWidth,
     level: StmLevel,
@@ -21,44 +25,38 @@ fn run_stack(
 ) -> (Vec<Vec<u8>>, u64) {
     let mut tx = P5::new(width);
     tx.tx.escape.idle_fill = true; // continuous line: flags when idle
-    let mut rx = P5::new(width);
-    let mut path = OcPath::new(level, channel);
-    for d in datagrams {
-        tx.submit(0x0021, d.clone());
-    }
+    let rx = P5::new(width);
+    let rx_oam = rx.oam.clone();
     // A few surplus cycles per frame keep the SPE queue primed (the
     // pipeline-fill cycles of the first frame would otherwise leave the
     // framer short mid-HDLC-frame).
     let cycles_per_frame = level.payload_per_frame().div_ceil(width.bytes()) as u64 + 8;
+    let mut s = stack![
+        TxStage::with_burst(tx, cycles_per_frame),
+        OcPathStage::new(OcPath::new(level, channel)),
+        RxStage::with_burst(rx, 2 * cycles_per_frame),
+    ];
+    for d in datagrams {
+        encap(0x0021, d, s.input());
+    }
+    assert!(s.run_until_idle(5_000), "stack did not drain");
+    // Flush: the OC path's `finish` drains the SPE backlog plus two
+    // frames of flag fill; the interleaved sweeps carry it to the rx.
+    s.finish();
     let mut out = Vec::new();
-    let mut guard = 0;
-    loop {
-        tx.run(cycles_per_frame);
-        path.send(&tx.take_wire_out());
-        path.run_frames(1);
-        rx.put_wire_in(&path.recv());
-        rx.run(cycles_per_frame + cycles_per_frame / 2);
-        out.extend(rx.take_received().into_iter().map(|f| f.payload));
-        // Done when the frame source is empty (the line keeps carrying
-        // flag fill regardless; a byte or two of rounding backlog in the
-        // SPE queue is expected and harmless).
-        if tx.tx.control.idle() && tx.tx.crc.idle() && guard > 2 {
-            break;
-        }
-        guard += 1;
-        assert!(guard < 5_000, "stack did not drain");
+    let mut frame = Vec::new();
+    while s.output().pop_frame_into(&mut frame).is_some() {
+        let (_proto, payload) = decap(&frame).expect("rx frames carry a protocol");
+        out.push(payload.to_vec());
     }
-    // Flush: drain the SPE backlog plus two frames of flag fill.
-    for _ in 0..(2 + path.frames_to_drain()) {
-        tx.run(cycles_per_frame);
-        path.send(&tx.take_wire_out());
-        path.run_frames(1);
-        rx.put_wire_in(&path.recv());
-        rx.run(2 * cycles_per_frame);
-    }
-    out.extend(rx.take_received().into_iter().map(|f| f.payload));
-    let c = rx.rx_counters();
-    let errors = c.fcs_errors + c.aborts + c.runts + c.giants + c.header_errors;
+    let bus = Oam::new(rx_oam);
+    let errors = u64::from(
+        bus.read(regs::FCS_ERRORS)
+            + bus.read(regs::ABORTS)
+            + bus.read(regs::RUNTS)
+            + bus.read(regs::GIANTS)
+            + bus.read(regs::HEADER_ERRORS),
+    );
     (out, errors)
 }
 
@@ -150,7 +148,7 @@ fn oam_counters_match_the_behaviour() {
     let mut tx = P5::new(DatapathWidth::W32);
     let mut rx = P5::new(DatapathWidth::W32);
     for d in &datagrams {
-        tx.submit(0x0021, d.clone());
+        tx.submit(0x0021, d.clone()).unwrap();
     }
     tx.run_until_idle(1_000_000);
     rx.put_wire_in(&tx.take_wire_out());

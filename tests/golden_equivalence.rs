@@ -30,7 +30,7 @@ proptest! {
         let mut sw = BehavioralTx::new(0xFF);
         let mut golden = Vec::new();
         for p in &payloads {
-            p5.submit(0x0021, p.clone());
+            p5.submit(0x0021, p.clone()).unwrap();
             sw.encode_into(0x0021, p, &mut golden);
         }
         p5.run_until_idle(10_000_000);

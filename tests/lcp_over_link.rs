@@ -1,17 +1,24 @@
 //! LCP/IPCP negotiation over the real (simulated) link, including a
 //! lossy link that forces the RFC 1661 restart machinery to work.
 
-use p5_core::{DatapathWidth, P5};
+use p5_core::{decap, encap, DatapathWidth, WireBuf, WordStream, P5};
 use p5_ppp::endpoint::{Endpoint, EndpointConfig, LayerEvent};
 use p5_ppp::ipcp::IpcpNegotiator;
 use p5_ppp::lcp_negotiator::LcpNegotiator;
 use p5_ppp::protocol::Protocol;
+use p5_ppp::EndpointStage;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+/// A peer built on the stream layer: each control protocol is an
+/// [`EndpointStage`] fed from / drained to tagged `[proto, packet]`
+/// frame buffers, with the P⁵ device in between.  The stage drives its
+/// own restart clock (one tick per drain), so `poll` takes no time
+/// argument.
 struct Peer {
     p5: P5,
-    lcp: Endpoint<LcpNegotiator>,
-    ipcp: Endpoint<IpcpNegotiator>,
+    lcp: EndpointStage<LcpNegotiator>,
+    ipcp: EndpointStage<IpcpNegotiator>,
+    ctl: WireBuf,
     lcp_up: bool,
 }
 
@@ -29,42 +36,58 @@ impl Peer {
         ipcp.open();
         Self {
             p5: P5::new(DatapathWidth::W32),
-            lcp,
-            ipcp,
+            lcp: EndpointStage::new(lcp),
+            ipcp: EndpointStage::new(ipcp),
+            ctl: WireBuf::new(),
             lcp_up: false,
         }
     }
 
-    fn poll(&mut self, now: u64) {
-        self.lcp.tick(now);
-        self.ipcp.tick(now);
-        for (proto, pkt) in self.lcp.poll_output() {
-            self.p5.submit(proto.number(), pkt.to_bytes());
+    fn poll(&mut self) {
+        // Drain both endpoints' control traffic into one tagged stream,
+        // then decap into the transmit queue.
+        self.lcp.drain(&mut self.ctl);
+        self.ipcp.drain(&mut self.ctl);
+        let mut frame = Vec::new();
+        while self.ctl.pop_frame_into(&mut frame).is_some() {
+            let (proto, packet) = decap(&frame).expect("endpoint frames carry a protocol");
+            self.p5.submit(proto, packet.to_vec()).unwrap();
         }
-        for (proto, pkt) in self.ipcp.poll_output() {
-            self.p5.submit(proto.number(), pkt.to_bytes());
-        }
-        for ev in self.lcp.poll_layer_events() {
+        for ev in self.lcp.endpoint_mut().poll_layer_events() {
             match ev {
                 LayerEvent::Up => {
                     self.lcp_up = true;
-                    self.ipcp.lower_up();
+                    self.ipcp.endpoint_mut().lower_up();
                 }
                 LayerEvent::Down => {
                     self.lcp_up = false;
-                    self.ipcp.lower_down();
+                    self.ipcp.endpoint_mut().lower_down();
                 }
                 _ => {}
             }
         }
         self.p5.run(512);
+        // Route received frames to the matching endpoint stage (the
+        // stage is not a demux: it rejects foreign protocols).
+        let mut to_lcp = WireBuf::new();
+        let mut to_ipcp = WireBuf::new();
         for f in self.p5.take_received() {
             match Protocol::from_number(f.protocol) {
-                Protocol::Lcp => self.lcp.receive(&f.payload),
-                Protocol::Ipcp if self.lcp_up => self.ipcp.receive(&f.payload),
+                Protocol::Lcp => encap(f.protocol, &f.payload, &mut to_lcp),
+                Protocol::Ipcp if self.lcp_up => encap(f.protocol, &f.payload, &mut to_ipcp),
                 _ => {}
             }
         }
+        self.lcp.offer(&mut to_lcp);
+        self.ipcp.offer(&mut to_ipcp);
+    }
+
+    fn lcp_opened(&self) -> bool {
+        self.lcp.endpoint().is_opened()
+    }
+
+    fn ipcp_opened(&self) -> bool {
+        self.ipcp.endpoint().is_opened()
     }
 }
 
@@ -84,18 +107,24 @@ fn clean_link_brings_ipcp_up() {
     let mut a = Peer::new(0xAAAA_0001, [10, 9, 0, 1]);
     let mut b = Peer::new(0xBBBB_0002, [10, 9, 0, 2]);
     let mut never = || false;
-    for now in 0..300 {
-        a.poll(now);
-        b.poll(now);
+    for _ in 0..300 {
+        a.poll();
+        b.poll();
         ferry(&mut a, &mut b, &mut never);
-        if a.ipcp.is_opened() && b.ipcp.is_opened() {
+        if a.ipcp_opened() && b.ipcp_opened() {
             break;
         }
     }
-    assert!(a.lcp.is_opened() && b.lcp.is_opened());
-    assert!(a.ipcp.is_opened() && b.ipcp.is_opened());
-    assert_eq!(a.ipcp.negotiator.peer_addr(), Some([10, 9, 0, 2]));
-    assert_eq!(b.ipcp.negotiator.peer_addr(), Some([10, 9, 0, 1]));
+    assert!(a.lcp_opened() && b.lcp_opened());
+    assert!(a.ipcp_opened() && b.ipcp_opened());
+    assert_eq!(
+        a.ipcp.endpoint().negotiator.peer_addr(),
+        Some([10, 9, 0, 2])
+    );
+    assert_eq!(
+        b.ipcp.endpoint().negotiator.peer_addr(),
+        Some([10, 9, 0, 1])
+    );
 }
 
 #[test]
@@ -111,10 +140,10 @@ fn lossy_link_converges_via_retransmission() {
     };
     let mut opened_at = None;
     for now in 0..4000u64 {
-        a.poll(now);
-        b.poll(now);
+        a.poll();
+        b.poll();
         ferry(&mut a, &mut b, &mut lossy);
-        if a.ipcp.is_opened() && b.ipcp.is_opened() {
+        if a.ipcp_opened() && b.ipcp_opened() {
             opened_at = Some(now);
             break;
         }
@@ -122,10 +151,10 @@ fn lossy_link_converges_via_retransmission() {
     assert!(
         opened_at.is_some(),
         "negotiation must survive 30% early loss (a {:?}/{:?}, b {:?}/{:?})",
-        a.lcp.state(),
-        a.ipcp.state(),
-        b.lcp.state(),
-        b.ipcp.state()
+        a.lcp.endpoint().state(),
+        a.ipcp.endpoint().state(),
+        b.lcp.endpoint().state(),
+        b.ipcp.endpoint().state()
     );
 }
 
@@ -134,21 +163,21 @@ fn graceful_close_propagates() {
     let mut a = Peer::new(1, [10, 0, 0, 1]);
     let mut b = Peer::new(2, [10, 0, 0, 2]);
     let mut never = || false;
-    for now in 0..300 {
-        a.poll(now);
-        b.poll(now);
+    for _ in 0..300 {
+        a.poll();
+        b.poll();
         ferry(&mut a, &mut b, &mut never);
-        if a.ipcp.is_opened() && b.ipcp.is_opened() {
+        if a.ipcp_opened() && b.ipcp_opened() {
             break;
         }
     }
-    assert!(a.lcp.is_opened());
-    a.lcp.close();
-    for now in 300..600 {
-        a.poll(now);
-        b.poll(now);
+    assert!(a.lcp_opened());
+    a.lcp.endpoint_mut().close();
+    for _ in 0..300 {
+        a.poll();
+        b.poll();
         ferry(&mut a, &mut b, &mut never);
     }
-    assert!(!a.lcp.is_opened());
-    assert!(!b.lcp.is_opened());
+    assert!(!a.lcp_opened());
+    assert!(!b.lcp_opened());
 }

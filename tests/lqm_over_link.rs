@@ -30,7 +30,8 @@ fn lqr_measures_exactly_the_channel_loss() {
         // Send 50 frames; corrupt a known subset on the wire.
         let mut corrupted = 0u32;
         for i in 0..50u32 {
-            tx.submit(0x0021, vec![(interval * 50 + i) as u8; 60]);
+            tx.submit(0x0021, vec![(interval * 50 + i) as u8; 60])
+                .unwrap();
             tx.run_until_idle(100_000);
             let mut wire = tx.take_wire_out();
             if rng.gen_bool(0.2) {

@@ -5,7 +5,7 @@
 
 use crossbeam::channel;
 use p5_core::oam::{regs, MmioBus, Oam, OamHandle};
-use p5_core::{DatapathWidth, P5};
+use p5_core::{DatapathWidth, WireBuf, WordStream, P5};
 use std::thread;
 
 #[test]
@@ -24,17 +24,19 @@ fn three_stage_threaded_pipeline_delivers_in_order() {
     let rx_oam = OamHandle::new();
     let rx_oam_for_host = rx_oam.clone();
 
-    // Transmitter thread: clock a P5, ship wire chunks.
+    // Transmitter thread: clock a P5, ship wire chunks off its
+    // WordStream PHY end (zero-copy into a reusable WireBuf).
     let producer = thread::spawn(move || {
         let mut p5 = P5::new(DatapathWidth::W32);
         for d in datagrams {
-            p5.submit(0x0021, d);
+            p5.submit(0x0021, d).unwrap();
         }
+        let mut wire = WireBuf::new();
         while !p5.tx.idle() {
             p5.run(1024);
-            let w = p5.take_wire_out();
-            if !w.is_empty() {
-                wire_tx.send(w).unwrap();
+            p5.drain(&mut wire);
+            if !wire.is_empty() {
+                wire_tx.send(wire.take_vec()).unwrap();
             }
         }
     });
@@ -50,8 +52,10 @@ fn three_stage_threaded_pipeline_delivers_in_order() {
     let consumer = thread::spawn(move || {
         let mut p5 = P5::with_oam(DatapathWidth::W32, rx_oam);
         let mut out = Vec::new();
+        let mut inbuf = WireBuf::new();
         for chunk in chan_rx.iter() {
-            p5.put_wire_in(&chunk);
+            inbuf.push_slice(&chunk);
+            p5.offer(&mut inbuf);
             p5.run(chunk.len() as u64);
             out.extend(p5.take_received());
         }
@@ -87,9 +91,12 @@ fn duplex_threads_cross_traffic() {
         thread::spawn(move || {
             let mut p5 = P5::new(DatapathWidth::W32);
             for i in 0..count {
-                p5.submit(0x0021, format!("{name}-{i}").into_bytes());
+                p5.submit(0x0021, format!("{name}-{i}").into_bytes())
+                    .unwrap();
             }
             let mut got = Vec::new();
+            let mut wire = WireBuf::new();
+            let mut inbuf = WireBuf::new();
             let mut rounds = 0;
             // Done once our transmitter has drained and the peer's
             // `count` frames have all arrived.  The round cap turns a
@@ -98,16 +105,17 @@ fn duplex_threads_cross_traffic() {
             // scheduling.
             while !(p5.tx.idle() && got.len() >= count as usize) && rounds < 10_000 {
                 p5.run(256);
-                let w = p5.take_wire_out();
-                if !w.is_empty() {
+                p5.drain(&mut wire);
+                if !wire.is_empty() {
                     // Peer may have finished; ignore send failures then.
-                    let _ = outbound.send(w);
+                    let _ = outbound.send(wire.take_vec());
                 }
                 let mut progressed = false;
                 while let Ok(chunk) = inbound.try_recv() {
-                    p5.put_wire_in(&chunk);
+                    inbuf.push_slice(&chunk);
                     progressed = true;
                 }
+                p5.offer(&mut inbuf);
                 p5.run(256);
                 got.extend(p5.take_received());
                 if !progressed {
@@ -117,9 +125,9 @@ fn duplex_threads_cross_traffic() {
             }
             // Flush wire bytes produced on the final round: the peer may
             // still be waiting on them.
-            let w = p5.take_wire_out();
-            if !w.is_empty() {
-                let _ = outbound.send(w);
+            p5.drain(&mut wire);
+            if !wire.is_empty() {
+                let _ = outbound.send(wire.take_vec());
             }
             got
         })
