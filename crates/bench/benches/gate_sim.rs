@@ -1,0 +1,82 @@
+//! Gate-level simulation engines on the paper's biggest module (the
+//! 32-bit escape generate) and the 32-bit CRC unit: the scalar netlist
+//! walker versus the compiled bit-parallel tape, which evaluates 64
+//! stimulus lanes per pass.  Throughput is reported in *lane-cycles*
+//! so the engines compare at equal simulated work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p5_fpga::{CompiledSim, Netlist, Sim, LANES};
+
+const CYCLES: usize = 256;
+
+struct Stim(u64);
+
+impl Stim {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn scalar_cycles(n: &Netlist) -> u64 {
+    let mut sim = Sim::new(n);
+    let ports: Vec<_> = n.inputs.iter().map(|b| sim.in_port(&b.name)).collect();
+    let mut stim = Stim(42);
+    let mut acc = 0u64;
+    for _ in 0..CYCLES {
+        for &p in &ports {
+            sim.set_port(p, stim.next());
+        }
+        sim.step();
+    }
+    for b in &n.outputs {
+        acc ^= sim.get(&b.name);
+    }
+    acc
+}
+
+fn compiled_cycles(n: &Netlist) -> u64 {
+    let mut cs = CompiledSim::compile(n);
+    let ports: Vec<_> = n.inputs.iter().map(|b| cs.in_port(&b.name)).collect();
+    let outs: Vec<_> = n.outputs.iter().map(|b| cs.out_port(&b.name)).collect();
+    let mut stim = Stim(42);
+    let mut acc = 0u64;
+    for _ in 0..CYCLES {
+        for &p in &ports {
+            cs.set(p, stim.next());
+        }
+        cs.step();
+    }
+    for &p in &outs {
+        acc ^= cs.get_lane(p, 63);
+    }
+    acc
+}
+
+fn bench_gate_sim(c: &mut Criterion) {
+    use p5_rtl::{build_crc_unit, build_escape_gen, SorterStyle};
+    let modules = [
+        ("escape_gen_w32", build_escape_gen(4, SorterStyle::Barrel)),
+        ("crc32_unit_w32", build_crc_unit(p5_crc::FCS32, 4)),
+    ];
+    let mut g = c.benchmark_group("gate_sim");
+    g.sample_size(10);
+    for (name, n) in &modules {
+        // Scalar: one lane per pass.
+        g.throughput(Throughput::Elements(CYCLES as u64));
+        g.bench_function(BenchmarkId::new("scalar", name), |b| {
+            b.iter(|| scalar_cycles(n))
+        });
+        // Compiled: 64 lanes per pass, same cycle count.
+        g.throughput(Throughput::Elements((CYCLES * LANES) as u64));
+        g.bench_function(BenchmarkId::new("compiled_x64", name), |b| {
+            b.iter(|| compiled_cycles(n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gate_sim);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Fixed-length pipeline delay line.
+//!
+//! The escape units model their internal pipelining ("output data is
+//! therefore delayed by 4 clock cycles") with a short shift register of
+//! `Option<Word>` slots.  A ring over a fixed array keeps the per-clock
+//! shift to a couple of loads, and a live-word count makes the idle
+//! test O(1) — the driver loop and the OAM mirror each consult it every
+//! simulated cycle.
+
+use crate::word::Word;
+
+/// A `len`-deep shift register of optional words.
+#[derive(Debug, Clone)]
+pub struct DelayLine {
+    slots: [Option<Word>; Self::MAX],
+    head: u8,
+    len: u8,
+    live: u8,
+}
+
+impl DelayLine {
+    /// Longest delay any configuration needs (4-stage units → 3 slots).
+    pub const MAX: usize = 4;
+
+    pub fn new(len: usize) -> Self {
+        assert!(
+            len <= Self::MAX,
+            "delay line longer than {} slots",
+            Self::MAX
+        );
+        Self {
+            slots: [None; Self::MAX],
+            head: 0,
+            len: len as u8,
+            live: 0,
+        }
+    }
+
+    /// One clock: insert `fresh`, emit what was inserted `len` clocks
+    /// ago.  A zero-length line is a wire.
+    #[inline]
+    pub fn shift(&mut self, fresh: Option<Word>) -> Option<Word> {
+        if self.len == 0 {
+            return fresh;
+        }
+        let i = self.head as usize;
+        let out = self.slots[i].take();
+        self.live += u8::from(fresh.is_some());
+        self.live -= u8::from(out.is_some());
+        self.slots[i] = fresh;
+        self.head += 1;
+        if self.head == self.len {
+            self.head = 0;
+        }
+        out
+    }
+
+    /// No words in flight.
+    #[inline]
+    pub fn is_clear(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(tag: u8) -> Word {
+        Word::data(&[tag])
+    }
+
+    #[test]
+    fn zero_length_is_a_wire() {
+        let mut d = DelayLine::new(0);
+        assert!(d.is_clear());
+        assert_eq!(d.shift(Some(w(7))).unwrap().bytes[0], 7);
+        assert!(d.is_clear());
+    }
+
+    #[test]
+    fn delays_by_len_and_tracks_live_words() {
+        let mut d = DelayLine::new(3);
+        assert_eq!(d.shift(Some(w(1))), None);
+        assert!(!d.is_clear());
+        assert_eq!(d.shift(None), None);
+        assert_eq!(d.shift(Some(w(2))), None);
+        assert_eq!(d.shift(None).unwrap().bytes[0], 1);
+        assert_eq!(d.shift(None), None);
+        assert_eq!(d.shift(None).unwrap().bytes[0], 2);
+        assert!(d.is_clear());
+    }
+
+    #[test]
+    fn matches_vecdeque_reference() {
+        use std::collections::VecDeque;
+        for len in 0..=DelayLine::MAX {
+            let mut fast = DelayLine::new(len);
+            let mut reference: VecDeque<Option<Word>> = VecDeque::from(vec![None; len]);
+            for i in 0..64u32 {
+                let fresh = if i % 3 == 0 { Some(w(i as u8)) } else { None };
+                reference.push_back(fresh);
+                let want = reference.pop_front().flatten();
+                assert_eq!(fast.shift(fresh), want, "len {len} step {i}");
+                assert_eq!(
+                    fast.is_clear(),
+                    reference.iter().all(Option::is_none),
+                    "len {len} step {i}"
+                );
+            }
+        }
+    }
+}

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod behavioral;
+pub mod delay;
 pub mod firmware;
 pub mod oam;
 pub mod p5;

@@ -8,6 +8,7 @@
 //! through a shared [`OamHandle`].
 
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Register addresses (word-aligned byte offsets).
@@ -92,10 +93,20 @@ pub trait MmioBus {
     fn write(&mut self, addr: u32, value: u32);
 }
 
+#[derive(Debug)]
+struct OamShared {
+    state: RwLock<OamState>,
+    /// Bumped on every mutation.  The datapath polls this with one
+    /// atomic load per clock and only takes the lock to re-read its
+    /// cached configuration when the count moved — registers stay
+    /// "live" without a lock acquisition per cycle.
+    version: AtomicU64,
+}
+
 /// Shared handle to the OAM register file (datapath and host both hold
 /// clones; `parking_lot::RwLock` keeps it cheap).
 #[derive(Debug, Clone)]
-pub struct OamHandle(Arc<RwLock<OamState>>);
+pub struct OamHandle(Arc<OamShared>);
 
 impl Default for OamHandle {
     fn default() -> Self {
@@ -111,27 +122,39 @@ impl OamHandle {
             max_body: 1504,
             ..Default::default()
         };
-        Self(Arc::new(RwLock::new(state)))
+        Self(Arc::new(OamShared {
+            state: RwLock::new(state),
+            version: AtomicU64::new(0),
+        }))
+    }
+
+    /// Mutation counter: changes whenever any register changed.  Read
+    /// this *before* `read_state` when caching — a write landing
+    /// between the two makes the cache stale-versioned, so it reloads
+    /// on the next poll rather than being missed.
+    pub fn version(&self) -> u64 {
+        self.0.version.load(Ordering::Acquire)
     }
 
     pub fn read_state<R>(&self, f: impl FnOnce(&OamState) -> R) -> R {
-        f(&self.0.read())
+        f(&self.0.state.read())
     }
 
     pub fn with_state<R>(&self, f: impl FnOnce(&mut OamState) -> R) -> R {
-        f(&mut self.0.write())
+        let r = f(&mut self.0.state.write());
+        self.0.version.fetch_add(1, Ordering::Release);
+        r
     }
 
     /// Raise an interrupt cause; it latches into INT_PENDING regardless
     /// of the enable mask (the mask gates the output line).
     pub fn raise(&self, cause: Interrupt) {
-        self.0.write().int_pending |= cause as u32;
+        self.with_state(|s| s.int_pending |= cause as u32);
     }
 
     /// Is the interrupt output line asserted?
     pub fn irq_asserted(&self) -> bool {
-        let s = self.0.read();
-        s.int_pending & s.int_enable != 0
+        self.read_state(|s| s.int_pending & s.int_enable != 0)
     }
 }
 
@@ -148,7 +171,7 @@ impl Oam {
 
 impl MmioBus for Oam {
     fn read(&self, addr: u32) -> u32 {
-        let s = self.handle.0.read();
+        let s = self.handle.0.state.read();
         match addr {
             regs::CTRL => s.ctrl,
             regs::STATUS => (s.tx_busy as u32) | ((s.rx_in_frame as u32) << 1),
@@ -170,8 +193,7 @@ impl MmioBus for Oam {
     }
 
     fn write(&mut self, addr: u32, value: u32) {
-        let mut s = self.handle.0.write();
-        match addr {
+        self.handle.with_state(|s| match addr {
             regs::CTRL => s.ctrl = value,
             regs::ADDRESS => s.address = value as u8,
             regs::MAX_BODY => s.max_body = value,
@@ -179,7 +201,7 @@ impl MmioBus for Oam {
             // Write-1-to-clear.
             regs::INT_PENDING => s.int_pending &= !value,
             _ => {}
-        }
+        });
     }
 }
 
@@ -230,6 +252,24 @@ mod tests {
         let oam = Oam::new(h);
         assert_eq!(oam.read(regs::RX_FRAMES), 7);
         assert_eq!(oam.read(regs::FCS_ERRORS), 2);
+    }
+
+    #[test]
+    fn version_moves_on_every_mutation_path() {
+        let h = OamHandle::new();
+        let v0 = h.version();
+        let mut oam = Oam::new(h.clone());
+        oam.write(regs::ADDRESS, 0x03);
+        let v1 = h.version();
+        assert_ne!(v0, v1, "bus write bumps");
+        h.with_state(|s| s.rx_frames += 1);
+        let v2 = h.version();
+        assert_ne!(v1, v2, "with_state bumps");
+        h.raise(Interrupt::RxFrame);
+        assert_ne!(v2, h.version(), "raise bumps");
+        let _ = oam.read(regs::ADDRESS);
+        let _ = h.read_state(|s| s.ctrl);
+        assert_eq!(h.version(), h.version(), "reads do not bump");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! Generate, each a registered pipeline stage with ready/valid
 //! handshakes and the backpressure scheme of the paper.
 
+use crate::delay::DelayLine;
 use crate::stager::ByteStager;
 use crate::stats::StageStats;
 use crate::word::Word;
@@ -185,7 +186,24 @@ impl TxCrc {
                 }
             }
             if let Some(e) = &mut self.engine {
-                e.update(w.lanes());
+                e.update_word(w.lanes());
+            }
+            // Steady-state fast path: a full mid-frame word entering an
+            // empty stager leaves it again this very cycle, so skip the
+            // stage-and-repack round trip.  Cycle- and byte-exact: the
+            // slow path below would push `width` bytes (occupancy
+            // `width`) and pop the identical word.
+            if out_ready
+                && w.len as usize == self.width
+                && !w.eof
+                && !w.abort
+                && w.crc_ok.is_none()
+                && self.stager.is_empty()
+            {
+                self.stats.note_occupancy(self.width);
+                self.stats.words_out += 1;
+                self.stats.bytes_out += w.len as u64;
+                return Some(w);
             }
             for (i, &b) in w.lanes().iter().enumerate() {
                 let last = i + 1 == w.len as usize;
@@ -243,7 +261,7 @@ pub struct EscapeGen {
     /// back-to-back frames.
     last_was_flag: bool,
     /// Pipeline delay line (length = stages − 1).
-    delay: VecDeque<Option<Word>>,
+    delay: DelayLine,
     /// Transmit idle flags when the buffer runs dry (continuous wire).
     pub idle_fill: bool,
     /// Abort requested: emit `7D 7E` and drop the frame in flight.
@@ -281,7 +299,7 @@ impl EscapeGen {
             staging: VecDeque::with_capacity(buffer_capacity),
             capacity: buffer_capacity,
             last_was_flag: false,
-            delay: VecDeque::from(vec![None; stages - 1]),
+            delay: DelayLine::new(stages - 1),
             idle_fill: false,
             abort_requested: false,
             stats: StageStats::default(),
@@ -306,7 +324,7 @@ impl EscapeGen {
     }
 
     pub fn idle(&self) -> bool {
-        self.staging.is_empty() && self.delay.iter().all(Option::is_none)
+        self.staging.is_empty() && self.delay.is_clear()
     }
 
     fn push(&mut self, b: u8, is_flag: bool) {
@@ -335,31 +353,66 @@ impl EscapeGen {
             self.push(ESCAPE, false);
             self.push(FLAG, true);
         }
+        let mut fast = None;
         if let Some(w) = input {
             self.stats.words_in += 1;
             if w.sof && !self.last_was_flag {
                 self.push(FLAG, true);
             }
-            for &b in w.lanes() {
-                if b == FLAG || b == ESCAPE {
-                    self.push(ESCAPE, false);
-                    self.push(b ^ ESCAPE_XOR, false);
-                    self.escapes_inserted += 1;
-                } else {
-                    self.push(b, false);
+            // One scan decides the common case: a word with nothing to
+            // escape skips the branch-per-byte sorter entirely.
+            let lanes = w.lanes();
+            let clean = !lanes.is_empty() && lanes.iter().all(|&b| b != FLAG && b != ESCAPE);
+            if clean && out_ready && lanes.len() == self.width && self.staging.len() < self.width {
+                // Direct assembly: the k residue bytes head the output
+                // word, the input fills the rest, and only the k
+                // leftover input bytes touch the ring — byte- and
+                // cycle-exact with staging everything and popping below.
+                let k = self.staging.len();
+                self.stats
+                    .note_occupancy(k + self.width + usize::from(w.eof));
+                let mut out_w = Word::default();
+                for lane in 0..k {
+                    out_w.bytes[lane] = self.staging.pop_front().unwrap();
                 }
+                out_w.bytes[k..self.width].copy_from_slice(&lanes[..self.width - k]);
+                out_w.len = self.width as u8;
+                self.staging.extend(lanes[self.width - k..].iter().copied());
+                self.last_was_flag = false;
+                if w.eof {
+                    self.push(FLAG, true);
+                }
+                fast = Some(out_w);
+            } else {
+                if clean {
+                    debug_assert!(self.staging.len() + lanes.len() <= self.capacity);
+                    self.staging.extend(lanes.iter().copied());
+                    self.last_was_flag = false;
+                } else {
+                    for &b in lanes {
+                        if b == FLAG || b == ESCAPE {
+                            self.push(ESCAPE, false);
+                            self.push(b ^ ESCAPE_XOR, false);
+                            self.escapes_inserted += 1;
+                        } else {
+                            self.push(b, false);
+                        }
+                    }
+                }
+                if w.eof {
+                    self.push(FLAG, true);
+                }
+                self.stats.note_occupancy(self.staging.len());
             }
-            if w.eof {
-                self.push(FLAG, true);
-            }
-            self.stats.note_occupancy(self.staging.len());
         }
         if !out_ready {
             // Clock-enable gating: downstream stall freezes the pipe.
             return None;
         }
         // Assemble the next wire word from the resynchronisation buffer.
-        let fresh = if self.staging.len() >= self.width {
+        let fresh = if fast.is_some() {
+            fast
+        } else if self.staging.len() >= self.width {
             let mut w = Word::default();
             for (lane, b) in self.staging.drain(..self.width).enumerate() {
                 w.bytes[lane] = b;
@@ -387,8 +440,7 @@ impl EscapeGen {
             None
         };
         // March through the pipeline delay line.
-        self.delay.push_back(fresh);
-        let out = self.delay.pop_front().flatten();
+        let out = self.delay.shift(fresh);
         if let Some(w) = &out {
             self.stats.words_out += 1;
             self.stats.bytes_out += w.len as u64;

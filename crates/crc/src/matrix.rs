@@ -194,6 +194,19 @@ impl MatrixEngine {
         self.matrix.nbytes
     }
 
+    /// Advance by exactly one aligned word when possible, falling back
+    /// to the general [`CrcEngine::update`] path for partial words or a
+    /// non-empty pending buffer.  The hot per-clock path of the cycle
+    /// model — skips the chunking wrapper entirely.
+    #[inline]
+    pub fn update_word(&mut self, word: &[u8]) {
+        if self.pending.is_empty() && word.len() == self.matrix.nbytes {
+            self.step_word(word);
+        } else {
+            self.update(word);
+        }
+    }
+
     /// Advance one full word.
     #[inline]
     pub fn step_word(&mut self, word: &[u8]) {

@@ -13,6 +13,9 @@
 //! * [`sim`] — a functional simulator (topological evaluation + FF
 //!   stepping) used to verify every netlist against its behavioural
 //!   Rust counterpart;
+//! * [`compiled`] — the compile-then-run engine: the netlist lowered
+//!   once to a dense instruction tape and evaluated bit-parallel, 64
+//!   independent stimulus lanes per pass (one lane per bit of a `u64`);
 //! * [`map`] — cut-based technology mapping into 4-input LUTs (Virtex
 //!   and Virtex-II are 4-LUT architectures), with a depth-oriented mode
 //!   (synthesis estimate, "pre-layout") and an area-recovery mode
@@ -49,6 +52,7 @@
 //! ```
 
 pub mod builder;
+pub mod compiled;
 pub mod export;
 pub mod lutsim;
 pub mod map;
@@ -59,11 +63,12 @@ pub mod timing;
 pub mod verilog;
 
 pub use builder::Builder;
+pub use compiled::{CompiledSim, LANES};
 pub use export::to_blif;
 pub use lutsim::{LutNetwork, LutSim};
 pub use map::{map, MapMode, MappedNetlist};
 pub use netlist::{Netlist, NodeKind, Sig};
 pub use report::{synthesize, SynthReport};
-pub use sim::Sim;
+pub use sim::{InPort, OutPort, Sim};
 pub use timing::{devices, Device, TimingReport};
 pub use verilog::to_verilog;

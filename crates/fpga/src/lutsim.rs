@@ -8,6 +8,7 @@
 
 use crate::map::MappedNetlist;
 use crate::netlist::{Netlist, NodeKind, Sig};
+use crate::sim::{InPort, OutPort};
 use std::collections::HashMap;
 
 /// A mapped LUT with its computed truth table (bit `i` of `truth` is
@@ -92,65 +93,88 @@ impl<'a> LutNetwork<'a> {
 }
 
 /// Simulator over the LUT network (same I/O interface style as
-/// [`crate::sim::Sim`], driven by named buses).
+/// [`crate::sim::Sim`], driven by named buses or by port handles
+/// resolved once via [`LutSim::in_port`]/[`LutSim::out_port`]).
 pub struct LutSim<'a> {
     net: LutNetwork<'a>,
-    values: HashMap<Sig, bool>,
+    /// Dense per-node values: primary inputs written by `set`, LUT
+    /// roots written by `eval`.
+    values: Vec<bool>,
+    /// Which nodes are LUT roots (readable from `values` even when the
+    /// underlying node is a gate).
+    covered: Vec<bool>,
     ff_state: Vec<bool>,
-    input_index: HashMap<String, Vec<Sig>>,
-    output_index: HashMap<String, Vec<Sig>>,
+    ff_next: Vec<bool>,
 }
 
 impl<'a> LutSim<'a> {
     pub fn new(net: LutNetwork<'a>) -> Self {
-        let input_index = net
-            .n
-            .inputs
-            .iter()
-            .map(|b| (b.name.clone(), b.sigs.clone()))
-            .collect();
-        let output_index = net
-            .n
-            .outputs
-            .iter()
-            .map(|b| (b.name.clone(), b.sigs.clone()))
-            .collect();
-        let ff_state = net.n.dffs.iter().map(|d| d.init).collect();
+        let ff_state: Vec<bool> = net.n.dffs.iter().map(|d| d.init).collect();
+        let mut covered = vec![false; net.n.nodes.len()];
+        for lut in &net.luts {
+            covered[lut.root as usize] = true;
+        }
         let mut s = Self {
-            net,
-            values: HashMap::new(),
+            values: vec![false; net.n.nodes.len()],
+            covered,
+            ff_next: ff_state.clone(),
             ff_state,
-            input_index,
-            output_index,
+            net,
         };
         s.eval();
         s
     }
 
-    pub fn set(&mut self, name: &str, value: u64) {
-        let sigs = self.input_index[name].clone();
-        for (i, s) in sigs.iter().enumerate() {
-            self.values.insert(*s, (value >> i) & 1 == 1);
+    /// Resolve a named input bus to a dense handle (do this once).
+    #[must_use]
+    pub fn in_port(&self, name: &str) -> InPort {
+        crate::sim::resolve_in(&self.net.n.inputs, name)
+    }
+
+    /// Resolve a named output bus to a dense handle.
+    #[must_use]
+    pub fn out_port(&self, name: &str) -> OutPort {
+        crate::sim::resolve_out(&self.net.n.outputs, name)
+    }
+
+    /// Set an input bus from an integer (LSB-first) via its handle.
+    pub fn set_port(&mut self, port: InPort, value: u64) {
+        let n = self.net.n;
+        let sigs = &n.inputs[port.0].sigs;
+        for (i, &s) in sigs.iter().enumerate() {
+            self.values[s as usize] = (value >> i) & 1 == 1;
         }
+    }
+
+    /// Set a wide input bus from bytes via its handle.
+    pub fn set_bytes_port(&mut self, port: InPort, bytes: &[u8]) {
+        let n = self.net.n;
+        let sigs = &n.inputs[port.0].sigs;
+        assert_eq!(sigs.len(), bytes.len() * 8);
+        for (i, &s) in sigs.iter().enumerate() {
+            self.values[s as usize] = (bytes[i / 8] >> (i % 8)) & 1 == 1;
+        }
+    }
+
+    pub fn set(&mut self, name: &str, value: u64) {
+        let port = self.in_port(name);
+        self.set_port(port, value);
     }
 
     pub fn set_bytes(&mut self, name: &str, bytes: &[u8]) {
-        let sigs = self.input_index[name].clone();
-        assert_eq!(sigs.len(), bytes.len() * 8);
-        for (i, s) in sigs.iter().enumerate() {
-            self.values.insert(*s, (bytes[i / 8] >> (i % 8)) & 1 == 1);
-        }
+        let port = self.in_port(name);
+        self.set_bytes_port(port, bytes);
     }
 
     fn read(&self, s: Sig) -> bool {
-        if let Some(&v) = self.values.get(&s) {
-            return v;
+        if self.covered[s as usize] {
+            return self.values[s as usize];
         }
         match self.net.n.nodes[s as usize] {
             NodeKind::Const(c) => c,
             NodeKind::FfOutput(idx) => self.ff_state[idx as usize],
-            // An unset primary input defaults low.
-            NodeKind::Input => false,
+            // An unset primary input defaults low (values init false).
+            NodeKind::Input => self.values[s as usize],
             // A signal that is not a LUT root must be a leaf kind.
             _ => panic!("mapped simulation read of uncovered node {s}"),
         }
@@ -168,41 +192,43 @@ impl<'a> LutSim<'a> {
             }
             let out = (lut.truth >> idx) & 1 == 1;
             let root = lut.root;
-            self.values.insert(root, out);
+            self.values[root as usize] = out;
         }
     }
 
-    pub fn get(&mut self, name: &str) -> u64 {
+    /// Read an output bus as an integer via its handle.
+    #[must_use]
+    pub fn get_port(&mut self, port: OutPort) -> u64 {
         self.eval();
-        let sigs = self.output_index[name].clone();
+        let sigs = &self.net.n.outputs[port.0].sigs;
         sigs.iter()
             .enumerate()
-            .fold(0u64, |acc, (i, s)| acc | ((self.read(*s) as u64) << i))
+            .fold(0u64, |acc, (i, &s)| acc | ((self.read(s) as u64) << i))
+    }
+
+    pub fn get(&mut self, name: &str) -> u64 {
+        let port = self.out_port(name);
+        self.get_port(port)
     }
 
     pub fn step(&mut self) {
         self.eval();
-        let next: Vec<bool> = self
-            .net
-            .n
-            .dffs
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
+        for (i, d) in self.net.n.dffs.iter().enumerate() {
+            self.ff_next[i] = 'next: {
                 if let Some(sr) = d.sr {
                     if self.read(sr) {
-                        return d.init;
+                        break 'next d.init;
                     }
                 }
                 if let Some(en) = d.en {
                     if !self.read(en) {
-                        return self.ff_state[i];
+                        break 'next self.ff_state[i];
                     }
                 }
                 self.read(d.d.expect("validated"))
-            })
-            .collect();
-        self.ff_state = next;
+            };
+        }
+        std::mem::swap(&mut self.ff_state, &mut self.ff_next);
         self.eval();
     }
 }

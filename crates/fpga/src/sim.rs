@@ -1,9 +1,44 @@
 //! Functional netlist simulation: topological combinational evaluation
 //! plus flip-flop stepping.  Used to prove every `p5-rtl` netlist
 //! equivalent to its behavioural Rust counterpart.
+//!
+//! Port access is handle-based: [`Sim::in_port`]/[`Sim::out_port`]
+//! resolve a bus name to a dense index once, and the handle accessors
+//! ([`Sim::set_port`], [`Sim::get_port`], …) touch the value array
+//! directly — no map lookup, no `Vec<Sig>` clone per call.  The string
+//! API (`set`/`get`/…) survives as a thin wrapper for tests and
+//! one-shot use.  For bit-parallel 64-lane evaluation of the same
+//! netlists see [`crate::compiled::CompiledSim`].
 
-use crate::netlist::{Netlist, NodeKind, Sig};
-use std::collections::HashMap;
+use crate::netlist::{Bus, Netlist, NodeKind, Sig};
+
+/// Handle to a named input bus, resolved once via [`Sim::in_port`] (an
+/// index into the netlist's `inputs`).  Valid for any simulator built
+/// from the same netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InPort(pub(crate) usize);
+
+/// Handle to a named output bus, resolved once via [`Sim::out_port`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutPort(pub(crate) usize);
+
+pub(crate) fn resolve_in(buses: &[Bus], name: &str) -> InPort {
+    InPort(
+        buses
+            .iter()
+            .position(|b| b.name == name)
+            .unwrap_or_else(|| panic!("no input bus named {name}")),
+    )
+}
+
+pub(crate) fn resolve_out(buses: &[Bus], name: &str) -> OutPort {
+    OutPort(
+        buses
+            .iter()
+            .position(|b| b.name == name)
+            .unwrap_or_else(|| panic!("no output bus named {name}")),
+    )
+}
 
 /// A netlist simulator instance.
 pub struct Sim<'a> {
@@ -12,9 +47,9 @@ pub struct Sim<'a> {
     values: Vec<bool>,
     /// FF state (indexed like `n.dffs`).
     ff_state: Vec<bool>,
+    /// Scratch for the next FF state (avoids an allocation per step).
+    ff_next: Vec<bool>,
     order: Vec<Sig>,
-    input_index: HashMap<String, Vec<Sig>>,
-    output_index: HashMap<String, Vec<Sig>>,
     dirty: bool,
 }
 
@@ -22,56 +57,100 @@ impl<'a> Sim<'a> {
     pub fn new(n: &'a Netlist) -> Self {
         n.validate();
         let order = n.topo_order();
-        let input_index = n
-            .inputs
-            .iter()
-            .map(|b| (b.name.clone(), b.sigs.clone()))
-            .collect();
-        let output_index = n
-            .outputs
-            .iter()
-            .map(|b| (b.name.clone(), b.sigs.clone()))
-            .collect();
-        let ff_state = n.dffs.iter().map(|d| d.init).collect();
+        let ff_state: Vec<bool> = n.dffs.iter().map(|d| d.init).collect();
         let mut sim = Self {
             n,
             values: vec![false; n.nodes.len()],
+            ff_next: ff_state.clone(),
             ff_state,
             order,
-            input_index,
-            output_index,
             dirty: true,
         };
         sim.eval();
         sim
     }
 
-    /// Set a named input bus from an integer (LSB-first).
-    pub fn set(&mut self, name: &str, value: u64) {
-        let sigs = self
-            .input_index
-            .get(name)
-            .unwrap_or_else(|| panic!("no input bus named {name}"))
-            .clone();
+    /// Resolve a named input bus to a dense handle (do this once, not
+    /// per cycle).
+    #[must_use]
+    pub fn in_port(&self, name: &str) -> InPort {
+        resolve_in(&self.n.inputs, name)
+    }
+
+    /// Resolve a named output bus to a dense handle.
+    #[must_use]
+    pub fn out_port(&self, name: &str) -> OutPort {
+        resolve_out(&self.n.outputs, name)
+    }
+
+    /// Set an input bus from an integer (LSB-first) via its handle.
+    pub fn set_port(&mut self, port: InPort, value: u64) {
+        let n = self.n;
+        let sigs = &n.inputs[port.0].sigs;
         assert!(sigs.len() <= 64);
-        for (i, s) in sigs.iter().enumerate() {
-            self.values[*s as usize] = (value >> i) & 1 == 1;
+        for (i, &s) in sigs.iter().enumerate() {
+            self.values[s as usize] = (value >> i) & 1 == 1;
         }
         self.dirty = true;
     }
 
-    /// Set a wide input bus from bytes (8 bits per byte, LSB-first).
-    pub fn set_bytes(&mut self, name: &str, bytes: &[u8]) {
-        let sigs = self
-            .input_index
-            .get(name)
-            .unwrap_or_else(|| panic!("no input bus named {name}"))
-            .clone();
-        assert_eq!(sigs.len(), bytes.len() * 8, "bus width mismatch for {name}");
-        for (i, s) in sigs.iter().enumerate() {
-            self.values[*s as usize] = (bytes[i / 8] >> (i % 8)) & 1 == 1;
+    /// Set a wide input bus from bytes (8 bits per byte, LSB-first) via
+    /// its handle.
+    pub fn set_bytes_port(&mut self, port: InPort, bytes: &[u8]) {
+        let n = self.n;
+        let sigs = &n.inputs[port.0].sigs;
+        assert_eq!(
+            sigs.len(),
+            bytes.len() * 8,
+            "bus width mismatch for {}",
+            n.inputs[port.0].name
+        );
+        for (i, &s) in sigs.iter().enumerate() {
+            self.values[s as usize] = (bytes[i / 8] >> (i % 8)) & 1 == 1;
         }
         self.dirty = true;
+    }
+
+    /// Read an output bus as an integer via its handle.
+    #[must_use]
+    pub fn get_port(&mut self, port: OutPort) -> u64 {
+        if self.dirty {
+            self.eval();
+        }
+        let sigs = &self.n.outputs[port.0].sigs;
+        assert!(sigs.len() <= 64);
+        sigs.iter().enumerate().fold(0u64, |acc, (i, &s)| {
+            acc | ((self.values[s as usize] as u64) << i)
+        })
+    }
+
+    /// Read a wide output bus into a caller-owned buffer (cleared and
+    /// refilled) — the per-cycle equivalence loops use this to avoid an
+    /// allocation every clock.
+    pub fn get_bytes_into(&mut self, port: OutPort, out: &mut Vec<u8>) {
+        if self.dirty {
+            self.eval();
+        }
+        let sigs = &self.n.outputs[port.0].sigs;
+        out.clear();
+        out.resize(sigs.len().div_ceil(8), 0);
+        for (i, &s) in sigs.iter().enumerate() {
+            if self.values[s as usize] {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+    }
+
+    /// Set a named input bus from an integer (LSB-first).
+    pub fn set(&mut self, name: &str, value: u64) {
+        let port = self.in_port(name);
+        self.set_port(port, value);
+    }
+
+    /// Set a wide input bus from bytes (8 bits per byte, LSB-first).
+    pub fn set_bytes(&mut self, name: &str, bytes: &[u8]) {
+        let port = self.in_port(name);
+        self.set_bytes_port(port, bytes);
     }
 
     /// Propagate combinational logic.
@@ -99,35 +178,15 @@ impl<'a> Sim<'a> {
 
     /// Read a named output bus as an integer.
     pub fn get(&mut self, name: &str) -> u64 {
-        if self.dirty {
-            self.eval();
-        }
-        let sigs = self
-            .output_index
-            .get(name)
-            .unwrap_or_else(|| panic!("no output bus named {name}"));
-        assert!(sigs.len() <= 64);
-        sigs.iter().enumerate().fold(0u64, |acc, (i, s)| {
-            acc | ((self.values[*s as usize] as u64) << i)
-        })
+        let port = self.out_port(name);
+        self.get_port(port)
     }
 
     /// Read a wide output bus as bytes.
     pub fn get_bytes(&mut self, name: &str) -> Vec<u8> {
-        if self.dirty {
-            self.eval();
-        }
-        let sigs = self
-            .output_index
-            .get(name)
-            .unwrap_or_else(|| panic!("no output bus named {name}"))
-            .clone();
-        let mut out = vec![0u8; sigs.len().div_ceil(8)];
-        for (i, s) in sigs.iter().enumerate() {
-            if self.values[*s as usize] {
-                out[i / 8] |= 1 << (i % 8);
-            }
-        }
+        let port = self.out_port(name);
+        let mut out = Vec::new();
+        self.get_bytes_into(port, &mut out);
         out
     }
 
@@ -135,26 +194,22 @@ impl<'a> Sim<'a> {
     /// (SR has priority over CE, as on a Virtex slice register).
     pub fn step(&mut self) {
         self.eval();
-        let next: Vec<bool> = self
-            .n
-            .dffs
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
+        for (i, d) in self.n.dffs.iter().enumerate() {
+            self.ff_next[i] = 'next: {
                 if let Some(sr) = d.sr {
                     if self.values[sr as usize] {
-                        return d.init;
+                        break 'next d.init;
                     }
                 }
                 if let Some(en) = d.en {
                     if !self.values[en as usize] {
-                        return self.ff_state[i];
+                        break 'next self.ff_state[i];
                     }
                 }
                 self.values[d.d.expect("validated") as usize]
-            })
-            .collect();
-        self.ff_state = next;
+            };
+        }
+        std::mem::swap(&mut self.ff_state, &mut self.ff_next);
         self.dirty = true;
         self.eval();
     }
@@ -221,5 +276,40 @@ mod tests {
         assert_eq!(sim.get("q2"), 1);
         sim.reset();
         assert_eq!(sim.get("q2"), 1);
+    }
+
+    #[test]
+    fn handle_accessors_match_string_api() {
+        let mut b = Builder::new("h");
+        let a = b.input_bus("a", 16);
+        let c = b.input_bus("b", 16);
+        let zero = b.lit(false);
+        let (sum, cout) = b.add(&a, &c, zero);
+        b.output("sum", &sum);
+        b.output("cout", &[cout]);
+        let n = b.finish();
+        let mut sim = Sim::new(&n);
+        let pa = sim.in_port("a");
+        let pb = sim.in_port("b");
+        let psum = sim.out_port("sum");
+        let mut buf = Vec::new();
+        for (x, y) in [(1u64, 2u64), (0xFFFF, 1), (0x1234, 0x4321)] {
+            sim.set_port(pa, x);
+            sim.set_bytes_port(pb, &(y as u16).to_le_bytes());
+            assert_eq!(sim.get_port(psum), (x + y) & 0xFFFF);
+            sim.get_bytes_into(psum, &mut buf);
+            assert_eq!(buf, (((x + y) & 0xFFFF) as u16).to_le_bytes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no input bus named nope")]
+    fn unknown_port_panics() {
+        let mut b = Builder::new("p");
+        let a = b.input("a");
+        b.output("x", &[a]);
+        let n = b.finish();
+        let sim = Sim::new(&n);
+        let _ = sim.in_port("nope");
     }
 }

@@ -134,12 +134,29 @@ impl Deframer {
     }
 
     /// Push a slice of wire bytes, collecting all resulting events.
+    ///
+    /// Escape- and flag-free runs are located eight octets at a time
+    /// with the [`crate::scan`] word detector and accepted in bulk
+    /// (one CRC update, one `extend_from_slice`); only the special
+    /// octets go through the per-byte state machine.
     pub fn push_bytes(&mut self, bytes: &[u8]) -> Vec<DeframeEvent> {
         let mut events = Vec::new();
-        for &b in bytes {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            if !self.escape_pending {
+                let clean = crate::scan::clean_prefix_len(rest);
+                if clean > 0 {
+                    self.accept_run(&rest[..clean]);
+                    rest = &rest[clean..];
+                }
+            }
+            let Some((&b, tail)) = rest.split_first() else {
+                break;
+            };
             if let Some(ev) = self.push_byte(b) {
                 events.push(ev);
             }
+            rest = tail;
         }
         events
     }
@@ -154,6 +171,23 @@ impl Deframer {
             crc.update(&[byte]);
         }
         self.body.push(byte);
+    }
+
+    /// Bulk [`Self::accept`]: identical semantics (octets past the
+    /// giant cap are dropped and excluded from the CRC), one CRC
+    /// update and one copy for the whole run.
+    fn accept_run(&mut self, run: &[u8]) {
+        let cap = self.config.max_body + self.config.fcs.len();
+        let free = cap.saturating_sub(self.body.len());
+        let take = free.min(run.len());
+        if take < run.len() {
+            self.overrun = true;
+        }
+        let taken = &run[..take];
+        if let Some(crc) = &mut self.crc {
+            crc.update(taken);
+        }
+        self.body.extend_from_slice(taken);
     }
 
     /// A flag arrived: close out whatever is buffered.

@@ -35,6 +35,7 @@
 pub mod bitstuff;
 pub mod deframer;
 pub mod framer;
+pub mod scan;
 pub mod stream;
 pub mod stuff;
 

@@ -1,0 +1,99 @@
+//! SWAR word scanning for the framing hot paths.
+//!
+//! The stuffing/destuffing loops spend almost all their time on octets
+//! that are neither `0x7E` nor `0x7D`.  These helpers test eight wire
+//! octets per machine word using the classic zero-byte detector
+//! (`haszero(v) = (v - 0x01…01) & ~v & 0x80…80`, applied to `v ^
+//! splat(needle)`), so escape-free runs can be located word-at-a-time
+//! and copied in bulk with `extend_from_slice`.  Byte-exact semantics
+//! are unchanged: any word containing a special octet falls back to
+//! the per-byte path.
+
+use crate::{ESCAPE, FLAG};
+
+const LSB: u64 = 0x0101_0101_0101_0101;
+const MSB: u64 = 0x8080_8080_8080_8080;
+
+/// Broadcast one byte to every lane of a `u64`.
+#[inline]
+#[must_use]
+pub const fn splat(b: u8) -> u64 {
+    LSB * b as u64
+}
+
+/// Does any byte lane of `word` equal `needle`?
+#[inline]
+#[must_use]
+pub const fn any_byte_eq(word: u64, needle: u8) -> bool {
+    let x = word ^ splat(needle);
+    x.wrapping_sub(LSB) & !x & MSB != 0
+}
+
+/// Does any byte lane of `word` hold a flag (`0x7E`) or escape
+/// (`0x7D`) octet?
+#[inline]
+#[must_use]
+pub const fn any_special(word: u64) -> bool {
+    any_byte_eq(word, FLAG) || any_byte_eq(word, ESCAPE)
+}
+
+/// Length of the prefix of `bytes` that is free of flag and escape
+/// octets: whole words are tested eight-at-a-time, then the boundary
+/// is pinned down bytewise.
+#[inline]
+#[must_use]
+pub fn clean_prefix_len(bytes: &[u8]) -> usize {
+    let mut i = 0;
+    while i + 8 <= bytes.len() {
+        let w = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte chunk"));
+        if any_special(w) {
+            break;
+        }
+        i += 8;
+    }
+    while i < bytes.len() && bytes[i] != FLAG && bytes[i] != ESCAPE {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_broadcasts() {
+        assert_eq!(splat(0x7E), 0x7E7E_7E7E_7E7E_7E7E);
+        assert_eq!(splat(0x00), 0);
+    }
+
+    #[test]
+    fn detector_finds_each_lane() {
+        for lane in 0..8 {
+            let mut bytes = [0x55u8; 8];
+            bytes[lane] = FLAG;
+            assert!(any_special(u64::from_le_bytes(bytes)), "flag lane {lane}");
+            bytes[lane] = ESCAPE;
+            assert!(any_special(u64::from_le_bytes(bytes)), "esc lane {lane}");
+        }
+        assert!(!any_special(u64::from_le_bytes([0x55; 8])));
+        // Near misses: 0x7C and 0x7F must not trigger.
+        assert!(!any_special(u64::from_le_bytes([0x7C; 8])));
+        assert!(!any_special(u64::from_le_bytes([0x7F; 8])));
+    }
+
+    #[test]
+    fn clean_prefix_exact_boundary() {
+        for n in 0..40 {
+            let mut v = vec![0xAAu8; n];
+            assert_eq!(clean_prefix_len(&v), n, "no specials, len {n}");
+            for pos in 0..n {
+                v[pos] = FLAG;
+                assert_eq!(clean_prefix_len(&v), pos, "flag at {pos} of {n}");
+                v[pos] = ESCAPE;
+                assert_eq!(clean_prefix_len(&v), pos, "escape at {pos} of {n}");
+                v[pos] = 0xAA;
+            }
+        }
+    }
+}

@@ -25,7 +25,33 @@ impl Accm {
 
 /// Stuff `body` into `out` (appending).  Returns the number of escape
 /// octets inserted.
+///
+/// On the octet-synchronous SONET map ([`Accm::SONET`]) only `0x7E`
+/// and `0x7D` need escaping, so the body is scanned a `u64` word at a
+/// time ([`crate::scan`]) and escape-free runs are appended in bulk; a
+/// non-zero ACCM takes the exact per-byte path.
 pub fn stuff_into(body: &[u8], accm: Accm, out: &mut Vec<u8>) -> usize {
+    if accm != Accm::SONET {
+        return stuff_into_bytewise(body, accm, out);
+    }
+    out.reserve(body.len());
+    let mut escapes = 0;
+    let mut rest = body;
+    loop {
+        let clean = crate::scan::clean_prefix_len(rest);
+        out.extend_from_slice(&rest[..clean]);
+        rest = &rest[clean..];
+        let Some((&b, tail)) = rest.split_first() else {
+            return escapes;
+        };
+        out.push(ESCAPE);
+        out.push(b ^ ESCAPE_XOR);
+        escapes += 1;
+        rest = tail;
+    }
+}
+
+fn stuff_into_bytewise(body: &[u8], accm: Accm, out: &mut Vec<u8>) -> usize {
     let mut escapes = 0;
     for &b in body {
         if accm.must_escape(b) {
@@ -61,27 +87,35 @@ pub enum DestuffOutcome {
 }
 
 /// Destuff one region of wire bytes that contains no flag octets.
+///
+/// Escape-free runs are located with the word scanner and copied in
+/// bulk; only the escape sequences themselves are decoded bytewise.
 pub fn destuff(wire: &[u8]) -> DestuffOutcome {
     let mut out = Vec::with_capacity(wire.len());
     let mut irregular = false;
-    let mut i = 0;
-    while i < wire.len() {
-        let b = wire[i];
+    let mut rest = wire;
+    loop {
+        let clean = crate::scan::clean_prefix_len(rest);
+        out.extend_from_slice(&rest[..clean]);
+        rest = &rest[clean..];
+        let Some((&b, tail)) = rest.split_first() else {
+            break;
+        };
         debug_assert_ne!(b, FLAG, "destuff input must be flag-free");
         if b == ESCAPE {
-            if i + 1 >= wire.len() {
+            let Some((&esc, tail)) = tail.split_first() else {
                 return DestuffOutcome::Aborted;
-            }
-            let decoded = wire[i + 1] ^ ESCAPE_XOR;
+            };
+            let decoded = esc ^ ESCAPE_XOR;
             // A conforming peer only escapes octets that need it.
             if !(decoded == FLAG || decoded == ESCAPE || decoded < 0x20) {
                 irregular = true;
             }
             out.push(decoded);
-            i += 2;
+            rest = tail;
         } else {
             out.push(b);
-            i += 1;
+            rest = tail;
         }
     }
     if irregular {

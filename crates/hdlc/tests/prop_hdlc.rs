@@ -21,6 +21,51 @@ fn nasty_body() -> impl Strategy<Value = Vec<u8>> {
     )
 }
 
+/// Blocks of (clean-run length, clean byte, special-run length,
+/// special byte): assembled by [`assemble_straddling`] into payloads
+/// whose flag/escape clusters straddle every possible `u64`
+/// word-boundary phase of the SWAR scanner.
+#[allow(clippy::type_complexity)]
+fn straddling_blocks() -> impl Strategy<Value = Vec<(usize, u8, usize, u8)>> {
+    proptest::collection::vec(
+        (
+            0usize..19,
+            any::<u8>(),
+            0usize..5,
+            prop_oneof![Just(p5_hdlc::FLAG), Just(p5_hdlc::ESCAPE)],
+        ),
+        0..40,
+    )
+}
+
+fn assemble_straddling(blocks: &[(usize, u8, usize, u8)]) -> Vec<u8> {
+    let mut body = Vec::new();
+    for &(clean_len, clean_byte, special_len, special) in blocks {
+        let b = if clean_byte == p5_hdlc::FLAG || clean_byte == p5_hdlc::ESCAPE {
+            0x42
+        } else {
+            clean_byte
+        };
+        body.extend(std::iter::repeat_n(b, clean_len));
+        body.extend(std::iter::repeat_n(special, special_len));
+    }
+    body
+}
+
+/// The byte-at-a-time reference stuffer the SWAR path must match.
+fn stuff_ref(body: &[u8], accm: Accm) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &b in body {
+        if accm.must_escape(b) {
+            out.push(p5_hdlc::ESCAPE);
+            out.push(b ^ p5_hdlc::ESCAPE_XOR);
+        } else {
+            out.push(b);
+        }
+    }
+    out
+}
+
 proptest! {
     #[test]
     fn stuff_destuff_identity(body in proptest::collection::vec(any::<u8>(), 0..2048)) {
@@ -73,6 +118,64 @@ proptest! {
             chunked.extend(d.push_bytes(c));
         }
         prop_assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn swar_stuffer_matches_bytewise_on_straddling_runs(blocks in straddling_blocks()) {
+        let body = assemble_straddling(&blocks);
+        let wire = stuff(&body, Accm::SONET);
+        prop_assert_eq!(&wire, &stuff_ref(&body, Accm::SONET));
+        prop_assert_eq!(destuff(&wire), DestuffOutcome::Ok(body));
+    }
+
+    #[test]
+    fn swar_stuffer_matches_bytewise_on_random_bodies(body in nasty_body()) {
+        prop_assert_eq!(stuff(&body, Accm::SONET), stuff_ref(&body, Accm::SONET));
+        // A non-zero ACCM must keep the exact bytewise semantics too.
+        let accm = Accm(0x0000_A005);
+        prop_assert_eq!(stuff(&body, accm), stuff_ref(&body, accm));
+    }
+
+    #[test]
+    fn bulk_push_bytes_matches_push_byte(blocks in straddling_blocks(), chunk in 1usize..33) {
+        let body = assemble_straddling(&blocks);
+        // The word-scanning push_bytes must be indistinguishable from the
+        // per-byte state machine on any wire image, including mid-frame
+        // escapes straddling the chunk and word boundaries.
+        let mut framer = Framer::new(FramerConfig::default());
+        let mut wire = Vec::new();
+        framer.encode_into(&body, &mut wire);
+        wire.extend_from_slice(&body); // trailing junk, possibly flag-laden
+        let cfg = DeframerConfig { max_body: 4096, ..Default::default() };
+        let mut bulk = Deframer::new(cfg);
+        let mut bulk_events = Vec::new();
+        for c in wire.chunks(chunk) {
+            bulk_events.extend(bulk.push_bytes(c));
+        }
+        let mut bytewise = Deframer::new(cfg);
+        let mut byte_events = Vec::new();
+        for &b in &wire {
+            byte_events.extend(bytewise.push_byte(b));
+        }
+        prop_assert_eq!(bulk_events, byte_events);
+        prop_assert_eq!(bulk.stats(), bytewise.stats());
+    }
+
+    #[test]
+    fn bulk_push_respects_giant_cap(body in proptest::collection::vec(any::<u8>(), 0..900)) {
+        // The bulk accept path must drop and un-CRC exactly the same
+        // octets past the giant cap as the per-byte path.
+        let cfg = DeframerConfig { max_body: 64, ..Default::default() };
+        let mut framer = Framer::new(FramerConfig::default());
+        let mut wire = Vec::new();
+        framer.encode_into(&body, &mut wire);
+        let bulk = Deframer::new(cfg).push_bytes(&wire);
+        let mut bytewise = Deframer::new(cfg);
+        let mut byte_events = Vec::new();
+        for &b in &wire {
+            byte_events.extend(bytewise.push_byte(b));
+        }
+        prop_assert_eq!(bulk, byte_events);
     }
 
     #[test]

@@ -20,7 +20,16 @@ cargo test -q --workspace --offline
 echo "==> p5lint (shipped netlists)"
 cargo run -q -p p5-lint --bin p5lint --offline
 
-echo "==> throughput smoke (results/BENCH_throughput.json)"
-cargo run -q --release --offline -p p5-bench --bin throughput_report -- --smoke
+echo "==> throughput smoke + perf gate (results/BENCH_throughput.json)"
+# The bytes/cycle floors are the shipped numbers: a cycle-model change
+# that costs cycles fails here rather than landing silently.
+cargo run -q --release --offline -p p5-bench --bin throughput_report -- \
+    --smoke --min-bpc8 0.9998 --min-bpc32 3.9931
+
+echo "==> gate-sim smoke + perf gate (results/BENCH_gate_sim.json)"
+# The compiled 64-lane engine must stay >=10x the scalar walker on the
+# 32-bit system aggregate (measured ~300x; 10x leaves noise headroom).
+cargo run -q --release --offline -p p5-bench --bin gate_sim_report -- \
+    --smoke --min-x64 10
 
 echo "==> all checks passed"
