@@ -68,10 +68,13 @@ pub use firmware::{Driver, DriverConfig, LinkStats};
 pub use oam::{regs, Interrupt, MmioBus, Oam, OamHandle};
 pub use p5::{DatapathWidth, ReceivedFrame, P5};
 pub use stats::StageStats;
-pub use stream::{decap, encap, RxStage, TxStage};
+pub use stream::{decap, encap, encap_tagged, RxStage, TxStage};
 pub use tx::TxQueueFull;
 pub use word::Word;
 
 // The stream layer the stages implement (re-exported so downstream code
 // can compose stacks without naming p5-stream directly).
-pub use p5_stream::{Chain, Poll, Stack, StreamStage, Throttle, WireBuf, WordStream};
+pub use p5_stream::{
+    render_table, to_json, to_prometheus, Chain, Event, EventKind, FrameId, NullSink, Observable,
+    Poll, SharedRecorder, Snapshot, Stack, StreamStage, Throttle, TraceSink, WireBuf, WordStream,
+};

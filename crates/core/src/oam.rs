@@ -8,6 +8,7 @@
 //! through a shared [`OamHandle`].
 
 use parking_lot::RwLock;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -85,6 +86,16 @@ pub struct OamState {
     /// Datapath-maintained live status bits.
     pub tx_busy: bool,
     pub rx_in_frame: bool,
+    /// Recent host bus writes `(addr, value)`, capped at
+    /// [`OamState::WRITE_LOG_CAP`]; drained by [`OamHandle::take_writes`]
+    /// so a tracing device can stamp them as `OamWrite` events.
+    pub write_log: VecDeque<(u32, u32)>,
+}
+
+impl OamState {
+    /// Bound on the retained bus-write log: old entries are dropped so an
+    /// untraced device never accumulates memory.
+    pub const WRITE_LOG_CAP: usize = 64;
 }
 
 /// Host-side bus interface (the microprocessor interface of Figure 2).
@@ -156,6 +167,34 @@ impl OamHandle {
     pub fn irq_asserted(&self) -> bool {
         self.read_state(|s| s.int_pending & s.int_enable != 0)
     }
+
+    /// Drain the host bus-write log.  Does *not* bump the version
+    /// counter: draining the log is observation, not configuration, and
+    /// bumping would make the datapath's config cache reload forever.
+    pub fn take_writes(&self) -> Vec<(u32, u32)> {
+        let mut s = self.0.state.write();
+        s.write_log.drain(..).collect()
+    }
+}
+
+impl p5_stream::Observable for OamHandle {
+    /// The register file's counter view — what a host polling the OAM
+    /// over the bus would see.
+    fn snapshot(&self) -> p5_stream::Snapshot {
+        self.read_state(|s| {
+            p5_stream::Snapshot::new("oam")
+                .counter("tx_frames", u64::from(s.tx_frames))
+                .counter("rx_frames", u64::from(s.rx_frames))
+                .counter("fcs_errors", u64::from(s.fcs_errors))
+                .counter("aborts", u64::from(s.aborts))
+                .counter("runts", u64::from(s.runts))
+                .counter("giants", u64::from(s.giants))
+                .counter("addr_mismatches", u64::from(s.addr_mismatches))
+                .counter("header_errors", u64::from(s.header_errors))
+                .counter("tx_rejects", u64::from(s.tx_rejects))
+                .counter("int_pending", u64::from(s.int_pending))
+        })
+    }
 }
 
 /// The OAM as seen from the host bus.
@@ -193,14 +232,20 @@ impl MmioBus for Oam {
     }
 
     fn write(&mut self, addr: u32, value: u32) {
-        self.handle.with_state(|s| match addr {
-            regs::CTRL => s.ctrl = value,
-            regs::ADDRESS => s.address = value as u8,
-            regs::MAX_BODY => s.max_body = value,
-            regs::INT_ENABLE => s.int_enable = value,
-            // Write-1-to-clear.
-            regs::INT_PENDING => s.int_pending &= !value,
-            _ => {}
+        self.handle.with_state(|s| {
+            match addr {
+                regs::CTRL => s.ctrl = value,
+                regs::ADDRESS => s.address = value as u8,
+                regs::MAX_BODY => s.max_body = value,
+                regs::INT_ENABLE => s.int_enable = value,
+                // Write-1-to-clear.
+                regs::INT_PENDING => s.int_pending &= !value,
+                _ => {}
+            }
+            if s.write_log.len() >= OamState::WRITE_LOG_CAP {
+                s.write_log.pop_front();
+            }
+            s.write_log.push_back((addr, value));
         });
     }
 }

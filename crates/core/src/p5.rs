@@ -5,8 +5,9 @@ use crate::oam::{ctrl, Interrupt, OamHandle};
 use crate::rx::{RxCounters, RxPipeline};
 use crate::tx::{TxDescriptor, TxPipeline, TxQueueFull};
 use crate::word::Word;
-use p5_hdlc::FcsMode;
-use p5_stream::{Poll, WireBuf, WordStream};
+use p5_hdlc::{FcsMode, FLAG};
+use p5_stream::{Event, EventKind, FrameId, NullSink, Poll, TraceSink, WireBuf, WordStream};
+use std::collections::VecDeque;
 
 pub use crate::rx::ReceivedFrame;
 
@@ -69,6 +70,30 @@ struct OamSyncedImage {
     tx_rejects: u64,
 }
 
+/// Frame-lifecycle bookkeeping for trace-event emission: FIFO id queues
+/// matching the pipeline's in-order frame flow, plus the last-seen value
+/// of each unit counter so `clock()` can turn counter deltas into events.
+/// Only touched when a real sink is installed.
+#[derive(Debug, Default)]
+struct TraceState {
+    next_id: FrameId,
+    /// Submitted, awaiting `Framed`.
+    tx_ids: VecDeque<FrameId>,
+    /// Framed, awaiting `Stuffed`.
+    framed_ids: VecDeque<FrameId>,
+    /// Stuffed, awaiting the closing flag on the wire.
+    stuffed_ids: VecDeque<FrameId>,
+    /// Delineated on receive, awaiting a verdict.
+    rx_pending: VecDeque<FrameId>,
+    rx_seq: FrameId,
+    /// Wire-scan state: inside a frame (non-flag bytes seen).
+    wire_in_frame: bool,
+    last_frames_sent: u64,
+    last_frames_stuffed: u64,
+    last_frames_delineated: u64,
+    last_rx: RxCounters,
+}
+
 /// The P⁵ device.
 pub struct P5 {
     width: DatapathWidth,
@@ -84,6 +109,10 @@ pub struct P5 {
     counters_snapshot: RxCounters,
     cfg: OamConfigCache,
     synced: OamSyncedImage,
+    sink: Box<dyn TraceSink + Send>,
+    /// Cached `sink.enabled()` so the disabled path costs one branch.
+    trace_enabled: bool,
+    trace: TraceState,
 }
 
 impl P5 {
@@ -127,7 +156,24 @@ impl P5 {
             counters_snapshot: RxCounters::default(),
             cfg,
             synced: OamSyncedImage::default(),
+            sink: Box::new(NullSink),
+            trace_enabled: false,
+            trace: TraceState::default(),
         }
+    }
+
+    /// Install a trace sink.  The frame lifecycle (submit → framed →
+    /// stuffed → wire → delineated → CRC verdict → delivered), stamped
+    /// with the device cycle counter, plus OAM register writes flow into
+    /// it.  Install [`NullSink`] (the default) to disable tracing; the
+    /// instrumented paths then cost one predicted branch per clock.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink + Send>) {
+        self.trace_enabled = sink.enabled();
+        self.sink = sink;
+    }
+
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
     }
 
     pub fn width(&self) -> DatapathWidth {
@@ -139,7 +185,34 @@ impl P5 {
     /// full (see [`crate::tx::TxControl::queue_depth`]); the refusal is
     /// counted in `StageStats::rejects` and the OAM `TX_REJECTS` register.
     pub fn submit(&mut self, protocol: u16, payload: Vec<u8>) -> Result<(), TxQueueFull> {
-        self.tx.submit(TxDescriptor { protocol, payload })
+        self.submit_tagged(protocol, payload, 0)
+    }
+
+    /// [`P5::submit`] with a caller-chosen frame id for trace correlation
+    /// (`0` = assign the next internal id).  The id rides the FIFO frame
+    /// flow through every lifecycle event.
+    pub fn submit_tagged(
+        &mut self,
+        protocol: u16,
+        payload: Vec<u8>,
+        id: FrameId,
+    ) -> Result<(), TxQueueFull> {
+        let len = payload.len() as u32;
+        let res = self.tx.submit(TxDescriptor { protocol, payload });
+        if res.is_ok() && self.trace_enabled {
+            let id = if id != 0 {
+                id
+            } else {
+                self.trace.next_id += 1;
+                self.trace.next_id
+            };
+            self.trace.tx_ids.push_back(id);
+            self.sink.record(Event {
+                cycle: self.cycles,
+                kind: EventKind::Submit { id, len },
+            });
+        }
+        res
     }
 
     /// Wire bytes the transmitter has produced since the last call.
@@ -209,9 +282,21 @@ impl P5 {
             self.tx.control.address = self.cfg.address;
             self.rx.control.address = self.cfg.address;
             self.rx.control.promiscuous = self.cfg.promiscuous;
+            // Register writes are the only version bumps besides the
+            // datapath's own sync, so the (rare) refresh path is where
+            // the host's bus writes become trace events.
+            if self.trace_enabled {
+                for (addr, value) in self.oam.take_writes() {
+                    self.sink.record(Event {
+                        cycle: self.cycles,
+                        kind: EventKind::OamWrite { addr, value },
+                    });
+                }
+            }
         }
 
         let (tx_en, rx_en, loopback) = (self.cfg.tx_en, self.cfg.rx_en, self.cfg.loopback);
+        let mut wire_word = None;
         if tx_en {
             if let Some(w) = self.tx.clock(true) {
                 if loopback {
@@ -221,6 +306,7 @@ impl P5 {
                 } else {
                     self.wire_out.push_slice(w.lanes());
                 }
+                wire_word = Some(w);
             }
         }
         if rx_en {
@@ -237,7 +323,100 @@ impl P5 {
             };
             self.rx.clock(input);
         }
+        if self.trace_enabled {
+            self.trace_tick(wire_word);
+        }
         self.sync_oam();
+    }
+
+    /// Turn this cycle's unit-counter deltas into lifecycle events.  The
+    /// pipeline is strictly in order per direction, so FIFO id queues
+    /// carry each frame's identity from stage to stage.
+    fn trace_tick(&mut self, wire: Option<Word>) {
+        let cycle = self.cycles;
+        while self.trace.last_frames_sent < self.tx.control.frames_sent {
+            self.trace.last_frames_sent += 1;
+            let id = self.trace.tx_ids.pop_front().unwrap_or(0);
+            self.trace.framed_ids.push_back(id);
+            self.sink.record(Event {
+                cycle,
+                kind: EventKind::Framed { id },
+            });
+        }
+        while self.trace.last_frames_stuffed < self.tx.escape.frames_stuffed {
+            self.trace.last_frames_stuffed += 1;
+            let id = self.trace.framed_ids.pop_front().unwrap_or(0);
+            self.trace.stuffed_ids.push_back(id);
+            self.sink.record(Event {
+                cycle,
+                kind: EventKind::Stuffed { id },
+            });
+        }
+        // The wire leaves word-at-a-time; a flag closing a frame (any
+        // flag after non-flag bytes — stuffing guarantees no payload
+        // flags) marks the frame's last byte on the wire.
+        if let Some(w) = wire {
+            for &b in w.lanes() {
+                if b != FLAG {
+                    self.trace.wire_in_frame = true;
+                } else if self.trace.wire_in_frame {
+                    self.trace.wire_in_frame = false;
+                    let id = self.trace.stuffed_ids.pop_front().unwrap_or(0);
+                    self.sink.record(Event {
+                        cycle,
+                        kind: EventKind::Wire { id },
+                    });
+                }
+            }
+        }
+        while self.trace.last_frames_delineated < self.rx.escape.frames_delineated {
+            self.trace.last_frames_delineated += 1;
+            self.trace.rx_seq += 1;
+            let id = self.trace.rx_seq;
+            self.trace.rx_pending.push_back(id);
+            self.sink.record(Event {
+                cycle,
+                kind: EventKind::Delineated { id },
+            });
+        }
+        let c = *self.rx.counters();
+        let prev = self.trace.last_rx;
+        if c == prev {
+            return;
+        }
+        let new_ok = (c.frames_ok - prev.frames_ok) as usize;
+        if new_ok > 0 {
+            let queued = self.rx.control.queued_frames();
+            let lens: Vec<u32> = queued
+                .iter()
+                .skip(queued.len().saturating_sub(new_ok))
+                .map(|f| f.payload.len() as u32)
+                .collect();
+            for len in lens {
+                let id = self.trace.rx_pending.pop_front().unwrap_or(0);
+                self.sink.record(Event {
+                    cycle,
+                    kind: EventKind::CrcVerdict { id, ok: true },
+                });
+                self.sink.record(Event {
+                    cycle,
+                    kind: EventKind::Delivered { id, len },
+                });
+            }
+        }
+        for _ in prev.fcs_errors..c.fcs_errors {
+            let id = self.trace.rx_pending.pop_front().unwrap_or(0);
+            self.sink.record(Event {
+                cycle,
+                kind: EventKind::CrcVerdict { id, ok: false },
+            });
+        }
+        // Non-CRC defect classes consume the pending id silently so the
+        // FIFO stays aligned with the wire.
+        for _ in 0..(c.errors() - prev.errors()).saturating_sub(c.fcs_errors - prev.fcs_errors) {
+            self.trace.rx_pending.pop_front();
+        }
+        self.trace.last_rx = c;
     }
 
     /// Run `n` cycles.
@@ -531,6 +710,87 @@ mod tests {
             a.take_wire_out().capacity() >= cap,
             "recycled storage reused"
         );
+    }
+
+    #[test]
+    fn trace_events_cover_the_frame_lifecycle() {
+        use p5_stream::SharedRecorder;
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        let rec_a = SharedRecorder::with_capacity(256);
+        let rec_b = SharedRecorder::with_capacity(256);
+        a.set_trace(Box::new(rec_a.clone()));
+        b.set_trace(Box::new(rec_b.clone()));
+        a.submit(0x0021, vec![0x11; 40]).unwrap();
+        shuttle(&mut a, &mut b, 500);
+
+        let names = |evs: &[Event]| evs.iter().map(|e| e.kind.name()).collect::<Vec<_>>();
+        let evs_a = rec_a.events();
+        assert_eq!(names(&evs_a), ["submit", "framed", "stuffed", "wire"]);
+        assert!(evs_a.iter().all(|e| e.kind.frame_id() == Some(1)));
+        assert!(
+            evs_a.windows(2).all(|w| w[0].cycle <= w[1].cycle),
+            "lifecycle cycles must be monotone: {evs_a:?}"
+        );
+
+        let evs_b = rec_b.events();
+        assert_eq!(names(&evs_b), ["delineated", "crc_verdict", "delivered"]);
+        match evs_b.last().unwrap().kind {
+            EventKind::Delivered { id, len } => {
+                assert_eq!(id, 1);
+                assert_eq!(len, 40);
+            }
+            other => panic!("expected Delivered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_traces_a_failed_crc_verdict() {
+        use p5_stream::SharedRecorder;
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        let rec = SharedRecorder::with_capacity(64);
+        b.set_trace(Box::new(rec.clone()));
+        a.submit(0x0021, b"to be broken".to_vec()).unwrap();
+        a.run_until_idle(10_000);
+        let mut wire = a.take_wire_out();
+        wire[5] ^= 0x10;
+        b.put_wire_in(&wire);
+        b.run(500);
+        let evs = rec.events();
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CrcVerdict { ok: false, .. })));
+        assert!(!evs
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Delivered { .. })));
+    }
+
+    #[test]
+    fn oam_bus_writes_become_trace_events() {
+        use p5_stream::SharedRecorder;
+        let mut a = P5::new(DatapathWidth::W32);
+        let rec = SharedRecorder::with_capacity(16);
+        a.set_trace(Box::new(rec.clone()));
+        let mut bus = Oam::new(a.oam.clone());
+        bus.write(regs::ADDRESS, 0x05);
+        a.clock();
+        assert!(rec.events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::OamWrite {
+                addr: regs::ADDRESS,
+                value: 0x05
+            }
+        )));
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_null_sink_records_nothing() {
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        assert!(!a.trace_enabled());
+        a.set_trace(Box::new(NullSink));
+        assert!(!a.trace_enabled());
+        a.submit(0x0021, vec![0x22; 16]).unwrap();
+        shuttle(&mut a, &mut b, 500);
+        assert_eq!(b.take_received().len(), 1);
     }
 
     #[test]

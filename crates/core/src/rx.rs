@@ -31,6 +31,31 @@ pub struct RxCounters {
     pub header_errors: u64,
 }
 
+impl RxCounters {
+    /// Total defective frames across every error class.
+    pub fn errors(&self) -> u64 {
+        self.fcs_errors
+            + self.aborts
+            + self.runts
+            + self.giants
+            + self.address_mismatches
+            + self.header_errors
+    }
+}
+
+impl p5_stream::Observable for RxCounters {
+    fn snapshot(&self) -> p5_stream::Snapshot {
+        p5_stream::Snapshot::new("rx-counters")
+            .counter("frames_ok", self.frames_ok)
+            .counter("fcs_errors", self.fcs_errors)
+            .counter("aborts", self.aborts)
+            .counter("runts", self.runts)
+            .counter("giants", self.giants)
+            .counter("address_mismatches", self.address_mismatches)
+            .counter("header_errors", self.header_errors)
+    }
+}
+
 /// The Escape Detect unit — the paper's Figure 6 problem.
 ///
 /// Wire words arrive at full rate; escape octets are deleted and the
@@ -50,6 +75,8 @@ pub struct EscapeDetect {
     pub escapes_removed: u64,
     /// Idle flag octets discarded between frames.
     pub idle_flags: u64,
+    /// Frames delineated (closing flag or abort seen on the wire).
+    pub frames_delineated: u64,
 }
 
 impl EscapeDetect {
@@ -74,6 +101,7 @@ impl EscapeDetect {
             stats: StageStats::default(),
             escapes_removed: 0,
             idle_flags: 0,
+            frames_delineated: 0,
         }
     }
 
@@ -105,9 +133,11 @@ impl EscapeDetect {
                         self.stager.push_end(true);
                         self.esc_pending = false;
                         self.in_frame = false;
+                        self.frames_delineated += 1;
                     } else if self.in_frame {
                         self.stager.push_end(false);
                         self.in_frame = false;
+                        self.frames_delineated += 1;
                     } else {
                         self.idle_flags += 1;
                     }
@@ -265,6 +295,13 @@ impl RxControl {
     /// Drain frames delivered to shared memory.
     pub fn take_frames(&mut self) -> Vec<ReceivedFrame> {
         self.out.drain(..).collect()
+    }
+
+    /// Frames delivered but not yet drained by [`RxControl::take_frames`]
+    /// (newest at the back) — lets a tracer stamp `Delivered` events with
+    /// the frame length without consuming the queue.
+    pub fn queued_frames(&self) -> &VecDeque<ReceivedFrame> {
+        &self.out
     }
 
     pub fn clock(&mut self, input: Option<Word>) {
@@ -426,6 +463,29 @@ impl RxPipeline {
         if let Some(w) = self.escape.clock(wire, esc_out_ready) {
             self.latch_esc_crc = Some(w);
         }
+    }
+}
+
+impl p5_stream::Observable for RxPipeline {
+    /// Whole-receiver view: delivery/defect counters, the destuffer's
+    /// wire-level tallies, and per-unit flow stats under prefixed names.
+    fn snapshot(&self) -> p5_stream::Snapshot {
+        let mut s = p5_stream::Snapshot::new("rx-pipeline")
+            .counter("cycles", self.cycles)
+            .counter("frames_delineated", self.escape.frames_delineated)
+            .counter("escapes_removed", self.escape.escapes_removed)
+            .counter("idle_flags", self.escape.idle_flags);
+        s.absorb(&self.control.counters.snapshot());
+        for (prefix, stats) in [
+            ("escape", &self.escape.stats),
+            ("crc", &self.crc.stats),
+            ("control", &self.control.stats),
+        ] {
+            for (name, value) in &stats.snapshot(prefix).counters {
+                s.push_counter(format!("{prefix}_{name}"), *value);
+            }
+        }
+        s
     }
 }
 

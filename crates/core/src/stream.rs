@@ -10,11 +10,19 @@
 //! `(protocol, payload)` pairs, modulo the device's error counters.
 
 use crate::p5::P5;
-use p5_stream::{Poll, StageStats, StreamStage, WireBuf, WordStream};
+use p5_stream::{
+    FrameId, Observable, Poll, Snapshot, StageStats, StreamStage, WireBuf, WordStream,
+};
 
 /// Append one `[proto_be, payload]` frame to a tagged stream.
 pub fn encap(protocol: u16, payload: &[u8], out: &mut WireBuf) {
-    out.begin_frame();
+    encap_tagged(protocol, payload, 0, out);
+}
+
+/// [`encap`] with a frame id riding the stream tags: [`TxStage`] hands it
+/// to the device, so trace events correlate back to this frame.
+pub fn encap_tagged(protocol: u16, payload: &[u8], id: FrameId, out: &mut WireBuf) {
+    out.begin_frame_with_id(id);
     out.extend_frame(&protocol.to_be_bytes());
     out.extend_frame(payload);
     out.end_frame(false);
@@ -89,7 +97,7 @@ impl WordStream for TxStage {
             }
             if let Some((protocol, payload)) = decap(&self.scratch) {
                 self.dev
-                    .submit(protocol, payload.to_vec())
+                    .submit_tagged(protocol, payload.to_vec(), meta.id)
                     .expect("queue_free checked above");
             }
         }
@@ -107,6 +115,21 @@ impl WordStream for TxStage {
         self.stats.words_out += u64::from(n > 0);
         self.stats.bytes_out += n as u64;
         Poll::Ready(n)
+    }
+}
+
+impl Observable for TxStage {
+    /// Stage flow counters plus the whole transmitter pipeline's tallies
+    /// (the pipeline's own `cycles` is dropped — the stage already
+    /// reports device cycles).
+    fn snapshot(&self) -> Snapshot {
+        let mut s = StreamStage::stats(self).snapshot("p5-tx");
+        for (name, value) in Observable::snapshot(&self.dev.tx).counters {
+            if name != "cycles" {
+                s.push_counter(name, value);
+            }
+        }
+        s
     }
 }
 
@@ -142,6 +165,8 @@ pub struct RxStage {
     dev: P5,
     burst: u64,
     stats: StageStats,
+    /// Next frame id stamped onto delivered frames' stream tags.
+    next_id: FrameId,
 }
 
 impl RxStage {
@@ -154,6 +179,7 @@ impl RxStage {
             dev,
             burst: burst.max(1),
             stats: StageStats::default(),
+            next_id: 0,
         }
     }
 
@@ -196,7 +222,8 @@ impl WordStream for RxStage {
         }
         let mut n = 0;
         for f in self.dev.take_received() {
-            output.begin_frame();
+            self.next_id += 1;
+            output.begin_frame_with_id(self.next_id);
             output.extend_frame(&f.protocol.to_be_bytes());
             output.extend_frame(&f.payload);
             output.end_frame(false);
@@ -205,6 +232,19 @@ impl WordStream for RxStage {
         }
         self.stats.bytes_out += n as u64;
         Poll::Ready(n)
+    }
+}
+
+impl Observable for RxStage {
+    /// Stage flow counters plus the whole receiver pipeline's tallies.
+    fn snapshot(&self) -> Snapshot {
+        let mut s = StreamStage::stats(self).snapshot("p5-rx");
+        for (name, value) in Observable::snapshot(&self.dev.rx).counters {
+            if name != "cycles" {
+                s.push_counter(name, value);
+            }
+        }
+        s
     }
 }
 

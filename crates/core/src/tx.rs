@@ -271,6 +271,8 @@ pub struct EscapeGen {
     pub backpressure_cycles: u64,
     /// Escape characters inserted.
     pub escapes_inserted: u64,
+    /// Frames fully stuffed (closing flag pushed into the buffer).
+    pub frames_stuffed: u64,
 }
 
 impl EscapeGen {
@@ -305,6 +307,7 @@ impl EscapeGen {
             stats: StageStats::default(),
             backpressure_cycles: 0,
             escapes_inserted: 0,
+            frames_stuffed: 0,
         }
     }
 
@@ -381,6 +384,7 @@ impl EscapeGen {
                 self.last_was_flag = false;
                 if w.eof {
                     self.push(FLAG, true);
+                    self.frames_stuffed += 1;
                 }
                 fast = Some(out_w);
             } else {
@@ -401,6 +405,7 @@ impl EscapeGen {
                 }
                 if w.eof {
                     self.push(FLAG, true);
+                    self.frames_stuffed += 1;
                 }
                 self.stats.note_occupancy(self.staging.len());
             }
@@ -539,6 +544,30 @@ impl TxPipeline {
             self.latch_ctl_crc = Some(w);
         }
         wire
+    }
+}
+
+impl p5_stream::Observable for TxPipeline {
+    /// Whole-transmitter view: frame/stuffing tallies plus per-unit flow
+    /// stats under prefixed names.
+    fn snapshot(&self) -> p5_stream::Snapshot {
+        let mut s = p5_stream::Snapshot::new("tx-pipeline")
+            .counter("cycles", self.cycles)
+            .counter("frames_sent", self.control.frames_sent)
+            .counter("submit_rejects", self.control.submit_rejects)
+            .counter("frames_stuffed", self.escape.frames_stuffed)
+            .counter("escapes_inserted", self.escape.escapes_inserted)
+            .counter("backpressure_cycles", self.escape.backpressure_cycles);
+        for (prefix, stats) in [
+            ("control", &self.control.stats),
+            ("crc", &self.crc.stats),
+            ("escape", &self.escape.stats),
+        ] {
+            for (name, value) in &stats.snapshot(prefix).counters {
+                s.push_counter(format!("{prefix}_{name}"), *value);
+            }
+        }
+        s
     }
 }
 

@@ -357,6 +357,18 @@ impl CompiledSim {
         self.dirty = true;
     }
 
+    /// Current value of one signal in one lane, re-evaluating the tape
+    /// first if stimulus changed — the per-lane probe the VCD writer
+    /// uses to dump arbitrary netlist nodes.
+    #[must_use]
+    pub fn peek_lane(&mut self, s: Sig, lane: usize) -> bool {
+        debug_assert!(lane < LANES);
+        if self.dirty {
+            self.eval();
+        }
+        (self.values[s as usize] >> lane) & 1 == 1
+    }
+
     /// Tape length (instructions per eval pass) — for reports.
     #[must_use]
     pub fn tape_len(&self) -> usize {

@@ -6,6 +6,8 @@
 //! pins, so those are materialised as explicit mux logic around the
 //! latch (which is what a BLIF consumer's own mapper would re-absorb).
 
+pub mod vcd;
+
 use crate::lutsim::LutNetwork;
 use crate::netlist::{NodeKind, Sig};
 use std::fmt::Write;

@@ -1,0 +1,267 @@
+//! VCD waveform capture for netlist simulations.
+//!
+//! [`VcdWriter`] snapshots every named input/output bus and every
+//! flip-flop (`ff{i}_q`, the same naming the BLIF and Verilog exports
+//! use) once per clock and renders a Value Change Dump file: a `$var`
+//! declaration per port, change-only dumping, strictly monotone `#`
+//! timestamps.  The probe is engine-agnostic — [`VcdWriter::sample_sim`]
+//! reads the scalar [`Sim`], [`VcdWriter::sample_lane`] reads one lane
+//! of the 64-lane [`CompiledSim`] — so the same writer run against both
+//! engines proves them cycle-equivalent waveform-for-waveform.
+//!
+//! Works on any shipped netlist; there is no trace schema to declare.
+//! Typical use:
+//!
+//! ```
+//! use p5_fpga::{Builder, Sim, VcdWriter};
+//!
+//! let mut b = Builder::new("toggler");
+//! let d = b.input("d");
+//! let q = b.reg(d, false);
+//! b.output("q", &[q]);
+//! let n = b.finish();
+//!
+//! let mut sim = Sim::new(&n);
+//! let mut vcd = VcdWriter::new(&n);
+//! for t in 0..4 {
+//!     sim.set("d", t & 1);
+//!     vcd.sample_sim(t, &mut sim);
+//!     sim.step();
+//! }
+//! let dump = vcd.render();
+//! assert!(dump.contains("$timescale 1 ns $end"));
+//! assert!(dump.contains("$var wire 1"));
+//! ```
+
+use crate::compiled::CompiledSim;
+use crate::netlist::{Netlist, Sig};
+use crate::sim::Sim;
+use std::fmt::Write as _;
+
+/// One tracked waveform: a named bus (or single flop) and its last
+/// dumped value, for change-only output.
+struct Var {
+    name: String,
+    code: String,
+    sigs: Vec<Sig>,
+    last: Vec<bool>,
+}
+
+/// Incremental VCD dump builder over a netlist's ports and registers.
+pub struct VcdWriter {
+    module: String,
+    vars: Vec<Var>,
+    body: String,
+    last_time: Option<u64>,
+}
+
+/// VCD identifier codes: printable ASCII `!`..`~`, little-endian base-94.
+fn id_code(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push(char::from(b'!' + (i % 94) as u8));
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.replace([' ', '-', '(', ')'], "_")
+}
+
+impl VcdWriter {
+    /// Track every input bus, output bus and flip-flop of `n`.
+    #[must_use]
+    pub fn new(n: &Netlist) -> Self {
+        let mut vars = Vec::new();
+        for b in n.inputs.iter().chain(n.outputs.iter()) {
+            vars.push((sanitize(&b.name), b.sigs.clone()));
+        }
+        for (i, d) in n.dffs.iter().enumerate() {
+            vars.push((format!("ff{i}_q"), vec![d.q]));
+        }
+        let vars = vars
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, sigs))| Var {
+                name,
+                code: id_code(i),
+                last: vec![false; sigs.len()],
+                sigs,
+            })
+            .collect();
+        VcdWriter {
+            module: sanitize(&n.name),
+            vars,
+            body: String::new(),
+            last_time: None,
+        }
+    }
+
+    /// Number of tracked waveforms (one `$var` each).
+    #[must_use]
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Record the state at `time` (strictly greater than the previous
+    /// sample's) by probing each tracked signal.  The first sample
+    /// becomes the `$dumpvars` block; later samples dump changes only.
+    pub fn sample<F: FnMut(Sig) -> bool>(&mut self, time: u64, mut probe: F) {
+        if let Some(t) = self.last_time {
+            assert!(
+                time > t,
+                "VCD timestamps must be strictly monotone: {time} after {t}"
+            );
+        }
+        let first = self.last_time.is_none();
+        let mut chunk = String::new();
+        for var in &mut self.vars {
+            let cur: Vec<bool> = var.sigs.iter().map(|&s| probe(s)).collect();
+            if first || cur != var.last {
+                if cur.len() == 1 {
+                    writeln!(chunk, "{}{}", u8::from(cur[0]), var.code).unwrap();
+                } else {
+                    // Bus values are MSB-first in VCD; sigs are LSB-first.
+                    chunk.push('b');
+                    for &bit in cur.iter().rev() {
+                        chunk.push(if bit { '1' } else { '0' });
+                    }
+                    writeln!(chunk, " {}", var.code).unwrap();
+                }
+                var.last = cur;
+            }
+        }
+        if first {
+            writeln!(self.body, "#{time}").unwrap();
+            writeln!(self.body, "$dumpvars").unwrap();
+            self.body.push_str(&chunk);
+            writeln!(self.body, "$end").unwrap();
+        } else if !chunk.is_empty() {
+            writeln!(self.body, "#{time}").unwrap();
+            self.body.push_str(&chunk);
+        }
+        self.last_time = Some(time);
+    }
+
+    /// Sample from the scalar simulator.
+    pub fn sample_sim(&mut self, time: u64, sim: &mut Sim) {
+        self.sample(time, |s| sim.peek(s));
+    }
+
+    /// Sample one lane of the 64-lane compiled simulator.
+    pub fn sample_lane(&mut self, time: u64, sim: &mut CompiledSim, lane: usize) {
+        self.sample(time, |s| sim.peek_lane(s, lane));
+    }
+
+    /// Render the full VCD file: header, declarations, then the dump.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "$date\n  p5-fpga waveform export\n$end").unwrap();
+        writeln!(out, "$version\n  p5-fpga vcd 1\n$end").unwrap();
+        writeln!(out, "$timescale 1 ns $end").unwrap();
+        writeln!(out, "$scope module {} $end", self.module).unwrap();
+        for var in &self.vars {
+            writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                var.sigs.len(),
+                var.code,
+                var.name
+            )
+            .unwrap();
+        }
+        writeln!(out, "$upscope $end").unwrap();
+        writeln!(out, "$enddefinitions $end").unwrap();
+        out.push_str(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    fn counter() -> Netlist {
+        let mut b = Builder::new("vcd ctr");
+        let en = b.input("en");
+        let q = b.state_word(3, 0);
+        let one = b.const_word(1, 3);
+        let zero = b.lit(false);
+        let (inc, _) = b.add(&q, &one, zero);
+        let next = b.mux_word(en, &inc, &q);
+        b.bind_word(&q, &next);
+        b.output("count", &q);
+        b.finish()
+    }
+
+    #[test]
+    fn header_declares_every_port_and_flop() {
+        let n = counter();
+        let vcd = VcdWriter::new(&n);
+        assert_eq!(vcd.var_count(), 2 + n.dffs.len());
+        let dump = vcd.render();
+        assert!(dump.contains("$scope module vcd_ctr $end"));
+        assert!(dump.contains("$timescale 1 ns $end"));
+        assert!(dump.contains(" en $end"));
+        assert!(dump.contains("$var wire 3"));
+        assert!(dump.contains("ff0_q"));
+        assert!(dump.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn changes_only_after_dumpvars() {
+        let n = counter();
+        let mut sim = Sim::new(&n);
+        let mut vcd = VcdWriter::new(&n);
+        sim.set("en", 0);
+        vcd.sample_sim(0, &mut sim);
+        sim.step();
+        // Nothing moved: no #1 section at all.
+        vcd.sample_sim(1, &mut sim);
+        sim.set("en", 1);
+        vcd.sample_sim(2, &mut sim);
+        sim.step();
+        vcd.sample_sim(3, &mut sim);
+        let dump = vcd.render();
+        assert!(dump.contains("#0\n$dumpvars"));
+        assert!(!dump.contains("#1\n"), "idle cycle dumped:\n{dump}");
+        assert!(dump.contains("#2\n"));
+        assert!(dump.contains("#3\n"));
+    }
+
+    #[test]
+    fn scalar_and_compiled_lanes_dump_identically() {
+        let n = counter();
+        let mut gs = Sim::new(&n);
+        let mut cs = CompiledSim::compile(&n);
+        let mut wg = VcdWriter::new(&n);
+        let mut wc = VcdWriter::new(&n);
+        let pen = cs.in_port("en");
+        for t in 0..12u64 {
+            let en = u64::from(t % 3 != 0);
+            gs.set("en", en);
+            cs.set(pen, en);
+            wg.sample_sim(t, &mut gs);
+            wc.sample_lane(t, &mut cs, 17);
+            gs.step();
+            cs.step();
+        }
+        assert_eq!(wg.render(), wc.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly monotone")]
+    fn non_monotone_time_panics() {
+        let n = counter();
+        let mut sim = Sim::new(&n);
+        let mut vcd = VcdWriter::new(&n);
+        vcd.sample_sim(5, &mut sim);
+        vcd.sample_sim(5, &mut sim);
+    }
+}

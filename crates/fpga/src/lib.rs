@@ -65,6 +65,7 @@ pub mod verilog;
 pub use builder::Builder;
 pub use compiled::{CompiledSim, LANES};
 pub use export::to_blif;
+pub use export::vcd::VcdWriter;
 pub use lutsim::{LutNetwork, LutSim};
 pub use map::{map, MapMode, MappedNetlist};
 pub use netlist::{Netlist, NodeKind, Sig};

@@ -190,6 +190,17 @@ impl<'a> Sim<'a> {
         out
     }
 
+    /// Current value of one signal, re-evaluating combinational logic
+    /// first if an input changed since the last read — the probe the
+    /// VCD writer uses to dump arbitrary netlist nodes.
+    #[must_use]
+    pub fn peek(&mut self, s: Sig) -> bool {
+        if self.dirty {
+            self.eval();
+        }
+        self.values[s as usize]
+    }
+
     /// Clock edge: evaluate combinational logic, then latch every FF
     /// (SR has priority over CE, as on a Virtex slice register).
     pub fn step(&mut self) {

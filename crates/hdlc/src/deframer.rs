@@ -57,6 +57,18 @@ pub struct RxStats {
     pub bytes_ok: u64,
 }
 
+impl p5_stream::Observable for RxStats {
+    fn snapshot(&self) -> p5_stream::Snapshot {
+        p5_stream::Snapshot::new("hdlc-rx")
+            .counter("frames_ok", self.frames_ok)
+            .counter("fcs_errors", self.fcs_errors)
+            .counter("aborts", self.aborts)
+            .counter("runts", self.runts)
+            .counter("giants", self.giants)
+            .counter("bytes_ok", self.bytes_ok)
+    }
+}
+
 impl RxStats {
     pub fn record(&mut self, ev: &DeframeEvent) {
         match ev {

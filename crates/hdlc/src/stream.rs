@@ -9,7 +9,7 @@
 //!   [`Deframer::stats`] and the stage's [`StageStats::rejects`].
 
 use crate::{DeframeEvent, Deframer, DeframerConfig, Framer, FramerConfig};
-use p5_stream::{Poll, StageStats, StreamStage, WireBuf, WordStream};
+use p5_stream::{Observable, Poll, Snapshot, StageStats, StreamStage, WireBuf, WordStream};
 
 /// Golden-model HDLC encoder as a stage.
 pub struct FramerStage {
@@ -71,6 +71,12 @@ impl WordStream for FramerStage {
         self.stats.words_out += 1;
         self.stats.bytes_out += n as u64;
         Poll::Ready(n)
+    }
+}
+
+impl Observable for FramerStage {
+    fn snapshot(&self) -> Snapshot {
+        self.stats.snapshot("hdlc-framer")
     }
 }
 
@@ -140,6 +146,16 @@ impl WordStream for DeframerStage {
         self.stats.words_out += u64::from(n > 0);
         self.stats.bytes_out += n as u64;
         Poll::Ready(n)
+    }
+}
+
+impl Observable for DeframerStage {
+    /// Stage flow counters folded together with the deframer's own
+    /// receive-error counters (`RxStats`).
+    fn snapshot(&self) -> Snapshot {
+        let mut s = self.stats.snapshot("hdlc-deframer");
+        s.absorb(&self.deframer.stats().snapshot());
+        s
     }
 }
 

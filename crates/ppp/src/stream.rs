@@ -9,7 +9,7 @@
 //! the stage when running several endpoints over one link.
 
 use crate::endpoint::{Endpoint, Negotiator};
-use p5_stream::{Poll, StageStats, StreamStage, WireBuf, WordStream};
+use p5_stream::{Observable, Poll, Snapshot, StageStats, StreamStage, WireBuf, WordStream};
 
 /// A PPP control-protocol endpoint as a stage: received control frames
 /// in, originated control frames out.  Each `drain` call advances the
@@ -81,6 +81,15 @@ impl<N: Negotiator> WordStream for EndpointStage<N> {
         self.stats.bytes_out += n as u64;
         self.stats.cycles = self.now;
         Poll::Ready(n)
+    }
+}
+
+impl<N: Negotiator> Observable for EndpointStage<N> {
+    fn snapshot(&self) -> Snapshot {
+        self.stats
+            .snapshot("ppp-endpoint")
+            .counter("ticks", self.now)
+            .counter("opened", u64::from(self.endpoint.is_opened()))
     }
 }
 

@@ -13,6 +13,15 @@ pub struct ChannelStats {
     pub bursts_injected: u64,
 }
 
+impl p5_stream::Observable for ChannelStats {
+    fn snapshot(&self) -> p5_stream::Snapshot {
+        p5_stream::Snapshot::new("channel")
+            .counter("bytes_carried", self.bytes_carried)
+            .counter("bits_flipped", self.bits_flipped)
+            .counter("bursts_injected", self.bursts_injected)
+    }
+}
+
 /// A byte pipe that flips bits at a configured rate, optionally in
 /// bursts (a crude Gilbert–Elliott model: each error seeds a short run of
 /// elevated error probability).

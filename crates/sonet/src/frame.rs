@@ -333,6 +333,24 @@ pub struct SectionStats {
     pub path_trace_mismatches: u64,
 }
 
+impl p5_stream::Observable for SectionStats {
+    fn snapshot(&self) -> p5_stream::Snapshot {
+        p5_stream::Snapshot::new("sonet-section")
+            .counter("frames_ok", self.frames_ok)
+            .counter("oof_events", self.oof_events)
+            .counter("b1_errors", self.b1_errors)
+            .counter("b2_errors", self.b2_errors)
+            .counter("b3_errors", self.b3_errors)
+            .counter("label_mismatches", self.label_mismatches)
+            .counter("hunts", self.hunts)
+            .counter("path_ais_frames", self.path_ais_frames)
+            .counter("remote_errors", self.remote_errors)
+            .counter("remote_defect_frames", self.remote_defect_frames)
+            .counter("section_trace_mismatches", self.section_trace_mismatches)
+            .counter("path_trace_mismatches", self.path_trace_mismatches)
+    }
+}
+
 enum RxState {
     /// Searching the byte stream for the A1/A2 signature.
     Hunt,

@@ -77,6 +77,10 @@ impl OcPath {
         self.receiver.stats()
     }
 
+    pub fn channel(&self) -> &BitErrorChannel {
+        &self.channel
+    }
+
     pub fn transmitter(&self) -> &FrameTransmitter {
         &self.transmitter
     }

@@ -8,7 +8,7 @@
 
 use crate::channel::BitErrorChannel;
 use crate::path::{ByteLink, OcPath};
-use p5_stream::{Poll, StageStats, StreamStage, WireBuf, WordStream};
+use p5_stream::{Observable, Poll, Snapshot, StageStats, StreamStage, WireBuf, WordStream};
 
 /// A full OC-3N path (scramble → STM-N map → channel → delineate →
 /// descramble) as a stage.  Each `drain` call advances the line by
@@ -74,6 +74,17 @@ impl WordStream for OcPathStage {
         self.stats.words_out += 1;
         self.stats.bytes_out += delivered.len() as u64;
         Poll::Ready(delivered.len())
+    }
+}
+
+impl Observable for OcPathStage {
+    /// Stage flow counters folded together with the section/path overhead
+    /// counters and the underlying channel's impairment counters.
+    fn snapshot(&self) -> Snapshot {
+        let mut s = StreamStage::stats(self).snapshot("oc-path");
+        s.absorb(&self.path.section_stats().snapshot());
+        s.absorb(&self.path.channel().stats().snapshot());
+        s
     }
 }
 
@@ -148,6 +159,14 @@ impl WordStream for ChannelStage {
         self.stats.words_out += 1;
         self.stats.bytes_out += n as u64;
         Poll::Ready(n)
+    }
+}
+
+impl Observable for ChannelStage {
+    fn snapshot(&self) -> Snapshot {
+        let mut s = self.stats.snapshot("bit-error-channel");
+        s.absorb(&self.channel.stats().snapshot());
+        s
     }
 }
 

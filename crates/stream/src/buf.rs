@@ -27,6 +27,9 @@ pub struct FrameMeta {
     pub len: usize,
     /// The frame was aborted by the sender / on the wire.
     pub abort: bool,
+    /// Trace id riding alongside the frame (see `p5_trace::FrameId`);
+    /// `0` when the producer did not assign one.
+    pub id: u32,
 }
 
 /// One tagged run of bytes.  Invariant: `len > 0`.
@@ -39,6 +42,8 @@ struct Seg {
     sof: bool,
     eof: bool,
     abort: bool,
+    /// Trace id of the frame this run belongs to (0 = untracked).
+    id: u32,
 }
 
 /// Batched, tagged byte buffer — the software wire between two stages.
@@ -50,6 +55,8 @@ pub struct WireBuf {
     /// `begin_frame` was called and no bytes have been pushed yet, so the
     /// next `extend_frame` must raise SOF.
     building_sof: bool,
+    /// Trace id of the frame currently being built (0 = untracked).
+    building_id: u32,
     /// Recycled storage handed back via [`WireBuf::recycle`].
     spare: Vec<u8>,
 }
@@ -85,6 +92,7 @@ impl WireBuf {
         self.read = 0;
         self.segs.clear();
         self.building_sof = false;
+        self.building_id = 0;
     }
 
     fn merge_or_push(&mut self, seg: Seg) {
@@ -98,6 +106,9 @@ impl WireBuf {
                     if back.tagged && !back.eof && !seg.sof {
                         back.eof = true;
                         back.abort |= seg.abort;
+                        if back.id == 0 {
+                            back.id = seg.id;
+                        }
                     }
                 }
             }
@@ -112,6 +123,12 @@ impl WireBuf {
                 back.len += seg.len;
                 back.eof = seg.eof;
                 back.abort |= seg.abort;
+                // A continuation inherits the open frame's id; an id
+                // arriving on the continuation (e.g. the tail of a frame
+                // split by `move_from`) fills in an untracked head.
+                if back.id == 0 {
+                    back.id = seg.id;
+                }
                 return;
             }
         }
@@ -130,12 +147,18 @@ impl WireBuf {
             sof: false,
             eof: false,
             abort: false,
+            id: 0,
         });
     }
 
     /// Append one tagged word/run — the software image of driving the data
     /// lanes with `sof`/`eof`/`abort` strobes for one or more beats.
     pub fn push_tagged(&mut self, bytes: &[u8], sof: bool, eof: bool, abort: bool) {
+        self.push_tagged_id(bytes, sof, eof, abort, 0);
+    }
+
+    /// [`WireBuf::push_tagged`] with an explicit trace id riding the run.
+    pub fn push_tagged_id(&mut self, bytes: &[u8], sof: bool, eof: bool, abort: bool, id: u32) {
         self.data.extend_from_slice(bytes);
         self.merge_or_push(Seg {
             len: bytes.len(),
@@ -143,22 +166,35 @@ impl WireBuf {
             sof,
             eof,
             abort,
+            id,
         });
     }
 
     /// Append one complete frame (SOF+EOF in a single call).
     pub fn push_frame(&mut self, bytes: &[u8]) {
+        self.push_frame_with_id(bytes, 0);
+    }
+
+    /// Append one complete frame carrying a trace id.
+    pub fn push_frame_with_id(&mut self, bytes: &[u8], id: u32) {
         debug_assert!(
             !bytes.is_empty(),
             "zero-length frames are not representable"
         );
-        self.push_tagged(bytes, true, true, false);
+        self.push_tagged_id(bytes, true, true, false, id);
     }
 
     /// Open a frame to be built incrementally with [`WireBuf::extend_frame`]
     /// and closed by [`WireBuf::end_frame`].
     pub fn begin_frame(&mut self) {
+        self.begin_frame_with_id(0);
+    }
+
+    /// [`WireBuf::begin_frame`] with a trace id that will tag every run of
+    /// the frame until [`WireBuf::end_frame`].
+    pub fn begin_frame_with_id(&mut self, id: u32) {
         self.building_sof = true;
+        self.building_id = id;
     }
 
     pub fn extend_frame(&mut self, bytes: &[u8]) {
@@ -167,12 +203,14 @@ impl WireBuf {
         }
         let sof = self.building_sof;
         self.building_sof = false;
-        self.push_tagged(bytes, sof, false, false);
+        self.push_tagged_id(bytes, sof, false, false, self.building_id);
     }
 
     pub fn end_frame(&mut self, abort: bool) {
         self.building_sof = false;
-        self.push_tagged(&[], false, true, abort);
+        let id = self.building_id;
+        self.building_id = 0;
+        self.push_tagged_id(&[], false, true, abort, id);
     }
 
     /// Discard `n` unconsumed bytes from the front (cursor bump; the
@@ -226,6 +264,7 @@ impl WireBuf {
             FrameMeta {
                 len: seg.len,
                 abort: seg.abort,
+                id: seg.id,
             },
         ))
     }
@@ -243,6 +282,7 @@ impl WireBuf {
         Some(FrameMeta {
             len: seg.len,
             abort: seg.abort,
+            id: seg.id,
         })
     }
 
@@ -277,6 +317,7 @@ impl WireBuf {
                 sof: seg.sof,
                 eof: seg.eof && whole,
                 abort: seg.abort && whole,
+                id: seg.id,
             });
             moved += take;
         }
@@ -299,6 +340,7 @@ impl WireBuf {
         }
         self.segs.clear();
         self.building_sof = false;
+        self.building_id = 0;
         std::mem::replace(&mut self.data, std::mem::take(&mut self.spare))
     }
 
@@ -470,6 +512,42 @@ mod tests {
             b.consume(take);
         }
         assert_eq!(seen, payload);
+    }
+
+    #[test]
+    fn frame_ids_ride_the_tags() {
+        let mut b = WireBuf::new();
+        b.push_frame_with_id(&[1, 2, 3], 41);
+        b.begin_frame_with_id(42);
+        b.extend_frame(&[4]);
+        b.extend_frame(&[5, 6]);
+        b.end_frame(false);
+        b.push_frame(&[7]);
+        assert_eq!(b.pop_frame().unwrap().1.id, 41);
+        assert_eq!(b.pop_frame().unwrap().1.id, 42);
+        assert_eq!(b.pop_frame().unwrap().1.id, 0, "untracked stays 0");
+    }
+
+    #[test]
+    fn frame_id_survives_split_move() {
+        let mut src = WireBuf::new();
+        src.push_frame_with_id(&[1, 2, 3, 4, 5, 6], 9);
+        let mut dst = WireBuf::new();
+        assert_eq!(dst.move_from(&mut src, 4), 4);
+        assert_eq!(dst.move_from(&mut src, usize::MAX), 2);
+        let (frame, meta) = dst.pop_frame().unwrap();
+        assert_eq!(frame, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(meta.id, 9);
+    }
+
+    #[test]
+    fn word_at_a_time_producer_keeps_the_id() {
+        // The way the rx side tags a delineated frame: id on every word.
+        let mut b = WireBuf::new();
+        b.push_tagged_id(&[1, 2], true, false, false, 5);
+        b.push_tagged_id(&[3], false, false, false, 5);
+        b.push_tagged_id(&[], false, true, false, 5);
+        assert_eq!(b.pop_frame().unwrap().1.id, 5);
     }
 
     #[test]

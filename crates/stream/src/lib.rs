@@ -24,3 +24,11 @@ pub use buf::{FrameMeta, WireBuf};
 pub use stack::{Chain, Stack};
 pub use stage::{Pipe, Poll, StreamStage, Throttle, WordStream};
 pub use stats::StageStats;
+
+// Re-exported so downstream crates implement `Observable` (a `StreamStage`
+// supertrait) and emit trace events without naming `p5-trace` in their
+// manifests.
+pub use p5_trace::{
+    render_table, snapshot_to_json, to_json, to_prometheus, Event, EventKind, FrameId, Histogram,
+    NullSink, Observable, RingRecorder, SharedRecorder, Snapshot, TraceSink,
+};

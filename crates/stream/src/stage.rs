@@ -4,6 +4,7 @@
 
 use crate::buf::WireBuf;
 use crate::stats::StageStats;
+use p5_trace::{Observable, Snapshot};
 
 /// Outcome of one handshake attempt, the software image of the RTL
 /// `valid`/`ready` pair for a whole batch of beats:
@@ -48,7 +49,12 @@ pub trait WordStream {
 
 /// A composable pipeline stage: a [`WordStream`] with identity, idleness
 /// (for run-to-completion loops), an end-of-input hook and instrumentation.
-pub trait StreamStage: WordStream {
+///
+/// Every stage is [`Observable`]: it must report a metrics [`Snapshot`].
+/// Stages whose only state is a [`StageStats`] implement it in one line
+/// with [`StageStats::snapshot`]; richer stages (devices, paths) fold in
+/// their own counters.
+pub trait StreamStage: WordStream + Observable {
     fn name(&self) -> &'static str;
 
     /// No input pending, no state in flight, nothing left to emit.
@@ -105,6 +111,12 @@ impl WordStream for Pipe {
         self.stats.words_out += u64::from(n > 0);
         self.stats.bytes_out += n as u64;
         Poll::Ready(n)
+    }
+}
+
+impl Observable for Pipe {
+    fn snapshot(&self) -> Snapshot {
+        self.stats.snapshot("pipe")
     }
 }
 
@@ -168,6 +180,12 @@ impl<S: WordStream> WordStream for Throttle<S> {
         } else {
             Poll::Ready(0)
         }
+    }
+}
+
+impl<S: Observable> Observable for Throttle<S> {
+    fn snapshot(&self) -> Snapshot {
+        self.inner.snapshot()
     }
 }
 

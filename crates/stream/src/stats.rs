@@ -5,6 +5,8 @@
 //! crate that implements [`crate::StreamStage`] can report through the same
 //! counters, and so [`crate::Stack`] can keep a `StageStats` per boundary.
 
+use p5_trace::Snapshot;
+
 /// Counters every pipeline stage (and every `Stack` boundary) maintains.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageStats {
@@ -28,6 +30,19 @@ pub struct StageStats {
     /// Submissions refused outright because a bounded queue was full (the
     /// shared-memory transmit queue's drop counter).
     pub rejects: u64,
+    /// Handshake attempts in which data was actually on offer (`offer`
+    /// called with a non-empty buffer).  Every such attempt resolves to
+    /// exactly one of `accepted`/`rejected`/`blocked`:
+    /// `offered == accepted + rejected + blocked` is the stall-attribution
+    /// invariant `Stack` maintains per boundary.
+    pub offered: u64,
+    /// Offered attempts in which at least one byte crossed.
+    pub accepted: u64,
+    /// Offered attempts the stage answered `Ready(0)` to — ready was up
+    /// but the stage took nothing (word-alignment or quota refusals).
+    pub rejected: u64,
+    /// Offered attempts the stage answered `Blocked` to — backpressure.
+    pub blocked: u64,
 }
 
 impl StageStats {
@@ -66,7 +81,29 @@ impl StageStats {
         self.bytes_out += other.bytes_out;
         self.bubble_cycles += other.bubble_cycles;
         self.rejects += other.rejects;
+        self.offered += other.offered;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.blocked += other.blocked;
         self.note_occupancy(other.max_occupancy);
+    }
+
+    /// Export as a [`Snapshot`] under the given scope — the standard
+    /// `Observable` body for a stage whose only state is a `StageStats`.
+    pub fn snapshot(&self, scope: &str) -> Snapshot {
+        Snapshot::new(scope)
+            .counter("cycles", self.cycles)
+            .counter("stall_cycles", self.stall_cycles)
+            .counter("bubble_cycles", self.bubble_cycles)
+            .counter("words_in", self.words_in)
+            .counter("words_out", self.words_out)
+            .counter("bytes_out", self.bytes_out)
+            .counter("max_occupancy", self.max_occupancy as u64)
+            .counter("rejects", self.rejects)
+            .counter("offered", self.offered)
+            .counter("accepted", self.accepted)
+            .counter("rejected", self.rejected)
+            .counter("blocked", self.blocked)
     }
 }
 
@@ -123,5 +160,37 @@ mod tests {
         assert_eq!(a.bytes_out, 150);
         assert_eq!(a.max_occupancy, 9);
         assert_eq!(a.rejects, 3);
+    }
+
+    #[test]
+    fn absorb_sums_attribution_counters() {
+        let mut a = StageStats {
+            offered: 10,
+            accepted: 7,
+            rejected: 1,
+            blocked: 2,
+            ..Default::default()
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.offered, 20);
+        assert_eq!(a.accepted + a.rejected + a.blocked, 20);
+    }
+
+    #[test]
+    fn snapshot_exports_every_counter() {
+        let s = StageStats {
+            cycles: 4,
+            offered: 3,
+            accepted: 2,
+            blocked: 1,
+            bytes_out: 99,
+            ..Default::default()
+        };
+        let snap = s.snapshot("stage");
+        assert_eq!(snap.scope, "stage");
+        assert_eq!(snap.get("offered"), Some(3));
+        assert_eq!(snap.get("accepted"), Some(2));
+        assert_eq!(snap.get("blocked"), Some(1));
+        assert_eq!(snap.get("bytes_out"), Some(99));
     }
 }

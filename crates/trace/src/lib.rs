@@ -1,0 +1,27 @@
+//! `p5-trace`: the unified observability layer.
+//!
+//! The paper's P⁵ is debuggable because its OAM block exposes the framer's
+//! internal state to software (counters, status registers, interrupts).
+//! This crate generalises that idea across the whole reproduction:
+//!
+//! * [`Event`]/[`EventKind`] — cycle-stamped frame-lifecycle, backpressure
+//!   and OAM-write events, recorded through a [`TraceSink`].
+//! * [`RingRecorder`] — a preallocated event ring; zero allocation in the
+//!   steady state.  [`NullSink`] is the free-when-disabled default.
+//! * [`Snapshot`]/[`Observable`] — the metrics registry every stage,
+//!   pipeline and device reports through, with log2-bucket [`Histogram`]s
+//!   and JSON / Prometheus text exposition.
+//!
+//! The crate is dependency-free and sits below `p5-stream`, so every layer
+//! of the stack (behavioural stages, WordStream stacks, the gate-level
+//! simulators) can report through the same types.
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{Event, EventKind, FrameId};
+pub use metrics::{
+    render_table, snapshot_to_json, to_json, to_prometheus, Histogram, Observable, Snapshot,
+};
+pub use sink::{NullSink, RingRecorder, SharedRecorder, TraceSink};

@@ -1,0 +1,390 @@
+//! The metrics registry: log2-bucket histograms, per-component
+//! [`Snapshot`]s of monotonic counters, and the [`Observable`] trait every
+//! stage/device implements.  Snapshots export as JSON and as Prometheus
+//! text exposition so a sweep harness or a scrape endpoint can consume
+//! them unchanged.
+
+use std::fmt::Write as _;
+
+/// Power-of-two bucketed histogram for cycle counts and byte sizes.
+/// Bucket 0 holds the value 0; bucket `k` (1..=64) holds values whose bit
+/// length is `k`, i.e. the range `[2^(k-1), 2^k - 1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `idx`.
+    fn bucket_bound(idx: usize) -> u64 {
+        match idx {
+            0 => 0,
+            64 => u64::MAX,
+            k => (1u64 << k) - 1,
+        }
+    }
+
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_bound(i), c))
+            .collect()
+    }
+
+    /// Compact one-line rendering: `count=12 mean=34.5 | ≤3:2 ≤7:10`.
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "count=0".to_string();
+        }
+        let mut s = format!("count={} mean={:.1} |", self.count, self.mean());
+        for (bound, c) in self.nonzero_buckets() {
+            let _ = write!(s, " <={bound}:{c}");
+        }
+        s
+    }
+}
+
+/// A named, point-in-time reading of one component: monotonic counters
+/// plus histograms.  Names are stable strings — the metric schema
+/// documented in DESIGN.md §13.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Component identity, e.g. `"p5-tx"` or `"oc-path"`.
+    pub scope: String,
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl Snapshot {
+    pub fn new(scope: impl Into<String>) -> Self {
+        Snapshot {
+            scope: scope.into(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Builder-style counter append.
+    pub fn counter(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.counters.push((name.into(), value));
+        self
+    }
+
+    /// Builder-style histogram append.
+    pub fn histogram(mut self, name: impl Into<String>, hist: Histogram) -> Self {
+        self.histograms.push((name.into(), hist));
+        self
+    }
+
+    pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Look up a counter by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Fold another snapshot's counters into this one (matched by name;
+    /// unknown names are appended), histograms merged likewise.
+    pub fn absorb(&mut self, other: &Snapshot) {
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v += value,
+                None => self.counters.push((name.clone(), *value)),
+            }
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, h)) => h.merge(hist),
+                None => self.histograms.push((name.clone(), hist.clone())),
+            }
+        }
+    }
+}
+
+/// Anything that can report a [`Snapshot`] of itself: every stream stage,
+/// pipeline, SONET path/channel, PPP endpoint, and the OAM regfile.
+pub trait Observable {
+    fn snapshot(&self) -> Snapshot;
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Lowercase, `[a-z0-9_]`-only identifier for Prometheus metric names.
+fn prom_sanitize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// One snapshot as a JSON object.
+pub fn snapshot_to_json(snap: &Snapshot) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"scope\":\"{}\",\"counters\":{{",
+        json_escape(&snap.scope)
+    );
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\":{}", json_escape(name), value);
+    }
+    s.push_str("},\"histograms\":{");
+    for (i, (name, hist)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+            json_escape(name),
+            hist.count(),
+            hist.sum()
+        );
+        for (j, (bound, c)) in hist.nonzero_buckets().iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{bound},{c}]");
+        }
+        s.push_str("]}");
+    }
+    s.push_str("}}");
+    s
+}
+
+/// A snapshot set as a JSON array.
+pub fn to_json(snaps: &[Snapshot]) -> String {
+    let mut s = String::from("[");
+    for (i, snap) in snaps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&snapshot_to_json(snap));
+    }
+    s.push(']');
+    s
+}
+
+/// Prometheus text exposition: counters as
+/// `p5_<scope>_<name> <value>`, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count`.
+pub fn to_prometheus(snaps: &[Snapshot]) -> String {
+    let mut s = String::new();
+    for snap in snaps {
+        let scope = prom_sanitize(&snap.scope);
+        for (name, value) in &snap.counters {
+            let _ = writeln!(s, "p5_{scope}_{} {value}", prom_sanitize(name));
+        }
+        for (name, hist) in &snap.histograms {
+            let metric = format!("p5_{scope}_{}", prom_sanitize(name));
+            let mut cumulative = 0;
+            for (bound, c) in hist.nonzero_buckets() {
+                cumulative += c;
+                let _ = writeln!(s, "{metric}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(s, "{metric}_bucket{{le=\"+Inf\"}} {}", hist.count());
+            let _ = writeln!(s, "{metric}_sum {}", hist.sum());
+            let _ = writeln!(s, "{metric}_count {}", hist.count());
+        }
+    }
+    s
+}
+
+/// Human-readable aligned table over a snapshot set: one row per counter,
+/// then one line per histogram.
+pub fn render_table(snaps: &[Snapshot]) -> String {
+    let scope_w = snaps
+        .iter()
+        .map(|s| s.scope.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let name_w = snaps
+        .iter()
+        .flat_map(|s| s.counters.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(7)
+        .max(7);
+    let mut out = format!("{:<scope_w$}  {:<name_w$}  value\n", "scope", "counter");
+    for snap in snaps {
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "{:<scope_w$}  {name:<name_w$}  {value}", snap.scope);
+        }
+    }
+    for snap in snaps {
+        for (name, hist) in &snap.histograms {
+            let _ = writeln!(out, "{}/{}: {}", snap.scope, name, hist.render());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        let buckets = h.nonzero_buckets();
+        // 0 → ≤0; 1 → ≤1; 2,3 → ≤3; 4,7 → ≤7; 8 → ≤15; MAX → ≤MAX.
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 1), (u64::MAX, 1)]
+        );
+    }
+
+    #[test]
+    fn histogram_merge_and_mean() {
+        let mut a = Histogram::new();
+        a.observe(10);
+        let mut b = Histogram::new();
+        b.observe(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_lookup_and_absorb() {
+        let mut a = Snapshot::new("tx")
+            .counter("frames", 3)
+            .counter("bytes", 100);
+        let b = Snapshot::new("tx2")
+            .counter("frames", 2)
+            .counter("stalls", 7);
+        a.absorb(&b);
+        assert_eq!(a.get("frames"), Some(5));
+        assert_eq!(a.get("stalls"), Some(7));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn json_shape() {
+        let snap = Snapshot::new("p5-tx")
+            .counter("frames", 3)
+            .histogram("lat", {
+                let mut h = Histogram::new();
+                h.observe(5);
+                h
+            });
+        let j = snapshot_to_json(&snap);
+        assert!(j.contains("\"scope\":\"p5-tx\""));
+        assert!(j.contains("\"frames\":3"));
+        assert!(j.contains("\"buckets\":[[7,1]]"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let mut h = Histogram::new();
+        h.observe(2);
+        h.observe(100);
+        let snap = Snapshot::new("oc-path")
+            .counter("b1-errors", 4)
+            .histogram("burst", h);
+        let p = to_prometheus(&[snap]);
+        assert!(p.contains("p5_oc_path_b1_errors 4\n"));
+        assert!(p.contains("p5_oc_path_burst_bucket{le=\"3\"} 1\n"));
+        assert!(p.contains("p5_oc_path_burst_bucket{le=\"127\"} 2\n"));
+        assert!(p.contains("p5_oc_path_burst_bucket{le=\"+Inf\"} 2\n"));
+        assert!(p.contains("p5_oc_path_burst_count 2\n"));
+    }
+
+    #[test]
+    fn table_renders_all_scopes() {
+        let t = render_table(&[
+            Snapshot::new("a").counter("x", 1),
+            Snapshot::new("long-scope").counter("y", 2),
+        ]);
+        assert!(t.contains("long-scope"));
+        assert!(t.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! Where events go.  `NullSink` is the shipped default — recording
+//! compiles down to a dead branch, so instrumented code paths cost
+//! nothing when tracing is off (the check.sh throughput floors hold).
+
+use crate::event::Event;
+use std::sync::{Arc, Mutex};
+
+/// A consumer of trace events.  Producers must check [`TraceSink::enabled`]
+/// (or a cached copy of it) before doing any per-event work, so a disabled
+/// sink never allocates and never formats.
+pub trait TraceSink {
+    /// Whether events are wanted at all.  Producers cache this: it is a
+    /// configuration bit, not a per-event admission control.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: Event);
+}
+
+/// Discards everything; `enabled()` is `false` so producers skip event
+/// construction entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: Event) {}
+}
+
+/// A bounded ring of the most recent events.  Storage is allocated once at
+/// construction; recording in the steady state is a slot overwrite — no
+/// allocation, which keeps it safe to attach to the cycle-accurate model.
+#[derive(Debug)]
+pub struct RingRecorder {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        RingRecorder {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Owned copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.iter().copied().collect()
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+/// A cloneable handle over a shared [`RingRecorder`]: one clone is boxed
+/// into the traced component, the other stays with the harness to read
+/// events back out.
+#[derive(Debug, Clone)]
+pub struct SharedRecorder(Arc<Mutex<RingRecorder>>);
+
+impl SharedRecorder {
+    pub fn with_capacity(cap: usize) -> Self {
+        SharedRecorder(Arc::new(Mutex::new(RingRecorder::with_capacity(cap))))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RingRecorder> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events()
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped()
+    }
+
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+impl TraceSink for SharedRecorder {
+    fn record(&mut self, event: Event) {
+        self.lock().record(event);
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, event: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(cycle: u64) -> Event {
+        Event {
+            cycle,
+            kind: EventKind::Framed { id: cycle as u32 },
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(ev(1));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut r = RingRecorder::with_capacity(3);
+        assert!(r.enabled());
+        for c in 0..5 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_before_wrap_is_in_order() {
+        let mut r = RingRecorder::with_capacity(8);
+        for c in 0..3 {
+            r.record(ev(c));
+        }
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shared_recorder_reads_back_through_clone() {
+        let handle = SharedRecorder::with_capacity(4);
+        let mut sink = handle.clone();
+        assert!(sink.enabled());
+        sink.record(ev(5));
+        assert_eq!(handle.len(), 1);
+        assert_eq!(handle.events()[0].cycle, 5);
+        handle.clear();
+        assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = RingRecorder::with_capacity(0);
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events()[0].cycle, 2);
+    }
+}

@@ -72,6 +72,13 @@ fn main() {
             st.cycles, st.words_in, st.bytes_out, st.stall_cycles, st.rejects
         );
     }
+    // Stall attribution across the stack, then the full metrics
+    // snapshot of every stage (DESIGN.md §13).
+    println!("\n{}", s.stall_table());
+    println!(
+        "final metrics snapshot:\n{}",
+        p5_stream::render_table(&s.snapshots())
+    );
 
     // Read the OAM over the bus, as firmware would.
     let bus = Oam::new(rx_oam);

@@ -7,7 +7,8 @@
 //! ```
 
 use p5_core::{
-    decap, encap, Chain, DatapathWidth, RxStage, StreamStage, TxStage, WireBuf, WordStream, P5,
+    decap, encap, render_table, Chain, DatapathWidth, Observable, RxStage, StreamStage, TxStage,
+    WireBuf, WordStream, P5,
 };
 
 fn main() {
@@ -49,4 +50,9 @@ fn main() {
         link.first.device().tx.escape.escapes_inserted,
     );
     println!("round trip OK — flag 7E was stuffed to 7D 5E on the wire and restored.");
+
+    // The same counters, as the observability layer exports them: one
+    // Snapshot per stage (see DESIGN.md §13).
+    let snaps = [link.first.snapshot(), link.second.snapshot()];
+    println!("\nfinal metrics snapshot:\n{}", render_table(&snaps));
 }

@@ -32,4 +32,11 @@ echo "==> gate-sim smoke + perf gate (results/BENCH_gate_sim.json)"
 cargo run -q --release --offline -p p5-bench --bin gate_sim_report -- \
     --smoke --min-x64 10
 
+echo "==> trace smoke + overhead gate (results/BENCH_trace.json)"
+# The duplex lifecycle trace must match every frame end to end, and the
+# instrumented-but-disabled device must stay within 3% of the baseline
+# bytes/cycle recorded by the throughput step above.
+cargo run -q --release --offline -p p5-bench --bin trace_report -- \
+    --smoke --max-overhead-pct 3
+
 echo "==> all checks passed"

@@ -70,6 +70,41 @@ proptest! {
     }
 
     #[test]
+    fn stall_attribution_accounts_for_every_offered_sweep(
+        frames in frames_strategy(),
+        p1 in raw_pattern(),
+        p2 in raw_pattern(),
+        p3 in raw_pattern(),
+    ) {
+        // Every sweep in which a boundary buffer had data on offer must
+        // resolve to exactly one of accepted / rejected / blocked — the
+        // attribution the stall table is built from.
+        let (p1, p2, p3) = (odd_pattern(p1), odd_pattern(p2), odd_pattern(p3));
+        let mut s = stack![
+            Throttle::new(Pipe::with_max_per_call(2), p1),
+            Throttle::new(Pipe::with_max_per_call(5), p2),
+            Throttle::new(Pipe::new(), p3),
+        ];
+        for f in &frames {
+            s.input().push_frame(f);
+        }
+        prop_assert!(s.run_until_idle(20_000), "stack wedged under stalls");
+        s.finish();
+        for (i, b) in s.boundary_stats().iter().enumerate() {
+            prop_assert_eq!(
+                b.offered,
+                b.accepted + b.rejected + b.blocked,
+                "attribution leak at boundary {}: offered {} != {} + {} + {}",
+                i, b.offered, b.accepted, b.rejected, b.blocked
+            );
+        }
+        // Totals must account for the payload actually moved.
+        let total: usize = frames.iter().map(|f| f.len()).sum();
+        let out = s.boundary_stats().last().unwrap();
+        prop_assert_eq!(out.bytes_out, total as u64);
+    }
+
+    #[test]
     fn stuff_destuff_identity_through_throttled_golden_stack(
         frames in frames_strategy(),
         p1 in raw_pattern(),
