@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use p5_bench::{heading, imix_sizes, ip_like_datagram};
 use p5_core::{encap_tagged, DatapathWidth, RxStage, TxStage, P5};
+use p5_link::LinkBuilder;
 use p5_stream::{stack, Pipe, SharedRecorder, Throttle};
 use p5_trace::{EventKind, Histogram};
 
@@ -77,14 +78,21 @@ struct DuplexOut {
 
 /// Clock two traced devices in lockstep, shuttling the wire both ways
 /// every cycle, until `frames` frames have been delivered in each
-/// direction.
+/// direction.  The devices and the wire come from
+/// [`LinkBuilder::build_duplex`]; the lockstep clocking (one cycle per
+/// exchange, for cycle-exact latency) is driven here.
 fn duplex_run(width: DatapathWidth, frames: usize) -> DuplexOut {
     let rec_a = SharedRecorder::with_capacity(1 << 15);
     let rec_b = SharedRecorder::with_capacity(1 << 15);
-    let mut a = P5::new(width);
-    let mut b = P5::new(width);
-    a.set_trace(Box::new(rec_a.clone()));
-    b.set_trace(Box::new(rec_b.clone()));
+    let mut link = LinkBuilder::new()
+        .width(width)
+        .build_duplex()
+        .expect("clean duplex link builds");
+    // Latency is matched per direction, so each device gets its own
+    // recorder (the builder's `.trace` installs one shared recorder).
+    link.a.p5.set_trace(Box::new(rec_a.clone()));
+    link.b.p5.set_trace(Box::new(rec_b.clone()));
+    let (a, b) = (&mut link.a.p5, &mut link.b.p5);
 
     let sizes_a = imix_sizes(frames, 11);
     let sizes_b = imix_sizes(frames, 23);
@@ -106,6 +114,8 @@ fn duplex_run(width: DatapathWidth, frames: usize) -> DuplexOut {
         }
         a.clock();
         b.clock();
+        // One cycle per exchange: the clean ferry is a zero-latency wire,
+        // so the matched submit→deliver latencies stay cycle-exact.
         let wa = a.take_wire_out();
         if !wa.is_empty() {
             b.put_wire_in(&wa);
@@ -167,7 +177,9 @@ fn event_census(rec: &SharedRecorder) -> String {
 }
 
 /// Drive a tx → throttled-link → rx stack and return the rendered stall
-/// table plus the boundary counters for the JSON report.
+/// table plus the boundary counters for the JSON report.  The throttled
+/// middle stage is a custom topology `LinkBuilder` does not model, so
+/// this uses the raw `stack!` escape hatch by design.
 fn stall_run(width: DatapathWidth, frames: usize) -> (String, String, usize) {
     let mut s = stack![
         TxStage::new(P5::new(width)),

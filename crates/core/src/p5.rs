@@ -56,6 +56,7 @@ struct OamConfigCache {
     promiscuous: bool,
     loopback: bool,
     address: u8,
+    max_body: u32,
 }
 
 /// The status/counter image last written back to the OAM, so
@@ -131,6 +132,7 @@ impl P5 {
                     promiscuous: s.ctrl & ctrl::PROMISCUOUS != 0,
                     loopback: s.ctrl & ctrl::LOOPBACK != 0,
                     address: s.address,
+                    max_body: s.max_body,
                 },
                 s.ctrl & ctrl::FCS16 != 0,
                 s.max_body as usize,
@@ -278,10 +280,16 @@ impl P5 {
                 promiscuous: s.ctrl & ctrl::PROMISCUOUS != 0,
                 loopback: s.ctrl & ctrl::LOOPBACK != 0,
                 address: s.address,
+                max_body: s.max_body,
             });
             self.tx.control.address = self.cfg.address;
             self.rx.control.address = self.cfg.address;
             self.rx.control.promiscuous = self.cfg.promiscuous;
+            // MAX_BODY (§13.4) is live like the other programmable
+            // registers: a host write takes effect at the next frame
+            // boundary the accumulator checks, so the giant filter
+            // follows the negotiated MRU.
+            self.rx.control.max_body = self.cfg.max_body as usize;
             // Register writes are the only version bumps besides the
             // datapath's own sync, so the (rare) refresh path is where
             // the host's bus writes become trace events.
@@ -801,5 +809,64 @@ mod tests {
         shuttle(&mut a, &mut b, 1000);
         assert_eq!(b.take_received()[0].payload, b"a to b");
         assert_eq!(a.take_received()[0].payload, b"b to a");
+    }
+
+    #[test]
+    fn max_body_register_is_live() {
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        let mut bus = Oam::new(b.oam.clone());
+        // Default MAX_BODY (1504) passes a 64-byte body.
+        a.submit(0x0021, vec![1; 64]).unwrap();
+        shuttle(&mut a, &mut b, 1000);
+        assert_eq!(b.take_received().len(), 1);
+        assert_eq!(bus.read(regs::GIANTS), 0);
+        // Shrink the MRU over the bus: the next 64-byte frame must be
+        // discarded as a giant (§13.4 — the register is live, not a
+        // construction-time constant).
+        bus.write(regs::MAX_BODY, 32);
+        a.submit(0x0021, vec![2; 64]).unwrap();
+        shuttle(&mut a, &mut b, 1000);
+        assert!(b.take_received().is_empty(), "frame above MRU delivered");
+        assert_eq!(bus.read(regs::GIANTS), 1);
+        // Restore: traffic flows again.
+        bus.write(regs::MAX_BODY, 1504);
+        a.submit(0x0021, vec![3; 64]).unwrap();
+        shuttle(&mut a, &mut b, 1000);
+        assert_eq!(b.take_received().len(), 1);
+    }
+
+    #[test]
+    fn oam_error_registers_mirror_the_snapshot_counters() {
+        use p5_stream::Observable;
+        let (mut a, mut b) = link_pair(DatapathWidth::W32);
+        for i in 0..20u8 {
+            a.submit(0x0021, vec![i; 40]).unwrap();
+        }
+        a.run_until_idle(1_000_000);
+        let mut wire = a.take_wire_out();
+        // Flip a bit every 50 wire bytes: several frames arrive broken
+        // (some flips hit flags and produce runts/aborts instead — the
+        // mirror must hold for the whole error family).
+        for i in (25..wire.len()).step_by(50) {
+            wire[i] ^= 0x04;
+        }
+        b.put_wire_in(&wire);
+        b.run_until_idle(1_000_000);
+        let bus = Oam::new(b.oam.clone());
+        assert!(bus.read(regs::FCS_ERRORS) > 0, "corruption must be counted");
+        let snap = Observable::snapshot(&b.rx);
+        for (reg, name) in [
+            (regs::FCS_ERRORS, "fcs_errors"),
+            (regs::ABORTS, "aborts"),
+            (regs::RUNTS, "runts"),
+            (regs::GIANTS, "giants"),
+            (regs::RX_FRAMES, "frames_ok"),
+        ] {
+            assert_eq!(
+                snap.get(name),
+                Some(u64::from(bus.read(reg))),
+                "OAM and Snapshot views of `{name}` diverged"
+            );
+        }
     }
 }

@@ -37,6 +37,22 @@ pub struct DeframerConfig {
     pub max_body: usize,
 }
 
+impl DeframerConfig {
+    /// Worst-case wire bytes from a corruption event to re-delineation.
+    ///
+    /// After arbitrary corruption the receiver holds at most one
+    /// maximum-length partial frame (body + FCS, each octet possibly
+    /// escaped, so ×2) and resynchronises at the next uncorrupted flag,
+    /// which the transmitter must emit no later than the end of the
+    /// *following* maximum-length frame — hence two stuffed frame images
+    /// plus the closing flag and a possible dangling escape.  The chaos
+    /// harness (`p5-fault`, `fault_report`) holds delineation recovery to
+    /// this bound.
+    pub fn resync_bound_bytes(&self) -> usize {
+        2 * (2 * (self.max_body + self.fcs.len()) + 1) + 1
+    }
+}
+
 impl Default for DeframerConfig {
     fn default() -> Self {
         Self {
@@ -381,5 +397,40 @@ mod tests {
         d.push_bytes(&wire);
         assert_eq!(d.stats().frames_ok, 2);
         assert_eq!(d.stats().bytes_ok, 9 + 10);
+    }
+
+    #[test]
+    fn resync_bound_covers_a_mid_frame_corruption() {
+        // Corrupt a byte in the middle of one max-length frame, then keep
+        // sending clean frames: a correct frame must be delivered again
+        // within `resync_bound_bytes()` wire bytes of the corruption.
+        let cfg = DeframerConfig {
+            max_body: 64,
+            ..Default::default()
+        };
+        let bound = cfg.resync_bound_bytes();
+        assert_eq!(bound, 2 * (2 * (64 + 4) + 1) + 1);
+        let mut f = crate::framer::Framer::new(FramerConfig::default());
+        let mut wire = Vec::new();
+        for i in 0..6u8 {
+            f.encode_into(&[i ^ 0x7E; 64], &mut wire);
+        }
+        let hit = wire.len() / 3; // inside frame 2
+        wire[hit] ^= 0x55;
+        let mut d = Deframer::new(cfg);
+        let mut resynced_at = None;
+        for (pos, &b) in wire.iter().enumerate() {
+            if let Some(DeframeEvent::Frame(_)) = d.push_byte(b) {
+                if pos > hit {
+                    resynced_at.get_or_insert(pos);
+                }
+            }
+        }
+        let pos = resynced_at.expect("delineation recovered");
+        assert!(
+            pos - hit <= bound,
+            "resync took {} wire bytes, bound is {bound}",
+            pos - hit
+        );
     }
 }

@@ -1,0 +1,595 @@
+//! p5-link — the one way to assemble a P⁵ link.
+//!
+//! Every example, integration test and bench binary used to hand-wire
+//! its own stack: pick stage constructors, remember the idle-fill bit,
+//! compute the cycles-per-frame budget, clone the OAM handle before the
+//! device moves into the stack.  [`LinkBuilder`] owns that recipe once:
+//!
+//! ```
+//! use p5_link::LinkBuilder;
+//! use p5_core::DatapathWidth;
+//! use p5_sonet::StmLevel;
+//! use p5_fault::FaultSpec;
+//!
+//! let plan = FaultSpec::clean().ber(1e-6).compile(42).unwrap();
+//! let mut link = LinkBuilder::new()
+//!     .width(DatapathWidth::W32)
+//!     .sonet(StmLevel::Stm16)     // OC-48
+//!     .fault(plan)
+//!     .build()
+//!     .unwrap();
+//! link.send(0x0021, &[0x45, 0x00, 0x00, 0x14]);
+//! link.run(10_000).unwrap();
+//! let got = link.deliveries();
+//! assert_eq!(got.len() as u64 + link.rx_errors(), 1);
+//! ```
+//!
+//! [`LinkBuilder::build`] yields a simplex [`Link`] (one `Stack`:
+//! `TxStage → [OcPathStage] → [FaultStage] → RxStage`);
+//! [`LinkBuilder::build_duplex`] yields a [`DuplexLink`] — two devices
+//! and a seeded, optionally-impaired ferry between them — for the
+//! control-plane (LCP/IPCP) scenarios that need traffic both ways.
+//!
+//! The raw `stack!` macro remains the supported low-level escape hatch
+//! for custom topologies; this crate is the paved road.
+
+use p5_core::oam::{regs, MmioBus, Oam, OamHandle};
+use p5_core::{decap, encap, DatapathWidth, ReceivedFrame, RxStage, TxQueueFull, TxStage, P5};
+use p5_fault::{FaultError, FaultPlan, FaultSpec, FaultStage, FaultStats};
+use p5_sonet::{BitErrorChannel, ByteLink, OcPath, OcPathStage, StmLevel};
+use p5_stream::{SharedRecorder, Snapshot, Stack, StageStats, StreamStage};
+use std::error::Error;
+use std::fmt;
+
+/// Why a link could not be built or run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinkError {
+    /// The fault spec attached to the builder failed to compile.
+    Fault(FaultError),
+    /// The stack did not drain within the step budget.
+    Stalled { steps: usize },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Fault(e) => write!(f, "link fault plan: {e}"),
+            LinkError::Stalled { steps } => {
+                write!(f, "link did not drain within {steps} steps")
+            }
+        }
+    }
+}
+
+impl Error for LinkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LinkError::Fault(e) => Some(e),
+            LinkError::Stalled { .. } => None,
+        }
+    }
+}
+
+impl From<FaultError> for LinkError {
+    fn from(e: FaultError) -> Self {
+        LinkError::Fault(e)
+    }
+}
+
+/// Fluent description of a link, turned into a running assembly by
+/// [`LinkBuilder::build`] (simplex) or [`LinkBuilder::build_duplex`].
+#[derive(Default)]
+pub struct LinkBuilder {
+    width: Option<DatapathWidth>,
+    sonet: Option<StmLevel>,
+    fault: Option<FaultPlan>,
+    trace: Option<SharedRecorder>,
+}
+
+impl LinkBuilder {
+    pub fn new() -> Self {
+        LinkBuilder::default()
+    }
+
+    /// Datapath width of both devices (default [`DatapathWidth::W32`]).
+    pub fn width(mut self, width: DatapathWidth) -> Self {
+        self.width = Some(width);
+        self
+    }
+
+    /// Carry the wire over an STM-N path (scramble → frame → channel →
+    /// delineate → descramble).  Also switches the transmitter to
+    /// continuous (idle-fill) mode so the framer never pads mid-frame.
+    pub fn sonet(mut self, level: StmLevel) -> Self {
+        self.sonet = Some(level);
+        self
+    }
+
+    /// Impair the wire with a compiled fault plan.  The length-
+    /// preserving faults (BER, bursts) apply inside the transmission
+    /// channel; structural faults and stall storms get a [`FaultStage`]
+    /// on the delineated byte stream.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Record frame-lifecycle and fault events into `rec`.
+    pub fn trace(mut self, rec: SharedRecorder) -> Self {
+        self.trace = Some(rec);
+        self
+    }
+
+    fn width_or_default(&self) -> DatapathWidth {
+        self.width.unwrap_or(DatapathWidth::W32)
+    }
+
+    /// Split the configured plan into its channel (bit-level) and stage
+    /// (structural + stall) halves, each compiled from the plan's own
+    /// seed on a distinct lane.
+    fn split_fault(&self) -> Result<(Option<FaultPlan>, Option<FaultPlan>), LinkError> {
+        let Some(plan) = &self.fault else {
+            return Ok((None, None));
+        };
+        let spec = plan.spec().clone();
+        let bit = if spec.ber > 0.0 || spec.burst.is_some() {
+            let bit_spec = FaultSpec {
+                ber: spec.ber,
+                burst: spec.burst,
+                ..FaultSpec::default()
+            };
+            Some(bit_spec.compile(plan.seed())?)
+        } else {
+            None
+        };
+        let structural = if spec.is_structural() || spec.stall.is_some() || spec.transfer_loss > 0.0
+        {
+            let st_spec = FaultSpec {
+                ber: 0.0,
+                burst: None,
+                ..spec
+            };
+            Some(st_spec.compile(plan.seed().wrapping_add(1))?)
+        } else {
+            None
+        };
+        Ok((bit, structural))
+    }
+
+    fn new_device(&self, idle_fill: bool) -> (P5, OamHandle) {
+        let mut dev = P5::new(self.width_or_default());
+        dev.tx.escape.idle_fill = idle_fill;
+        if let Some(rec) = &self.trace {
+            dev.set_trace(Box::new(rec.clone()));
+        }
+        let oam = dev.oam.clone();
+        (dev, oam)
+    }
+
+    /// One transmit device, one receive device, one `Stack` between
+    /// them, assembled with the canonical line-rate clocking recipe.
+    pub fn build(self) -> Result<Link, LinkError> {
+        let (bit, structural) = self.split_fault()?;
+        let (tx, tx_oam) = self.new_device(self.sonet.is_some());
+        let (rx, rx_oam) = self.new_device(false);
+        let mut stages: Vec<Box<dyn StreamStage>> = Vec::new();
+        match self.sonet {
+            Some(level) => {
+                // Line-rate clocking: one SPE of wire bytes per 125 µs
+                // frame, with a few surplus cycles to keep the SPE queue
+                // primed through pipeline fill.
+                let cpf = level
+                    .payload_per_frame()
+                    .div_ceil(self.width_or_default().bytes()) as u64
+                    + 8;
+                let channel = match bit {
+                    Some(plan) => BitErrorChannel::from_plan(plan),
+                    None => BitErrorChannel::clean(),
+                };
+                stages.push(Box::new(TxStage::with_burst(tx, cpf)));
+                stages.push(Box::new(OcPathStage::new(OcPath::new(level, channel))));
+                if let Some(plan) = structural {
+                    stages.push(Box::new(self.faulted_stage(plan)));
+                }
+                stages.push(Box::new(RxStage::with_burst(rx, 2 * cpf)));
+            }
+            None => {
+                stages.push(Box::new(TxStage::new(tx)));
+                // No SONET path: the whole plan (bit + structural) acts
+                // directly on the stuffed byte stream.
+                match (bit, structural) {
+                    (None, None) => {}
+                    (bit, structural) => {
+                        let mut merged = structural.unwrap_or_else(|| FaultPlan::clean(0));
+                        if let Some(b) = bit {
+                            // Recompose: one stage carrying the full spec.
+                            let mut spec = merged.spec().clone();
+                            spec.ber = b.spec().ber;
+                            spec.burst = b.spec().burst;
+                            merged = spec.compile(self.fault.as_ref().map_or(0, |p| p.seed()))?;
+                        }
+                        stages.push(Box::new(self.faulted_stage(merged)));
+                    }
+                }
+                stages.push(Box::new(RxStage::new(rx)));
+            }
+        }
+        Ok(Link {
+            stack: Stack::compose(stages),
+            tx_oam,
+            rx_oam,
+        })
+    }
+
+    fn faulted_stage(&self, plan: FaultPlan) -> FaultStage {
+        let mut stage = FaultStage::new(plan);
+        if let Some(rec) = &self.trace {
+            stage.set_trace(Box::new(rec.clone()));
+        }
+        stage
+    }
+
+    /// Two devices and a seeded ferry between them, for control-plane
+    /// scenarios (LCP/IPCP) where traffic flows both ways.  The fault
+    /// plan, if any, is forked per direction; with [`LinkBuilder::sonet`]
+    /// each direction carries its own STM-N path.
+    pub fn build_duplex(self) -> Result<DuplexLink, LinkError> {
+        let (bit, structural) = self.split_fault()?;
+        let idle_fill = self.sonet.is_some();
+        let (a, a_oam) = self.new_device(idle_fill);
+        let (b, b_oam) = self.new_device(idle_fill);
+        let mk_ferry = |lane: u64| -> Ferry {
+            let path = self.sonet.map(|level| {
+                let channel = match &bit {
+                    Some(plan) => BitErrorChannel::from_plan(plan.fork(lane)),
+                    None => BitErrorChannel::clean(),
+                };
+                OcPath::new(level, channel)
+            });
+            Ferry {
+                path,
+                plan: structural.as_ref().map(|p| p.fork(lane)),
+                scratch: Vec::new(),
+            }
+        };
+        let ab = mk_ferry(0);
+        let ba = mk_ferry(1);
+        Ok(DuplexLink {
+            a: LinkEnd { p5: a, oam: a_oam },
+            b: LinkEnd { p5: b, oam: b_oam },
+            ab,
+            ba,
+        })
+    }
+}
+
+/// A simplex link: transmit device → (optional SONET path, optional
+/// fault stage) → receive device, as one composed [`Stack`].
+pub struct Link {
+    stack: Stack,
+    tx_oam: OamHandle,
+    rx_oam: OamHandle,
+}
+
+impl Link {
+    /// Queue one datagram for transmission.
+    pub fn send(&mut self, protocol: u16, payload: &[u8]) {
+        encap(protocol, payload, self.stack.input());
+    }
+
+    /// Sweep the stack until it drains, then flush (SPE backlog plus
+    /// flag fill).  Delivered frames wait in [`Link::deliveries`].
+    pub fn run(&mut self, max_steps: usize) -> Result<(), LinkError> {
+        if !self.stack.run_until_idle(max_steps) {
+            return Err(LinkError::Stalled { steps: max_steps });
+        }
+        self.stack.finish();
+        Ok(())
+    }
+
+    /// Everything delivered so far, decapsulated to `(protocol,
+    /// payload)` in arrival order.
+    pub fn deliveries(&mut self) -> Vec<(u16, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut frame = Vec::new();
+        while self.stack.output().pop_frame_into(&mut frame).is_some() {
+            if let Some((proto, payload)) = decap(&frame) {
+                out.push((proto, payload.to_vec()));
+            }
+        }
+        out
+    }
+
+    /// Register-bus view of the transmit device's OAM block.
+    pub fn tx_oam(&self) -> Oam {
+        Oam::new(self.tx_oam.clone())
+    }
+
+    /// Register-bus view of the receive device's OAM block.
+    pub fn rx_oam(&self) -> Oam {
+        Oam::new(self.rx_oam.clone())
+    }
+
+    /// Total receive-side error count, summed over the OAM error
+    /// registers — the "counted drops" half of the paper's no-silent-
+    /// corruption contract.
+    pub fn rx_errors(&self) -> u64 {
+        let bus = self.rx_oam();
+        u64::from(
+            bus.read(regs::FCS_ERRORS)
+                + bus.read(regs::ABORTS)
+                + bus.read(regs::RUNTS)
+                + bus.read(regs::GIANTS)
+                + bus.read(regs::HEADER_ERRORS)
+                + bus.read(regs::ADDR_MISMATCHES),
+        )
+    }
+
+    /// Per-stage flow counters (name, stats) in pipeline order.
+    pub fn stage_stats(&self) -> Vec<(&'static str, StageStats)> {
+        self.stack.stage_stats()
+    }
+
+    /// Metrics snapshot of every stage.
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        self.stack.snapshots()
+    }
+
+    /// The stall-attribution table (DESIGN.md §13).
+    pub fn stall_table(&self) -> String {
+        self.stack.stall_table()
+    }
+
+    /// The underlying stack — the escape hatch for custom sweeps.
+    pub fn stack_mut(&mut self) -> &mut Stack {
+        &mut self.stack
+    }
+
+    pub fn stack(&self) -> &Stack {
+        &self.stack
+    }
+}
+
+/// One side of a [`DuplexLink`]: a device plus its OAM handle, kept
+/// reachable after the device is wired up.
+pub struct LinkEnd {
+    pub p5: P5,
+    oam: OamHandle,
+}
+
+impl LinkEnd {
+    pub fn submit(&mut self, protocol: u16, payload: Vec<u8>) -> Result<(), TxQueueFull> {
+        self.p5.submit(protocol, payload)
+    }
+
+    pub fn run(&mut self, cycles: u64) {
+        self.p5.run(cycles);
+    }
+
+    pub fn take_received(&mut self) -> Vec<ReceivedFrame> {
+        self.p5.take_received()
+    }
+
+    /// Register-bus view of this end's OAM block.
+    pub fn oam(&self) -> Oam {
+        Oam::new(self.oam.clone())
+    }
+}
+
+/// One direction of the duplex wire: optional STM-N path, optional
+/// structural fault plan.
+struct Ferry {
+    path: Option<OcPath>,
+    plan: Option<FaultPlan>,
+    scratch: Vec<u8>,
+}
+
+impl Ferry {
+    fn carry(&mut self, wire: Vec<u8>, dst: &mut P5) {
+        let bytes = match &mut self.path {
+            Some(path) => {
+                if !wire.is_empty() {
+                    path.send(&wire);
+                }
+                let k = path.frames_to_drain();
+                if k > 0 {
+                    // +2: delineation hunts across a frame boundary.
+                    path.run_frames(k + 2);
+                }
+                path.recv()
+            }
+            None => wire,
+        };
+        if bytes.is_empty() {
+            return;
+        }
+        match &mut self.plan {
+            None => dst.put_wire_in(&bytes),
+            Some(plan) => {
+                if plan.lose_transfer() {
+                    return;
+                }
+                self.scratch.clear();
+                plan.corrupt_into(&bytes, &mut self.scratch);
+                dst.put_wire_in(&self.scratch);
+            }
+        }
+    }
+
+    fn stats(&self) -> FaultStats {
+        let mut s = self.plan.as_ref().map(|p| p.stats()).unwrap_or_default();
+        if let Some(path) = &self.path {
+            s.absorb(&path.channel().plan().stats());
+        }
+        s
+    }
+}
+
+/// Two devices and the (optionally impaired) wire between them.  The
+/// ends are public so control-plane drivers can pump their own
+/// endpoints; [`DuplexLink::exchange`] moves the wire both ways.
+pub struct DuplexLink {
+    pub a: LinkEnd,
+    pub b: LinkEnd,
+    ab: Ferry,
+    ba: Ferry,
+}
+
+impl DuplexLink {
+    /// Ferry pending wire bytes a → b and b → a, applying each
+    /// direction's fault plan.
+    pub fn exchange(&mut self) {
+        let wire = self.a.p5.take_wire_out();
+        self.ab.carry(wire, &mut self.b.p5);
+        let wire = self.b.p5.take_wire_out();
+        self.ba.carry(wire, &mut self.a.p5);
+    }
+
+    /// Impair both directions with forks of `plan` (deterministic per
+    /// direction).  Replaces any existing plan — `clear_fault` heals the
+    /// link mid-run, the "outage then recovery" scenario.
+    pub fn set_fault(&mut self, plan: &FaultPlan) {
+        self.ab.plan = Some(plan.fork(2));
+        self.ba.plan = Some(plan.fork(3));
+    }
+
+    pub fn clear_fault(&mut self) {
+        self.ab.plan = None;
+        self.ba.plan = None;
+    }
+
+    /// Injected-fault counters summed over both directions (ferry plans
+    /// plus the per-direction channel plans).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut s = self.ab.stats();
+        s.absorb(&self.ba.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simplex_clean_link_round_trips() {
+        let mut link = LinkBuilder::new().build().unwrap();
+        link.send(0x0021, &[0x31, 0x33, 0x7E, 0x96, 0x7D, 0x00, 0x42]);
+        link.run(2_000).unwrap();
+        let got = link.deliveries();
+        assert_eq!(
+            got,
+            vec![(0x0021, vec![0x31, 0x33, 0x7E, 0x96, 0x7D, 0x00, 0x42])]
+        );
+        assert_eq!(link.rx_errors(), 0);
+        assert_eq!(link.rx_oam().read(regs::RX_FRAMES), 1);
+        assert_eq!(link.tx_oam().read(regs::TX_FRAMES), 1);
+    }
+
+    #[test]
+    fn sonet_link_uses_the_canonical_recipe() {
+        let mut link = LinkBuilder::new()
+            .width(DatapathWidth::W32)
+            .sonet(StmLevel::Stm4)
+            .build()
+            .unwrap();
+        let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 50 + i as usize]).collect();
+        for p in &payloads {
+            link.send(0x0021, p);
+        }
+        link.run(5_000).unwrap();
+        let got: Vec<Vec<u8>> = link.deliveries().into_iter().map(|(_, p)| p).collect();
+        assert_eq!(got, payloads);
+        assert_eq!(link.rx_errors(), 0);
+    }
+
+    #[test]
+    fn faulted_link_counts_every_drop() {
+        let plan = FaultSpec::clean().ber(5e-5).compile(11).unwrap();
+        let mut link = LinkBuilder::new()
+            .sonet(StmLevel::Stm4)
+            .fault(plan)
+            .build()
+            .unwrap();
+        let sent = 60u64;
+        for i in 0..sent {
+            link.send(0x0021, &[i as u8; 120]);
+        }
+        link.run(10_000).unwrap();
+        let delivered = link.deliveries();
+        let errors = link.rx_errors();
+        assert!(errors > 0, "5e-5 BER over the line must break frames");
+        // Corrupted idle fill adds spurious runts, so the error count can
+        // exceed the shortfall — the contract is one-sided: nothing
+        // vanishes unaccounted, and nothing corrupt is delivered.
+        assert!(delivered.len() as u64 + errors >= sent - 4);
+        for (_, p) in &delivered {
+            assert!(p.iter().all(|&b| b == p[0]), "silent corruption");
+        }
+    }
+
+    #[test]
+    fn structural_faults_get_a_stage() {
+        // Most line octets are flag fill (slipping a flag is harmless),
+        // so the rate is set to hit payload bytes a handful of times.
+        let plan = FaultSpec::clean().slip(2e-3).compile(3).unwrap();
+        let mut link = LinkBuilder::new()
+            .sonet(StmLevel::Stm4)
+            .fault(plan)
+            .build()
+            .unwrap();
+        for i in 0..40u8 {
+            link.send(0x0021, &[i; 100]);
+        }
+        link.run(10_000).unwrap();
+        let snaps = link.snapshots();
+        let fault = snaps
+            .iter()
+            .find(|s| s.scope == "fault")
+            .expect("fault stage present");
+        assert!(fault.get("fault_slip").unwrap() > 0, "slips injected");
+        assert!(link.rx_errors() > 0, "slips break frames");
+    }
+
+    #[test]
+    fn duplex_link_carries_traffic_both_ways() {
+        let mut link = LinkBuilder::new().build_duplex().unwrap();
+        link.a.submit(0x0021, vec![1, 2, 3]).unwrap();
+        link.b.submit(0x0021, vec![9, 8, 7]).unwrap();
+        for _ in 0..50 {
+            link.a.run(64);
+            link.b.run(64);
+            link.exchange();
+        }
+        let at_b = link.b.take_received();
+        let at_a = link.a.take_received();
+        assert_eq!(at_b.len(), 1);
+        assert_eq!(at_b[0].payload, vec![1, 2, 3]);
+        assert_eq!(at_a[0].payload, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn duplex_transfer_loss_is_counted_and_healable() {
+        let plan = FaultSpec::clean().transfer_loss(1.0).compile(4).unwrap();
+        let mut link = LinkBuilder::new().fault(plan).build_duplex().unwrap();
+        link.a.submit(0x0021, vec![5; 10]).unwrap();
+        for _ in 0..20 {
+            link.a.run(64);
+            link.b.run(64);
+            link.exchange();
+        }
+        assert!(link.b.take_received().is_empty(), "all transfers lost");
+        assert!(link.fault_stats().transfers_lost > 0);
+        link.clear_fault();
+        link.a.submit(0x0021, vec![6; 10]).unwrap();
+        for _ in 0..20 {
+            link.a.run(64);
+            link.b.run(64);
+            link.exchange();
+        }
+        let got = link.b.take_received();
+        assert_eq!(got.len(), 1, "healed link delivers");
+        assert_eq!(got[0].payload, vec![6; 10]);
+    }
+}

@@ -8,12 +8,50 @@
 //! Exits 1 when any module has a finding at warning severity or above
 //! (`--strict` lowers the bar to info).
 
+use std::error::Error;
+use std::fmt;
 use std::process::ExitCode;
 
 use p5_fpga::{devices, Device};
 use p5_lint::{lint_full, shipped_netlists, Severity, LINE_CLOCK_MHZ};
 
 const USAGE: &str = "usage: p5lint [--json] [--device NAME] [--clock MHZ] [--strict]";
+
+/// Why the command line was rejected (workspace error convention:
+/// `<Noun>Error`, `#[non_exhaustive]`, structured fields — DESIGN.md §14).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+enum CliError {
+    /// A flag that takes a value appeared last on the line.
+    MissingValue {
+        flag: &'static str,
+        what: &'static str,
+    },
+    /// `--device` named no known part.
+    UnknownDevice { name: String },
+    /// `--clock` carried something that is not a positive frequency.
+    BadClock { value: String },
+    /// An argument no flag matches.
+    UnknownArgument { arg: String },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingValue { flag, what } => write!(f, "{flag} needs {what}"),
+            CliError::UnknownDevice { name } => {
+                let known: Vec<&str> = devices::ALL.iter().map(|d| d.name).collect();
+                write!(f, "unknown device `{name}` (known: {})", known.join(", "))
+            }
+            CliError::BadClock { value } => write!(f, "bad clock frequency `{value}`"),
+            CliError::UnknownArgument { arg } => {
+                write!(f, "unknown argument `{arg}` (see --help)")
+            }
+        }
+    }
+}
+
+impl Error for CliError {}
 
 struct Options {
     json: bool,
@@ -23,7 +61,7 @@ struct Options {
     clock_mhz: f64,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args() -> Result<Options, CliError> {
     let mut opts = Options {
         json: false,
         strict: false,
@@ -37,25 +75,32 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--strict" => opts.strict = true,
             "--device" => {
-                let name = args.next().ok_or("--device needs a device name")?;
+                let name = args.next().ok_or(CliError::MissingValue {
+                    flag: "--device",
+                    what: "a device name",
+                })?;
                 opts.device = *devices::ALL
                     .iter()
                     .find(|d| d.name.eq_ignore_ascii_case(&name))
-                    .ok_or_else(|| {
-                        let known: Vec<&str> = devices::ALL.iter().map(|d| d.name).collect();
-                        format!("unknown device `{name}` (known: {})", known.join(", "))
-                    })?;
+                    .ok_or(CliError::UnknownDevice { name })?;
             }
             "--clock" => {
-                let mhz = args.next().ok_or("--clock needs a frequency in MHz")?;
+                let mhz = args.next().ok_or(CliError::MissingValue {
+                    flag: "--clock",
+                    what: "a frequency in MHz",
+                })?;
                 opts.clock_mhz = mhz
                     .parse::<f64>()
                     .ok()
                     .filter(|f| *f > 0.0)
-                    .ok_or_else(|| format!("bad clock frequency `{mhz}`"))?;
+                    .ok_or(CliError::BadClock { value: mhz })?;
             }
             "--help" | "-h" => opts.help = true,
-            other => return Err(format!("unknown argument `{other}` (see --help)")),
+            other => {
+                return Err(CliError::UnknownArgument {
+                    arg: other.to_string(),
+                })
+            }
         }
     }
     Ok(opts)

@@ -75,6 +75,15 @@ impl Default for EndpointConfig {
     }
 }
 
+impl EndpointConfig {
+    /// Upper bound, in ticks, for one negotiation round to either open
+    /// or give up: every Configure-Request retransmission (Max-Configure
+    /// of them, plus the initial send) gets one restart period.
+    pub fn restart_budget_ticks(&self) -> u64 {
+        (u64::from(self.max_configure) + 1) * self.restart_period
+    }
+}
+
 /// A control-protocol endpoint bound to a [`Negotiator`].
 pub struct Endpoint<N: Negotiator> {
     pub negotiator: N,
@@ -131,6 +140,11 @@ impl<N: Negotiator> Endpoint<N> {
 
     pub fn is_opened(&self) -> bool {
         self.automaton.is_opened()
+    }
+
+    /// The timing/retry configuration this endpoint runs with.
+    pub fn config(&self) -> &EndpointConfig {
+        &self.config
     }
 
     /// Administrative Open (begin negotiation when the lower layer is up).

@@ -184,6 +184,75 @@ impl LqrMonitor {
     }
 }
 
+/// When is a link "bad enough" to act on?  RFC 1989 deliberately leaves
+/// the quality policy to the implementation; this one trips after the
+/// delivery ratio stays below a floor for a number of consecutive
+/// intervals, and is the hook a session owner uses to drive
+/// `Session::renegotiate` from LQR measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityPolicy {
+    /// Minimum acceptable fraction of packets delivered per interval.
+    pub min_delivery_ratio: f64,
+    /// Consecutive bad intervals before the policy trips.
+    pub intervals_to_trip: u32,
+}
+
+impl Default for QualityPolicy {
+    fn default() -> Self {
+        Self {
+            min_delivery_ratio: 0.9,
+            intervals_to_trip: 3,
+        }
+    }
+}
+
+/// Runs a [`QualityPolicy`] over the per-interval measurements.
+#[derive(Debug, Clone, Default)]
+pub struct QualityTracker {
+    policy: QualityPolicy,
+    bad_intervals: u32,
+    tripped: bool,
+}
+
+impl QualityTracker {
+    pub fn new(policy: QualityPolicy) -> Self {
+        Self {
+            policy,
+            bad_intervals: 0,
+            tripped: false,
+        }
+    }
+
+    /// Feed one interval's measurement; returns `true` the moment the
+    /// policy trips (stays `true` until [`Self::reset`]).
+    pub fn observe(&mut self, delta: QualityDelta) -> bool {
+        if delta.delivery_ratio() < self.policy.min_delivery_ratio {
+            self.bad_intervals += 1;
+            if self.bad_intervals >= self.policy.intervals_to_trip {
+                self.tripped = true;
+            }
+        } else {
+            self.bad_intervals = 0;
+        }
+        self.tripped
+    }
+
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Consecutive bad intervals seen so far.
+    pub fn bad_intervals(&self) -> u32 {
+        self.bad_intervals
+    }
+
+    /// Clear the trip (e.g. after the renegotiation the trip provoked).
+    pub fn reset(&mut self) {
+        self.bad_intervals = 0;
+        self.tripped = false;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +316,37 @@ mod tests {
         assert_eq!(a.outbound_quality().unwrap().lost(), 5);
         run_interval(&mut a, &mut b, 10, 10);
         assert_eq!(a.outbound_quality().unwrap().lost(), 0);
+    }
+
+    #[test]
+    fn quality_policy_trips_on_sustained_degradation_only() {
+        let mut t = QualityTracker::new(QualityPolicy {
+            min_delivery_ratio: 0.9,
+            intervals_to_trip: 3,
+        });
+        let bad = QualityDelta {
+            sent: 100,
+            received: 50,
+        };
+        let good = QualityDelta {
+            sent: 100,
+            received: 99,
+        };
+        // A transient dip below the floor does not trip the policy.
+        assert!(!t.observe(bad));
+        assert!(!t.observe(bad));
+        assert!(!t.observe(good));
+        assert_eq!(t.bad_intervals(), 0);
+        // Three consecutive bad intervals do.
+        assert!(!t.observe(bad));
+        assert!(!t.observe(bad));
+        assert!(t.observe(bad));
+        assert!(t.is_tripped());
+        // Latched until reset, even through good intervals.
+        assert!(t.observe(good));
+        t.reset();
+        assert!(!t.is_tripped());
+        assert!(!t.observe(bad));
     }
 
     #[test]

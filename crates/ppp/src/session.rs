@@ -66,6 +66,29 @@ impl Session {
         self.lcp.close();
     }
 
+    /// The physical layer (de)asserted carrier: PHY up.
+    pub fn lower_up(&mut self) {
+        self.lcp.lower_up();
+        self.pump();
+    }
+
+    /// The physical layer dropped — e.g. a SONET error storm tripped the
+    /// link-quality policy.  LCP leaves Opened, which cascades a Down
+    /// into IPCP via [`Self::pump`].
+    pub fn lower_down(&mut self) {
+        self.lcp.lower_down();
+        self.pump();
+    }
+
+    /// Force a full LCP renegotiation (RFC 1661 restart): bounce the
+    /// lower layer.  The automaton re-enters Req-Sent and the session
+    /// re-opens within [`EndpointConfig::restart_budget_ticks`] provided
+    /// the peer is responsive.
+    pub fn renegotiate(&mut self) {
+        self.lower_down();
+        self.lower_up();
+    }
+
     pub fn is_network_up(&self) -> bool {
         self.network_up
     }
@@ -263,6 +286,50 @@ mod tests {
         a.receive(Protocol::Ipv4.number(), b"too soon");
         let evs = a.poll_events();
         assert!(!evs.contains(&SessionEvent::Datagram(b"too soon".to_vec())));
+    }
+
+    #[test]
+    fn lower_down_tears_the_link_and_renegotiation_fits_the_restart_budget() {
+        let mut a = Session::new(1, [10, 0, 0, 1]);
+        let mut b = Session::new(2, [10, 0, 0, 2]);
+        a.start();
+        b.start();
+        converge(&mut a, &mut b);
+        a.poll_events();
+        b.poll_events();
+
+        // The error storm trips: A's PHY bounces.
+        a.renegotiate();
+        assert!(a.poll_events().contains(&SessionEvent::LinkDown));
+        assert!(!a.is_network_up());
+
+        // Both LCP and IPCP must re-open within the RFC 1661 restart
+        // budget (every Configure-Request gets one restart period, for
+        // each of the two stacked negotiations).
+        let budget = 2 * a.lcp.config().restart_budget_ticks();
+        let mut recovered_at = None;
+        for now in 100..100 + budget {
+            a.tick(now);
+            b.tick(now);
+            for (proto, info) in a.poll_output() {
+                b.receive(proto, &info);
+            }
+            for (proto, info) in b.poll_output() {
+                a.receive(proto, &info);
+            }
+            if a.is_network_up() && b.is_network_up() {
+                recovered_at = Some(now - 100);
+                break;
+            }
+        }
+        let ticks = recovered_at.expect("renegotiation completed within the restart budget");
+        assert!(
+            ticks <= budget,
+            "re-open took {ticks} ticks, budget {budget}"
+        );
+        let ev = a.poll_events();
+        assert!(ev.contains(&SessionEvent::LinkUp));
+        assert!(ev.iter().any(|e| matches!(e, SessionEvent::NetworkUp(..))));
     }
 
     #[test]

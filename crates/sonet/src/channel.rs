@@ -1,11 +1,20 @@
-//! The transmission channel between framer and defamer: a configurable
-//! bit-error process standing in for the optical section the paper's
-//! testbed would provide.
+//! The transmission channel between framer and deframer: the
+//! length-preserving slice of the `p5-fault` model standing in for the
+//! optical section the paper's testbed would provide.
+//!
+//! [`BitErrorChannel`] keeps its historical `(ber, burst_len, seed)`
+//! constructor as a convenience facade, but the schedule behind it is a
+//! [`FaultPlan`]: [`BitErrorChannel::from_plan`] accepts any compiled
+//! plan, so a SONET path can carry the same seeded impairment mix the
+//! rest of the chaos harness uses.  Only the bit-level (length-
+//! preserving) faults apply here — a physical section can flip payload
+//! bits under the scrambler, but byte slips and fabricated flags are
+//! stream-level faults injected by a `FaultStage` above the path.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use p5_fault::{FaultPlan, FaultSpec};
 
-/// Channel impairment statistics.
+/// Channel impairment statistics, derived from the plan's
+/// [`p5_fault::FaultStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     pub bytes_carried: u64,
@@ -22,19 +31,11 @@ impl p5_stream::Observable for ChannelStats {
     }
 }
 
-/// A byte pipe that flips bits at a configured rate, optionally in
-/// bursts (a crude Gilbert–Elliott model: each error seeds a short run of
-/// elevated error probability).
+/// A byte pipe that flips bits according to a compiled [`FaultPlan`]:
+/// uniform BER, optionally with Gilbert–Elliott bursts.
 #[derive(Debug, Clone)]
 pub struct BitErrorChannel {
-    /// Probability that any given bit is flipped.
-    ber: f64,
-    /// Expected burst length in bits once an error occurs (1 = no bursts).
-    burst_len: u32,
-    /// Remaining bits of an active burst.
-    burst_remaining: u32,
-    rng: StdRng,
-    stats: ChannelStats,
+    plan: FaultPlan,
 }
 
 impl BitErrorChannel {
@@ -43,48 +44,45 @@ impl BitErrorChannel {
         Self::new(0.0, 1, 0)
     }
 
+    /// The historical knob set: `ber` with `burst_len == 1` is a uniform
+    /// error process; `burst_len > 1` becomes a Gilbert–Elliott model
+    /// entered at rate `ber` with mean burst length `burst_len` bits and
+    /// a 50% bad-state flip probability.
     pub fn new(ber: f64, burst_len: u32, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&ber), "BER must be a probability");
         assert!(burst_len >= 1);
-        Self {
-            ber,
-            burst_len,
-            burst_remaining: 0,
-            rng: StdRng::seed_from_u64(seed),
-            stats: ChannelStats::default(),
-        }
+        let spec = if burst_len > 1 {
+            FaultSpec::clean().burst(ber, 1.0 / f64::from(burst_len), 0.5)
+        } else {
+            FaultSpec::clean().ber(ber)
+        };
+        Self::from_plan(spec.compile(seed).expect("facade rates are valid"))
     }
 
-    pub fn stats(&self) -> &ChannelStats {
-        &self.stats
+    /// Carry any compiled fault plan.  Only the length-preserving faults
+    /// (BER + bursts) apply on this boundary — structural faults in the
+    /// plan are simply never drawn here.
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        BitErrorChannel { plan }
+    }
+
+    /// The impairment schedule behind the channel.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn stats(&self) -> ChannelStats {
+        let fs = self.plan.stats();
+        ChannelStats {
+            bytes_carried: fs.bytes_processed,
+            bits_flipped: fs.bit_errors,
+            bursts_injected: fs.bursts,
+        }
     }
 
     /// Carry bytes across the channel, impairing them in place.
     pub fn transmit(&mut self, buf: &mut [u8]) {
-        self.stats.bytes_carried += buf.len() as u64;
-        if self.ber == 0.0 {
-            return;
-        }
-        for byte in buf.iter_mut() {
-            for bit in 0..8 {
-                let flip = if self.burst_remaining > 0 {
-                    self.burst_remaining -= 1;
-                    self.rng.gen_bool(0.5)
-                } else if self.rng.gen_bool(self.ber) {
-                    if self.burst_len > 1 {
-                        self.burst_remaining = self.rng.gen_range(0..self.burst_len * 2);
-                        self.stats.bursts_injected += 1;
-                    }
-                    true
-                } else {
-                    false
-                };
-                if flip {
-                    *byte ^= 1 << bit;
-                    self.stats.bits_flipped += 1;
-                }
-            }
-        }
+        self.plan.corrupt_in_place(buf);
     }
 }
 
@@ -133,5 +131,15 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn channel_carries_an_arbitrary_plan() {
+        let plan = FaultSpec::clean().ber(1e-2).compile(5).unwrap();
+        let mut ch = BitErrorChannel::from_plan(plan);
+        let mut buf = vec![0u8; 10_000];
+        ch.transmit(&mut buf);
+        assert!(ch.stats().bits_flipped > 0);
+        assert_eq!(ch.plan().stats().bit_errors, ch.stats().bits_flipped);
     }
 }

@@ -34,6 +34,9 @@ pub enum EventKind {
     Backpressure { boundary: &'static str },
     /// The µP wrote an OAM register over the MMIO bus.
     OamWrite { addr: u32, value: u32 },
+    /// A fault-injection stage perturbed the wire (`p5-fault`).  `kind`
+    /// is the stable `FaultKind` name (e.g. `"bit_error"`, `"slip"`).
+    Fault { kind: &'static str },
 }
 
 impl EventKind {
@@ -49,6 +52,7 @@ impl EventKind {
             EventKind::Delivered { .. } => "delivered",
             EventKind::Backpressure { .. } => "backpressure",
             EventKind::OamWrite { .. } => "oam_write",
+            EventKind::Fault { .. } => "fault",
         }
     }
 
@@ -62,7 +66,9 @@ impl EventKind {
             | EventKind::Delineated { id }
             | EventKind::CrcVerdict { id, .. }
             | EventKind::Delivered { id, .. } => Some(id),
-            EventKind::Backpressure { .. } | EventKind::OamWrite { .. } => None,
+            EventKind::Backpressure { .. }
+            | EventKind::OamWrite { .. }
+            | EventKind::Fault { .. } => None,
         }
     }
 }

@@ -6,58 +6,44 @@
 //!     → 32-bit P⁵ receiver → shared memory,
 //!
 //! with the Protocol OAM counters read out over the register bus at the
-//! end, exactly as a host microprocessor would.
+//! end, exactly as a host microprocessor would.  The whole assembly —
+//! idle-fill mode, line-rate clocking, the seeded error channel — comes
+//! from [`LinkBuilder`] (DESIGN.md §14).
 //!
 //! ```sh
 //! cargo run --release --example ip_over_sonet
 //! ```
 
-use p5_core::oam::{regs, MmioBus, Oam};
-use p5_core::{decap, encap, DatapathWidth, RxStage, TxStage, P5};
-use p5_sonet::{BitErrorChannel, OcPath, OcPathStage, StmLevel};
-use p5_stream::stack;
+use p5::prelude::*;
 
 fn main() {
-    let mut tx_p5 = P5::new(DatapathWidth::W32);
-    // Continuous line mode: the escape unit emits flag fill when the
-    // transmit memory runs dry, exactly as the hardware does — so the
-    // SONET framer never pads mid-HDLC-frame.
-    tx_p5.tx.escape.idle_fill = true;
-    let rx_p5 = P5::new(DatapathWidth::W32);
-    let rx_oam = rx_p5.oam.clone();
-
-    // Drive at line rate: one SPE of wire bytes per 125 µs frame — the
-    // TxStage burst is the cycles-per-frame budget, the OC path advances
-    // one frame per sweep.
-    let cycles_per_frame = StmLevel::Stm16.payload_per_frame().div_ceil(4) as u64 + 8;
     // An OC-48 path with a 1e-6 bit error rate (a poor-quality section).
-    let path = OcPath::new(StmLevel::Stm16, BitErrorChannel::new(1e-6, 1, 42));
-    let mut s = stack![
-        TxStage::with_burst(tx_p5, cycles_per_frame),
-        OcPathStage::new(path),
-        RxStage::with_burst(rx_p5, 2 * cycles_per_frame),
-    ];
+    // The builder switches the transmitter to continuous (idle-fill)
+    // mode and clocks one SPE of wire bytes per 125 µs frame, exactly as
+    // the hardware is driven.
+    let plan = FaultSpec::clean()
+        .ber(1e-6)
+        .compile(42)
+        .expect("valid fault spec");
+    let mut link = LinkBuilder::new()
+        .width(DatapathWidth::W32)
+        .sonet(StmLevel::Stm16)
+        .fault(plan)
+        .build()
+        .expect("link assembles");
 
     // Offer an IMIX of IP datagrams.
     let sizes = p5_bench::imix_sizes(300, 7);
     let mut sent = Vec::new();
     for (i, len) in sizes.iter().enumerate() {
         let d = p5_bench::ip_like_datagram(*len, i as u64);
-        encap(0x0021, &d, s.input());
+        link.send(0x0021, &d);
         sent.push(d);
     }
+    link.run(10_000).expect("link did not drain");
 
-    assert!(s.run_until_idle(10_000), "did not drain");
-    // Flush the SPE backlog plus a couple of frames of flag fill.
-    s.finish();
-
-    // Compare deliveries.
-    let mut got = Vec::new();
-    let mut frame = Vec::new();
-    while s.output().pop_frame_into(&mut frame).is_some() {
-        let (_proto, payload) = decap(&frame).expect("frames carry a protocol");
-        got.push(payload.to_vec());
-    }
+    // Compare deliveries (in order; corrupted frames never surface).
+    let got: Vec<Vec<u8>> = link.deliveries().into_iter().map(|(_, p)| p).collect();
     let mut delivered = 0usize;
     let mut gi = 0usize;
     for d in &sent {
@@ -66,7 +52,7 @@ fn main() {
             gi += 1;
         }
     }
-    for (name, st) in s.stage_stats() {
+    for (name, st) in link.stage_stats() {
         println!(
             "stage {name:>12}: cycles={} words_in={} bytes_out={} stalls={} rejects={}",
             st.cycles, st.words_in, st.bytes_out, st.stall_cycles, st.rejects
@@ -74,14 +60,14 @@ fn main() {
     }
     // Stall attribution across the stack, then the full metrics
     // snapshot of every stage (DESIGN.md §13).
-    println!("\n{}", s.stall_table());
+    println!("\n{}", link.stall_table());
     println!(
         "final metrics snapshot:\n{}",
-        p5_stream::render_table(&s.snapshots())
+        render_table(&link.snapshots())
     );
 
     // Read the OAM over the bus, as firmware would.
-    let bus = Oam::new(rx_oam);
+    let bus = link.rx_oam();
     println!(
         "OAM: rx_frames={} fcs_errors={} aborts={} giants={} runts={}",
         bus.read(regs::RX_FRAMES),
@@ -99,13 +85,7 @@ fn main() {
     // Every datagram is either delivered intact or shows up in an error
     // counter.  (A corrupted flag can merge two frames into one FCS
     // error, or split one frame into two — hence the ±few tolerance.)
-    let errors = bus.read(regs::FCS_ERRORS)
-        + bus.read(regs::ABORTS)
-        + bus.read(regs::RUNTS)
-        + bus.read(regs::GIANTS)
-        + bus.read(regs::HEADER_ERRORS)
-        + bus.read(regs::ADDR_MISMATCHES);
-    let accounted = delivered as i64 + errors as i64;
+    let accounted = delivered as i64 + link.rx_errors() as i64;
     assert!(
         (accounted - sent.len() as i64).abs() <= 4,
         "accounting hole: {accounted} vs {} sent",

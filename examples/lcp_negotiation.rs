@@ -3,126 +3,69 @@
 //! of the P⁵: the LCP automaton (RFC 1661 §4), option negotiation, and
 //! the programmable HDLC address register (RFC 2171).
 //!
+//! The two devices and the wire between them come from
+//! [`LinkBuilder::build_duplex`]; each peer runs a [`Session`] (LCP +
+//! IPCP behind one demultiplexer).  The finale bounces the link with
+//! [`Session::renegotiate`] and shows it re-open inside the RFC 1661
+//! restart budget.
+//!
 //! ```sh
 //! cargo run --release --example lcp_negotiation
 //! ```
 
-use p5_core::oam::{regs, MmioBus, Oam};
-use p5_core::{DatapathWidth, P5};
-use p5_ppp::endpoint::{Endpoint, EndpointConfig, LayerEvent};
-use p5_ppp::ipcp::IpcpNegotiator;
-use p5_ppp::lcp_negotiator::LcpNegotiator;
-use p5_ppp::mapos::MaposAddress;
-use p5_ppp::protocol::Protocol;
+use p5::ppp::endpoint::EndpointConfig;
+use p5::ppp::mapos::MaposAddress;
+use p5::ppp::session::{Session, SessionEvent};
+use p5::prelude::*;
 
-struct Peer {
-    name: &'static str,
-    p5: P5,
-    lcp: Endpoint<LcpNegotiator>,
-    ipcp: Endpoint<IpcpNegotiator>,
-    lcp_up: bool,
-}
-
-impl Peer {
-    fn new(name: &'static str, addr: MaposAddress, magic: u32, ip: [u8; 4]) -> Self {
-        let p5 = P5::new(DatapathWidth::W32);
-        // Program the MAPOS station address into the OAM, as firmware
-        // would over the register bus.
-        let mut bus = Oam::new(p5.oam.clone());
-        bus.write(regs::ADDRESS, addr.octet() as u32);
-        Self {
-            name,
-            p5,
-            // Restart period must exceed the link round-trip (a few poll
-            // ticks here), or stale retransmissions force renegotiation
-            // from Opened — the same rule real stacks follow (seconds of
-            // timer vs. milliseconds of RTT).
-            lcp: Endpoint::new(
-                LcpNegotiator::new(1500, magic),
-                EndpointConfig {
-                    restart_period: 10,
-                    ..EndpointConfig::default()
-                },
-            ),
-            ipcp: Endpoint::new(
-                IpcpNegotiator::new(ip),
-                EndpointConfig {
-                    restart_period: 10,
-                    ..EndpointConfig::default()
-                },
-            ),
-            lcp_up: false,
-        }
+/// One round: flush the session's control packets into the P⁵, clock
+/// it, and dispatch received frames back into the session.
+fn poll(name: &str, sess: &mut Session, end: &mut LinkEnd, now: u64) {
+    sess.tick(now);
+    for (proto, info) in sess.poll_output() {
+        end.submit(proto, info).unwrap();
     }
-
-    fn start(&mut self) {
-        self.lcp.open();
-        self.lcp.lower_up(); // PHY is up
-        self.ipcp.open();
+    end.run(512);
+    for frame in end.take_received() {
+        sess.receive(frame.protocol, &frame.payload);
     }
-
-    /// One round: flush control-protocol packets into the P⁵, clock it,
-    /// and dispatch received frames back into the endpoints.
-    fn poll(&mut self, now: u64) {
-        self.lcp.tick(now);
-        self.ipcp.tick(now);
-        for (proto, packet) in self.lcp.poll_output() {
-            self.p5.submit(proto.number(), packet.to_bytes()).unwrap();
-        }
-        for (proto, packet) in self.ipcp.poll_output() {
-            self.p5.submit(proto.number(), packet.to_bytes()).unwrap();
-        }
-        for ev in self.lcp.poll_layer_events() {
-            println!("[{}] LCP {:?}", self.name, ev);
-            if ev == LayerEvent::Up {
-                self.lcp_up = true;
-                self.ipcp.lower_up(); // NCP's lower layer is LCP
-            }
-            if ev == LayerEvent::Down {
-                self.lcp_up = false;
-                self.ipcp.lower_down();
-            }
-        }
-        for ev in self.ipcp.poll_layer_events() {
-            println!("[{}] IPCP {:?}", self.name, ev);
-        }
-        for _ in 0..512 {
-            self.p5.clock();
-        }
-        for frame in self.p5.take_received() {
-            match Protocol::from_number(frame.protocol) {
-                Protocol::Lcp => self.lcp.receive(&frame.payload),
-                Protocol::Ipcp => {
-                    if self.lcp_up {
-                        self.ipcp.receive(&frame.payload)
-                    }
-                }
-                other => println!("[{}] data frame {:?}", self.name, other),
-            }
-        }
+    for ev in sess.poll_events() {
+        println!("[{name}] {ev:?}");
     }
 }
 
 fn main() {
+    // Restart period must exceed the link round-trip (a few poll ticks
+    // here), or stale retransmissions force renegotiation from Opened —
+    // the same rule real stacks follow (seconds of timer vs.
+    // milliseconds of RTT).
+    let cfg = EndpointConfig {
+        restart_period: 10,
+        ..EndpointConfig::default()
+    };
+    let mut a = Session::with_config(0x1111_1111, [10, 0, 0, 1], cfg);
+    let mut b = Session::with_config(0x2222_2222, [10, 0, 0, 2], cfg);
+
+    let mut link = LinkBuilder::new()
+        .width(DatapathWidth::W32)
+        .build_duplex()
+        .expect("clean duplex link builds");
+    // Program the MAPOS station address into each OAM, as firmware
+    // would over the register bus.
     let addr = MaposAddress::unicast(1).expect("valid MAPOS port");
-    let mut a = Peer::new("A", addr, 0x1111_1111, [10, 0, 0, 1]);
-    let mut b = Peer::new("B", addr, 0x2222_2222, [10, 0, 0, 2]);
+    link.a.oam().write(regs::ADDRESS, addr.octet() as u32);
+    link.b.oam().write(regs::ADDRESS, addr.octet() as u32);
+
     a.start();
     b.start();
-
     for now in 0..200u64 {
-        a.poll(now);
-        b.poll(now);
-        // Ferry wire bytes.
-        let w = a.p5.take_wire_out();
-        b.p5.put_wire_in(&w);
-        let w = b.p5.take_wire_out();
-        a.p5.put_wire_in(&w);
-        if a.ipcp.is_opened() && b.ipcp.is_opened() {
+        poll("A", &mut a, &mut link.a, now);
+        poll("B", &mut b, &mut link.b, now);
+        link.exchange();
+        if a.is_network_up() && b.is_network_up() {
             break;
         }
     }
-
     assert!(a.lcp.is_opened() && b.lcp.is_opened(), "LCP must open");
     assert!(a.ipcp.is_opened() && b.ipcp.is_opened(), "IPCP must open");
     println!(
@@ -138,18 +81,51 @@ fn main() {
     );
 
     // Send one IP datagram over the negotiated link as proof.
-    a.p5.submit(
-        Protocol::Ipv4.number(),
-        b"ping over negotiated link".to_vec(),
-    )
-    .unwrap();
+    a.send_datagram(b"ping over negotiated link".to_vec());
+    let mut ponged = false;
     for now in 200..260 {
-        a.poll(now);
-        b.poll(now);
-        let w = a.p5.take_wire_out();
-        b.p5.put_wire_in(&w);
-        let w = b.p5.take_wire_out();
-        a.p5.put_wire_in(&w);
+        poll("A", &mut a, &mut link.a, now);
+        sess_poll_datagram(&mut b, &mut link.b, now, &mut ponged);
+        link.exchange();
     }
-    println!("done: LCP negotiated, IPCP assigned addresses, data flowed.");
+    assert!(ponged, "datagram must arrive over the negotiated link");
+
+    // A link-quality trip (e.g. an LQR policy, DESIGN.md §14) bounces
+    // the lower layer: LCP renegotiates and must re-open within the
+    // restart budget.
+    let budget = 2 * a.lcp.config().restart_budget_ticks();
+    println!("\nrenegotiating (budget {budget} ticks)...");
+    a.renegotiate();
+    let mut reopened = None;
+    for now in 300..300 + budget {
+        poll("A", &mut a, &mut link.a, now);
+        poll("B", &mut b, &mut link.b, now);
+        link.exchange();
+        if a.is_network_up() && b.is_network_up() {
+            reopened = Some(now - 300);
+            break;
+        }
+    }
+    let ticks = reopened.expect("renegotiation must re-open the link");
+    println!("done: LCP negotiated, data flowed, renegotiated in {ticks} ticks.");
+}
+
+/// Poll B while watching for the proof datagram.
+fn sess_poll_datagram(sess: &mut Session, end: &mut LinkEnd, now: u64, seen: &mut bool) {
+    sess.tick(now);
+    for (proto, info) in sess.poll_output() {
+        end.submit(proto, info).unwrap();
+    }
+    end.run(512);
+    for frame in end.take_received() {
+        sess.receive(frame.protocol, &frame.payload);
+    }
+    for ev in sess.poll_events() {
+        if let SessionEvent::Datagram(d) = &ev {
+            println!("[B] got datagram: {:?}", String::from_utf8_lossy(d));
+            *seen = true;
+        } else {
+            println!("[B] {ev:?}");
+        }
+    }
 }

@@ -18,16 +18,18 @@
 //! cargo run --release --example mapos_switch
 //! ```
 
-use p5_core::oam::{regs, MmioBus, Oam};
-use p5_core::{DatapathWidth, WireBuf, WordStream, P5};
-use p5_hdlc::{DeframerConfig, DeframerStage, FramerConfig, FramerStage};
-use p5_ppp::mapos::MaposAddress;
+use p5::hdlc::{DeframerStage, FramerConfig, FramerStage};
+use p5::ppp::mapos::MaposAddress;
+use p5::prelude::*;
 
 /// The switch: deframes each ingress stream, reads the address octet,
 /// re-frames onto the egress port(s).  (A real MAPOS switch does this
 /// in hardware with the same P⁵-style datapath per port.)  Each port is
 /// a pair of stream stages — the same `DeframerStage`/`FramerStage` the
 /// golden-model test harnesses compose — joined by the switching fabric.
+/// A three-port switch is not a point-to-point link, so this is the one
+/// example that assembles stages by hand: the documented escape hatch
+/// below `LinkBuilder` (DESIGN.md §14).
 struct Switch {
     ports: Vec<SwitchPort>,
 }

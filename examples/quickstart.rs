@@ -1,58 +1,67 @@
 //! Quickstart: encode one IP datagram into a PPP frame, push it through
 //! the cycle-accurate 32-bit P⁵, and decode it on the other side — the
-//! two devices joined by the stream layer's `Chain` combinator.
+//! whole link assembled by [`LinkBuilder`], the paved road every
+//! example, test and bench binary uses.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use p5_core::{
-    decap, encap, render_table, Chain, DatapathWidth, Observable, RxStage, StreamStage, TxStage,
-    WireBuf, WordStream, P5,
-};
+use p5::prelude::*;
 
 fn main() {
-    // Two P⁵ devices wired back to back (Figure 2, both directions),
-    // composed as transmit-stage → receive-stage.  `Chain` is static, so
-    // the devices stay reachable for the counter read-out at the end.
-    let left = P5::new(DatapathWidth::W32);
-    let right = P5::new(DatapathWidth::W32);
-    let mut link = Chain::new(TxStage::new(left), RxStage::new(right));
+    // Two P⁵ devices wired back to back (Figure 2, both directions):
+    // transmit-stage → receive-stage, with the OAM handles kept
+    // reachable for the counter read-out at the end.
+    let mut link = LinkBuilder::new()
+        .width(DatapathWidth::W32)
+        .build()
+        .expect("a clean link always builds");
 
     // A datagram with bytes that need escaping (the paper's example
     // sequence 31 33 7E 96 is in there).
     let datagram = vec![0x31, 0x33, 0x7E, 0x96, 0x7D, 0x00, 0x42];
     println!("datagram:   {:02X?}", datagram);
 
-    let mut input = WireBuf::new();
-    let mut output = WireBuf::new();
-    encap(0x0021, &datagram, &mut input);
+    link.send(0x0021, &datagram);
+    link.run(500).expect("link must drain");
 
-    // Offer the frame and sweep until both devices drain; wire bytes
-    // shuttle across the chain's internal boundary buffer.
-    let mut guard = 0;
-    while !(input.is_empty() && link.is_idle()) {
-        link.offer(&mut input);
-        link.drain(&mut output);
-        guard += 1;
-        assert!(guard < 500, "link did not drain");
-    }
-
-    let (frame, _meta) = output.pop_frame().expect("exactly one frame must arrive");
-    let (protocol, payload) = decap(&frame).expect("frames carry a protocol");
+    let deliveries = link.deliveries();
+    let (protocol, payload) = deliveries.first().expect("exactly one frame must arrive");
     println!("received:   protocol={protocol:#06X} payload={payload:02X?}");
-    assert_eq!(payload, &datagram[..]);
-    assert_eq!(protocol, 0x0021);
+    assert_eq!(payload, &datagram);
+    assert_eq!(*protocol, 0x0021);
     println!(
-        "counters:   ok={} fcs_err={} (escapes inserted on tx: {})",
-        link.second.device().rx_counters().frames_ok,
-        link.second.device().rx_counters().fcs_errors,
-        link.first.device().tx.escape.escapes_inserted,
+        "counters:   rx_ok={} fcs_err={} tx_frames={}",
+        link.rx_oam().read(regs::RX_FRAMES),
+        link.rx_oam().read(regs::FCS_ERRORS),
+        link.tx_oam().read(regs::TX_FRAMES),
     );
     println!("round trip OK — flag 7E was stuffed to 7D 5E on the wire and restored.");
 
     // The same counters, as the observability layer exports them: one
     // Snapshot per stage (see DESIGN.md §13).
-    let snaps = [link.first.snapshot(), link.second.snapshot()];
-    println!("\nfinal metrics snapshot:\n{}", render_table(&snaps));
+    println!(
+        "\nfinal metrics snapshot:\n{}",
+        render_table(&link.snapshots())
+    );
+
+    // Chaos quickstart: the same link, seeded bit errors on the wire.
+    // Nothing corrupt is ever delivered — broken frames land in the
+    // error counters instead (DESIGN.md §14).
+    let plan = FaultSpec::clean().ber(1e-4).compile(7).expect("valid spec");
+    let mut noisy = LinkBuilder::new().fault(plan).build().expect("valid plan");
+    for i in 0..50u8 {
+        noisy.send(0x0021, &[i; 64]);
+    }
+    noisy.run(5_000).expect("noisy link still drains");
+    let ok = noisy.deliveries().len() as u64;
+    println!(
+        "\nchaos run:  sent=50 delivered={} counted-drops={}",
+        ok,
+        noisy.rx_errors()
+    );
+    // One-sided accounting: a corrupted flag can merge two frames into
+    // one FCS error, so the sum can undershoot by a few (DESIGN.md §14).
+    assert!(ok + noisy.rx_errors() >= 50 - 4);
 }

@@ -39,4 +39,10 @@ echo "==> trace smoke + overhead gate (results/BENCH_trace.json)"
 cargo run -q --release --offline -p p5-bench --bin trace_report -- \
     --smoke --max-overhead-pct 3
 
+echo "==> fault smoke + recovery gates (results/BENCH_fault.json)"
+# Chaos gates: zero corrupt deliveries, one-sided drop accounting on
+# every injection scenario, re-delineation within the documented bound,
+# and renegotiation within the RFC 1661 restart budget.
+cargo run -q --release --offline -p p5-bench --bin fault_report -- --smoke
+
 echo "==> all checks passed"

@@ -15,18 +15,27 @@
 //!   datapaths, escape units, OAM);
 //! * [`fpga`] — netlist IR, 4-LUT technology mapper, Virtex/Virtex-II
 //!   device library, STA;
-//! * [`rtl`] — the P⁵ modules as gate-level netlists (Tables 1–3).
+//! * [`rtl`] — the P⁵ modules as gate-level netlists (Tables 1–3);
+//! * [`fault`] — deterministic, seedable fault injection (BER, bursts,
+//!   slips, aborts, stall storms);
+//! * [`link`] — [`link::LinkBuilder`], the one way to assemble a link.
+//!
+//! [`prelude`] re-exports the common assembly surface in one `use`.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and the
 //! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured.
 
 pub use p5_core as core;
 pub use p5_crc as crc;
+pub use p5_fault as fault;
 pub use p5_fpga as fpga;
 pub use p5_hdlc as hdlc;
+pub use p5_link as link;
 pub use p5_ppp as ppp;
 pub use p5_rtl as rtl;
 pub use p5_sonet as sonet;
+
+pub mod prelude;
 
 /// The line clock (MHz) both datapath widths must meet:
 /// 625 Mbps / 8 = 2.5 Gbps / 32 = 78.125 MHz.

@@ -1,0 +1,28 @@
+//! The one `use` line for assembling and driving links.
+//!
+//! ```
+//! use p5::prelude::*;
+//!
+//! let mut link = LinkBuilder::new().width(DatapathWidth::W32).build().unwrap();
+//! link.send(0x0021, b"datagram");
+//! link.run(2_000).unwrap();
+//! assert_eq!(link.deliveries().len(), 1);
+//! ```
+//!
+//! Everything here is re-exported from the workspace crates; reach into
+//! [`crate::core`], [`crate::sonet`] etc. for the full per-layer APIs,
+//! and use the [`stack!`] macro directly when a custom topology is
+//! needed (the documented low-level escape hatch).
+
+pub use p5_core::oam::{regs, MmioBus, Oam, OamHandle};
+pub use p5_core::{decap, encap, DatapathWidth, ReceivedFrame, RxStage, TxQueueFull, TxStage, P5};
+pub use p5_fault::{
+    BurstModel, FaultError, FaultKind, FaultPlan, FaultSpec, FaultStage, FaultStats, StallStorm,
+};
+pub use p5_hdlc::{DeframerConfig, FcsMode};
+pub use p5_link::{DuplexLink, Link, LinkBuilder, LinkEnd, LinkError};
+pub use p5_sonet::{BitErrorChannel, OcPath, OcPathStage, StmLevel};
+pub use p5_stream::{
+    render_table, stack, Chain, Observable, Pipe, Poll, SharedRecorder, Snapshot, Stack,
+    StageStats, StreamStage, Throttle, WireBuf, WordStream,
+};

@@ -1,63 +1,34 @@
 //! Full-stack integration: IP datagrams through the cycle-accurate P⁵,
 //! over STM-16/STM-4 with overheads, scrambling and injected bit
 //! errors, back up through the receiving P⁵ — the paper's deployment
-//! scenario end to end.
+//! scenario end to end, assembled by [`LinkBuilder`].
 
-use p5_core::oam::{regs, MmioBus, Oam};
-use p5_core::{decap, encap, DatapathWidth, RxStage, TxStage, P5};
-use p5_sonet::{BitErrorChannel, OcPath, OcPathStage, StmLevel};
-use p5_stream::stack;
+use p5::prelude::*;
 
-/// Push `datagrams` through P⁵ → OC path → P⁵ as one composed `Stack`;
-/// returns (delivered payloads, receiver error total).
+/// Push `datagrams` through P⁵ → OC path → P⁵ as one [`Link`]; returns
+/// (delivered payloads, receiver error total).
 ///
-/// The transmitter runs in continuous (idle-fill) mode and is clocked
-/// at exactly the line rate — one SPE's worth of wire bytes per 125 µs
-/// frame (`TxStage` burst = cycles per frame, `OcPathStage` advances one
-/// frame per sweep) — as the real hardware is.  This guarantees the
-/// SONET framer never has to invent fill octets in the middle of an
-/// HDLC frame.
+/// The builder clocks the transmitter in continuous (idle-fill) mode at
+/// exactly the line rate — one SPE's worth of wire bytes per 125 µs
+/// frame — as the real hardware is, so the SONET framer never has to
+/// invent fill octets in the middle of an HDLC frame.
 fn run_stack(
     width: DatapathWidth,
     level: StmLevel,
-    channel: BitErrorChannel,
+    fault: Option<FaultPlan>,
     datagrams: &[Vec<u8>],
 ) -> (Vec<Vec<u8>>, u64) {
-    let mut tx = P5::new(width);
-    tx.tx.escape.idle_fill = true; // continuous line: flags when idle
-    let rx = P5::new(width);
-    let rx_oam = rx.oam.clone();
-    // A few surplus cycles per frame keep the SPE queue primed (the
-    // pipeline-fill cycles of the first frame would otherwise leave the
-    // framer short mid-HDLC-frame).
-    let cycles_per_frame = level.payload_per_frame().div_ceil(width.bytes()) as u64 + 8;
-    let mut s = stack![
-        TxStage::with_burst(tx, cycles_per_frame),
-        OcPathStage::new(OcPath::new(level, channel)),
-        RxStage::with_burst(rx, 2 * cycles_per_frame),
-    ];
+    let mut builder = LinkBuilder::new().width(width).sonet(level);
+    if let Some(plan) = fault {
+        builder = builder.fault(plan);
+    }
+    let mut link = builder.build().expect("link assembles");
     for d in datagrams {
-        encap(0x0021, d, s.input());
+        link.send(0x0021, d);
     }
-    assert!(s.run_until_idle(5_000), "stack did not drain");
-    // Flush: the OC path's `finish` drains the SPE backlog plus two
-    // frames of flag fill; the interleaved sweeps carry it to the rx.
-    s.finish();
-    let mut out = Vec::new();
-    let mut frame = Vec::new();
-    while s.output().pop_frame_into(&mut frame).is_some() {
-        let (_proto, payload) = decap(&frame).expect("rx frames carry a protocol");
-        out.push(payload.to_vec());
-    }
-    let bus = Oam::new(rx_oam);
-    let errors = u64::from(
-        bus.read(regs::FCS_ERRORS)
-            + bus.read(regs::ABORTS)
-            + bus.read(regs::RUNTS)
-            + bus.read(regs::GIANTS)
-            + bus.read(regs::HEADER_ERRORS),
-    );
-    (out, errors)
+    link.run(5_000).expect("stack did not drain");
+    let out = link.deliveries().into_iter().map(|(_, p)| p).collect();
+    (out, link.rx_errors())
 }
 
 #[test]
@@ -65,12 +36,7 @@ fn clean_channel_delivers_everything_w32() {
     let datagrams: Vec<Vec<u8>> = (0..100u8)
         .map(|i| vec![i; 40 + 11 * i as usize % 1400])
         .collect();
-    let (got, errors) = run_stack(
-        DatapathWidth::W32,
-        StmLevel::Stm16,
-        BitErrorChannel::clean(),
-        &datagrams,
-    );
+    let (got, errors) = run_stack(DatapathWidth::W32, StmLevel::Stm16, None, &datagrams);
     assert_eq!(errors, 0);
     assert_eq!(got, datagrams);
 }
@@ -78,12 +44,7 @@ fn clean_channel_delivers_everything_w32() {
 #[test]
 fn clean_channel_delivers_everything_w8_on_stm4() {
     let datagrams: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i ^ 0x7E; 60 + i as usize]).collect();
-    let (got, errors) = run_stack(
-        DatapathWidth::W8,
-        StmLevel::Stm4,
-        BitErrorChannel::clean(),
-        &datagrams,
-    );
+    let (got, errors) = run_stack(DatapathWidth::W8, StmLevel::Stm4, None, &datagrams);
     assert_eq!(errors, 0);
     assert_eq!(got, datagrams);
 }
@@ -103,12 +64,7 @@ fn adversarial_payloads_survive_the_stack() {
             .collect();
         datagrams.push(d);
     }
-    let (got, errors) = run_stack(
-        DatapathWidth::W32,
-        StmLevel::Stm16,
-        BitErrorChannel::clean(),
-        &datagrams,
-    );
+    let (got, errors) = run_stack(DatapathWidth::W32, StmLevel::Stm16, None, &datagrams);
     assert_eq!(errors, 0);
     assert_eq!(got, datagrams);
 }
@@ -122,12 +78,11 @@ fn bit_errors_are_detected_never_delivered_corrupt() {
                 .collect()
         })
         .collect();
-    let (got, errors) = run_stack(
-        DatapathWidth::W32,
-        StmLevel::Stm16,
-        BitErrorChannel::new(2e-6, 1, 77),
-        &datagrams,
-    );
+    let plan = FaultSpec::clean()
+        .ber(2e-6)
+        .compile(77)
+        .expect("valid spec");
+    let (got, errors) = run_stack(DatapathWidth::W32, StmLevel::Stm16, Some(plan), &datagrams);
     assert!(errors > 0, "at 2e-6 BER over ~20kB some frames must break");
     // Every delivered payload must be byte-identical to one that was
     // sent (in order): FCS-32 caught all corruption.
@@ -143,7 +98,8 @@ fn bit_errors_are_detected_never_delivered_corrupt() {
 
 #[test]
 fn oam_counters_match_the_behaviour() {
-    use p5_core::oam::{regs, MmioBus, Oam};
+    // Device-level (no stack): the batched wire hand-off between two
+    // bare P⁵s, checked against the OAM registers.
     let datagrams: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 64]).collect();
     let mut tx = P5::new(DatapathWidth::W32);
     let mut rx = P5::new(DatapathWidth::W32);

@@ -1,21 +1,22 @@
 //! LCP/IPCP negotiation over the real (simulated) link, including a
-//! lossy link that forces the RFC 1661 restart machinery to work.
+//! lossy link that forces the RFC 1661 restart machinery to work.  The
+//! devices and the (optionally impaired) wire come from
+//! [`LinkBuilder::build_duplex`]; loss is a seeded [`FaultSpec`]
+//! transfer-loss plan rather than an ad-hoc RNG.
 
-use p5_core::{decap, encap, DatapathWidth, WireBuf, WordStream, P5};
-use p5_ppp::endpoint::{Endpoint, EndpointConfig, LayerEvent};
-use p5_ppp::ipcp::IpcpNegotiator;
-use p5_ppp::lcp_negotiator::LcpNegotiator;
-use p5_ppp::protocol::Protocol;
-use p5_ppp::EndpointStage;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use p5::ppp::endpoint::{Endpoint, EndpointConfig, LayerEvent};
+use p5::ppp::ipcp::IpcpNegotiator;
+use p5::ppp::lcp_negotiator::LcpNegotiator;
+use p5::ppp::protocol::Protocol;
+use p5::ppp::EndpointStage;
+use p5::prelude::*;
 
 /// A peer built on the stream layer: each control protocol is an
 /// [`EndpointStage`] fed from / drained to tagged `[proto, packet]`
-/// frame buffers, with the P⁵ device in between.  The stage drives its
-/// own restart clock (one tick per drain), so `poll` takes no time
-/// argument.
+/// frame buffers, with one [`DuplexLink`] end in between.  The stage
+/// drives its own restart clock (one tick per drain), so `poll` takes
+/// no time argument.
 struct Peer {
-    p5: P5,
     lcp: EndpointStage<LcpNegotiator>,
     ipcp: EndpointStage<IpcpNegotiator>,
     ctl: WireBuf,
@@ -35,7 +36,6 @@ impl Peer {
         lcp.lower_up();
         ipcp.open();
         Self {
-            p5: P5::new(DatapathWidth::W32),
             lcp: EndpointStage::new(lcp),
             ipcp: EndpointStage::new(ipcp),
             ctl: WireBuf::new(),
@@ -43,7 +43,7 @@ impl Peer {
         }
     }
 
-    fn poll(&mut self) {
+    fn poll(&mut self, end: &mut LinkEnd) {
         // Drain both endpoints' control traffic into one tagged stream,
         // then decap into the transmit queue.
         self.lcp.drain(&mut self.ctl);
@@ -51,7 +51,7 @@ impl Peer {
         let mut frame = Vec::new();
         while self.ctl.pop_frame_into(&mut frame).is_some() {
             let (proto, packet) = decap(&frame).expect("endpoint frames carry a protocol");
-            self.p5.submit(proto, packet.to_vec()).unwrap();
+            end.submit(proto, packet.to_vec()).unwrap();
         }
         for ev in self.lcp.endpoint_mut().poll_layer_events() {
             match ev {
@@ -66,12 +66,12 @@ impl Peer {
                 _ => {}
             }
         }
-        self.p5.run(512);
+        end.run(512);
         // Route received frames to the matching endpoint stage (the
         // stage is not a demux: it rejects foreign protocols).
         let mut to_lcp = WireBuf::new();
         let mut to_ipcp = WireBuf::new();
-        for f in self.p5.take_received() {
+        for f in end.take_received() {
             match Protocol::from_number(f.protocol) {
                 Protocol::Lcp => encap(f.protocol, &f.payload, &mut to_lcp),
                 Protocol::Ipcp if self.lcp_up => encap(f.protocol, &f.payload, &mut to_ipcp),
@@ -91,26 +91,15 @@ impl Peer {
     }
 }
 
-fn ferry(a: &mut Peer, b: &mut Peer, lose: &mut impl FnMut() -> bool) {
-    let w = a.p5.take_wire_out();
-    if !lose() {
-        b.p5.put_wire_in(&w);
-    }
-    let w = b.p5.take_wire_out();
-    if !lose() {
-        a.p5.put_wire_in(&w);
-    }
-}
-
 #[test]
 fn clean_link_brings_ipcp_up() {
     let mut a = Peer::new(0xAAAA_0001, [10, 9, 0, 1]);
     let mut b = Peer::new(0xBBBB_0002, [10, 9, 0, 2]);
-    let mut never = || false;
+    let mut link = LinkBuilder::new().build_duplex().unwrap();
     for _ in 0..300 {
-        a.poll();
-        b.poll();
-        ferry(&mut a, &mut b, &mut never);
+        a.poll(&mut link.a);
+        b.poll(&mut link.b);
+        link.exchange();
         if a.ipcp_opened() && b.ipcp_opened() {
             break;
         }
@@ -131,18 +120,21 @@ fn clean_link_brings_ipcp_up() {
 fn lossy_link_converges_via_retransmission() {
     let mut a = Peer::new(0xAAAA_0001, [10, 9, 0, 1]);
     let mut b = Peer::new(0xBBBB_0002, [10, 9, 0, 2]);
-    let mut rng = StdRng::seed_from_u64(5);
-    // 30% of wire transfers vanish early on, then the link cleans up.
-    let mut step = 0u32;
-    let mut lossy = move || {
-        step += 1;
-        step < 600 && rng.gen_bool(0.30)
-    };
+    // 30% of wire transfers vanish early on, then the link cleans up —
+    // the deterministic outage-then-recovery scenario.
+    let plan = FaultSpec::clean()
+        .transfer_loss(0.30)
+        .compile(5)
+        .expect("valid spec");
+    let mut link = LinkBuilder::new().fault(plan).build_duplex().unwrap();
     let mut opened_at = None;
     for now in 0..4000u64 {
-        a.poll();
-        b.poll();
-        ferry(&mut a, &mut b, &mut lossy);
+        a.poll(&mut link.a);
+        b.poll(&mut link.b);
+        link.exchange();
+        if now == 300 {
+            link.clear_fault();
+        }
         if a.ipcp_opened() && b.ipcp_opened() {
             opened_at = Some(now);
             break;
@@ -150,11 +142,12 @@ fn lossy_link_converges_via_retransmission() {
     }
     assert!(
         opened_at.is_some(),
-        "negotiation must survive 30% early loss (a {:?}/{:?}, b {:?}/{:?})",
+        "negotiation must survive 30% early loss (a {:?}/{:?}, b {:?}/{:?}, lost {})",
         a.lcp.endpoint().state(),
         a.ipcp.endpoint().state(),
         b.lcp.endpoint().state(),
-        b.ipcp.endpoint().state()
+        b.ipcp.endpoint().state(),
+        link.fault_stats().transfers_lost,
     );
 }
 
@@ -162,11 +155,11 @@ fn lossy_link_converges_via_retransmission() {
 fn graceful_close_propagates() {
     let mut a = Peer::new(1, [10, 0, 0, 1]);
     let mut b = Peer::new(2, [10, 0, 0, 2]);
-    let mut never = || false;
+    let mut link = LinkBuilder::new().build_duplex().unwrap();
     for _ in 0..300 {
-        a.poll();
-        b.poll();
-        ferry(&mut a, &mut b, &mut never);
+        a.poll(&mut link.a);
+        b.poll(&mut link.b);
+        link.exchange();
         if a.ipcp_opened() && b.ipcp_opened() {
             break;
         }
@@ -174,9 +167,9 @@ fn graceful_close_propagates() {
     assert!(a.lcp_opened());
     a.lcp.endpoint_mut().close();
     for _ in 0..300 {
-        a.poll();
-        b.poll();
-        ferry(&mut a, &mut b, &mut never);
+        a.poll(&mut link.a);
+        b.poll(&mut link.b);
+        link.exchange();
     }
     assert!(!a.lcp_opened());
     assert!(!b.lcp_opened());

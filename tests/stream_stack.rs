@@ -3,10 +3,13 @@
 //! reorder a frame; the golden-model framer/deframer stages preserve
 //! stuff∘destuff = id through a throttled stack; and the device's
 //! batched wire ingest is byte-for-byte equivalent to per-byte delivery.
+//!
+//! These are the stream-layer unit tests proper: they exercise custom
+//! throttled topologies below `LinkBuilder`, so they use the raw
+//! `stack!` escape hatch by design (DESIGN.md §14).
 
-use p5_core::{DatapathWidth, P5};
-use p5_hdlc::{DeframerConfig, DeframerStage, FramerConfig, FramerStage};
-use p5_stream::{stack, Pipe, Throttle};
+use p5::hdlc::{DeframerStage, FramerConfig, FramerStage};
+use p5::prelude::*;
 use proptest::prelude::*;
 
 fn raw_pattern() -> impl Strategy<Value = Vec<bool>> {
