@@ -17,7 +17,7 @@
 //!   chunked across `offer` calls.  Every RNG draw is a function of the
 //!   byte stream and prior draws only, so soak failures replay exactly.
 //! * **Boundedness** — stall storms are finite ([`StallStorm::max_len`])
-//!   and [`FaultStage::finish`] releases any storm in progress, so a
+//!   and `FaultStage::finish` releases any storm in progress, so a
 //!   faulted `Stack` can always drain; chaos never wedges the harness.
 //!
 //! See DESIGN.md §14 for the fault model and the recovery invariants the

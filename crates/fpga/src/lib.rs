@@ -16,7 +16,7 @@
 //! * [`compiled`] — the compile-then-run engine: the netlist lowered
 //!   once to a dense instruction tape and evaluated bit-parallel, 64
 //!   independent stimulus lanes per pass (one lane per bit of a `u64`);
-//! * [`map`] — cut-based technology mapping into 4-input LUTs (Virtex
+//! * [`mod@map`] — cut-based technology mapping into 4-input LUTs (Virtex
 //!   and Virtex-II are 4-LUT architectures), with a depth-oriented mode
 //!   (synthesis estimate, "pre-layout") and an area-recovery mode
 //!   ("post-layout");
@@ -59,6 +59,7 @@ pub mod map;
 pub mod netlist;
 pub mod report;
 pub mod sim;
+pub mod text;
 pub mod timing;
 pub mod verilog;
 
@@ -71,5 +72,6 @@ pub use map::{map, MapMode, MappedNetlist};
 pub use netlist::{Netlist, NodeKind, Sig};
 pub use report::{synthesize, SynthReport};
 pub use sim::{InPort, OutPort, Sim};
+pub use text::{parse_modules, to_text, TextError};
 pub use timing::{devices, Device, TimingReport};
 pub use verilog::to_verilog;

@@ -50,6 +50,25 @@ impl MappedNetlist {
     pub fn lut_count(&self) -> usize {
         self.luts.len()
     }
+
+    /// LUT utilisation of this mapping on `dev`, clamped to 1.0 — the
+    /// congestion multiplier of the post-layout net model.
+    pub fn utilisation(&self, dev: &crate::timing::Device) -> f64 {
+        (self.lut_count() as f64 / dev.luts as f64).min(1.0)
+    }
+
+    /// Delay of the net driven by `sig` on `dev`: the pre-layout flat
+    /// estimate, or the post-layout base + log₂-fanout + congestion
+    /// model priced with this mapping's fanout and utilisation.
+    pub fn net_delay(&self, dev: &crate::timing::Device, sig: Sig, post_layout: bool) -> f64 {
+        if !post_layout {
+            return dev.t_net_pre;
+        }
+        let fo = self.fanout.get(&sig).copied().unwrap_or(1);
+        dev.t_net_base
+            + dev.t_net_fanout * ((1 + fo) as f64).log2()
+            + dev.t_congestion * self.utilisation(dev)
+    }
 }
 
 #[derive(Clone, Debug)]

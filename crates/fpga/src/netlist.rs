@@ -43,6 +43,15 @@ pub struct Dff {
     pub sr: Option<Sig>,
 }
 
+impl Dff {
+    /// The value this register is *guaranteed* to hold right after a
+    /// synchronous reset pulse: `Some(init)` when an SR pin exists,
+    /// `None` when the register rides through reset with stale state.
+    pub fn reset_value(&self) -> Option<bool> {
+        self.sr.map(|_| self.init)
+    }
+}
+
 /// A named bus of signals.
 #[derive(Debug, Clone)]
 pub struct Bus {
@@ -220,6 +229,23 @@ impl Netlist {
 
     pub fn ff_count(&self) -> usize {
         self.dffs.len()
+    }
+
+    /// Does any flip-flop expose a synchronous set/reset pin?  Modules
+    /// with an SR domain are resettable at runtime; modules without one
+    /// rely purely on FPGA configuration (power-on) init values.
+    pub fn has_reset_domain(&self) -> bool {
+        self.dffs.iter().any(|d| d.sr.is_some())
+    }
+
+    /// The flip-flop index behind an `FfOutput` signal, bounds-checked.
+    pub fn dff_of(&self, sig: Sig) -> Option<usize> {
+        match self.nodes.get(sig as usize) {
+            Some(NodeKind::FfOutput(idx)) if (*idx as usize) < self.dffs.len() => {
+                Some(*idx as usize)
+            }
+            _ => None,
+        }
     }
 
     /// Look up an input bus by name.

@@ -1,0 +1,418 @@
+//! A plain-text netlist interchange format (`.p5n`).
+//!
+//! The builders construct netlists in process, but the lint fixture
+//! corpus and the `p5lint FILE` mode need netlists *as data* — including
+//! deliberately malformed ones (out-of-range signals, unbound D inputs,
+//! planted combinational loops) that [`crate::Netlist::validate`] would
+//! reject.  So this format serialises the IR verbatim, node indices and
+//! all, and the parser checks only *syntax*: whatever wiring the file
+//! describes is reproduced exactly, leaving semantic judgement to
+//! `p5-lint`.
+//!
+//! ```text
+//! p5netlist v1
+//! module "adder"
+//! n0 input
+//! n1 const 1
+//! n2 and n0 n1
+//! n3 ff 0
+//! dff 0 q=n3 d=n2 en=- sr=- init=0
+//! in "x" n0
+//! out "s" n2 n3
+//! end
+//! ```
+//!
+//! One file may hold several `module … end` blocks (a pipeline chain for
+//! composition analysis); [`parse_modules`] returns them in file order.
+
+use std::fmt::Write as _;
+
+use crate::netlist::{Bus, Dff, Netlist, NodeKind};
+
+/// Why a `.p5n` file was rejected (syntax only — malformed *netlists*
+/// parse fine; malformed *text* does not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TextError {
+    /// The `p5netlist v1` header line is missing or wrong.
+    BadHeader { line: usize },
+    /// A line's first token is not a known directive.
+    UnknownDirective { line: usize, token: String },
+    /// A directive has the wrong number or shape of operands.
+    BadOperand { line: usize, detail: String },
+    /// Node lines must be dense and in order: `n0`, `n1`, ….
+    NodeOutOfOrder { line: usize, expected: usize },
+    /// A `module` block was not closed by `end`.
+    UnterminatedModule { line: usize },
+    /// Content outside any `module … end` block.
+    OutsideModule { line: usize },
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextError::BadHeader { line } => {
+                write!(f, "line {line}: expected `p5netlist v1` header")
+            }
+            TextError::UnknownDirective { line, token } => {
+                write!(f, "line {line}: unknown directive `{token}`")
+            }
+            TextError::BadOperand { line, detail } => write!(f, "line {line}: {detail}"),
+            TextError::NodeOutOfOrder { line, expected } => {
+                write!(
+                    f,
+                    "line {line}: node lines must be dense, expected n{expected}"
+                )
+            }
+            TextError::UnterminatedModule { line } => {
+                write!(f, "line {line}: module block never closed by `end`")
+            }
+            TextError::OutsideModule { line } => {
+                write!(f, "line {line}: directive outside a `module` block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Serialise one netlist as a `module … end` block (no file header).
+fn write_module(out: &mut String, n: &Netlist) {
+    let _ = writeln!(out, "module {}", quote(&n.name));
+    for (i, kind) in n.nodes.iter().enumerate() {
+        let _ = match kind {
+            NodeKind::Input => writeln!(out, "n{i} input"),
+            NodeKind::Const(v) => writeln!(out, "n{i} const {}", u8::from(*v)),
+            NodeKind::Not(a) => writeln!(out, "n{i} not n{a}"),
+            NodeKind::And(a, b) => writeln!(out, "n{i} and n{a} n{b}"),
+            NodeKind::Or(a, b) => writeln!(out, "n{i} or n{a} n{b}"),
+            NodeKind::Xor(a, b) => writeln!(out, "n{i} xor n{a} n{b}"),
+            NodeKind::FfOutput(d) => writeln!(out, "n{i} ff {d}"),
+        };
+    }
+    let opt = |s: Option<u32>| s.map_or("-".to_string(), |v| format!("n{v}"));
+    for (i, d) in n.dffs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "dff {i} q=n{} d={} en={} sr={} init={}",
+            d.q,
+            opt(d.d),
+            opt(d.en),
+            opt(d.sr),
+            u8::from(d.init)
+        );
+    }
+    for (dir, buses) in [("in", &n.inputs), ("out", &n.outputs)] {
+        for b in buses.iter() {
+            let sigs: Vec<String> = b.sigs.iter().map(|s| format!("n{s}")).collect();
+            let _ = writeln!(out, "{dir} {} {}", quote(&b.name), sigs.join(" "));
+        }
+    }
+    out.push_str("end\n");
+}
+
+/// Serialise netlists into one `.p5n` file.
+pub fn to_text(modules: &[&Netlist]) -> String {
+    let mut out = String::from("p5netlist v1\n");
+    for n in modules {
+        write_module(&mut out, n);
+    }
+    out
+}
+
+/// Parse a `.p5n` file into its modules, in file order.
+pub fn parse_modules(text: &str) -> Result<Vec<Netlist>, TextError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let Some((hline, header)) = lines.next() else {
+        return Err(TextError::BadHeader { line: 1 });
+    };
+    if header.trim() != "p5netlist v1" {
+        return Err(TextError::BadHeader { line: hline });
+    }
+    let mut modules = Vec::new();
+    let mut current: Option<Netlist> = None;
+    let mut open_line = 0usize;
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, rest) = split_token(line);
+        if head == "module" {
+            if current.is_some() {
+                return Err(TextError::UnterminatedModule { line: open_line });
+            }
+            let (name, tail) = parse_quoted(rest, lineno)?;
+            expect_empty(tail, lineno)?;
+            current = Some(Netlist::new(name));
+            open_line = lineno;
+            continue;
+        }
+        let Some(n) = current.as_mut() else {
+            return Err(TextError::OutsideModule { line: lineno });
+        };
+        if head == "end" {
+            expect_empty(rest, lineno)?;
+            modules.push(current.take().expect("current set above"));
+        } else if let Some(idx) = head.strip_prefix('n').and_then(|s| s.parse::<usize>().ok()) {
+            if idx != n.nodes.len() {
+                return Err(TextError::NodeOutOfOrder {
+                    line: lineno,
+                    expected: n.nodes.len(),
+                });
+            }
+            n.nodes.push(parse_node(rest, lineno)?);
+        } else if head == "dff" {
+            n.dffs.push(parse_dff(rest, lineno)?);
+        } else if head == "in" || head == "out" {
+            let (name, tail) = parse_quoted(rest, lineno)?;
+            let mut sigs = Vec::new();
+            for tok in tail.split_whitespace() {
+                sigs.push(parse_sig(tok, lineno)?);
+            }
+            let bus = Bus { name, sigs };
+            if head == "in" {
+                n.inputs.push(bus);
+            } else {
+                n.outputs.push(bus);
+            }
+        } else {
+            return Err(TextError::UnknownDirective {
+                line: lineno,
+                token: head.to_string(),
+            });
+        }
+    }
+    if current.is_some() {
+        return Err(TextError::UnterminatedModule { line: open_line });
+    }
+    Ok(modules)
+}
+
+fn split_token(s: &str) -> (&str, &str) {
+    match s.split_once(char::is_whitespace) {
+        Some((a, b)) => (a, b.trim_start()),
+        None => (s, ""),
+    }
+}
+
+fn expect_empty(rest: &str, line: usize) -> Result<(), TextError> {
+    if rest.trim().is_empty() {
+        Ok(())
+    } else {
+        Err(TextError::BadOperand {
+            line,
+            detail: format!("unexpected trailing `{}`", rest.trim()),
+        })
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse a leading quoted string, returning it and the remaining text.
+fn parse_quoted(s: &str, line: usize) -> Result<(String, &str), TextError> {
+    let bad = |detail: &str| TextError::BadOperand {
+        line,
+        detail: detail.to_string(),
+    };
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(bad("expected a quoted name")),
+    }
+    let mut out = String::new();
+    let mut escaped = false;
+    for (i, c) in chars {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                other => other,
+            });
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Ok((out, s[i + 1..].trim_start()));
+        } else {
+            out.push(c);
+        }
+    }
+    Err(bad("unterminated quoted name"))
+}
+
+fn parse_sig(tok: &str, line: usize) -> Result<u32, TextError> {
+    tok.strip_prefix('n')
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or_else(|| TextError::BadOperand {
+            line,
+            detail: format!("expected a signal like `n7`, got `{tok}`"),
+        })
+}
+
+fn parse_node(rest: &str, line: usize) -> Result<NodeKind, TextError> {
+    let bad = |detail: String| TextError::BadOperand { line, detail };
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    match toks.as_slice() {
+        ["input"] => Ok(NodeKind::Input),
+        ["const", v] => match *v {
+            "0" => Ok(NodeKind::Const(false)),
+            "1" => Ok(NodeKind::Const(true)),
+            other => Err(bad(format!("const wants 0 or 1, got `{other}`"))),
+        },
+        ["not", a] => Ok(NodeKind::Not(parse_sig(a, line)?)),
+        ["and", a, b] => Ok(NodeKind::And(parse_sig(a, line)?, parse_sig(b, line)?)),
+        ["or", a, b] => Ok(NodeKind::Or(parse_sig(a, line)?, parse_sig(b, line)?)),
+        ["xor", a, b] => Ok(NodeKind::Xor(parse_sig(a, line)?, parse_sig(b, line)?)),
+        ["ff", d] => d
+            .parse::<u32>()
+            .map(NodeKind::FfOutput)
+            .map_err(|_| bad(format!("ff wants a flip-flop index, got `{d}`"))),
+        other => Err(bad(format!("bad node operands `{}`", other.join(" ")))),
+    }
+}
+
+fn parse_dff(rest: &str, line: usize) -> Result<Dff, TextError> {
+    let bad = |detail: String| TextError::BadOperand { line, detail };
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    let [_idx, fields @ ..] = toks.as_slice() else {
+        return Err(bad("dff wants `dff I q=… d=… en=… sr=… init=…`".into()));
+    };
+    let mut q = None;
+    let mut d = None;
+    let mut en = None;
+    let mut sr = None;
+    let mut init = None;
+    for field in fields {
+        let Some((key, value)) = field.split_once('=') else {
+            return Err(bad(format!("bad dff field `{field}`")));
+        };
+        let opt_sig = |v: &str| -> Result<Option<u32>, TextError> {
+            if v == "-" {
+                Ok(None)
+            } else {
+                parse_sig(v, line).map(Some)
+            }
+        };
+        match key {
+            "q" => q = Some(parse_sig(value, line)?),
+            "d" => d = opt_sig(value)?,
+            "en" => en = opt_sig(value)?,
+            "sr" => sr = opt_sig(value)?,
+            "init" => {
+                init = Some(match value {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(bad(format!("init wants 0 or 1, got `{other}`"))),
+                })
+            }
+            other => return Err(bad(format!("unknown dff field `{other}`"))),
+        }
+    }
+    let (Some(q), Some(init)) = (q, init) else {
+        return Err(bad("dff needs at least q= and init=".into()));
+    };
+    Ok(Dff { q, d, init, en, sr })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    fn sample() -> Netlist {
+        let mut b = Builder::new("round \"trip\"");
+        let x = b.input_bus("in_data", 4);
+        let v = b.input("in_valid");
+        let q = b.reg_word_en(&x, v, 3);
+        b.output("out_data", &q);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trips_a_builder_netlist() {
+        let n = sample();
+        let text = to_text(&[&n]);
+        let parsed = parse_modules(&text).expect("parse");
+        assert_eq!(parsed.len(), 1);
+        let p = &parsed[0];
+        assert_eq!(p.name, n.name);
+        assert_eq!(p.nodes, n.nodes);
+        assert_eq!(p.dffs.len(), n.dffs.len());
+        for (a, b) in p.dffs.iter().zip(&n.dffs) {
+            assert_eq!(
+                (a.q, a.d, a.en, a.sr, a.init),
+                (b.q, b.d, b.en, b.sr, b.init)
+            );
+        }
+        assert_eq!(to_text(&[p]), text, "serialisation is a fixpoint");
+    }
+
+    #[test]
+    fn multi_module_files_keep_order() {
+        let a = sample();
+        let mut b = Builder::new("second");
+        let x = b.input("x");
+        b.output("y", &[x]);
+        let b = b.finish();
+        let text = to_text(&[&a, &b]);
+        let parsed = parse_modules(&text).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, a.name);
+        assert_eq!(parsed[1].name, "second");
+    }
+
+    #[test]
+    fn malformed_netlists_survive_the_round_trip() {
+        // Out-of-range fanin and unbound D: validate() would panic, the
+        // text format must carry them to the linter untouched.
+        let mut n = Netlist::new("broken");
+        n.nodes.push(NodeKind::Input);
+        n.nodes.push(NodeKind::And(0, 99));
+        let q = n.new_dff(true); // D left unbound
+        n.outputs.push(Bus {
+            name: "o".into(),
+            sigs: vec![1, q, 1234],
+        });
+        let text = to_text(&[&n]);
+        let p = &parse_modules(&text).expect("parse")[0];
+        assert_eq!(p.nodes[1], NodeKind::And(0, 99));
+        assert_eq!(p.dffs[0].d, None);
+        assert_eq!(p.outputs[0].sigs, vec![1, q, 1234]);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported_with_lines() {
+        let e = parse_modules("nope").unwrap_err();
+        assert_eq!(e, TextError::BadHeader { line: 1 });
+        let e = parse_modules("p5netlist v1\nmodule \"m\"\nwhat 1 2\nend\n").unwrap_err();
+        assert!(
+            matches!(e, TextError::UnknownDirective { line: 3, .. }),
+            "{e}"
+        );
+        let e = parse_modules("p5netlist v1\nmodule \"m\"\nn5 input\nend\n").unwrap_err();
+        assert!(
+            matches!(e, TextError::NodeOutOfOrder { expected: 0, .. }),
+            "{e}"
+        );
+        let e = parse_modules("p5netlist v1\nn0 input\n").unwrap_err();
+        assert!(matches!(e, TextError::OutsideModule { line: 2 }), "{e}");
+        let e = parse_modules("p5netlist v1\nmodule \"m\"\n").unwrap_err();
+        assert!(
+            matches!(e, TextError::UnterminatedModule { line: 2 }),
+            "{e}"
+        );
+    }
+}

@@ -115,17 +115,6 @@ pub struct TimingReport {
 
 /// Run static timing analysis over a mapped netlist on a device.
 pub fn analyze(m: &MappedNetlist, dev: &Device, post_layout: bool) -> TimingReport {
-    let utilisation = (m.lut_count() as f64 / dev.luts as f64).min(1.0);
-    let net_delay = |fanout: usize| -> f64 {
-        if post_layout {
-            dev.t_net_base
-                + dev.t_net_fanout * ((1 + fanout) as f64).log2()
-                + dev.t_congestion * utilisation
-        } else {
-            dev.t_net_pre
-        }
-    };
-
     // Arrival time per mapped LUT root (leaves start at t_cq — inputs are
     // assumed registered upstream).
     use std::collections::HashMap;
@@ -137,8 +126,7 @@ pub fn analyze(m: &MappedNetlist, dev: &Device, post_layout: bool) -> TimingRepo
         let mut t: f64 = dev.t_cq;
         for &leaf in &lut.leaves {
             let leaf_arrival = arrival.get(&leaf).copied().unwrap_or(dev.t_cq);
-            let fo = m.fanout.get(&leaf).copied().unwrap_or(1);
-            let cand = leaf_arrival + net_delay(fo);
+            let cand = leaf_arrival + m.net_delay(dev, leaf, post_layout);
             if cand > t {
                 t = cand;
             }

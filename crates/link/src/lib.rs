@@ -341,6 +341,14 @@ impl Link {
         self.stack.stall_table()
     }
 
+    /// The stage topology of this link, for link-level static analysis
+    /// (p5-lint composes per-stage handshake contracts over it).
+    pub fn topology(&self) -> p5_stream::Topology {
+        let mut t = self.stack.topology();
+        t.name = "simplex link".into();
+        t
+    }
+
     /// The underlying stack — the escape hatch for custom sweeps.
     pub fn stack_mut(&mut self) -> &mut Stack {
         &mut self.stack
@@ -465,6 +473,23 @@ impl DuplexLink {
         let mut s = self.ab.stats();
         s.absorb(&self.ba.stats());
         s
+    }
+
+    /// The duplex stage topology: both devices and both wire ferries as
+    /// a ring (`a → wire → b → wire → a`), for link-level static
+    /// analysis.  The ferries hold whole transfers, so analysis treats
+    /// them as buffered stages.
+    pub fn topology(&self) -> p5_stream::Topology {
+        let mut t = p5_stream::Topology::new("duplex link");
+        let a = t.push_stage("device a");
+        let ab = t.push_stage("wire a->b");
+        let b = t.push_stage("device b");
+        let ba = t.push_stage("wire b->a");
+        t.connect(a, ab);
+        t.connect(ab, b);
+        t.connect(b, ba);
+        t.connect(ba, a);
+        t
     }
 }
 

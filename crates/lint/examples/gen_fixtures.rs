@@ -1,0 +1,227 @@
+//! Regenerate the known-bad fixture corpus under `tests/fixtures/`:
+//! one `.p5n` netlist per rule in the catalogue, each seeded with
+//! exactly the defect its rule describes.
+//!
+//! ```text
+//! cargo run -p p5-lint --example gen_fixtures
+//! ```
+//!
+//! then refresh the goldens by re-running `p5lint --json` per case with
+//! the device/clock arguments listed in `tests/fixtures.rs` and saving
+//! stdout as `<name>.expected.json` (the drift test there prints the
+//! exact command when a golden mismatches).
+
+use std::fs;
+
+use p5_fpga::{to_text, Builder, Netlist, NodeKind};
+
+fn comb_loop() -> Netlist {
+    let mut b = Builder::new("comb loop");
+    let x = b.input("x");
+    let y = b.input("y");
+    let g1 = b.and2(x, y);
+    let g2 = b.or2(g1, y);
+    b.output("o", &[g2]);
+    let mut n = b.finish();
+    n.nodes[g1 as usize] = NodeKind::And(g2, y); // g1 ↔ g2
+    n
+}
+
+fn unbound_dff() -> Netlist {
+    let mut b = Builder::new("unbound dff");
+    let x = b.input("x");
+    let q = b.reg(x, false);
+    b.output("q", &[q]);
+    let mut n = b.finish();
+    n.dffs[0].d = None;
+    n
+}
+
+fn invalid_sig() -> Netlist {
+    let mut b = Builder::new("invalid sig");
+    let x = b.input("x");
+    let g = b.not(x);
+    b.output("o", &[g]);
+    let mut n = b.finish();
+    n.outputs[0].sigs.push(9999);
+    n
+}
+
+fn bus_alias() -> Netlist {
+    let mut b = Builder::new("bus alias");
+    let x = b.input("x");
+    let y = b.input("y");
+    let g = b.xor2(x, y);
+    b.output("o", &[g, g]);
+    b.finish()
+}
+
+fn dead_logic() -> Netlist {
+    let mut b = Builder::new("dead logic");
+    let x = b.input("x");
+    let y = b.input("y");
+    let _orphan = b.and2(x, y);
+    let g = b.or2(x, y);
+    b.output("o", &[g]);
+    b.finish()
+}
+
+fn partial_reset() -> Netlist {
+    let mut b = Builder::new("partial reset");
+    let x = b.input_bus("x", 2);
+    let rst = b.input("rst");
+    let q0 = b.reg_ctrl(x[0], None, Some(rst), false);
+    let q1 = b.reg(x[1], false); // the reset misses this one
+    b.output("q", &[q0, q1]);
+    b.finish()
+}
+
+fn fanout_hotspot() -> Netlist {
+    let mut b = Builder::new("fanout hotspot");
+    let x = b.input("x");
+    let q = b.reg(x, false);
+    let mut bits = Vec::new();
+    for i in 0..32 {
+        let other = b.input(&format!("y{i}"));
+        bits.push(b.and2(q, other));
+    }
+    let folded = b.xor_many(&bits);
+    b.output("o", &[folded]);
+    b.finish()
+}
+
+fn mealy_ready() -> Netlist {
+    let mut b = Builder::new("mealy ready");
+    let in_data = b.input_bus("in_data", 4);
+    let in_valid = b.input("in_valid");
+    let full = b.input("full");
+    let nfull = b.not(full);
+    let ready = b.and2(nfull, in_valid); // in_ready must not consult in_valid
+    let q = b.reg_word_en(&in_data, in_valid, 0);
+    b.output("out_data", &q);
+    b.output("in_ready", &[ready]);
+    b.finish()
+}
+
+fn ungated_capture() -> Netlist {
+    let mut b = Builder::new("ungated capture");
+    let in_data = b.input_bus("in_data", 4);
+    let in_valid = b.input("in_valid");
+    let always = b.lit(true);
+    let q = b.reg_word_en(&in_data, always, 0); // captures every cycle
+    let vq = b.reg(in_valid, false);
+    b.output("out_data", &q);
+    b.output("out_valid", &[vq]);
+    b.finish()
+}
+
+fn unstable_under_stall() -> Netlist {
+    let mut b = Builder::new("unstable under stall");
+    let x = b.input_bus("x", 2);
+    let out_ready = b.input("out_ready");
+    let b0 = b.and2(x[0], out_ready); // out_data moves when the stall does
+    b.output("out_data", &[b0, x[1]]);
+    b.finish()
+}
+
+fn self_gated_enable() -> Netlist {
+    let mut b = Builder::new("self gated enable");
+    let x = b.input("x");
+    let q = b.reg(x, false);
+    b.output("q", &[q]);
+    let mut n = b.finish();
+    n.dffs[0].en = Some(q); // once low, never reloads
+    n
+}
+
+fn x_leak() -> Netlist {
+    let mut b = Builder::new("x leak");
+    let in_valid = b.input("in_valid");
+    let rst = b.input("rst");
+    let covered = b.reg_ctrl(in_valid, None, Some(rst), false);
+    let valid_q = b.reg(in_valid, false); // stale after reset
+    b.output("out_valid", &[valid_q]);
+    b.output("covered", &[covered]);
+    b.finish()
+}
+
+fn const_logic() -> Netlist {
+    let mut b = Builder::new("const logic");
+    let x = b.input("x");
+    let zero = b.lit(false);
+    let q = b.reg(zero, false);
+    let g = b.and2(q, x); // constant, but opaque to the builder's folder
+    b.output("q", &[q]);
+    b.output("g", &[g]);
+    b.finish()
+}
+
+fn timing_violation() -> Netlist {
+    // Clean at the line clock; the fixture is linted at 1 GHz, which no
+    // Virtex -4 register-to-register path can close.
+    let mut b = Builder::new("timing violation");
+    let in_data = b.input_bus("in_data", 4);
+    let in_valid = b.input("in_valid");
+    let out_ready = b.input("out_ready");
+    let data_q = b.reg_word_en(&in_data, in_valid, 0);
+    let valid_q = b.reg(in_valid, false);
+    b.output("out_data", &data_q);
+    b.output("out_valid", &[valid_q]);
+    b.output("in_ready", &[out_ready]);
+    b.finish()
+}
+
+/// Two modules that are legal alone (well — the downstream one also
+/// trips P5L008) but close a combinational ready/valid loop at their
+/// boundary once chained: upstream Mealy valid meets ready-on-valid.
+fn compose_upstream() -> Netlist {
+    let mut b = Builder::new("mealy valid source");
+    let in_valid = b.input("in_valid");
+    let out_ready = b.input("out_ready");
+    let vq = b.reg(in_valid, false);
+    let out_valid = b.and2(vq, out_ready); // out_valid ← out_ready
+    b.output("out_valid", &[out_valid]);
+    b.finish()
+}
+
+fn compose_downstream() -> Netlist {
+    let mut b = Builder::new("ready on valid sink");
+    let in_valid = b.input("in_valid");
+    let full = b.input("full");
+    let nfull = b.not(full);
+    let ready = b.and2(nfull, in_valid); // in_ready ← in_valid
+    b.output("in_ready", &[ready]);
+    b.finish()
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    fs::create_dir_all(dir)?;
+    let cases: Vec<(&str, Vec<Netlist>)> = vec![
+        ("p5l001_comb_loop", vec![comb_loop()]),
+        ("p5l002_unbound_dff", vec![unbound_dff()]),
+        ("p5l003_invalid_sig", vec![invalid_sig()]),
+        ("p5l004_bus_alias", vec![bus_alias()]),
+        ("p5l005_dead_logic", vec![dead_logic()]),
+        ("p5l006_reset_coverage", vec![partial_reset()]),
+        ("p5l007_fanout_hotspot", vec![fanout_hotspot()]),
+        ("p5l008_handshake_comb_loop", vec![mealy_ready()]),
+        ("p5l009_ungated_capture", vec![ungated_capture()]),
+        ("p5l010_unstable_under_stall", vec![unstable_under_stall()]),
+        ("p5l011_self_gated_enable", vec![self_gated_enable()]),
+        ("p5l012_x_leak", vec![x_leak()]),
+        ("p5l013_const_logic", vec![const_logic()]),
+        ("p5l014_timing_violation", vec![timing_violation()]),
+        (
+            "p5l015_compose_hazard",
+            vec![compose_upstream(), compose_downstream()],
+        ),
+    ];
+    for (name, modules) in cases {
+        let refs: Vec<&Netlist> = modules.iter().collect();
+        let path = format!("{dir}/{name}.p5n");
+        fs::write(&path, to_text(&refs))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,391 @@
+//! Ternary (0/1/X) dataflow analysis — the abstract interpreter behind
+//! `P5L012` (x-leak) and `P5L013` (const-logic).
+//!
+//! The netlist is evaluated over Kleene three-valued logic, where `X`
+//! means "unknown this cycle" and the gate operators are the strongest
+//! sound abstractions (`0 AND X = 0`, `1 AND X = X`, `X XOR anything
+//! known = X`).  Two fixpoints run over the same machinery:
+//!
+//! * **X-leak** starts from the *post-reset* state — registers with an
+//!   SR pin hold their init value, the rest hold `X` (stale) — holds the
+//!   activation inputs (`in_valid`, `start`) deasserted, and steps the
+//!   clock.  If `out_valid` ever evaluates to `X`, or asserts while an
+//!   `out_data` bit is `X`, unknown register state reaches the wire
+//!   before the first valid beat: the downstream stage latches garbage.
+//! * **Const-logic** starts from the *power-on* state (every register's
+//!   configuration init is defined) with every input `X`, and widens the
+//!   register state by ternary join each step until it stabilises.
+//!   Registers and live gates still at a known value in the fixpoint are
+//!   provably constant under *every* input sequence — logic the
+//!   synthesizer should have folded away.
+//!
+//! Both passes run only after the structural gates (valid sigs, bound
+//! D inputs, no combinational loops), so traversal here may assume
+//! resolvable references — but everything is still bounds-checked.
+
+use std::collections::HashSet;
+
+use p5_fpga::{Netlist, NodeKind, Sig};
+
+use crate::graph;
+use crate::report::{Finding, Rule, Severity};
+
+/// Kleene three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tern {
+    Zero,
+    One,
+    X,
+}
+
+impl Tern {
+    pub fn from_bool(b: bool) -> Tern {
+        if b {
+            Tern::One
+        } else {
+            Tern::Zero
+        }
+    }
+
+    pub fn is_known(self) -> bool {
+        self != Tern::X
+    }
+
+    pub fn and(self, other: Tern) -> Tern {
+        match (self, other) {
+            (Tern::Zero, _) | (_, Tern::Zero) => Tern::Zero,
+            (Tern::One, Tern::One) => Tern::One,
+            _ => Tern::X,
+        }
+    }
+
+    pub fn or(self, other: Tern) -> Tern {
+        match (self, other) {
+            (Tern::One, _) | (_, Tern::One) => Tern::One,
+            (Tern::Zero, Tern::Zero) => Tern::Zero,
+            _ => Tern::X,
+        }
+    }
+
+    pub fn xor(self, other: Tern) -> Tern {
+        match (self, other) {
+            (Tern::X, _) | (_, Tern::X) => Tern::X,
+            (a, b) => Tern::from_bool(a != b),
+        }
+    }
+
+    /// Lattice join: agreeing values stay, disagreement widens to `X`.
+    pub fn join(self, other: Tern) -> Tern {
+        if self == other {
+            self
+        } else {
+            Tern::X
+        }
+    }
+}
+
+impl std::ops::Not for Tern {
+    type Output = Tern;
+
+    fn not(self) -> Tern {
+        match self {
+            Tern::Zero => Tern::One,
+            Tern::One => Tern::Zero,
+            Tern::X => Tern::X,
+        }
+    }
+}
+
+/// A topological order of every combinational node, built with checked
+/// fanins (nodes on cycles or with wild references simply keep their
+/// default `X` — the callers are gated behind P5L001/P5L003 anyway).
+fn topo_order_checked(n: &Netlist) -> Vec<Sig> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let num = n.nodes.len();
+    let mut marks = vec![Mark::White; num];
+    let mut order = Vec::with_capacity(num);
+    for start in 0..num as Sig {
+        if marks[start as usize] != Mark::White {
+            continue;
+        }
+        let mut stack = vec![(start, false)];
+        while let Some((s, expanded)) = stack.pop() {
+            if expanded {
+                if marks[s as usize] == Mark::Grey {
+                    marks[s as usize] = Mark::Black;
+                    order.push(s);
+                }
+                continue;
+            }
+            if marks[s as usize] != Mark::White {
+                continue;
+            }
+            marks[s as usize] = Mark::Grey;
+            stack.push((s, true));
+            for f in graph::fanins_checked(n, s).into_iter().flatten() {
+                if (f as usize) < num && marks[f as usize] == Mark::White {
+                    stack.push((f, false));
+                }
+            }
+        }
+    }
+    order
+}
+
+/// The evaluation context: a fixed topological order plus the per-Input
+/// assignment, reused across clock steps.
+struct Interp {
+    order: Vec<Sig>,
+    /// Per-node value for `Input` nodes (`X` for everything else).
+    input_vals: Vec<Tern>,
+}
+
+impl Interp {
+    fn new(n: &Netlist, input_vals: Vec<Tern>) -> Self {
+        Self {
+            order: topo_order_checked(n),
+            input_vals,
+        }
+    }
+
+    /// Evaluate every combinational node under register state `state`.
+    fn eval(&self, n: &Netlist, state: &[Tern]) -> Vec<Tern> {
+        let mut v = vec![Tern::X; n.nodes.len()];
+        for &s in &self.order {
+            let i = s as usize;
+            let get = |sig: Sig| v.get(sig as usize).copied().unwrap_or(Tern::X);
+            v[i] = match n.nodes[i] {
+                NodeKind::Input => self.input_vals[i],
+                NodeKind::Const(b) => Tern::from_bool(b),
+                NodeKind::Not(a) => !get(a),
+                NodeKind::And(a, b) => get(a).and(get(b)),
+                NodeKind::Or(a, b) => get(a).or(get(b)),
+                NodeKind::Xor(a, b) => get(a).xor(get(b)),
+                NodeKind::FfOutput(idx) => state.get(idx as usize).copied().unwrap_or(Tern::X),
+            };
+        }
+        v
+    }
+
+    /// One clock edge: the next register state under node values `v`.
+    /// Mirrors the simulator's pin priority — SR (loads init) over CE.
+    fn next_state(&self, n: &Netlist, v: &[Tern], state: &[Tern]) -> Vec<Tern> {
+        let get = |sig: Option<Sig>| -> Tern {
+            sig.and_then(|s| v.get(s as usize).copied())
+                .unwrap_or(Tern::X)
+        };
+        n.dffs
+            .iter()
+            .enumerate()
+            .map(|(i, dff)| {
+                let d = get(dff.d);
+                let held = state.get(i).copied().unwrap_or(Tern::X);
+                let loaded = match dff.en {
+                    None => d,
+                    Some(en) => match get(Some(en)) {
+                        Tern::One => d,
+                        Tern::Zero => held,
+                        Tern::X => d.join(held),
+                    },
+                };
+                match dff.sr {
+                    None => loaded,
+                    Some(sr) => match get(Some(sr)) {
+                        Tern::One => Tern::from_bool(dff.init),
+                        Tern::Zero => loaded,
+                        Tern::X => loaded.join(Tern::from_bool(dff.init)),
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// Single-bit input buses held at 0 during the X-leak run: the
+/// activation strobes of the stage convention.  Everything else
+/// (data, controls we know nothing about) starts `X`.
+const HELD_LOW: [&str; 4] = ["in_valid", "start", "en", "wr"];
+
+fn input_assignment(n: &Netlist, all_x: bool) -> Vec<Tern> {
+    let mut vals = vec![Tern::X; n.nodes.len()];
+    if all_x {
+        return vals;
+    }
+    for bus in &n.inputs {
+        if bus.sigs.len() == 1 && HELD_LOW.contains(&bus.name.as_str()) {
+            if let Some(v) = vals.get_mut(bus.sigs[0] as usize) {
+                *v = Tern::Zero;
+            }
+        }
+    }
+    vals
+}
+
+/// Bound on the clock steps explored before declaring the state space
+/// cyclic (the seen-state set usually closes far earlier).
+const MAX_STEPS: usize = 256;
+
+/// `P5L012` — from the post-reset state, with activation inputs held
+/// low, `out_valid` must stay a known 0/1 and `out_data` must be fully
+/// known whenever `out_valid` asserts.  Anything else lets stale
+/// register contents (registers the reset does not cover) reach the
+/// downstream stage as a "valid" beat.
+pub fn check_x_leak(n: &Netlist, findings: &mut Vec<Finding>) {
+    let Some(out_valid) = n
+        .output_bus("out_valid")
+        .and_then(|b| (b.sigs.len() == 1).then(|| b.sigs[0]))
+    else {
+        return; // no valid strobe: the rule's contract does not apply
+    };
+    let out_data: Vec<Sig> = n
+        .output_bus("out_data")
+        .map(|b| b.sigs.clone())
+        .unwrap_or_default();
+
+    // Post-reset state: SR-covered registers are at their init value;
+    // in a module with a reset domain the others are stale (X).  A
+    // module with *no* SR pins is initialised purely by configuration,
+    // so every register is at a defined power-on value.
+    let resettable = n.has_reset_domain();
+    let mut state: Vec<Tern> = n
+        .dffs
+        .iter()
+        .map(|d| match d.reset_value() {
+            Some(v) => Tern::from_bool(v),
+            None if resettable => Tern::X,
+            None => Tern::from_bool(d.init),
+        })
+        .collect();
+
+    let interp = Interp::new(n, input_assignment(n, false));
+    let mut seen: HashSet<Vec<Tern>> = HashSet::new();
+    for cycle in 0..MAX_STEPS {
+        if !seen.insert(state.clone()) {
+            return; // state space closed without a leak
+        }
+        let v = interp.eval(n, &state);
+        let violation = if v[out_valid as usize] == Tern::X {
+            Some((
+                out_valid,
+                format!("out_valid is unknown (X) {cycle} cycle(s) after reset"),
+            ))
+        } else if v[out_valid as usize] == Tern::One {
+            out_data
+                .iter()
+                .find(|&&bit| v.get(bit as usize).copied() == Some(Tern::X))
+                .map(|&bit| {
+                    let pos = out_data.iter().position(|&b| b == bit).unwrap_or(0);
+                    (
+                        bit,
+                        format!(
+                            "out_valid asserts {cycle} cycle(s) after reset while \
+                             out_data[{pos}] is unknown (X)"
+                        ),
+                    )
+                })
+        } else {
+            None
+        };
+        if let Some((sig, why)) = violation {
+            // Anchor the finding to the stale registers feeding the
+            // violating bit — the registers a fix must cover with SR.
+            let cone = graph::comb_cone(n, sig);
+            let mut stale: Vec<Sig> = n
+                .dffs
+                .iter()
+                .enumerate()
+                .filter(|(i, d)| state.get(*i).copied() == Some(Tern::X) && cone.contains(&d.q))
+                .map(|(_, d)| d.q)
+                .collect();
+            stale.sort_unstable();
+            findings.push(
+                Finding::new(
+                    Rule::XLeak,
+                    Severity::Error,
+                    format!(
+                        "{why}: stale (reset-uncovered) register state reaches the \
+                         output cone before the first valid beat"
+                    ),
+                )
+                .with_nodes(stale),
+            );
+            return;
+        }
+        state = interp.next_state(n, &v, &state);
+    }
+}
+
+/// `P5L013` — registers and live gates provably constant under every
+/// input sequence from power-on.  The register state is widened by
+/// ternary join each step, so the loop terminates after at most
+/// `dffs + 1` iterations; whatever survives at a known value is logic
+/// the synthesizer should have constant-folded.
+pub fn check_const_logic(n: &Netlist, findings: &mut Vec<Finding>) {
+    let interp = Interp::new(n, input_assignment(n, true));
+    let mut state: Vec<Tern> = n.dffs.iter().map(|d| Tern::from_bool(d.init)).collect();
+    for _ in 0..=n.dffs.len() {
+        let v = interp.eval(n, &state);
+        let next = interp.next_state(n, &v, &state);
+        let widened: Vec<Tern> = state.iter().zip(&next).map(|(&a, &b)| a.join(b)).collect();
+        if widened == state {
+            break;
+        }
+        state = widened;
+    }
+
+    let (live, live_dffs) = graph::live_from_outputs(n);
+    let mut const_ffs: Vec<Sig> = n
+        .dffs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| live_dffs.contains(i) && state[*i].is_known())
+        .map(|(_, d)| d.q)
+        .collect();
+    const_ffs.sort_unstable();
+    if !const_ffs.is_empty() {
+        findings.push(
+            Finding::new(
+                Rule::ConstLogic,
+                Severity::Info,
+                format!(
+                    "{} live flip-flop(s) hold a provably constant value under every \
+                     input sequence: replace with constants",
+                    const_ffs.len()
+                ),
+            )
+            .with_nodes(const_ffs),
+        );
+    }
+
+    let v = interp.eval(n, &state);
+    let mut const_gates: Vec<Sig> = (0..n.nodes.len() as Sig)
+        .filter(|&s| {
+            live.contains(&s)
+                && matches!(
+                    n.nodes[s as usize],
+                    NodeKind::Not(_) | NodeKind::And(..) | NodeKind::Or(..) | NodeKind::Xor(..)
+                )
+                && v[s as usize].is_known()
+        })
+        .collect();
+    const_gates.sort_unstable();
+    if !const_gates.is_empty() {
+        findings.push(
+            Finding::new(
+                Rule::ConstLogic,
+                Severity::Info,
+                format!(
+                    "{} live gate(s) evaluate to a constant under every input \
+                     sequence: foldable logic",
+                    const_gates.len()
+                ),
+            )
+            .with_nodes(const_gates),
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! Lint baselines: a committed suppression file so `p5lint
+//! --deny-warnings` can gate CI forever without a flag-day.
+//!
+//! A baseline entry names a `(module, rule)` pair and a human reason;
+//! matching findings at **info or warning** severity are suppressed
+//! (and counted).  Error findings are never suppressed — a baseline
+//! must not be able to bury a broken netlist.  Entries that match
+//! nothing are *stale* and reported, so the file shrinks as the RTL
+//! improves instead of fossilising.
+//!
+//! The workspace resolves offline (no serde), so the file format is
+//! parsed by the minimal JSON reader in this module:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     {"module": "rx-control", "rule": "P5L005",
+//!      "reason": "discarded carry chains from word-level subtraction"}
+//!   ]
+//! }
+//! ```
+
+use crate::report::{json_string, Report, Severity};
+
+/// One suppression: all info/warning findings of `rule` in `module`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub module: String,
+    /// Rule code, e.g. `P5L005`.
+    pub rule: String,
+    /// Why this finding is accepted — required, and surfaced in output.
+    pub reason: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Why a baseline file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Not parseable as JSON at byte `at`.
+    Syntax { at: usize, detail: String },
+    /// Parsed, but not shaped like a baseline document.
+    Shape { detail: String },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Syntax { at, detail } => {
+                write!(f, "baseline JSON syntax error at byte {at}: {detail}")
+            }
+            BaselineError::Shape { detail } => write!(f, "bad baseline shape: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Parse a baseline document.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let doc = Json::parse(text).map_err(|(at, detail)| BaselineError::Syntax { at, detail })?;
+        let shape = |detail: &str| BaselineError::Shape {
+            detail: detail.to_string(),
+        };
+        let obj = doc
+            .as_obj()
+            .ok_or_else(|| shape("top level must be an object"))?;
+        let entries = obj
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .and_then(|(_, v)| v.as_arr())
+            .ok_or_else(|| shape("missing `entries` array"))?;
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            let eo = e.as_obj().ok_or_else(|| shape("entries must be objects"))?;
+            let field = |name: &str| -> Result<String, BaselineError> {
+                eo.iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| shape(&format!("entry missing string field `{name}`")))
+            };
+            out.push(BaselineEntry {
+                module: field("module")?,
+                rule: field("rule")?,
+                reason: field("reason")?,
+            });
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Serialise (the exact on-disk format, one entry per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"module\": {}, \"rule\": {}, \"reason\": {}}}{}\n",
+                json_string(&e.module),
+                json_string(&e.rule),
+                json_string(&e.reason),
+                if i + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Remove suppressed findings from `report`, returning how many were
+    /// dropped.  Only info/warning findings can be suppressed.
+    pub fn apply(&self, report: &mut Report) -> usize {
+        let before = report.findings.len();
+        report.findings.retain(|f| {
+            f.severity >= Severity::Error
+                || !self
+                    .entries
+                    .iter()
+                    .any(|e| e.module == report.module && e.rule == f.rule.code())
+        });
+        before - report.findings.len()
+    }
+
+    /// Entries that matched no finding in `reports` — candidates for
+    /// deletion now that the underlying netlist is clean.
+    pub fn stale<'a>(&'a self, reports: &[Report]) -> Vec<&'a BaselineEntry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !reports.iter().any(|r| {
+                    r.module == e.module && r.findings.iter().any(|f| f.rule.code() == e.rule)
+                })
+            })
+            .collect()
+    }
+
+    /// A baseline accepting every currently sub-error finding in
+    /// `reports` (the `--write-baseline` bootstrap), one entry per
+    /// `(module, rule)` pair.
+    pub fn from_reports(reports: &[Report], reason: &str) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        for r in reports {
+            for f in &r.findings {
+                if f.severity >= Severity::Error {
+                    continue;
+                }
+                let entry = BaselineEntry {
+                    module: r.module.clone(),
+                    rule: f.rule.code().to_string(),
+                    reason: reason.to_string(),
+                };
+                if !entries.contains(&entry) {
+                    entries.push(entry);
+                }
+            }
+        }
+        entries.sort_by(|a, b| a.module.cmp(&b.module).then(a.rule.cmp(&b.rule)));
+        Baseline { entries }
+    }
+}
+
+/// The minimal JSON value model the baseline reader needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parse one JSON document; errors carry `(byte offset, detail)`.
+    fn parse(text: &str) -> Result<Json, (usize, String)> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err((pos, "trailing content after document".into()));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), (usize, String)> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err((*pos, format!("expected `{}`", c as char)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, (usize, String)> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err((*pos, "unexpected end of input".into())),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err((*pos, "expected `,` or `}`".into())),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err((*pos, "expected `,` or `]`".into())),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or((start, "bad literal".to_string()))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, (usize, String)> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err((*pos, "expected string".into()));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| (*pos, "invalid UTF-8".into()));
+            }
+            b'\\' => {
+                let esc = b
+                    .get(*pos)
+                    .copied()
+                    .ok_or((*pos, "bad escape".to_string()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or((*pos, "bad \\u escape".to_string()))?;
+                        *pos += 4;
+                        let ch = char::from_u32(hex).ok_or((*pos, "bad codepoint".to_string()))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err((*pos, format!("bad escape `\\{}`", other as char))),
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Err((*pos, "unterminated string".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Finding, Rule};
+
+    fn report_with(module: &str, rule: Rule, sev: Severity) -> Report {
+        Report::new(module.into(), vec![Finding::new(rule, sev, "msg")])
+    }
+
+    #[test]
+    fn round_trips_and_applies() {
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                module: "m".into(),
+                rule: "P5L005".into(),
+                reason: "carry residue".into(),
+            }],
+        };
+        let parsed = Baseline::parse(&b.to_json()).expect("parse");
+        assert_eq!(parsed.entries, b.entries);
+
+        let mut r = report_with("m", Rule::DeadLogic, Severity::Info);
+        assert_eq!(parsed.apply(&mut r), 1);
+        assert!(r.findings.is_empty());
+        // Different module: untouched.
+        let mut other = report_with("other", Rule::DeadLogic, Severity::Info);
+        assert_eq!(parsed.apply(&mut other), 0);
+    }
+
+    #[test]
+    fn errors_are_never_suppressed() {
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                module: "m".into(),
+                rule: "P5L001".into(),
+                reason: "nope".into(),
+            }],
+        };
+        let mut r = report_with("m", Rule::CombLoop, Severity::Error);
+        assert_eq!(b.apply(&mut r), 0);
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn stale_entries_surface() {
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    module: "m".into(),
+                    rule: "P5L005".into(),
+                    reason: "live".into(),
+                },
+                BaselineEntry {
+                    module: "gone".into(),
+                    rule: "P5L004".into(),
+                    reason: "fixed long ago".into(),
+                },
+            ],
+        };
+        let reports = vec![report_with("m", Rule::DeadLogic, Severity::Info)];
+        let stale = b.stale(&reports);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].module, "gone");
+    }
+
+    #[test]
+    fn from_reports_skips_errors_and_dedups() {
+        let reports = vec![Report::new(
+            "m".into(),
+            vec![
+                Finding::new(Rule::DeadLogic, Severity::Info, "a"),
+                Finding::new(Rule::DeadLogic, Severity::Info, "b"),
+                Finding::new(Rule::CombLoop, Severity::Error, "c"),
+            ],
+        )];
+        let b = Baseline::from_reports(&reports, "bootstrap");
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].rule, "P5L005");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(matches!(
+            Baseline::parse("[1,2]"),
+            Err(BaselineError::Shape { .. })
+        ));
+        assert!(matches!(
+            Baseline::parse("{\"entries\": [{\"module\": 3}]}"),
+            Err(BaselineError::Shape { .. })
+        ));
+        assert!(matches!(
+            Baseline::parse("{\"entries\": ["),
+            Err(BaselineError::Syntax { .. })
+        ));
+    }
+}

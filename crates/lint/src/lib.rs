@@ -24,6 +24,10 @@
 //! | `P5L009` | `ungated-capture`       | warning  | input-capturing registers not gated by the valid/stall handshake |
 //! | `P5L010` | `unstable-under-stall`  | warning  | `out_data` combinationally dependent on the stall input |
 //! | `P5L011` | `self-gated-enable`     | warning  | a register's CE cone containing its own Q (stall deadlock) |
+//! | `P5L012` | `x-leak`                | error    | stale (reset-uncovered) register state reaching `out_data`/`out_valid` before the first valid beat |
+//! | `P5L013` | `const-logic`           | info     | registers/gates provably constant under every input sequence |
+//! | `P5L014` | `timing-violation`      | error    | negative worst slack from whole-netlist static timing analysis |
+//! | `P5L015` | `compose-hazard`        | error    | cross-module combinational ready/valid cycles and capacity-0 deadlock rings |
 //!
 //! A module is **clean** when it has no findings at warning or error
 //! severity (`P5L005` dead gates are informational: discarded carry
@@ -40,15 +44,24 @@
 //! assert!(report.is_clean(), "{}", report.render_human());
 //! ```
 
+pub mod absint;
+pub mod baseline;
+pub mod compose;
 pub mod fanout;
 pub mod graph;
 pub mod handshake;
 pub mod report;
+pub mod sarif;
 pub mod structural;
+pub mod timing;
 
 use p5_fpga::{map, Device, MapMode, Netlist};
 
+pub use baseline::{Baseline, BaselineEntry, BaselineError};
+pub use compose::{LinkGraph, StageContract};
 pub use report::{Finding, Report, Rule, Severity};
+pub use sarif::to_sarif;
+pub use timing::{static_timing, StaReport};
 
 /// The line clock both datapath widths must meet (2.5 Gbps / 32 bit).
 pub const LINE_CLOCK_MHZ: f64 = 78.125;
@@ -73,16 +86,19 @@ pub fn lint_netlist(n: &Netlist) -> Report {
         structural::check_dead_logic(n, &mut findings);
         structural::check_reset_coverage(n, &mut findings);
         handshake::check_handshake(n, &mut findings);
+        absint::check_x_leak(n, &mut findings);
+        absint::check_const_logic(n, &mut findings);
     }
     Report::new(n.name.clone(), findings)
 }
 
-/// Full lint: structural/protocol rules plus the mapped fanout-vs-timing
-/// cross-check on `device` at `clock_mhz`.
+/// Full lint: structural/protocol/dataflow rules plus the mapped
+/// timing cross-checks on `device` at `clock_mhz` — the P5L007 fanout
+/// heuristic and the P5L014 whole-netlist static timing analysis.
 ///
-/// Mapping requires a well-formed netlist, so the fanout rule is skipped
-/// (with the structural findings returned as-is) when any error-severity
-/// finding is present.
+/// Mapping requires a well-formed netlist, so the mapped rules are
+/// skipped (with the structural findings returned as-is) when any
+/// error-severity finding is present.
 pub fn lint_full(n: &Netlist, device: &Device, clock_mhz: f64) -> Report {
     let mut report = lint_netlist(n);
     if report.max_severity() >= Some(Severity::Error) {
@@ -90,8 +106,29 @@ pub fn lint_full(n: &Netlist, device: &Device, clock_mhz: f64) -> Report {
     }
     let mapped = map(n, MapMode::Area);
     fanout::check_fanout_hotspots(n, &mapped, device, clock_mhz, &mut report.findings);
+    let sta = timing::static_timing(n, &mapped, device, clock_mhz, 1);
+    timing::check_timing(&sta, &mut report.findings);
     report.sort_findings();
     report
+}
+
+/// The full STA report for one netlist (the `--report-timing` payload):
+/// per-endpoint slack against `clock_mhz` with the `keep_paths` worst
+/// paths traced gate by gate.  Returns `None` when the netlist has
+/// error-severity findings (it cannot be mapped).
+pub fn timing_report(
+    n: &Netlist,
+    device: &Device,
+    clock_mhz: f64,
+    keep_paths: usize,
+) -> Option<StaReport> {
+    if lint_netlist(n).max_severity() >= Some(Severity::Error) {
+        return None;
+    }
+    let mapped = map(n, MapMode::Area);
+    Some(timing::static_timing(
+        n, &mapped, device, clock_mhz, keep_paths,
+    ))
 }
 
 /// Every netlist the builders export (the same set as the
@@ -114,6 +151,25 @@ pub fn shipped_netlists() -> Vec<Netlist> {
     let mut seen = std::collections::HashSet::new();
     modules.retain(|n| seen.insert(n.name.clone()));
     modules
+}
+
+/// The shipped pipeline compositions the P5L015 pass verifies: for each
+/// datapath width, the transmit chain (control → CRC → escape-generate)
+/// and the receive chain (escape-detect → CRC → control), with each
+/// stage's handshake contract extracted from its netlist.
+pub fn shipped_link_graphs() -> Vec<LinkGraph> {
+    let mut graphs = Vec::new();
+    for width in [1usize, 4] {
+        let modules = p5_rtl::system_modules(width);
+        let contracts: Vec<StageContract> = modules.iter().map(StageContract::extract).collect();
+        let bits = width * 8;
+        let mut it = contracts.into_iter();
+        let tx: Vec<StageContract> = it.by_ref().take(3).collect();
+        let rx: Vec<StageContract> = it.collect();
+        graphs.push(LinkGraph::chain(format!("P5 {bits}-bit tx chain"), tx));
+        graphs.push(LinkGraph::chain(format!("P5 {bits}-bit rx chain"), rx));
+    }
+    graphs
 }
 
 #[cfg(test)]

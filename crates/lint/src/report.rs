@@ -18,6 +18,10 @@ pub enum Rule {
     UngatedCapture,
     UnstableUnderStall,
     SelfGatedEnable,
+    XLeak,
+    ConstLogic,
+    TimingViolation,
+    ComposeHazard,
 }
 
 impl Rule {
@@ -35,6 +39,10 @@ impl Rule {
             Rule::UngatedCapture => "P5L009",
             Rule::UnstableUnderStall => "P5L010",
             Rule::SelfGatedEnable => "P5L011",
+            Rule::XLeak => "P5L012",
+            Rule::ConstLogic => "P5L013",
+            Rule::TimingViolation => "P5L014",
+            Rule::ComposeHazard => "P5L015",
         }
     }
 
@@ -52,11 +60,15 @@ impl Rule {
             Rule::UngatedCapture => "ungated-capture",
             Rule::UnstableUnderStall => "unstable-under-stall",
             Rule::SelfGatedEnable => "self-gated-enable",
+            Rule::XLeak => "x-leak",
+            Rule::ConstLogic => "const-logic",
+            Rule::TimingViolation => "timing-violation",
+            Rule::ComposeHazard => "compose-hazard",
         }
     }
 
     /// Every rule, for catalogue listings and coverage tests.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 15] = [
         Rule::CombLoop,
         Rule::UnboundDff,
         Rule::InvalidSig,
@@ -68,6 +80,10 @@ impl Rule {
         Rule::UngatedCapture,
         Rule::UnstableUnderStall,
         Rule::SelfGatedEnable,
+        Rule::XLeak,
+        Rule::ConstLogic,
+        Rule::TimingViolation,
+        Rule::ComposeHazard,
     ];
 }
 
@@ -148,10 +164,17 @@ impl Report {
         self.findings.iter().filter(|f| f.severity >= sev).count()
     }
 
-    /// Most severe first, then by rule code for stable output.
+    /// Most severe first, then by rule code, message and anchor nodes — a
+    /// *total* order, so reports (and the golden fixture JSON derived
+    /// from them) are byte-stable regardless of pass execution order.
     pub fn sort_findings(&mut self) {
-        self.findings
-            .sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(&b.rule)));
+        self.findings.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.rule.cmp(&b.rule))
+                .then_with(|| a.message.cmp(&b.message))
+                .then_with(|| a.nodes.cmp(&b.nodes))
+        });
     }
 
     /// Human-readable block, one line per finding.

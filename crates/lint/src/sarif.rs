@@ -1,0 +1,100 @@
+//! SARIF 2.1.0 output — the static-analysis interchange format CI
+//! systems (GitHub code scanning, among others) ingest natively.
+//!
+//! One run, one `tool.driver` describing every rule in the catalogue,
+//! one `result` per finding.  Netlist modules have no file/line, so
+//! each result carries a *logical* location (`kind: "module"`) plus the
+//! anchor nodes in `properties` — enough for a reviewer to jump from
+//! the CI annotation to `p5lint`'s human report.
+
+use crate::report::{json_string, Report, Rule, Severity};
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Info => "note",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// Serialise lint reports as one SARIF 2.1.0 log.
+pub fn to_sarif(reports: &[Report]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"p5lint\",\"rules\":[",
+    );
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"name\":{}}}",
+            rule.code(),
+            json_string(rule.name()),
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for r in reports {
+        for f in &r.findings {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let nodes = f
+                .nodes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":{}}},\
+                 \"locations\":[{{\"logicalLocations\":[{{\"name\":{},\
+                 \"kind\":\"module\"}}]}}],\"properties\":{{\"nodes\":[{nodes}]}}}}",
+                f.rule.code(),
+                level(f.severity),
+                json_string(&f.message),
+                json_string(&r.module),
+            ));
+        }
+    }
+    out.push_str("]}]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Finding;
+
+    #[test]
+    fn sarif_shape_and_rule_catalogue() {
+        let reports = vec![Report::new(
+            "mod".into(),
+            vec![
+                Finding::new(Rule::CombLoop, Severity::Error, "loop").with_nodes(vec![3, 4]),
+                Finding::new(Rule::DeadLogic, Severity::Info, "dead"),
+            ],
+        )];
+        let s = to_sarif(&reports);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        for rule in Rule::ALL {
+            assert!(
+                s.contains(&format!("\"id\":\"{}\"", rule.code())),
+                "{rule:?}"
+            );
+        }
+        assert!(s.contains("\"level\":\"error\""));
+        assert!(s.contains("\"level\":\"note\""));
+        assert!(s.contains("\"nodes\":[3,4]"));
+        assert!(s.contains("\"name\":\"mod\""));
+    }
+
+    #[test]
+    fn empty_reports_are_valid_sarif() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\":[]"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Fuzz the lint engine with randomly generated netlists: whatever the
+//! generator (or the corruptor) produces, `lint_full` must never panic
+//! and must report the same findings — byte for byte — every time.
+//! Well-formed netlists additionally round-trip through the `.p5n` text
+//! format without changing their lint verdict.
+
+use p5_fpga::{devices, parse_modules, to_text, Builder, Netlist, NodeKind, Sig};
+use p5_lint::{lint_full, timing_report, LINE_CLOCK_MHZ};
+use proptest::prelude::*;
+
+/// Deterministically grow a *well-formed* netlist from an op tape.
+/// Every gate references an already-created signal, so the result is a
+/// DAG with conventional handshake buses — structurally valid by
+/// construction.
+fn build_random(ops: &[(u8, u16, u16)]) -> Netlist {
+    let mut b = Builder::new("fuzz module");
+    let mut sigs: Vec<Sig> = Vec::new();
+    sigs.push(b.input("in_valid"));
+    sigs.extend(b.input_bus("in_data", 4));
+    for &(op, a, c) in ops {
+        let pick = |i: u16| sigs[i as usize % sigs.len()];
+        let s = match op % 8 {
+            0 => {
+                let name = format!("aux{}", sigs.len());
+                b.input(&name)
+            }
+            1 => b.not(pick(a)),
+            2 => b.and2(pick(a), pick(c)),
+            3 => b.or2(pick(a), pick(c)),
+            4 => b.xor2(pick(a), pick(c)),
+            5 => b.reg(pick(a), a & 1 == 0),
+            6 => b.reg_en(pick(a), pick(c), false),
+            _ => b.reg_ctrl(pick(a), None, Some(pick(c)), true),
+        };
+        sigs.push(s);
+    }
+    let tail: Vec<Sig> = sigs[sigs.len().saturating_sub(4)..].to_vec();
+    b.output("out_data", &tail);
+    let last = *sigs.last().unwrap();
+    b.output("out_valid", &[last]);
+    b.finish()
+}
+
+/// Break the netlist the way real generator bugs do: wild `Sig`
+/// references, unbound or cross-linked flip-flops, orphan inputs,
+/// rewired gates (possibly closing combinational loops).
+fn corrupt(n: &mut Netlist, muts: &[(u8, u32)]) {
+    for &(kind, v) in muts {
+        match kind % 6 {
+            0 => {
+                if !n.nodes.is_empty() {
+                    let i = v as usize % n.nodes.len();
+                    n.nodes[i] = NodeKind::And(v, v / 2);
+                }
+            }
+            1 => {
+                if let Some(bus) = n.outputs.get_mut(0) {
+                    bus.sigs.push(v);
+                }
+            }
+            2 => {
+                if !n.dffs.is_empty() {
+                    let i = v as usize % n.dffs.len();
+                    n.dffs[i].d = None;
+                }
+            }
+            3 => {
+                if !n.dffs.is_empty() {
+                    let i = v as usize % n.dffs.len();
+                    n.dffs[i].en = Some(v);
+                }
+            }
+            4 => n.nodes.push(NodeKind::Input),
+            _ => {
+                if !n.dffs.is_empty() {
+                    let i = v as usize % n.dffs.len();
+                    n.dffs[i].q = v;
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn well_formed_netlists_never_panic_and_report_deterministically(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..60),
+    ) {
+        let n = build_random(&ops);
+        let r1 = lint_full(&n, &devices::XC2V1000_6, LINE_CLOCK_MHZ);
+        let r2 = lint_full(&n, &devices::XC2V1000_6, LINE_CLOCK_MHZ);
+        prop_assert_eq!(r1.to_json(), r2.to_json());
+        if let Some(sta) = timing_report(&n, &devices::XC2V1000_6, LINE_CLOCK_MHZ, 3) {
+            let again = timing_report(&n, &devices::XC2V1000_6, LINE_CLOCK_MHZ, 3).unwrap();
+            prop_assert_eq!(sta.to_json(), again.to_json());
+        }
+    }
+
+    #[test]
+    fn well_formed_netlists_round_trip_through_the_text_format(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..40),
+    ) {
+        let n = build_random(&ops);
+        let parsed = parse_modules(&to_text(&[&n])).expect("well-formed must serialise");
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(
+            lint_full(&n, &devices::XCV600_4, LINE_CLOCK_MHZ).to_json(),
+            lint_full(&parsed[0], &devices::XCV600_4, LINE_CLOCK_MHZ).to_json()
+        );
+    }
+
+    #[test]
+    fn malformed_netlists_never_panic_and_report_deterministically(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..40),
+        muts in proptest::collection::vec((any::<u8>(), any::<u32>()), 1..8),
+    ) {
+        let mut n = build_random(&ops);
+        corrupt(&mut n, &muts);
+        let r1 = lint_full(&n, &devices::XCV50_4, LINE_CLOCK_MHZ);
+        let r2 = lint_full(&n, &devices::XCV50_4, LINE_CLOCK_MHZ);
+        prop_assert_eq!(r1.to_json(), r2.to_json());
+        // The corrupted netlist still serialises (the text format is
+        // syntax-only) and the damage survives the round trip.
+        let parsed = parse_modules(&to_text(&[&n])).expect("text format carries bad netlists");
+        prop_assert_eq!(
+            r1.to_json(),
+            lint_full(&parsed[0], &devices::XCV50_4, LINE_CLOCK_MHZ).to_json()
+        );
+    }
+}

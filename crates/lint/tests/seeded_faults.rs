@@ -4,7 +4,9 @@
 //! its fields public precisely so faults can be injected post-build.
 
 use p5_fpga::{devices, Builder, Netlist, NodeKind, Sig};
-use p5_lint::{lint_full, lint_netlist, Report, Rule, Severity, LINE_CLOCK_MHZ};
+use p5_lint::{
+    lint_full, lint_netlist, LinkGraph, Report, Rule, Severity, StageContract, LINE_CLOCK_MHZ,
+};
 
 fn findings_for(r: &Report, rule: Rule) -> usize {
     r.findings.iter().filter(|f| f.rule == rule).count()
@@ -288,6 +290,160 @@ fn p5l011_self_gated_enable_fires_on_a_q_gated_ce() {
     assert_fires(&lint_netlist(&n), Rule::SelfGatedEnable, Severity::Warning);
 }
 
+/// A module with a reset domain whose `out_valid` register the reset
+/// does not cover: `out_valid` is `X` right out of reset.
+fn leaky_valid() -> Netlist {
+    let mut b = Builder::new("leaky valid");
+    let in_valid = b.input("in_valid");
+    let rst = b.input("rst");
+    let covered = b.reg_ctrl(in_valid, None, Some(rst), false);
+    let valid_q = b.reg(in_valid, false); // no SR: stale after reset
+    b.output("out_valid", &[valid_q]);
+    b.output("covered", &[covered]);
+    b.finish()
+}
+
+#[test]
+fn p5l012_x_leak_fires_when_out_valid_is_reset_uncovered() {
+    let r = lint_netlist(&leaky_valid());
+    assert_fires(&r, Rule::XLeak, Severity::Error);
+    let f = r.findings.iter().find(|f| f.rule == Rule::XLeak).unwrap();
+    assert!(f.message.contains("out_valid is unknown"), "{}", f.message);
+    assert!(
+        !f.nodes.is_empty(),
+        "finding must anchor the stale registers"
+    );
+}
+
+#[test]
+fn p5l012_x_leak_fires_when_valid_asserts_over_stale_data() {
+    // A free-running source: out_valid is constantly asserted, but the
+    // data register keeps its stale post-reset contents.
+    let mut b = Builder::new("stale data");
+    let in_data = b.input_bus("in_data", 2);
+    let in_valid = b.input("in_valid");
+    let rst = b.input("rst");
+    let covered = b.reg_ctrl(in_valid, None, Some(rst), false);
+    let data_q: Vec<Sig> = in_data.iter().map(|&d| b.reg(d, false)).collect(); // no SR: stale
+    let always = b.lit(true);
+    b.output("out_valid", &[always]);
+    b.output("out_data", &data_q);
+    b.output("covered", &[covered]);
+    let r = lint_netlist(&b.finish());
+    assert_fires(&r, Rule::XLeak, Severity::Error);
+    let f = r.findings.iter().find(|f| f.rule == Rule::XLeak).unwrap();
+    assert!(
+        f.message.contains("out_data[0] is unknown"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn p5l012_does_not_fire_on_a_fully_covered_or_reset_free_module() {
+    // Reset-free: every register is at its configuration init (the
+    // clean_stage fixture). Fully covered: every register has SR.
+    assert_eq!(findings_for(&lint_netlist(&clean_stage()), Rule::XLeak), 0);
+    let mut b = Builder::new("covered");
+    let in_valid = b.input("in_valid");
+    let rst = b.input("rst");
+    let valid_q = b.reg_ctrl(in_valid, None, Some(rst), false);
+    b.output("out_valid", &[valid_q]);
+    let r = lint_netlist(&b.finish());
+    assert_eq!(findings_for(&r, Rule::XLeak), 0, "{}", r.render_human());
+}
+
+/// A module whose register and a live gate are provably constant.
+fn const_module() -> Netlist {
+    let mut b = Builder::new("consty");
+    let x = b.input("x");
+    let zero = b.lit(false);
+    let q = b.reg(zero, false); // holds 0 under every input sequence
+    let g = b.and2(q, x); // the builder cannot fold through a register
+    b.output("q", &[q]);
+    b.output("g", &[g]);
+    b.finish()
+}
+
+#[test]
+fn p5l013_const_logic_fires_on_foldable_registers_and_gates() {
+    let r = lint_netlist(&const_module());
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == Rule::ConstLogic && f.message.contains("flip-flop")),
+        "{}",
+        r.render_human()
+    );
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == Rule::ConstLogic && f.message.contains("gate")),
+        "{}",
+        r.render_human()
+    );
+    assert!(r.is_clean(), "const logic is informational, not failing");
+}
+
+#[test]
+fn p5l013_does_not_fire_on_genuinely_input_driven_logic() {
+    assert_eq!(
+        findings_for(&lint_netlist(&clean_stage()), Rule::ConstLogic),
+        0
+    );
+}
+
+#[test]
+fn p5l014_timing_violation_fires_when_the_clock_is_unreachable() {
+    // clean_stage closes 78.125 MHz on every part, but no Virtex -4
+    // register-to-register path makes a 1 ns period.
+    let r = lint_full(&clean_stage(), &devices::XCV50_4, 1000.0);
+    assert_fires(&r, Rule::TimingViolation, Severity::Error);
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::TimingViolation)
+        .unwrap();
+    assert!(f.message.contains("worst slack"), "{}", f.message);
+    assert!(f.message.contains("critical path"), "{}", f.message);
+}
+
+#[test]
+fn p5l014_does_not_fire_at_the_line_clock_on_the_target_part() {
+    let r = lint_full(&clean_stage(), &devices::XC2V1000_6, LINE_CLOCK_MHZ);
+    assert_eq!(
+        findings_for(&r, Rule::TimingViolation),
+        0,
+        "{}",
+        r.render_human()
+    );
+}
+
+/// The composition hazard P5L008 cannot see: each stage is fine alone,
+/// the a→b boundary closes a combinational ready/valid loop.
+fn hazardous_pair() -> LinkGraph {
+    let mut a = StageContract::buffered("a");
+    a.valid_on_ready = true; // Mealy valid
+    let mut b = StageContract::buffered("b");
+    b.ready_on_valid = true; // ready consults valid
+    LinkGraph::chain("a→b", vec![a, b])
+}
+
+#[test]
+fn p5l015_compose_hazard_fires_on_a_cross_module_cycle() {
+    let r = hazardous_pair().check();
+    assert_fires(&r, Rule::ComposeHazard, Severity::Error);
+}
+
+#[test]
+fn p5l015_does_not_fire_on_a_buffered_chain() {
+    let g = LinkGraph::chain(
+        "ok",
+        vec![StageContract::buffered("a"), StageContract::buffered("b")],
+    );
+    assert!(g.check().is_clean());
+}
+
 /// Meta-coverage: the scenarios above exercise every rule in the
 /// catalogue, so a new rule without a seeded fault fails this test.
 #[test]
@@ -334,6 +490,15 @@ fn every_rule_id_has_a_firing_scenario() {
 
     let hot = lint_full(&clean_stage(), &devices::XCV50_4, 1000.0);
     fired.extend(hot.findings.iter().map(|f| f.rule));
+
+    fired.extend(lint_netlist(&leaky_valid()).findings.iter().map(|f| f.rule));
+    fired.extend(
+        lint_netlist(&const_module())
+            .findings
+            .iter()
+            .map(|f| f.rule),
+    );
+    fired.extend(hazardous_pair().check().findings.iter().map(|f| f.rule));
 
     for rule in Rule::ALL {
         assert!(

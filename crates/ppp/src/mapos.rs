@@ -2,7 +2,7 @@
 //!
 //! MAPOS reuses HDLC framing but gives the address octet real meaning:
 //! frames are switched by address through a frame switch.  The paper cites
-//! MAPOS ([1],[2]) as the reason the P⁵'s address field is programmable
+//! MAPOS (\[1\],\[2\]) as the reason the P⁵'s address field is programmable
 //! rather than hard-wired to 0xFF.
 //!
 //! RFC 2171 §2.2 address format: the least significant bit is always 1

@@ -74,7 +74,7 @@ impl Session {
 
     /// The physical layer dropped — e.g. a SONET error storm tripped the
     /// link-quality policy.  LCP leaves Opened, which cascades a Down
-    /// into IPCP via [`Self::pump`].
+    /// into IPCP via the internal event pump.
     pub fn lower_down(&mut self) {
         self.lcp.lower_down();
         self.pump();

@@ -19,11 +19,13 @@ pub mod buf;
 pub mod stack;
 pub mod stage;
 pub mod stats;
+pub mod topology;
 
 pub use buf::{FrameMeta, WireBuf};
 pub use stack::{Chain, Stack};
 pub use stage::{Pipe, Poll, StreamStage, Throttle, WordStream};
 pub use stats::StageStats;
+pub use topology::Topology;
 
 // Re-exported so downstream crates implement `Observable` (a `StreamStage`
 // supertrait) and emit trace events without naming `p5-trace` in their

@@ -152,6 +152,15 @@ impl Stack {
         self.stages.len()
     }
 
+    /// The stage topology of this stack: a linear source→sink chain of
+    /// the composed stage names, for link-level static analysis.
+    pub fn topology(&self) -> crate::Topology {
+        crate::Topology::chain(
+            "stack",
+            self.stages.iter().map(|s| s.name().to_string()).collect(),
+        )
+    }
+
     pub fn is_empty(&self) -> bool {
         self.stages.is_empty()
     }

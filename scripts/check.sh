@@ -17,8 +17,16 @@ cargo build -q --offline --examples
 echo "==> cargo test (workspace)"
 cargo test -q --workspace --offline
 
-echo "==> p5lint (shipped netlists)"
-cargo run -q -p p5-lint --bin p5lint --offline
+echo "==> cargo doc (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
+
+echo "==> p5lint (shipped netlists + compositions, timing gate)"
+# --deny-warnings with the committed baseline: any new finding at any
+# severity fails; --report-timing refreshes results/TIMING_*.json and
+# exits 2 if any shipped netlist's worst slack goes negative at the
+# 78.125 MHz line clock on the target part.
+cargo run -q --release -p p5-lint --bin p5lint --offline -- \
+    --strict --deny-warnings --baseline lint.baseline.json --report-timing
 
 echo "==> throughput smoke + perf gate (results/BENCH_throughput.json)"
 # The bytes/cycle floors are the shipped numbers: a cycle-model change
