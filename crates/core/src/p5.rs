@@ -3,10 +3,13 @@
 
 use crate::oam::{ctrl, Interrupt, OamHandle};
 use crate::rx::{RxCounters, RxPipeline};
-use crate::tx::{TxDescriptor, TxPipeline, TxQueueFull};
+use crate::tx::{fcs_params, TxDescriptor, TxPipeline, TxQueueFull};
 use crate::word::Word;
-use p5_hdlc::{FcsMode, FLAG};
-use p5_stream::{Event, EventKind, FrameId, NullSink, Poll, TraceSink, WireBuf, WordStream};
+use p5_crc::{fcs16_wire_bytes, fcs32_wire_bytes, CrcEngine, EngineKind, FcsEngine};
+use p5_hdlc::{scan, stuff_into, Accm, FcsMode, ESCAPE, ESCAPE_XOR, FLAG};
+use p5_stream::{
+    BufPool, Event, EventKind, FrameId, NullSink, Poll, TraceSink, WireBuf, WordStream,
+};
 use std::collections::VecDeque;
 
 pub use crate::rx::ReceivedFrame;
@@ -95,6 +98,47 @@ struct TraceState {
     last_rx: RxCounters,
 }
 
+/// Above this many pending wire-out bytes the fused Tx path declares
+/// backpressure and hands the frame to the staged pipeline instead.
+/// [`crate::stream::TxStage`] uses the same mark to bound how far it
+/// runs ahead of an unconsuming downstream.
+pub const FUSED_WIRE_HIGH_WATER: usize = 64 * 1024;
+
+/// State of the fused (stage-hop-skipping) fast paths: persistent FCS
+/// engines plus the Rx delineation machine that replaces the
+/// EscapeDetect → RxCrc → RxControl word march when the cycle model is
+/// not being exercised.
+struct Fused {
+    fcs: FcsMode,
+    tx_engine: Option<FcsEngine>,
+    rx_engine: Option<FcsEngine>,
+    /// Destuffed bytes of the frame currently being delineated.
+    rx_acc: Vec<u8>,
+    rx_in_frame: bool,
+    rx_esc_pending: bool,
+    rx_overrun: bool,
+}
+
+impl Fused {
+    fn new(width: usize, fcs: FcsMode) -> Self {
+        let make = || fcs_params(fcs).map(|p| FcsEngine::new(EngineKind::default(), p, width));
+        Self {
+            fcs,
+            tx_engine: make(),
+            rx_engine: make(),
+            rx_acc: Vec::new(),
+            rx_in_frame: false,
+            rx_esc_pending: false,
+            rx_overrun: false,
+        }
+    }
+
+    /// No partially delineated fused frame in flight.
+    fn rx_idle(&self) -> bool {
+        !self.rx_in_frame && !self.rx_esc_pending
+    }
+}
+
 /// The P⁵ device.
 pub struct P5 {
     width: DatapathWidth,
@@ -110,6 +154,13 @@ pub struct P5 {
     counters_snapshot: RxCounters,
     cfg: OamConfigCache,
     synced: OamSyncedImage,
+    /// Recycled frame-buffer storage shared by both directions.
+    pool: BufPool,
+    fused: Fused,
+    /// Master enable for the fused fast paths (on by default).  Turn
+    /// off to force every frame through the cycle-accurate staged
+    /// pipeline — the reference behaviour for equivalence tests.
+    pub fused_enabled: bool,
     sink: Box<dyn TraceSink + Send>,
     /// Cached `sink.enabled()` so the disabled path costs one branch.
     trace_enabled: bool,
@@ -144,11 +195,15 @@ impl P5 {
             FcsMode::Fcs32
         };
         let w = width.bytes();
+        let pool = BufPool::new();
+        let mut tx = TxPipeline::new(w, cfg.address, fcs);
+        tx.control.set_pool(pool.clone());
         let mut rx = RxPipeline::new(w, cfg.address, fcs, max_body);
         rx.control.promiscuous = cfg.promiscuous;
+        rx.control.set_pool(pool.clone());
         Self {
             width,
-            tx: TxPipeline::new(w, cfg.address, fcs),
+            tx,
             rx,
             oam,
             wire_out: WireBuf::new(),
@@ -158,10 +213,29 @@ impl P5 {
             counters_snapshot: RxCounters::default(),
             cfg,
             synced: OamSyncedImage::default(),
+            pool,
+            fused: Fused::new(w, fcs),
+            fused_enabled: true,
             sink: Box::new(NullSink),
             trace_enabled: false,
             trace: TraceState::default(),
         }
+    }
+
+    /// The device's shared recycled-buffer pool (clone to share storage
+    /// with the stages feeding this device).
+    pub fn buf_pool(&self) -> BufPool {
+        self.pool.clone()
+    }
+
+    /// Lease recycled storage suitable for a submit payload.
+    pub fn lease_tx_buf(&self) -> Vec<u8> {
+        self.tx.control.lease_buf()
+    }
+
+    /// Hand a delivered payload's storage back to the device pool.
+    pub fn recycle_rx_payload(&mut self, payload: Vec<u8>) {
+        self.rx.control.recycle_payload(payload);
     }
 
     /// Install a trace sink.  The frame lifecycle (submit → framed →
@@ -240,6 +314,12 @@ impl P5 {
         out.move_from(&mut self.wire_out, usize::MAX)
     }
 
+    /// Bounded [`P5::drain_wire_into`]: move at most `max` pending wire
+    /// bytes, leaving the rest to back-pressure the transmitter.
+    pub fn drain_wire_into_bounded(&mut self, out: &mut WireBuf, max: usize) -> usize {
+        out.move_from(&mut self.wire_out, max)
+    }
+
     /// Move up to `max` wire bytes from `src` to the receiver's wire-in
     /// buffer. Returns bytes moved.
     pub fn offer_wire_from(&mut self, src: &mut WireBuf, max: usize) -> usize {
@@ -265,43 +345,49 @@ impl P5 {
         self.rx.counters()
     }
 
+    /// Refresh programmable parameters when (and only when) a register
+    /// changed — registers stay live, but the steady-state cost is one
+    /// atomic load instead of several lock round trips.  Shared by the
+    /// cycle-accurate `clock()` and the fused fast paths.
+    fn refresh_cfg(&mut self) {
+        let version = self.oam.version();
+        if version == self.cfg.version {
+            return;
+        }
+        self.cfg = self.oam.read_state(|s| OamConfigCache {
+            version,
+            tx_en: s.ctrl & ctrl::TX_ENABLE != 0,
+            rx_en: s.ctrl & ctrl::RX_ENABLE != 0,
+            promiscuous: s.ctrl & ctrl::PROMISCUOUS != 0,
+            loopback: s.ctrl & ctrl::LOOPBACK != 0,
+            address: s.address,
+            max_body: s.max_body,
+        });
+        self.tx.control.address = self.cfg.address;
+        self.rx.control.address = self.cfg.address;
+        self.rx.control.promiscuous = self.cfg.promiscuous;
+        // MAX_BODY (§13.4) is live like the other programmable
+        // registers: a host write takes effect at the next frame
+        // boundary the accumulator checks, so the giant filter
+        // follows the negotiated MRU.
+        self.rx.control.max_body = self.cfg.max_body as usize;
+        // Register writes are the only version bumps besides the
+        // datapath's own sync, so the (rare) refresh path is where
+        // the host's bus writes become trace events.
+        if self.trace_enabled {
+            for (addr, value) in self.oam.take_writes() {
+                self.sink.record(Event {
+                    cycle: self.cycles,
+                    kind: EventKind::OamWrite { addr, value },
+                });
+            }
+        }
+    }
+
     /// Advance the device by one clock.
     pub fn clock(&mut self) {
         self.cycles += 1;
-        // Refresh programmable parameters when (and only when) a
-        // register changed — registers stay live, but the steady-state
-        // cost is one atomic load instead of several lock round trips.
-        let version = self.oam.version();
-        if version != self.cfg.version {
-            self.cfg = self.oam.read_state(|s| OamConfigCache {
-                version,
-                tx_en: s.ctrl & ctrl::TX_ENABLE != 0,
-                rx_en: s.ctrl & ctrl::RX_ENABLE != 0,
-                promiscuous: s.ctrl & ctrl::PROMISCUOUS != 0,
-                loopback: s.ctrl & ctrl::LOOPBACK != 0,
-                address: s.address,
-                max_body: s.max_body,
-            });
-            self.tx.control.address = self.cfg.address;
-            self.rx.control.address = self.cfg.address;
-            self.rx.control.promiscuous = self.cfg.promiscuous;
-            // MAX_BODY (§13.4) is live like the other programmable
-            // registers: a host write takes effect at the next frame
-            // boundary the accumulator checks, so the giant filter
-            // follows the negotiated MRU.
-            self.rx.control.max_body = self.cfg.max_body as usize;
-            // Register writes are the only version bumps besides the
-            // datapath's own sync, so the (rare) refresh path is where
-            // the host's bus writes become trace events.
-            if self.trace_enabled {
-                for (addr, value) in self.oam.take_writes() {
-                    self.sink.record(Event {
-                        cycle: self.cycles,
-                        kind: EventKind::OamWrite { addr, value },
-                    });
-                }
-            }
-        }
+        self.refresh_cfg();
 
         let (tx_en, rx_en, loopback) = (self.cfg.tx_en, self.cfg.rx_en, self.cfg.loopback);
         let mut wire_word = None;
@@ -335,6 +421,230 @@ impl P5 {
             self.trace_tick(wire_word);
         }
         self.sync_oam();
+    }
+
+    /// Can [`P5::fused_submit_wire`] take the next frame?  True when the
+    /// staged transmitter is drained (nothing to reorder around), the
+    /// device is in plain PPP duty (no idle-fill flag stream, no
+    /// loopback), and the wire-out buffer is below its backpressure
+    /// high-water mark.
+    pub fn fused_tx_ready(&self) -> bool {
+        self.fused_enabled
+            && self.cfg.tx_en
+            && !self.cfg.loopback
+            && !self.tx.escape.idle_fill
+            && self.tx.idle()
+            && self.wire_out.len() < FUSED_WIRE_HIGH_WATER
+    }
+
+    /// Fused encap → FCS → stuff → wire fast path: one call takes a
+    /// payload from shared memory to complete wire bytes, skipping the
+    /// per-word stage hops of the cycle model.  Byte-for-byte identical
+    /// wire output (flag sharing included), same lifecycle trace events,
+    /// same flow counters; per-cycle occupancy/latency statistics remain
+    /// cycle-model-only, and `cycles` does not advance.
+    ///
+    /// Returns `false` without side effects when the fast path is not
+    /// eligible (see [`P5::fused_tx_ready`]) — the caller then falls
+    /// back to [`P5::submit_tagged`] and the staged pipeline.
+    pub fn fused_submit_wire(&mut self, protocol: u16, payload: &[u8], id: FrameId) -> bool {
+        self.refresh_cfg();
+        if !self.fused_tx_ready() {
+            return false;
+        }
+        let header = [
+            self.cfg.address,
+            0x03,
+            (protocol >> 8) as u8,
+            protocol as u8,
+        ];
+        let fcs_len = self.fused.fcs.len();
+        let mut fcs_bytes = [0u8; 4];
+        if let Some(e) = &mut self.fused.tx_engine {
+            e.reset();
+            e.update(&header);
+            e.update(payload);
+            match self.fused.fcs {
+                FcsMode::Fcs16 => {
+                    fcs_bytes[..2].copy_from_slice(&fcs16_wire_bytes(e.value() as u16));
+                }
+                _ => fcs_bytes.copy_from_slice(&fcs32_wire_bytes(e.value())),
+            }
+        }
+        // Flag sharing continues seamlessly across fused and staged
+        // frames: open with a flag only if the previous wire octet was
+        // not already one.
+        let open_flag = !self.tx.escape.last_was_flag();
+        let mut escapes = 0usize;
+        self.wire_out.extend_untagged_with(|out| {
+            if open_flag {
+                out.push(FLAG);
+            }
+            escapes += stuff_into(&header, Accm::SONET, out);
+            escapes += stuff_into(payload, Accm::SONET, out);
+            escapes += stuff_into(&fcs_bytes[..fcs_len], Accm::SONET, out);
+            out.push(FLAG);
+        });
+        self.tx.escape.set_last_was_flag(true);
+        // Flow-counter parity with the staged pipeline.
+        let body_len = header.len() + payload.len();
+        self.tx.control.frames_sent += 1;
+        self.tx.control.stats.words_out += body_len.div_ceil(self.width.bytes()) as u64;
+        self.tx.control.stats.bytes_out += body_len as u64;
+        self.tx.escape.frames_stuffed += 1;
+        self.tx.escape.escapes_inserted += escapes as u64;
+        if self.trace_enabled {
+            let id = if id != 0 {
+                id
+            } else {
+                self.trace.next_id += 1;
+                self.trace.next_id
+            };
+            self.trace.tx_ids.push_back(id);
+            self.sink.record(Event {
+                cycle: self.cycles,
+                kind: EventKind::Submit {
+                    id,
+                    len: payload.len() as u32,
+                },
+            });
+            // The counter bumps above turn into Framed/Stuffed events
+            // through the same delta bookkeeping the staged path uses.
+            self.trace_tick(None);
+            let id = self.trace.stuffed_ids.pop_front().unwrap_or(0);
+            self.sink.record(Event {
+                cycle: self.cycles,
+                kind: EventKind::Wire { id },
+            });
+        }
+        self.sync_oam();
+        // The frame completed within this call: that is the staged
+        // pipeline's busy→idle edge, compressed to a point.
+        self.oam.raise(Interrupt::TxDone);
+        true
+    }
+
+    /// Can [`P5::fused_ingest_wire`] process wire bytes right now?  True
+    /// when the staged receiver is drained and has nothing queued (a
+    /// fused frame in progress keeps the staged pipeline idle, so the
+    /// fast path stays engaged across partial deliveries).
+    pub fn fused_rx_ready(&self) -> bool {
+        self.fused_enabled
+            && self.cfg.rx_en
+            && !self.cfg.loopback
+            && self.wire_in.is_empty()
+            && self.rx.idle()
+    }
+
+    /// No partially delineated fused-Rx frame is in flight.
+    pub fn fused_rx_idle(&self) -> bool {
+        self.fused.rx_idle()
+    }
+
+    /// Fused delineate → destuff → FCS-check → deliver fast path: scans
+    /// up to `max_bytes` wire octets from `input` in bulk (flag/escape
+    /// free runs move as single copies), validates complete frames with
+    /// the persistent slicing engine and delivers them through the same
+    /// classification tail — counters, OAM mirror, interrupts and trace
+    /// events — as the staged receiver.
+    ///
+    /// Returns `None` without consuming anything when the fast path is
+    /// not eligible (see [`P5::fused_rx_ready`]); the caller then feeds
+    /// the staged pipeline instead.
+    pub fn fused_ingest_wire(&mut self, input: &mut WireBuf, max_bytes: usize) -> Option<usize> {
+        self.refresh_cfg();
+        if !self.fused_rx_ready() {
+            return None;
+        }
+        let budget = input.len().min(max_bytes);
+        let bytes = &input.as_slice()[..budget];
+        let cap = self.rx.control.max_body + self.fused.fcs.len();
+        let mut frames_closed = 0u64;
+        let mut i = 0;
+        while i < budget {
+            let b = bytes[i];
+            if self.fused.rx_esc_pending {
+                i += 1;
+                self.fused.rx_esc_pending = false;
+                if b == FLAG {
+                    // RFC 1662 abort sequence: 7D 7E.
+                    self.close_fused_frame(true);
+                    frames_closed += 1;
+                } else {
+                    self.push_fused_byte(b ^ ESCAPE_XOR, cap);
+                }
+                continue;
+            }
+            if b == FLAG {
+                i += 1;
+                if self.fused.rx_in_frame {
+                    self.close_fused_frame(false);
+                    frames_closed += 1;
+                } else {
+                    self.rx.escape.idle_flags += 1;
+                }
+                continue;
+            }
+            if b == ESCAPE {
+                i += 1;
+                self.fused.rx_esc_pending = true;
+                self.fused.rx_in_frame = true;
+                self.rx.escape.escapes_removed += 1;
+                continue;
+            }
+            // Bulk path: accept the whole flag/escape-free run at once.
+            self.fused.rx_in_frame = true;
+            let run = scan::clean_prefix_len(&bytes[i..]);
+            debug_assert!(run > 0);
+            let take = run.min(cap.saturating_sub(self.fused.rx_acc.len()));
+            self.fused.rx_acc.extend_from_slice(&bytes[i..i + take]);
+            if take < run {
+                self.fused.rx_overrun = true;
+            }
+            i += run;
+        }
+        input.consume(i);
+        self.rx.escape.frames_delineated += frames_closed;
+        if self.trace_enabled && (frames_closed > 0 || i > 0) {
+            self.trace_tick(None);
+        }
+        self.sync_oam();
+        Some(i)
+    }
+
+    /// Accept one destuffed octet into the fused accumulator, honouring
+    /// the giant cap the staged Control unit enforces.
+    fn push_fused_byte(&mut self, b: u8, cap: usize) {
+        self.fused.rx_in_frame = true;
+        if self.fused.rx_acc.len() >= cap {
+            self.fused.rx_overrun = true;
+        } else {
+            self.fused.rx_acc.push(b);
+        }
+    }
+
+    /// A closing flag (or abort sequence) ended the fused frame: run the
+    /// FCS check over the accumulated body and hand it to the shared
+    /// classification tail.
+    fn close_fused_frame(&mut self, abort: bool) {
+        self.fused.rx_in_frame = false;
+        let overrun = std::mem::take(&mut self.fused.rx_overrun);
+        let verdict = if abort || overrun {
+            // The verdict is never consulted on these paths (and the
+            // staged CRC unit's would be over different truncated
+            // bytes), so skip the computation entirely.
+            None
+        } else {
+            self.fused.rx_engine.as_mut().map(|e| {
+                e.reset();
+                e.update(&self.fused.rx_acc);
+                e.residue() == e.params().good_residue
+            })
+        };
+        self.rx
+            .control
+            .classify(&self.fused.rx_acc, abort, overrun, verdict);
+        self.fused.rx_acc.clear();
     }
 
     /// Turn this cycle's unit-counter deltas into lifecycle events.  The
@@ -581,6 +891,103 @@ mod tests {
         let got = b.take_received();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].protocol, 0x0057);
+    }
+
+    #[test]
+    fn fused_tx_wire_bytes_match_staged() {
+        for width in [DatapathWidth::W8, DatapathWidth::W32] {
+            let payloads: Vec<Vec<u8>> = vec![
+                b"plain".to_vec(),
+                vec![0x7E, 0x7D, 0x20, 0x00, 0x7E],
+                (0..=255).collect(),
+            ];
+            let mut staged = P5::new(width);
+            staged.fused_enabled = false;
+            for p in &payloads {
+                staged.submit(0x0021, p.clone()).unwrap();
+            }
+            staged.run_until_idle(100_000);
+            let mut fused = P5::new(width);
+            for p in &payloads {
+                assert!(fused.fused_submit_wire(0x0021, p, 0), "fast path eligible");
+            }
+            assert_eq!(fused.take_wire_out(), staged.take_wire_out());
+            assert_eq!(fused.tx.control.frames_sent, 3);
+            assert_eq!(fused.tx.escape.frames_stuffed, 3);
+            assert_eq!(
+                fused.tx.escape.escapes_inserted,
+                staged.tx.escape.escapes_inserted
+            );
+        }
+    }
+
+    #[test]
+    fn fused_rx_delivers_what_fused_tx_sends() {
+        for width in [DatapathWidth::W8, DatapathWidth::W32] {
+            let payloads: Vec<Vec<u8>> = vec![
+                b"datagram one".to_vec(),
+                vec![0x7E, 0x7D, 0x20, 0x00],
+                (0..=255).collect(),
+            ];
+            let mut tx = P5::new(width);
+            let mut rx = P5::new(width);
+            for p in &payloads {
+                assert!(tx.fused_submit_wire(0x0021, p, 0));
+            }
+            let mut wire = WireBuf::new();
+            tx.drain_wire_into(&mut wire);
+            let n = wire.len();
+            assert_eq!(rx.fused_ingest_wire(&mut wire, usize::MAX), Some(n));
+            let got = rx.take_received();
+            assert_eq!(
+                got.len(),
+                payloads.len(),
+                "counters: {:?}",
+                rx.rx_counters()
+            );
+            for (f, p) in got.iter().zip(&payloads) {
+                assert_eq!(f.protocol, 0x0021);
+                assert_eq!(&f.payload, p);
+            }
+            assert_eq!(rx.rx_counters().fcs_errors, 0);
+        }
+    }
+
+    #[test]
+    fn fused_rx_agrees_with_staged_rx_on_the_same_wire() {
+        let mut tx = P5::new(DatapathWidth::W32);
+        for i in 0..8u8 {
+            tx.submit(0x8021, vec![i ^ 0x7E; 3 + i as usize]).unwrap();
+        }
+        tx.run_until_idle(100_000);
+        let wire = tx.take_wire_out();
+
+        let mut staged = P5::new(DatapathWidth::W32);
+        staged.fused_enabled = false;
+        staged.put_wire_in(&wire);
+        staged.run_until_idle(100_000);
+        let mut fused = P5::new(DatapathWidth::W32);
+        let mut buf = WireBuf::new();
+        buf.push_slice(&wire);
+        fused.fused_ingest_wire(&mut buf, usize::MAX);
+
+        let s = staged.take_received();
+        let f = fused.take_received();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.len(), f.len());
+        for (a, b) in s.iter().zip(&f) {
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.payload, b.payload);
+        }
+        assert_eq!(staged.rx_counters(), fused.rx_counters());
+        assert_eq!(
+            staged.rx.escape.frames_delineated,
+            fused.rx.escape.frames_delineated
+        );
+        assert_eq!(
+            staged.rx.escape.escapes_removed,
+            fused.rx.escape.escapes_removed
+        );
     }
 
     #[test]

@@ -6,8 +6,9 @@ use crate::delay::DelayLine;
 use crate::stager::ByteStager;
 use crate::stats::StageStats;
 use crate::word::Word;
-use p5_crc::{CrcEngine, MatrixEngine, FCS16, FCS32};
+use p5_crc::{CrcEngine, EngineKind, FcsEngine};
 use p5_hdlc::{FcsMode, ESCAPE, ESCAPE_XOR, FLAG};
+use p5_stream::BufPool;
 use std::collections::VecDeque;
 
 /// A frame delivered to shared memory by the receive control unit.
@@ -184,7 +185,7 @@ impl EscapeDetect {
 #[derive(Debug)]
 pub struct RxCrc {
     fcs: FcsMode,
-    engine: Option<MatrixEngine>,
+    engine: Option<FcsEngine>,
     /// Two-deep register (decouples input acceptance from output
     /// readiness).
     regs: VecDeque<Word>,
@@ -193,17 +194,23 @@ pub struct RxCrc {
 
 impl RxCrc {
     pub fn new(width: usize, fcs: FcsMode) -> Self {
-        let engine = match fcs {
-            FcsMode::None => None,
-            FcsMode::Fcs16 => Some(MatrixEngine::new(FCS16, width)),
-            FcsMode::Fcs32 => Some(MatrixEngine::new(FCS32, width)),
-        };
+        Self::with_engine_kind(width, fcs, EngineKind::default())
+    }
+
+    /// Select the CRC realisation (see [`crate::tx::TxCrc::with_engine_kind`]).
+    pub fn with_engine_kind(width: usize, fcs: FcsMode, kind: EngineKind) -> Self {
+        let engine = crate::tx::fcs_params(fcs).map(|p| FcsEngine::new(kind, p, width));
         Self {
             fcs,
             engine,
             regs: VecDeque::with_capacity(2),
             stats: StageStats::default(),
         }
+    }
+
+    /// Which realisation is currently checking the FCS.
+    pub fn engine_kind(&self) -> Option<EngineKind> {
+        self.engine.as_ref().map(|e| e.kind())
     }
 
     pub fn ready(&self) -> bool {
@@ -263,7 +270,16 @@ pub struct RxControl {
     acc: Vec<u8>,
     overrun: bool,
     crc_verdict: Option<bool>,
+    /// A SOF has been seen and the frame it opened has not finished:
+    /// words arriving without it are post-reset/post-error stragglers
+    /// and must not be reassembled into a phantom frame.
+    in_frame: bool,
+    /// Bytes discarded while hunting for the next SOF.
+    pub resync_bytes_skipped: u64,
     out: VecDeque<ReceivedFrame>,
+    /// Recycled payload storage (shared with the device pool via
+    /// [`RxControl::set_pool`]).
+    pool: BufPool,
     pub counters: RxCounters,
     pub stats: StageStats,
 }
@@ -278,10 +294,18 @@ impl RxControl {
             acc: Vec::new(),
             overrun: false,
             crc_verdict: None,
+            in_frame: false,
+            resync_bytes_skipped: 0,
             out: VecDeque::new(),
+            pool: BufPool::new(),
             counters: RxCounters::default(),
             stats: StageStats::default(),
         }
+    }
+
+    /// Share payload storage with a device-wide buffer pool.
+    pub fn set_pool(&mut self, pool: BufPool) {
+        self.pool = pool;
     }
 
     pub fn ready(&self) -> bool {
@@ -311,6 +335,20 @@ impl RxControl {
         if w.sof {
             self.acc.clear();
             self.overrun = false;
+            self.in_frame = true;
+        }
+        if !self.in_frame {
+            // Out of sync: the receiver is hunting for the next frame
+            // start, so these lanes are discarded rather than copied
+            // into the accumulator (they could only ever assemble into
+            // a phantom frame).  An EOF still closes the hunt window so
+            // the error is observable as a runt.
+            self.resync_bytes_skipped += w.len as u64;
+            if w.eof {
+                self.crc_verdict = w.crc_ok;
+                self.finish(w.abort);
+            }
+            return;
         }
         if self.acc.len() + w.len as usize > self.max_body + self.fcs.len() {
             self.overrun = true;
@@ -324,9 +362,27 @@ impl RxControl {
     }
 
     fn finish(&mut self, abort: bool) {
+        self.in_frame = false;
         let body = std::mem::take(&mut self.acc);
         let overrun = std::mem::take(&mut self.overrun);
         let verdict = self.crc_verdict.take();
+        self.classify(&body, abort, overrun, verdict);
+        // Keep the accumulator's capacity for the next frame instead of
+        // reallocating from zero.
+        self.acc = body;
+        self.acc.clear();
+    }
+
+    /// Sort one delineated body into a delivery or an error counter —
+    /// the validation tail of the Control unit, shared verbatim by the
+    /// staged pipeline and the fused fast path.
+    pub(crate) fn classify(
+        &mut self,
+        body: &[u8],
+        abort: bool,
+        overrun: bool,
+        verdict: Option<bool>,
+    ) {
         if abort {
             self.counters.aborts += 1;
             return;
@@ -370,12 +426,19 @@ impl RxControl {
         self.counters.frames_ok += 1;
         self.stats.bytes_out += (body.len() - 4) as u64;
         self.stats.words_out += 1;
+        let mut payload = self.pool.lease_vec();
+        payload.extend_from_slice(&body[4..]);
         self.out.push_back(ReceivedFrame {
             address: addr,
             control: ctrl,
             protocol,
-            payload: body[4..].to_vec(),
+            payload,
         });
+    }
+
+    /// Hand a delivered payload's storage back for reuse.
+    pub fn recycle_payload(&mut self, payload: Vec<u8>) {
+        self.pool.recycle_vec(payload);
     }
 }
 
@@ -686,5 +749,44 @@ mod tests {
         }
         assert_eq!(rx.escape.escapes_removed, 2);
         assert_eq!(rx.take_frames().len(), 1);
+    }
+
+    #[test]
+    fn control_skips_accumulation_while_out_of_sync() {
+        // Words that arrive without a SOF (receiver reset mid-frame,
+        // upstream error recovery) must not be reassembled into a
+        // phantom frame: the control unit hunts for the next SOF and
+        // discards the stragglers.
+        let mut ctl = RxControl::new(FcsMode::Fcs32, 0xFF, 4096);
+        // A mid-frame tail with no SOF, closed by an EOF.
+        ctl.clock(Some(Word::data(&[0xAA, 0xBB, 0xCC, 0xDD])));
+        let mut tail = Word::data(&[0xEE, 0xFF]);
+        tail.eof = true;
+        tail.crc_ok = Some(true);
+        ctl.clock(Some(tail));
+        assert!(ctl.take_frames().is_empty(), "no phantom delivery");
+        assert_eq!(ctl.resync_bytes_skipped, 6);
+        assert_eq!(ctl.counters.runts, 1, "the hunt window closes as a runt");
+        // The next properly-delineated frame is received normally.
+        let mut body = vec![0xFF, 0x03, 0x00, 0x21, 0x42];
+        let mut crc = p5_crc::Slice8Engine::new(p5_crc::FCS32);
+        crc.update(&body);
+        body.extend_from_slice(&p5_crc::fcs32_wire_bytes(crc.value()));
+        let mut chunks = body.chunks(4).peekable();
+        let mut first = true;
+        while let Some(c) = chunks.next() {
+            let mut w = Word::data(c);
+            w.sof = first;
+            first = false;
+            if chunks.peek().is_none() {
+                w.eof = true;
+                w.crc_ok = Some(true);
+            }
+            ctl.clock(Some(w));
+        }
+        let got = ctl.take_frames();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, vec![0x42]);
+        assert_eq!(ctl.counters.frames_ok, 1);
     }
 }

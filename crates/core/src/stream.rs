@@ -9,9 +9,10 @@
 //! so `stack![TxStage::new(..), RxStage::new(..)]` is the identity on
 //! `(protocol, payload)` pairs, modulo the device's error counters.
 
-use crate::p5::P5;
+use crate::p5::{FUSED_WIRE_HIGH_WATER, P5};
 use p5_stream::{
-    FrameId, Observable, Poll, Snapshot, StageStats, StreamStage, WireBuf, WordStream,
+    shrink_scratch, FrameId, Observable, Poll, Snapshot, StageStats, StreamStage, WireBuf,
+    WordStream,
 };
 
 /// Append one `[proto_be, payload]` frame to a tagged stream.
@@ -78,7 +79,11 @@ impl WordStream for TxStage {
     fn offer(&mut self, input: &mut WireBuf) -> Poll {
         let mut accepted = 0;
         while input.frame_ready() {
-            if self.dev.tx.control.queue_free() == 0 {
+            // Fused fast path: staged pipeline drained, plain PPP duty,
+            // wire headroom — the frame goes straight to wire bytes in
+            // one call, skipping the per-word stage hops.
+            let fused = self.dev.fused_tx_ready();
+            if !fused && self.dev.tx.control.queue_free() == 0 {
                 // Bounded shared-memory queue full: deassert ready.
                 self.stats.stall_cycles += 1;
                 return if accepted == 0 {
@@ -96,22 +101,49 @@ impl WordStream for TxStage {
                 continue; // an aborted frame never reaches the queue
             }
             if let Some((protocol, payload)) = decap(&self.scratch) {
+                if fused && self.dev.fused_submit_wire(protocol, payload, meta.id) {
+                    continue;
+                }
+                // Staged path: payload storage comes from the device
+                // pool, so steady-state traffic recycles instead of
+                // allocating per frame.
+                let mut buf = self.dev.lease_tx_buf();
+                buf.extend_from_slice(payload);
                 self.dev
-                    .submit_tagged(protocol, payload.to_vec(), meta.id)
+                    .submit_tagged(protocol, buf, meta.id)
                     .expect("queue_free checked above");
             }
         }
+        shrink_scratch(&mut self.scratch);
         Poll::Ready(accepted)
     }
 
     fn drain(&mut self, output: &mut WireBuf) -> Poll {
+        // Downstream has not consumed what we already delivered: deassert
+        // valid and let wire_out back up — which parks the fused fast
+        // path in `offer` and, once the bounded queue fills, propagates
+        // `Blocked` upstream.
+        let room = FUSED_WIRE_HIGH_WATER.saturating_sub(output.len());
+        if room == 0 {
+            self.stats.stall_cycles += 1;
+            return Poll::Blocked;
+        }
         for _ in 0..self.burst {
-            if self.is_idle() && !self.dev.has_wire_out() {
+            let done = if self.dev.tx.escape.idle_fill {
+                // Continuous line: flag fill keeps the wire busy until
+                // the frame sources drain *and* the wire is ferried.
+                self.is_idle() && !self.dev.has_wire_out()
+            } else {
+                // Plain duty: an idle datapath has nothing to add —
+                // don't burn clocks just to ferry already-made bytes.
+                self.dev.tx.idle()
+            };
+            if done {
                 break;
             }
             self.dev.clock();
         }
-        let n = self.dev.drain_wire_into(output);
+        let n = self.dev.drain_wire_into_bounded(output, room);
         self.stats.words_out += u64::from(n > 0);
         self.stats.bytes_out += n as u64;
         Poll::Ready(n)
@@ -198,6 +230,13 @@ impl RxStage {
 
 impl WordStream for RxStage {
     fn offer(&mut self, input: &mut WireBuf) -> Poll {
+        // Fused fast path: the staged pipeline is drained, so delineate
+        // the delivered bytes in bulk (flag-free runs move as single
+        // copies) instead of clocking them through a word at a time.
+        if let Some(n) = self.dev.fused_ingest_wire(input, FUSED_WIRE_HIGH_WATER) {
+            self.stats.words_in += u64::from(n > 0);
+            return Poll::Ready(n);
+        }
         let max = (self.burst as usize) * self.dev.width().bytes();
         let n = self.dev.offer_wire_from(input, max);
         self.stats.words_in += u64::from(n > 0);
@@ -229,6 +268,8 @@ impl WordStream for RxStage {
             output.end_frame(false);
             n += 2 + f.payload.len();
             self.stats.words_out += 1;
+            // Storage goes back to the device pool for the next frame.
+            self.dev.recycle_rx_payload(f.payload);
         }
         self.stats.bytes_out += n as u64;
         Poll::Ready(n)
@@ -254,7 +295,14 @@ impl StreamStage for RxStage {
     }
 
     fn is_idle(&self) -> bool {
-        self.dev.rx.idle() && self.dev.wire_in_pending() == 0
+        // Delivered-but-undrained frames hold the stage busy: the fused
+        // path completes frames with zero pipeline latency, so unlike
+        // the staged path there may be no trailing clocks left to keep
+        // `rx.idle()` false until the next `drain` picks them up.
+        self.dev.rx.idle()
+            && self.dev.wire_in_pending() == 0
+            && self.dev.fused_rx_idle()
+            && self.dev.rx.control.queued_frames().is_empty()
     }
 
     fn stats(&self) -> StageStats {
@@ -299,6 +347,9 @@ mod tests {
     fn tx_stage_blocks_when_queue_full() {
         let dev = P5::new(DatapathWidth::W32);
         let mut tx = TxStage::new(dev);
+        // The bounded queue is a staged-pipeline structure; the fused
+        // path's backpressure is the wire high-water mark instead.
+        tx.device_mut().fused_enabled = false;
         tx.device_mut().tx.control.queue_depth = 1;
         let mut input = WireBuf::new();
         encap(0x0021, &[1, 2, 3], &mut input);

@@ -6,8 +6,9 @@ use crate::delay::DelayLine;
 use crate::stager::ByteStager;
 use crate::stats::StageStats;
 use crate::word::Word;
-use p5_crc::{CrcEngine, MatrixEngine, FCS16, FCS32};
+use p5_crc::{CrcEngine, CrcParams, EngineKind, FcsEngine, FCS16, FCS32};
 use p5_hdlc::{FcsMode, ESCAPE, ESCAPE_XOR, FLAG};
+use p5_stream::BufPool;
 use std::collections::VecDeque;
 
 /// A frame awaiting transmission in shared memory.
@@ -57,6 +58,9 @@ pub struct TxControl {
     pub frames_sent: u64,
     /// Descriptors refused because the queue was full.
     pub submit_rejects: u64,
+    /// Recycled body/payload storage (shared with the device pool via
+    /// [`TxControl::set_pool`]).
+    pool: BufPool,
     pub stats: StageStats,
 }
 
@@ -73,8 +77,21 @@ impl TxControl {
             queue_depth: Self::DEFAULT_QUEUE_DEPTH,
             frames_sent: 0,
             submit_rejects: 0,
+            pool: BufPool::new(),
             stats: StageStats::default(),
         }
+    }
+
+    /// Share frame-body storage with a device-wide buffer pool.
+    pub fn set_pool(&mut self, pool: BufPool) {
+        self.pool = pool;
+    }
+
+    /// Lease recycled storage for a submit payload (the zero-copy
+    /// producer path: fill this, wrap it in a [`TxDescriptor`], and the
+    /// storage comes back to the pool once the frame is streamed).
+    pub fn lease_buf(&self) -> Vec<u8> {
+        self.pool.lease_vec()
     }
 
     /// Queue a descriptor, or refuse it (handing it back) when the
@@ -113,11 +130,13 @@ impl TxControl {
             Some(cur) => cur,
             cur @ None => {
                 let desc = self.queue.pop_front()?;
-                let mut body = Vec::with_capacity(desc.payload.len() + 4);
+                let mut body = self.pool.lease_vec();
+                body.reserve(desc.payload.len() + 4);
                 body.push(self.address);
                 body.push(0x03); // UI control field
                 body.extend_from_slice(&desc.protocol.to_be_bytes());
                 body.extend_from_slice(&desc.payload);
+                self.pool.recycle_vec(desc.payload);
                 cur.insert((body, 0))
             }
         };
@@ -127,7 +146,9 @@ impl TxControl {
         *pos += take;
         if *pos == body.len() {
             w.eof = true;
-            self.cur = None;
+            if let Some((storage, _)) = self.cur.take() {
+                self.pool.recycle_vec(storage);
+            }
             self.frames_sent += 1;
         }
         self.stats.words_out += 1;
@@ -144,18 +165,30 @@ impl TxControl {
 pub struct TxCrc {
     width: usize,
     fcs: FcsMode,
-    engine: Option<MatrixEngine>,
+    engine: Option<FcsEngine>,
     stager: ByteStager,
     pub stats: StageStats,
 }
 
+/// The FCS parameter set a [`FcsMode`] selects (`None` for no FCS).
+pub(crate) fn fcs_params(fcs: FcsMode) -> Option<CrcParams> {
+    match fcs {
+        FcsMode::None => None,
+        FcsMode::Fcs16 => Some(FCS16),
+        FcsMode::Fcs32 => Some(FCS32),
+    }
+}
+
 impl TxCrc {
     pub fn new(width: usize, fcs: FcsMode) -> Self {
-        let engine = match fcs {
-            FcsMode::None => None,
-            FcsMode::Fcs16 => Some(MatrixEngine::new(FCS16, width)),
-            FcsMode::Fcs32 => Some(MatrixEngine::new(FCS32, width)),
-        };
+        Self::with_engine_kind(width, fcs, EngineKind::default())
+    }
+
+    /// Select the CRC realisation: [`EngineKind::Slice`] (the default)
+    /// for speed, [`EngineKind::Matrix`] to exercise the paper's
+    /// gate-model walk.  Byte-for-byte equivalent either way.
+    pub fn with_engine_kind(width: usize, fcs: FcsMode, kind: EngineKind) -> Self {
+        let engine = fcs_params(fcs).map(|p| FcsEngine::new(kind, p, width));
         Self {
             width,
             fcs,
@@ -164,6 +197,12 @@ impl TxCrc {
             stager: ByteStager::new(4 * width + 8),
             stats: StageStats::default(),
         }
+    }
+
+    /// Which realisation is currently computing the FCS (`None` when
+    /// the mode carries no FCS at all).
+    pub fn engine_kind(&self) -> Option<EngineKind> {
+        self.engine.as_ref().map(|e| e.kind())
     }
 
     /// Can accept one input word next clock (worst case it stages
@@ -328,6 +367,17 @@ impl EscapeGen {
 
     pub fn idle(&self) -> bool {
         self.staging.is_empty() && self.delay.is_clear()
+    }
+
+    /// Was the last octet that left this unit a flag?  The fused fast
+    /// path reads this to decide whether its frame shares the previous
+    /// closing flag, and writes it back after emitting its own.
+    pub(crate) fn last_was_flag(&self) -> bool {
+        self.last_was_flag
+    }
+
+    pub(crate) fn set_last_was_flag(&mut self, v: bool) {
+        self.last_was_flag = v;
     }
 
     fn push(&mut self, b: u8, is_flag: bool) {

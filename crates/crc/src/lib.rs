@@ -5,7 +5,7 @@
 //! parallel matrix (for the 32-bit P⁵)", following the high-speed parallel
 //! CRC formulation of Pei & Zukowski (IEEE Trans. Comm., 1992).
 //!
-//! This crate provides three interchangeable realisations of the two PPP
+//! This crate provides four interchangeable realisations of the two PPP
 //! frame check sequences (FCS-16 per RFC 1662 appendix C.1, FCS-32 per
 //! appendix C.2):
 //!
@@ -13,6 +13,9 @@
 //!   model everything else is verified against;
 //! * [`table`] — classic 256-entry table lookup, one byte per step (what a
 //!   software PPP stack would do and the software baseline in the benches);
+//! * [`mod@slice`] — slicing-by-8: eight bytes per iteration through eight
+//!   derived tables, the fastest software realisation and the default
+//!   engine of the behavioural Tx/Rx pipelines;
 //! * [`matrix`] — the paper's parallel formulation: the CRC step over a
 //!   W-byte word is a linear map over GF(2), captured as a boolean matrix
 //!   `state' = F·state ⊕ G·data`.  [`matrix::StepMatrix`] exposes the raw
@@ -21,7 +24,8 @@
 //!   software via per-byte-lane tables.
 //!
 //! All engines share the [`CrcEngine`] trait so they can be swapped in the
-//! datapath and cross-checked property-style.
+//! datapath and cross-checked property-style; [`FcsEngine`] is the
+//! static-dispatch pair (slice | matrix) the pipelines instantiate.
 //!
 //! ```
 //! use p5_crc::{fcs32, fcs32_wire_bytes, check_fcs32};
@@ -35,12 +39,14 @@
 //! ```
 
 pub mod bitwise;
+pub mod engine;
 pub mod matrix;
 pub mod params;
 pub mod slice;
 pub mod table;
 
 pub use bitwise::BitwiseEngine;
+pub use engine::{EngineKind, FcsEngine};
 pub use matrix::{MatrixEngine, StepMatrix, Term};
 pub use params::{CrcParams, FCS16, FCS32};
 pub use slice::Slice8Engine;

@@ -1,12 +1,22 @@
-//! Slicing-by-8: the fastest table-driven software CRC-32, processing
+//! Slicing-by-8: the fastest table-driven software CRC, processing
 //! eight bytes per iteration through eight derived tables.  This is the
 //! strongest *software* baseline against which the paper's hardware
 //! parallelism is judged in the benches — a general-purpose CPU's best
-//! effort at the job the P⁵ does in one clock.
+//! effort at the job the P⁵ does in one clock — and, since the
+//! line-rate datapath refactor, the default FCS engine of the
+//! behavioural Tx/Rx pipelines (the matrix walk stays as the gate-model
+//! reference).
+//!
+//! Both shipped parameter sets are reflected CRCs whose register lives
+//! in the low bits of the accumulator, so the identical table recurrence
+//! and update loop serve FCS-16 and FCS-32: a 16-bit state simply never
+//! populates the upper half, and XORs into only the first two bytes of
+//! each 8-byte group.
 
 use crate::{BitwiseEngine, CrcEngine, CrcParams};
 
-/// Slicing-by-8 engine (32-bit parameter sets).
+/// Slicing-by-8 engine for the reflected PPP parameter sets (FCS-16 and
+/// FCS-32).
 #[derive(Clone)]
 pub struct Slice8Engine {
     params: CrcParams,
@@ -27,7 +37,10 @@ impl std::fmt::Debug for Slice8Engine {
 
 impl Slice8Engine {
     pub fn new(params: CrcParams) -> Self {
-        assert_eq!(params.width, 32, "slicing-by-8 is built for 32-bit CRCs");
+        assert!(
+            params.width == 16 || params.width == 32,
+            "slicing-by-8 supports the 16- and 32-bit FCS parameter sets"
+        );
         let mut t0 = [0u32; 256];
         for (b, slot) in t0.iter_mut().enumerate() {
             *slot = BitwiseEngine::step_byte(&params, 0, b as u8);
@@ -76,11 +89,11 @@ impl CrcEngine for Slice8Engine {
     }
 
     fn value(&self) -> u32 {
-        self.state ^ self.params.xorout
+        (self.state ^ self.params.xorout) & self.params.mask()
     }
 
     fn residue(&self) -> u32 {
-        self.state
+        self.state & self.params.mask()
     }
 
     fn params(&self) -> &CrcParams {
@@ -91,7 +104,7 @@ impl CrcEngine for Slice8Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{TableEngine, FCS32};
+    use crate::{TableEngine, FCS16, FCS32};
 
     #[test]
     fn check_value() {
@@ -101,34 +114,60 @@ mod tests {
     }
 
     #[test]
+    fn check_value_16() {
+        let mut e = Slice8Engine::new(FCS16);
+        e.update(b"123456789");
+        assert_eq!(e.value(), 0x906E);
+    }
+
+    #[test]
     fn matches_table_engine_on_many_lengths() {
         let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
-        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100, 999, 1000] {
-            let mut a = Slice8Engine::new(FCS32);
-            let mut b = TableEngine::new(FCS32);
-            a.update(&data[..len]);
-            b.update(&data[..len]);
-            assert_eq!(a.value(), b.value(), "len {len}");
-            assert_eq!(a.residue(), b.residue(), "len {len}");
+        for params in [FCS16, FCS32] {
+            for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100, 999, 1000] {
+                let mut a = Slice8Engine::new(params);
+                let mut b = TableEngine::new(params);
+                a.update(&data[..len]);
+                b.update(&data[..len]);
+                assert_eq!(a.value(), b.value(), "{} len {len}", params.name);
+                assert_eq!(a.residue(), b.residue(), "{} len {len}", params.name);
+            }
         }
     }
 
     #[test]
     fn incremental_split_points() {
         let data: Vec<u8> = (0..=255).collect();
-        for cut in [1usize, 3, 8, 13, 100] {
-            let mut a = Slice8Engine::new(FCS32);
-            a.update(&data[..cut]);
-            a.update(&data[cut..]);
-            let mut b = Slice8Engine::new(FCS32);
-            b.update(&data);
-            assert_eq!(a.value(), b.value(), "cut {cut}");
+        for params in [FCS16, FCS32] {
+            for cut in [1usize, 3, 8, 13, 100] {
+                let mut a = Slice8Engine::new(params);
+                a.update(&data[..cut]);
+                a.update(&data[cut..]);
+                let mut b = Slice8Engine::new(params);
+                b.update(&data);
+                assert_eq!(a.value(), b.value(), "{} cut {cut}", params.name);
+            }
         }
     }
 
     #[test]
-    #[should_panic(expected = "32-bit")]
-    fn rejects_16_bit_params() {
-        Slice8Engine::new(crate::FCS16);
+    fn sixteen_bit_round_trip_lands_on_good_residue() {
+        let mut body = b"slice by eight, sixteen wide".to_vec();
+        let mut e = Slice8Engine::new(FCS16);
+        e.update(&body);
+        let fcs = e.value() as u16;
+        body.extend_from_slice(&crate::fcs16_wire_bytes(fcs));
+        let mut check = Slice8Engine::new(FCS16);
+        check.update(&body);
+        assert_eq!(check.residue(), FCS16.good_residue);
+    }
+
+    #[test]
+    #[should_panic(expected = "16- and 32-bit")]
+    fn rejects_unsupported_widths() {
+        let mut odd = FCS32;
+        odd.width = 8;
+        odd.name = "crc-8";
+        Slice8Engine::new(odd);
     }
 }

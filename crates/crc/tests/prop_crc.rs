@@ -1,9 +1,9 @@
-//! Property tests: all three CRC engines are the same function, for both
+//! Property tests: all four CRC engines are the same function, for both
 //! PPP FCS parameter sets and all hardware-relevant word widths.
 
 use p5_crc::{
     check_fcs16, check_fcs32, fcs16, fcs16_wire_bytes, fcs32, fcs32_wire_bytes, BitwiseEngine,
-    CrcEngine, MatrixEngine, TableEngine, FCS16, FCS32,
+    CrcEngine, EngineKind, FcsEngine, MatrixEngine, Slice8Engine, TableEngine, FCS16, FCS32,
 };
 use proptest::prelude::*;
 
@@ -47,6 +47,57 @@ proptest! {
         let mut b = TableEngine::new(FCS32);
         b.update(&data);
         prop_assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn slicing_matches_matrix_byte_for_byte(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(1usize..64, 0..16),
+    ) {
+        // The datapath engine-swap contract: slicing-by-8 must agree
+        // with the gate-model matrix walk on both FCS parameter sets and
+        // both shipped word widths, under arbitrary stream chunkings.
+        for params in [FCS16, FCS32] {
+            for width in [1usize, 4] {
+                let mut sl = Slice8Engine::new(params);
+                let mut mx = MatrixEngine::new(params, width);
+                let mut off = 0usize;
+                for &cut in &cuts {
+                    let end = (off + cut).min(data.len());
+                    sl.update(&data[off..end]);
+                    mx.update(&data[off..end]);
+                    prop_assert_eq!(sl.residue(), mx.residue(),
+                        "{} width {} mid-stream", params.name, width);
+                    off = end;
+                }
+                sl.update(&data[off..]);
+                mx.update(&data[off..]);
+                prop_assert_eq!(sl.value(), mx.value(), "{} width {}", params.name, width);
+                prop_assert_eq!(sl.residue(), mx.residue(), "{} width {}", params.name, width);
+            }
+        }
+    }
+
+    #[test]
+    fn fcs_engine_kinds_are_interchangeable(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        word in 1usize..=4,
+    ) {
+        // The pipelines feed their engine word-at-a-time; both kinds
+        // must agree with the one-shot reference under that feed.
+        for params in [FCS16, FCS32] {
+            let mut sl = FcsEngine::new(EngineKind::Slice, params, word);
+            let mut mx = FcsEngine::new(EngineKind::Matrix, params, word);
+            for chunk in data.chunks(word) {
+                sl.update_word(chunk);
+                mx.update_word(chunk);
+            }
+            let mut reference = TableEngine::new(params);
+            reference.update(&data);
+            prop_assert_eq!(sl.value(), reference.value(), "{} slice", params.name);
+            prop_assert_eq!(mx.value(), reference.value(), "{} matrix", params.name);
+            prop_assert_eq!(sl.residue(), mx.residue(), "{}", params.name);
+        }
     }
 
     #[test]

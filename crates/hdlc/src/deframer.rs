@@ -3,7 +3,7 @@
 //! (Escape Detect → CRC → Control).
 
 use crate::{FcsMode, ESCAPE, ESCAPE_XOR, FLAG};
-use p5_crc::{CrcEngine, TableEngine, FCS16, FCS32};
+use p5_crc::{CrcEngine, Slice8Engine, FCS16, FCS32};
 
 /// Why a received frame was discarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,8 +111,10 @@ pub struct Deframer {
     escape_pending: bool,
     /// Body grew past max; discard at the closing flag.
     overrun: bool,
-    /// Running CRC over the destuffed body (incremental, as hardware does).
-    crc: Option<TableEngine>,
+    /// Running CRC over the destuffed body (incremental, as hardware
+    /// does) — slicing-by-8, so the bulk `accept_run` path checks eight
+    /// octets per iteration.
+    crc: Option<Slice8Engine>,
     stats: RxStats,
 }
 
@@ -120,8 +122,8 @@ impl Deframer {
     pub fn new(config: DeframerConfig) -> Self {
         let crc = match config.fcs {
             FcsMode::None => None,
-            FcsMode::Fcs16 => Some(TableEngine::new(FCS16)),
-            FcsMode::Fcs32 => Some(TableEngine::new(FCS32)),
+            FcsMode::Fcs16 => Some(Slice8Engine::new(FCS16)),
+            FcsMode::Fcs32 => Some(Slice8Engine::new(FCS32)),
         };
         Self {
             config,

@@ -4,7 +4,7 @@
 
 use crate::stuff::{stuff_into, Accm};
 use crate::{FcsMode, FLAG};
-use p5_crc::{fcs16, fcs16_wire_bytes, fcs32, fcs32_wire_bytes};
+use p5_crc::{fcs16_wire_bytes, fcs32_wire_bytes, CrcEngine, Slice8Engine, FCS16, FCS32};
 
 /// Transmitter configuration (everything here is a register in the
 /// Protocol OAM of the hardware design).
@@ -28,9 +28,12 @@ impl Default for FramerConfig {
 }
 
 /// Stateful frame encoder producing a contiguous wire stream.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Framer {
     config: FramerConfig,
+    /// Persistent slicing-by-8 FCS engine — built once with the framer,
+    /// not a fresh lookup table per frame like the one-shot helpers.
+    engine: Option<Slice8Engine>,
     /// True once at least one frame has been emitted (controls flag
     /// sharing).
     mid_stream: bool,
@@ -39,11 +42,26 @@ pub struct Framer {
     wire_bytes_sent: u64,
 }
 
+impl Default for Framer {
+    fn default() -> Self {
+        Self::new(FramerConfig::default())
+    }
+}
+
 impl Framer {
     pub fn new(config: FramerConfig) -> Self {
+        let engine = match config.fcs {
+            FcsMode::None => None,
+            FcsMode::Fcs16 => Some(Slice8Engine::new(FCS16)),
+            FcsMode::Fcs32 => Some(Slice8Engine::new(FCS32)),
+        };
         Self {
             config,
-            ..Self::default()
+            engine,
+            mid_stream: false,
+            frames_sent: 0,
+            body_bytes_sent: 0,
+            wire_bytes_sent: 0,
         }
     }
 
@@ -57,17 +75,17 @@ impl Framer {
         if !(self.mid_stream && self.config.share_flag) {
             out.push(FLAG);
         }
-        match self.config.fcs {
-            FcsMode::None => {
-                stuff_into(body, self.config.accm, out);
-            }
-            FcsMode::Fcs16 => {
-                stuff_into(body, self.config.accm, out);
-                stuff_into(&fcs16_wire_bytes(fcs16(body)), self.config.accm, out);
-            }
-            FcsMode::Fcs32 => {
-                stuff_into(body, self.config.accm, out);
-                stuff_into(&fcs32_wire_bytes(fcs32(body)), self.config.accm, out);
+        stuff_into(body, self.config.accm, out);
+        if let Some(e) = &mut self.engine {
+            e.reset();
+            e.update(body);
+            match self.config.fcs {
+                FcsMode::Fcs16 => {
+                    stuff_into(&fcs16_wire_bytes(e.value() as u16), self.config.accm, out);
+                }
+                _ => {
+                    stuff_into(&fcs32_wire_bytes(e.value()), self.config.accm, out);
+                }
             }
         }
         out.push(FLAG);

@@ -9,7 +9,9 @@
 //!   [`Deframer::stats`] and the stage's [`StageStats::rejects`].
 
 use crate::{DeframeEvent, Deframer, DeframerConfig, Framer, FramerConfig};
-use p5_stream::{Observable, Poll, Snapshot, StageStats, StreamStage, WireBuf, WordStream};
+use p5_stream::{
+    shrink_scratch, Observable, Poll, Snapshot, StageStats, StreamStage, WireBuf, WordStream,
+};
 
 /// Golden-model HDLC encoder as a stage.
 pub struct FramerStage {
@@ -57,6 +59,9 @@ impl WordStream for FramerStage {
             }
             self.framer.encode_into(&self.scratch, &mut self.wire);
         }
+        // A jumbo frame must not pin its capacity for the rest of the
+        // run (the wire buffer shrinks after drain).
+        shrink_scratch(&mut self.scratch);
         self.stats.note_occupancy(self.wire.len());
         Poll::Ready(accepted)
     }
@@ -68,6 +73,7 @@ impl WordStream for FramerStage {
         let n = self.wire.len();
         output.push_slice(&self.wire);
         self.wire.clear();
+        shrink_scratch(&mut self.wire);
         self.stats.words_out += 1;
         self.stats.bytes_out += n as u64;
         Poll::Ready(n)
@@ -233,6 +239,34 @@ mod tests {
         }
         assert_eq!(got, vec![b"kept".to_vec(), b"also kept".to_vec()]);
         assert_eq!(s.stage_stats()[0].1.rejects, 1);
+    }
+
+    #[test]
+    fn stage_scratch_shrinks_back_after_a_jumbo_frame() {
+        use p5_stream::SCRATCH_HIGH_WATER;
+        let mut stage = FramerStage::default();
+        let mut input = WireBuf::new();
+        let mut wire = WireBuf::new();
+        // Flag-heavy jumbo: stuffing doubles it, so both scratch and the
+        // wire staging vector balloon well past the high-water mark.
+        input.push_frame(&vec![0x7Eu8; 4 * SCRATCH_HIGH_WATER]);
+        stage.offer(&mut input);
+        assert!(stage.wire.capacity() > SCRATCH_HIGH_WATER);
+        stage.drain(&mut wire);
+        // The next (ordinary) frame releases the ballooned capacity.
+        input.push_frame(b"back to normal");
+        stage.offer(&mut input);
+        stage.drain(&mut wire);
+        assert!(
+            stage.scratch.capacity() <= SCRATCH_HIGH_WATER,
+            "scratch stuck at {}",
+            stage.scratch.capacity()
+        );
+        assert!(
+            stage.wire.capacity() <= SCRATCH_HIGH_WATER,
+            "wire staging stuck at {}",
+            stage.wire.capacity()
+        );
     }
 
     #[test]

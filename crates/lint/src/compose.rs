@@ -58,6 +58,66 @@ impl StageContract {
         }
     }
 
+    /// Compose a linear `stages[0] → … → stages[n-1]` chain into the
+    /// contract of the *fused* super-stage: the boundary couplings an
+    /// outside observer sees when the whole chain executes as one
+    /// operation (the software fast path does exactly this — one call
+    /// carries a frame from encap to wire bytes).  Computed by
+    /// reachability over the chain's boundary-signal dependency graph,
+    /// so indirect couplings (e.g. `in_ready ← out_ready` only via a
+    /// middle stage) are found, not just per-flag conjunctions.
+    pub fn compose_chain(name: impl Into<String>, stages: &[StageContract]) -> Self {
+        let n = stages.len();
+        if n == 0 {
+            return Self::buffered(name);
+        }
+        // Boundaries 0..=n; nodes per boundary b: V=3b, R=3b+1, D=3b+2.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 3 * (n + 1)];
+        let (v, r, d) = (|b: usize| 3 * b, |b: usize| 3 * b + 1, |b: usize| 3 * b + 2);
+        for (i, s) in stages.iter().enumerate() {
+            if s.ready_on_valid {
+                adj[v(i)].push(r(i));
+            }
+            if s.ready_transparent {
+                adj[r(i + 1)].push(r(i));
+            }
+            if s.valid_on_ready {
+                adj[r(i + 1)].push(v(i + 1));
+            }
+            if s.valid_transparent {
+                adj[v(i)].push(v(i + 1));
+            }
+            if s.comb_through_data {
+                adj[d(i)].push(d(i + 1));
+            }
+        }
+        let reach = |from: usize, to: usize| -> bool {
+            let mut seen = vec![false; adj.len()];
+            let mut stack = vec![from];
+            seen[from] = true;
+            while let Some(x) = stack.pop() {
+                if x == to {
+                    return true;
+                }
+                for &y in &adj[x] {
+                    if !seen[y] {
+                        seen[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+            false
+        };
+        Self {
+            name: name.into(),
+            ready_on_valid: reach(v(0), r(0)),
+            ready_transparent: reach(r(n), r(0)),
+            valid_on_ready: reach(r(n), v(n)),
+            valid_transparent: reach(v(0), v(n)),
+            comb_through_data: reach(d(0), d(n)),
+        }
+    }
+
     /// Extract the contract of an RTL stage by cone analysis over its
     /// conventional buses (`in_data`/`in_valid`/`in_ready`,
     /// `out_data`/`out_valid`/`out_ready`).  Pins the module does not
@@ -335,6 +395,60 @@ mod tests {
             "{}",
             r.render_human()
         );
+    }
+
+    #[test]
+    fn composing_buffered_stages_stays_buffered() {
+        let c = StageContract::compose_chain(
+            "fused",
+            &[StageContract::buffered("a"), StageContract::buffered("b")],
+        );
+        assert!(!c.ready_on_valid);
+        assert!(!c.ready_transparent);
+        assert!(!c.valid_on_ready);
+        assert!(!c.valid_transparent);
+        assert!(!c.comb_through_data);
+    }
+
+    #[test]
+    fn composing_transparent_stages_stays_transparent() {
+        let c = StageContract::compose_chain("fused", &[transparent("a"), transparent("b")]);
+        assert!(c.ready_on_valid);
+        assert!(c.ready_transparent);
+        assert!(c.valid_transparent);
+        assert!(c.comb_through_data);
+    }
+
+    #[test]
+    fn one_buffered_stage_breaks_the_composed_coupling() {
+        // a (transparent) → b (buffered): b's register hides every
+        // combinational path, so the fused super-stage is buffered too.
+        let c = StageContract::compose_chain(
+            "fused",
+            &[transparent("a"), StageContract::buffered("b")],
+        );
+        assert!(!c.ready_transparent);
+        assert!(!c.valid_transparent);
+        assert!(!c.comb_through_data);
+        // …except the input-side Mealy coupling, which only involves
+        // stage a's own boundary: V_in → R_in needs no path through b.
+        assert!(c.ready_on_valid);
+    }
+
+    #[test]
+    fn indirect_ready_on_valid_is_found_by_reachability() {
+        // a forwards valid and backpressure transparently but has no
+        // direct V→R arc; b couples in_ready to in_valid.  Composed:
+        // V_0 → V_1 (a) → R_1 (b) → R_0 (a) — a three-arc path a naive
+        // per-flag conjunction would miss.
+        let mut a = StageContract::buffered("a");
+        a.valid_transparent = true;
+        a.ready_transparent = true;
+        let mut b = StageContract::buffered("b");
+        b.ready_on_valid = true;
+        let c = StageContract::compose_chain("fused", &[a, b]);
+        assert!(c.ready_on_valid);
+        assert!(!c.valid_on_ready);
     }
 
     #[test]

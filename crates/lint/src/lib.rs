@@ -156,7 +156,10 @@ pub fn shipped_netlists() -> Vec<Netlist> {
 /// The shipped pipeline compositions the P5L015 pass verifies: for each
 /// datapath width, the transmit chain (control → CRC → escape-generate)
 /// and the receive chain (escape-detect → CRC → control), with each
-/// stage's handshake contract extracted from its netlist.
+/// stage's handshake contract extracted from its netlist — plus the
+/// *fused* fast paths, where each chain executes as one composed
+/// operation and must therefore stand as a single contract
+/// ([`StageContract::compose_chain`]).
 pub fn shipped_link_graphs() -> Vec<LinkGraph> {
     let mut graphs = Vec::new();
     for width in [1usize, 4] {
@@ -166,8 +169,18 @@ pub fn shipped_link_graphs() -> Vec<LinkGraph> {
         let mut it = contracts.into_iter();
         let tx: Vec<StageContract> = it.by_ref().take(3).collect();
         let rx: Vec<StageContract> = it.collect();
+        let fused_tx = StageContract::compose_chain(format!("fused {bits}-bit tx"), &tx);
+        let fused_rx = StageContract::compose_chain(format!("fused {bits}-bit rx"), &rx);
         graphs.push(LinkGraph::chain(format!("P5 {bits}-bit tx chain"), tx));
         graphs.push(LinkGraph::chain(format!("P5 {bits}-bit rx chain"), rx));
+        graphs.push(LinkGraph::chain(
+            format!("P5 {bits}-bit fused tx path"),
+            vec![fused_tx],
+        ));
+        graphs.push(LinkGraph::chain(
+            format!("P5 {bits}-bit fused rx path"),
+            vec![fused_rx],
+        ));
     }
     graphs
 }

@@ -69,7 +69,22 @@ fn virtex_minus_4_parts_miss_the_line_clock_and_p5l014_says_so() {
 #[test]
 fn shipped_chain_compositions_pass_the_p5l015_pass() {
     let graphs = shipped_link_graphs();
-    assert_eq!(graphs.len(), 4, "tx+rx chains at both widths");
+    assert_eq!(
+        graphs.len(),
+        8,
+        "tx+rx chains plus fused tx+rx paths at both widths"
+    );
+    // The fused fast paths export as single composed contracts.
+    for bits in [8, 32] {
+        for dir in ["tx", "rx"] {
+            let name = format!("P5 {bits}-bit fused {dir} path");
+            let g = graphs
+                .iter()
+                .find(|g| g.name == name)
+                .unwrap_or_else(|| panic!("missing graph {name}"));
+            assert_eq!(g.stages.len(), 1, "{name} is one composed contract");
+        }
+    }
     for g in graphs {
         let r = g.check();
         assert!(r.is_clean(), "{}: {}", g.name, r.render_human());

@@ -325,6 +325,31 @@ impl WireBuf {
         total
     }
 
+    /// Append untagged wire octets produced directly into the backing
+    /// storage — the zero-copy sibling of [`WireBuf::push_slice`] for
+    /// producers that assemble bytes in place (the fused Tx fast path
+    /// stuffs a whole frame straight into the wire buffer this way).
+    /// `f` may only append to the `Vec`; returns the number of bytes
+    /// appended.
+    pub fn extend_untagged_with(&mut self, f: impl FnOnce(&mut Vec<u8>)) -> usize {
+        let before = self.data.len();
+        f(&mut self.data);
+        assert!(
+            self.data.len() >= before,
+            "extend_untagged_with must only append"
+        );
+        let added = self.data.len() - before;
+        self.merge_or_push(Seg {
+            len: added,
+            tagged: false,
+            sof: false,
+            eof: false,
+            abort: false,
+            id: 0,
+        });
+        added
+    }
+
     /// Take every unconsumed byte as an owned `Vec`, leaving the buffer
     /// empty.  Returns without allocating when empty; otherwise hands out
     /// the backing storage and swaps in recycled capacity (see
@@ -369,6 +394,18 @@ mod tests {
         b.consume(3);
         assert!(b.is_empty());
         assert_eq!(b.segs.len(), 0);
+    }
+
+    #[test]
+    fn extend_untagged_with_appends_in_place_and_merges() {
+        let mut b = WireBuf::new();
+        b.push_slice(&[0x7e]);
+        let n = b.extend_untagged_with(|v| v.extend_from_slice(&[1, 2, 3]));
+        assert_eq!(n, 3);
+        assert_eq!(b.as_slice(), &[0x7e, 1, 2, 3]);
+        assert_eq!(b.segs.len(), 1, "untagged runs merge");
+        assert_eq!(b.extend_untagged_with(|_| {}), 0);
+        assert_eq!(b.len(), 4);
     }
 
     #[test]

@@ -16,12 +16,14 @@
 //! [`StageStats`] hooks.
 
 pub mod buf;
+pub mod pool;
 pub mod stack;
 pub mod stage;
 pub mod stats;
 pub mod topology;
 
 pub use buf::{FrameMeta, WireBuf};
+pub use pool::{shrink_scratch, BufPool, Lease, PoolStats, SCRATCH_HIGH_WATER};
 pub use stack::{Chain, Stack};
 pub use stage::{Pipe, Poll, StreamStage, Throttle, WordStream};
 pub use stats::StageStats;

@@ -1,0 +1,297 @@
+//! Recycled frame-buffer pool — the zero-copy backbone of the line-rate
+//! datapath.
+//!
+//! Every stage boundary in the staged pipeline used to allocate a fresh
+//! `Vec` per frame (submit payloads, reassembled Rx bodies, framer
+//! scratch).  [`BufPool`] replaces those with a shared shelf of cleared,
+//! capacity-retaining buffers: lease one, fill it, hand it downstream,
+//! and the consumer recycles the storage when the bytes have moved on.
+//! The pool is `Clone` (handles share one shelf) and `Send`, so the two
+//! halves of a duplex link can share storage across threads.
+//!
+//! The shelf applies the scratch high-water policy on every recycle, so
+//! a single jumbo frame cannot pin megabytes of capacity for the rest of
+//! the run (see [`shrink_scratch`]).
+//!
+//! [`alloc_count`] rides along: a process-wide counter of per-frame heap
+//! allocations the datapath could not avoid.  It is compiled to a no-op
+//! unless the `alloc-count` cargo feature is enabled (the bench harness
+//! turns it on to gate `allocs_per_frame` in the smoke report).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Scratch buffers shrink back to this capacity after servicing a jumbo
+/// frame.  Comfortably above every normal MTU (a stuffed worst-case
+/// 9 KiB jumbo doubles to ~18 KiB), far below pathological growth.
+pub const SCRATCH_HIGH_WATER: usize = 64 * 1024;
+
+/// Apply the high-water policy to a long-lived scratch `Vec`: capacity
+/// above [`SCRATCH_HIGH_WATER`] is released (down to the live length if
+/// the buffer is currently holding more).  Cheap no-op in steady state.
+pub fn shrink_scratch(v: &mut Vec<u8>) {
+    if v.capacity() > SCRATCH_HIGH_WATER {
+        v.shrink_to(SCRATCH_HIGH_WATER.max(v.len()));
+    }
+}
+
+/// Heap-allocation event accounting for the datapath.
+///
+/// Call [`alloc_count::note_alloc`] wherever the datapath falls back to
+/// a fresh heap allocation (pool miss, cold scratch).  With the
+/// `alloc-count` feature off (the default) every call compiles to
+/// nothing; the bench harness enables it and reads [`alloc_count::events`]
+/// around a steady-state window to compute `allocs_per_frame`.
+pub mod alloc_count {
+    #[cfg(feature = "alloc-count")]
+    mod imp {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+        pub const ENABLED: bool = true;
+
+        #[inline]
+        pub fn note_alloc() {
+            EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn events() -> u64 {
+            EVENTS.load(Ordering::Relaxed)
+        }
+    }
+
+    #[cfg(not(feature = "alloc-count"))]
+    mod imp {
+        pub const ENABLED: bool = false;
+
+        #[inline]
+        pub fn note_alloc() {}
+
+        #[inline]
+        pub fn events() -> u64 {
+            0
+        }
+    }
+
+    pub use imp::{events, note_alloc, ENABLED};
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    shelf: Mutex<Vec<Vec<u8>>>,
+    leases: AtomicU64,
+    misses: AtomicU64,
+    recycles: AtomicU64,
+}
+
+/// A shared shelf of recycled byte buffers.  Cloning the handle shares
+/// the shelf; the last handle dropped frees the storage.
+#[derive(Debug, Clone, Default)]
+pub struct BufPool {
+    inner: Arc<Inner>,
+}
+
+/// Snapshot of a pool's traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out (hits + misses).
+    pub leases: u64,
+    /// Leases that had to allocate because the shelf was empty.
+    pub misses: u64,
+    /// Buffers returned to the shelf.
+    pub recycles: u64,
+    /// Buffers currently resting on the shelf.
+    pub shelved: usize,
+}
+
+impl BufPool {
+    /// Shelf depth cap: beyond this, recycled buffers are simply dropped
+    /// rather than hoarded.
+    pub const MAX_SHELVED: usize = 64;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lease a cleared buffer, reusing shelved capacity when available.
+    /// A shelf miss allocates (and is counted as an allocation event).
+    pub fn lease_vec(&self) -> Vec<u8> {
+        self.inner.leases.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.inner.shelf.lock().expect("buffer pool poisoned").pop() {
+            return v;
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        alloc_count::note_alloc();
+        Vec::new()
+    }
+
+    /// Return storage to the shelf (cleared, high-water-shrunk).  Buffers
+    /// with no capacity and overflow beyond [`BufPool::MAX_SHELVED`] are
+    /// dropped instead.
+    pub fn recycle_vec(&self, mut v: Vec<u8>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        v.clear();
+        shrink_scratch(&mut v);
+        let mut shelf = self.inner.shelf.lock().expect("buffer pool poisoned");
+        if shelf.len() < Self::MAX_SHELVED {
+            self.inner.recycles.fetch_add(1, Ordering::Relaxed);
+            shelf.push(v);
+        }
+    }
+
+    /// Lease a buffer behind a guard that recycles on drop.  Call
+    /// [`Lease::detach`] to keep the storage and skip the return trip.
+    pub fn lease(&self) -> Lease {
+        Lease {
+            buf: self.lease_vec(),
+            pool: self.clone(),
+        }
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            leases: self.inner.leases.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            recycles: self.inner.recycles.load(Ordering::Relaxed),
+            shelved: self.inner.shelf.lock().expect("buffer pool poisoned").len(),
+        }
+    }
+}
+
+/// A leased buffer that returns itself to the pool when dropped.
+/// Dereferences to the underlying `Vec<u8>`.
+#[derive(Debug)]
+pub struct Lease {
+    buf: Vec<u8>,
+    pool: BufPool,
+}
+
+impl Lease {
+    /// Take the storage out of the guard; the pool sees nothing back
+    /// (the eventual owner is expected to recycle it by hand).
+    pub fn detach(mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl std::ops::Deref for Lease {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for Lease {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        // After `detach` the guard holds a zero-capacity Vec, which
+        // `recycle_vec` discards without touching the shelf.
+        self.pool.recycle_vec(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_recycles_capacity() {
+        let pool = BufPool::new();
+        let mut a = pool.lease_vec();
+        a.extend_from_slice(&[7u8; 1500]);
+        let cap = a.capacity();
+        pool.recycle_vec(a);
+        let b = pool.lease_vec();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "shelved storage is reused");
+        let s = pool.stats();
+        assert_eq!((s.leases, s.misses, s.recycles), (2, 1, 1));
+    }
+
+    #[test]
+    fn drop_returns_lease_to_shelf_and_detach_does_not() {
+        let pool = BufPool::new();
+        {
+            let mut l = pool.lease();
+            l.extend_from_slice(b"frame bytes");
+        }
+        assert_eq!(pool.stats().shelved, 1);
+        let taken = pool.lease().detach();
+        assert_eq!(pool.stats().shelved, 0);
+        drop(taken);
+        assert_eq!(pool.stats().shelved, 0, "detached storage never returns");
+    }
+
+    #[test]
+    fn recycle_applies_high_water_shrink() {
+        let pool = BufPool::new();
+        let mut jumbo = pool.lease_vec();
+        jumbo.reserve(4 * SCRATCH_HIGH_WATER);
+        pool.recycle_vec(jumbo);
+        let back = pool.lease_vec();
+        assert!(
+            back.capacity() <= SCRATCH_HIGH_WATER,
+            "jumbo capacity {} must shrink to the high-water mark",
+            back.capacity()
+        );
+    }
+
+    #[test]
+    fn shrink_scratch_respects_live_length() {
+        let mut v = vec![0u8; 2 * SCRATCH_HIGH_WATER];
+        v.reserve(2 * SCRATCH_HIGH_WATER);
+        shrink_scratch(&mut v);
+        assert_eq!(v.len(), 2 * SCRATCH_HIGH_WATER, "contents untouched");
+        assert!(v.capacity() >= v.len());
+        v.clear();
+        shrink_scratch(&mut v);
+        assert!(v.capacity() <= SCRATCH_HIGH_WATER);
+        let mut small = Vec::with_capacity(128);
+        shrink_scratch(&mut small);
+        assert_eq!(small.capacity(), 128, "small scratch is left alone");
+    }
+
+    #[test]
+    fn shelf_depth_is_bounded() {
+        let pool = BufPool::new();
+        for _ in 0..2 * BufPool::MAX_SHELVED {
+            pool.recycle_vec(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.stats().shelved, BufPool::MAX_SHELVED);
+    }
+
+    #[test]
+    fn handles_share_one_shelf() {
+        let pool = BufPool::new();
+        let other = pool.clone();
+        other.recycle_vec(Vec::with_capacity(256));
+        assert_eq!(pool.stats().shelved, 1);
+        let v = pool.lease_vec();
+        assert_eq!(v.capacity(), 256);
+        assert_eq!(other.stats().shelved, 0);
+    }
+
+    #[test]
+    fn alloc_count_is_wired() {
+        // With the feature off this is the no-op shim; either way the
+        // calls must be safe and monotone.
+        let before = alloc_count::events();
+        alloc_count::note_alloc();
+        let after = alloc_count::events();
+        if alloc_count::ENABLED {
+            assert!(after > before);
+        } else {
+            assert_eq!(after, 0);
+        }
+    }
+}

@@ -30,9 +30,16 @@ cargo run -q --release -p p5-lint --bin p5lint --offline -- \
 
 echo "==> throughput smoke + perf gate (results/BENCH_throughput.json)"
 # The bytes/cycle floors are the shipped numbers: a cycle-model change
-# that costs cycles fails here rather than landing silently.
+# that costs cycles fails here rather than landing silently.  The
+# sim-speed floors gate the fused fast path (measured ~2.9 Gbps both
+# widths on the reference host; the floors sit far below so shared-CI
+# noise cannot flake, yet far above the staged-path ~0.04/0.17 Gbps —
+# losing the fused path fails here).  The alloc ceiling holds the
+# steady-state datapath at <=1 heap allocation per datagram (measured
+# 0: every buffer comes from the recycling pool after warm-up).
 cargo run -q --release --offline -p p5-bench --bin throughput_report -- \
-    --smoke --min-bpc8 0.9998 --min-bpc32 3.9931
+    --smoke --min-bpc8 0.9998 --min-bpc32 3.9931 \
+    --min-sim8 0.25 --min-sim32 0.75 --max-allocs-per-frame 1
 
 echo "==> gate-sim smoke + perf gate (results/BENCH_gate_sim.json)"
 # The compiled 64-lane engine must stay >=10x the scalar walker on the
