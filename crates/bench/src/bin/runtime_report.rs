@@ -1,0 +1,271 @@
+//! Carrier-scale runtime report: aggregate throughput and p99 frame
+//! latency as the fleet grows from one link to ten thousand.
+//!
+//! The tentpole claim of `p5-runtime` is that the fused single-link
+//! fast path *composes*: shard N independent links across a worker
+//! pool and the aggregate simulation speed scales past any single
+//! link.  This report measures that — a link-count sweep on the raw
+//! carrier (every worker core in play), one work-stealing vs static
+//! sharding comparison, and one channelized-STM-4 realism row —
+//! writing `results/BENCH_runtime.json` for `scripts/check.sh` to gate
+//! on:
+//!
+//! * `--min-uplift <x>`: best aggregate Gbps at ≥ 64 links must be at
+//!   least `x` times the single-link row (enforced only when the host
+//!   has ≥ 4 cores — below that, the scaling claim is vacuous);
+//! * `--max-p99-ticks <n>`: p99 submit→delivery latency ceiling on
+//!   every uncongested sweep row;
+//! * conservation is always enforced: an uncongested fleet must
+//!   deliver every offered frame (zero shed, zero rejected, zero
+//!   lost).
+//!
+//! With `--smoke` the report sweeps a reduced link set with a smaller
+//! payload budget (suitable for CI) and still writes the same JSON.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use p5_bench::heading;
+use p5_runtime::{Carrier, Fleet, FleetConfig, Sharding, TrafficSpec};
+use p5_sonet::StmLevel;
+
+/// Payload octets per frame across the whole report.
+const PAYLOAD_LEN: usize = 1024;
+/// Frames offered per link per tick.
+const FRAMES_PER_TICK: u32 = 4;
+
+struct RowMeasure {
+    workers: usize,
+    wall_s: f64,
+    aggregate_gbps: f64,
+    p99_latency_ticks: Option<u64>,
+    delivered: u64,
+    ticks: u64,
+}
+
+/// Offered ticks per link so the whole fleet moves ≈ `budget` payload
+/// octets regardless of link count (floor of 2 ticks keeps the biggest
+/// fleets honest).
+fn ticks_for(links: usize, budget: usize) -> u64 {
+    let per_tick = links * FRAMES_PER_TICK as usize * PAYLOAD_LEN;
+    ((budget / per_tick.max(1)) as u64).max(2)
+}
+
+/// Run one fleet shape to drain, `reps` times (first is construction +
+/// cache warm-up, discarded), keeping the best wall time.  The workload
+/// is deterministic, so only the clock varies between reps.
+fn measure(cfg: &FleetConfig, reps: usize) -> RowMeasure {
+    let mut best = f64::INFINITY;
+    let mut out: Option<RowMeasure> = None;
+    for rep in 0..reps {
+        let mut fleet = Fleet::new(cfg.clone()).expect("valid fleet config");
+        let started = Instant::now();
+        assert!(fleet.run_until_drained(u64::MAX), "fleet failed to drain");
+        let wall = started.elapsed().as_secs_f64();
+        let st = fleet.stats();
+        // The always-on conservation gate: uncongested fleets lose
+        // nothing, anywhere, at any scale.
+        assert_eq!(st.flow.shed, 0, "uncongested fleet shed frames");
+        assert_eq!(st.flow.rejected, 0, "uncongested fleet rejected frames");
+        assert_eq!(
+            st.flow.delivered, st.flow.accepted,
+            "accepted frames went missing"
+        );
+        assert_eq!(st.flow.offered, st.flow.accepted);
+        if rep == 0 {
+            continue;
+        }
+        if wall < best {
+            best = wall;
+            out = Some(RowMeasure {
+                workers: st.workers,
+                wall_s: wall,
+                aggregate_gbps: st.flow.delivered_bytes as f64 * 8.0 / wall / 1e9,
+                p99_latency_ticks: st.p99_latency_ticks(),
+                delivered: st.flow.delivered,
+                ticks: st.ticks,
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(40));
+    }
+    out.expect("at least two reps")
+}
+
+fn sweep_config(links: usize, budget: usize, sharding: Sharding, carrier: Carrier) -> FleetConfig {
+    FleetConfig {
+        links,
+        workers: 0, // one per available core
+        carrier,
+        sharding,
+        seed: 42,
+        traffic: Some(TrafficSpec {
+            frames_per_tick: FRAMES_PER_TICK,
+            payload_len: PAYLOAD_LEN,
+            duplex: false,
+            ticks: ticks_for(links, budget),
+            ..TrafficSpec::default()
+        }),
+        ..FleetConfig::default()
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let min_uplift = arg_value(&args, "--min-uplift");
+    let max_p99 = arg_value(&args, "--max-p99-ticks");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (link_counts, budget, reps): (&[usize], usize, usize) = if smoke {
+        (&[1, 4, 64, 256], 8 << 20, 2)
+    } else {
+        (&[1, 4, 16, 64, 256, 1024, 10_000], 32 << 20, 3)
+    };
+
+    print!(
+        "{}",
+        heading("Runtime report - fleet scaling, 1 -> 10k links")
+    );
+    println!("host cores: {cores}\n");
+    println!(
+        "{:>7} {:>8} {:>7} {:>10} {:>12} {:>10} {:>10}",
+        "links", "workers", "ticks", "frames", "agg (Gbps)", "p99 (tk)", "wall (s)"
+    );
+
+    let mut gate_failures: Vec<String> = Vec::new();
+    let mut rows = String::new();
+    let mut single_gbps = 0f64;
+    let mut best_at_scale = 0f64;
+    for &links in link_counts {
+        let m = measure(
+            &sweep_config(links, budget, Sharding::WorkStealing, Carrier::Raw),
+            reps,
+        );
+        if links == 1 {
+            single_gbps = m.aggregate_gbps;
+        }
+        if links >= 64 {
+            best_at_scale = best_at_scale.max(m.aggregate_gbps);
+        }
+        let p99 = m.p99_latency_ticks.unwrap_or(0);
+        println!(
+            "{:>7} {:>8} {:>7} {:>10} {:>12.4} {:>10} {:>10.4}",
+            links, m.workers, m.ticks, m.delivered, m.aggregate_gbps, p99, m.wall_s
+        );
+        if let Some(ceiling) = max_p99 {
+            if p99 as f64 > ceiling {
+                gate_failures.push(format!(
+                    "links={links}: p99 latency {p99} ticks above ceiling {ceiling:.0}"
+                ));
+            }
+        }
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"links\": {links}, \"workers\": {}, \"ticks\": {}, \
+             \"delivered_frames\": {}, \"aggregate_gbps\": {:.4}, \
+             \"p99_latency_ticks\": {p99}, \"wall_s\": {:.4}}}",
+            m.workers, m.ticks, m.delivered, m.aggregate_gbps, m.wall_s
+        );
+    }
+    let uplift = if single_gbps > 0.0 {
+        best_at_scale / single_gbps
+    } else {
+        0.0
+    };
+    println!(
+        "\nscaling: single link {single_gbps:.4} Gbps, best at >=64 links \
+         {best_at_scale:.4} Gbps -> uplift {uplift:.2}x"
+    );
+    if let Some(floor) = min_uplift {
+        if cores >= 4 {
+            if uplift < floor {
+                gate_failures.push(format!(
+                    "aggregate uplift {uplift:.2}x below floor {floor:.2}x \
+                     ({cores} cores)"
+                ));
+            }
+        } else {
+            println!("(uplift gate skipped: only {cores} host cores, need >= 4)");
+        }
+    }
+
+    // Mode comparison rows at a fixed fleet size: how the cohorts are
+    // dealt to workers, and what per-tributary SDH carriage costs.
+    let cmp_links = if smoke { 64 } else { 256 };
+    let mut modes = String::new();
+    for (name, sharding, carrier, links, budget) in [
+        (
+            "work_stealing",
+            Sharding::WorkStealing,
+            Carrier::Raw,
+            cmp_links,
+            budget / 2,
+        ),
+        (
+            "static",
+            Sharding::Static,
+            Carrier::Raw,
+            cmp_links,
+            budget / 2,
+        ),
+        // Channelized realism: 16 links as tributaries of STM-4
+        // envelopes, full transmission convergence per envelope — this
+        // measures fidelity, not speed.
+        (
+            "channelized_stm4",
+            Sharding::WorkStealing,
+            Carrier::Channelized(StmLevel::Stm4),
+            16,
+            budget / 64,
+        ),
+    ] {
+        let m = measure(&sweep_config(links, budget, sharding, carrier), 2);
+        println!(
+            "mode {name:<17} links {links:>4}: {:.4} Gbps, p99 {} ticks",
+            m.aggregate_gbps,
+            m.p99_latency_ticks.unwrap_or(0)
+        );
+        if !modes.is_empty() {
+            modes.push_str(",\n");
+        }
+        let _ = write!(
+            modes,
+            "    {{\"mode\": \"{name}\", \"links\": {links}, \
+             \"aggregate_gbps\": {:.4}, \"p99_latency_ticks\": {}, \
+             \"wall_s\": {:.4}}}",
+            m.aggregate_gbps,
+            m.p99_latency_ticks.unwrap_or(0),
+            m.wall_s
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"runtime\",\n  \"smoke\": {smoke},\n  \
+         \"cores\": {cores},\n  \"payload_len\": {PAYLOAD_LEN},\n  \
+         \"frames_per_tick\": {FRAMES_PER_TICK},\n  \
+         \"single_link_gbps\": {single_gbps:.4},\n  \
+         \"best_aggregate_gbps\": {best_at_scale:.4},\n  \
+         \"scaling_uplift\": {uplift:.2},\n  \"sweep\": [\n{rows}\n  ],\n  \
+         \"modes\": [\n{modes}\n  ]\n}}\n"
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_runtime.json", &json).expect("write results/");
+    println!("\nwrote results/BENCH_runtime.json");
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

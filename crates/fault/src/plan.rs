@@ -400,6 +400,26 @@ impl FaultPlan {
         FaultPlan::compile(self.spec.clone(), self.seed ^ salt).expect("spec already validated")
     }
 
+    /// Link-aware fork: derive the plan for `(link_id, lane)` in a
+    /// multi-link fleet.  Like [`FaultPlan::fork`] the derivation is a
+    /// pure function of the *original* seed — never of RNG state or of
+    /// fork order — so every worker that derives the plan for a given
+    /// link gets a byte-identical fault stream no matter how the fleet
+    /// interleaves links across threads.  The two coordinates are mixed
+    /// through a splitmix64-style finalizer so that `(link 0, lane 1)`
+    /// and `(link 1, lane 0)` land in unrelated streams (a plain
+    /// `link_id + lane` salt would collide on such diagonals).
+    pub fn fork_link(&self, link_id: u64, lane: u64) -> Self {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(link_id.wrapping_add(1)))
+            .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(lane.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        FaultPlan::compile(self.spec.clone(), z).expect("spec already validated")
+    }
+
     pub fn spec(&self) -> &FaultSpec {
         &self.spec
     }

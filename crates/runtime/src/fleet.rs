@@ -1,0 +1,470 @@
+//! The fleet: thousands of independent duplex links sharded across a
+//! fixed worker pool.
+//!
+//! Scheduling model (DESIGN.md §16): links are grouped into *cohorts*
+//! (one self-carried link, or one channel group sharing an STM-N
+//! envelope).  `run_ticks(n)` hands each cohort to exactly one worker,
+//! which runs the cohort's entire n-tick batch before claiming the
+//! next — so no per-tick barrier exists, idle cohorts are skipped via
+//! the `has_work` check, and per-link results are independent of the
+//! worker count, the sharding mode and the claim order.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use p5_core::rx::RxCounters;
+use p5_core::DatapathWidth;
+use p5_fault::{FaultError, FaultSpec, FaultStats};
+use p5_sonet::StmLevel;
+use p5_stream::{to_prometheus, Histogram, Snapshot};
+
+use crate::link::{Cohort, Dir, LinkCounters, OfferOutcome, ShardLink};
+use crate::traffic::TrafficSpec;
+
+/// What carries each link's wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Carrier {
+    /// Bare wire: the line-rate mode (fused fast paths end to end).
+    Raw,
+    /// Each link rides its own STM-N path pair (scramble → frame →
+    /// channel → delineate → descramble per direction).
+    Sonet(StmLevel),
+    /// Channelized: groups of `level.n()` links share one STM-N
+    /// envelope pair, column-interleaved per G.707 — tributaries of a
+    /// single fibre, advanced in lockstep as one cohort.
+    Channelized(StmLevel),
+}
+
+/// How cohorts are assigned to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharding {
+    /// Workers claim the next unclaimed cohort from a shared cursor —
+    /// long-running cohorts don't stall the rest of a stride.
+    WorkStealing,
+    /// Worker `w` owns cohorts `w, w + W, w + 2W, …` — zero contention
+    /// on the claim path, at the cost of load imbalance.
+    Static,
+}
+
+/// Fleet construction parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of duplex links.
+    pub links: usize,
+    /// Worker threads; `0` = one per available core.
+    pub workers: usize,
+    pub width: DatapathWidth,
+    pub carrier: Carrier,
+    pub sharding: Sharding,
+    /// Chaos: forked per link/direction via `FaultPlan::fork_link`, so
+    /// per-link fault streams replay independent of scheduling.
+    pub fault: Option<FaultSpec>,
+    pub seed: u64,
+    /// Bounded per-link, per-direction ingress queue depth.
+    pub ingress_depth: usize,
+    /// Staged-pipeline cycles granted per busy device per tick.
+    pub cycles_per_tick: u64,
+    /// Per-direction line-rate cap: wire octets delivered into the
+    /// sink device per tick.  `None` = uncapped (maximum host speed);
+    /// `Some(cap)` over-subscribes the line and exercises shedding.
+    pub wire_bytes_per_tick: Option<usize>,
+    /// Open-loop generated load (see [`TrafficSpec`]); `None` = only
+    /// externally offered frames.
+    pub traffic: Option<TrafficSpec>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            links: 1,
+            workers: 0,
+            width: DatapathWidth::W32,
+            carrier: Carrier::Raw,
+            sharding: Sharding::WorkStealing,
+            fault: None,
+            seed: 1,
+            ingress_depth: 64,
+            cycles_per_tick: 512,
+            wire_bytes_per_tick: None,
+            traffic: None,
+        }
+    }
+}
+
+/// Fleet construction failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A fleet needs at least one link.
+    NoLinks,
+    /// Channelized carriage needs an STM-4 or STM-16 envelope.
+    InvalidEnvelope(StmLevel),
+    /// The fault spec failed validation.
+    Fault(FaultError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoLinks => write!(f, "fleet needs at least one link"),
+            RuntimeError::InvalidEnvelope(l) => write!(
+                f,
+                "channelized carriage needs an STM-4/STM-16 envelope, got STM-{}",
+                l.n()
+            ),
+            RuntimeError::Fault(e) => write!(f, "invalid fault spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Per-tick parameters threaded into every cohort.
+#[derive(Debug, Clone)]
+pub(crate) struct TickParams {
+    pub ingress_depth: usize,
+    pub cycles_per_tick: u64,
+    pub wire_budget: usize,
+    pub traffic: Option<TrafficSpec>,
+}
+
+/// Aggregate fleet reading: flow conservation counters, merged frame
+/// latency, merged receiver/fault statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    pub links: usize,
+    pub workers: usize,
+    /// Ticks granted via `run_ticks` (idle-skipped cohorts still count
+    /// — this is wall time in ticks, not work done).
+    pub ticks: u64,
+    /// Fleet-scope flow counters; see [`LinkCounters`] for the
+    /// conservation law.
+    pub flow: LinkCounters,
+    /// TX-queue refusals as the devices count them
+    /// (`submit_rejects`) — must equal `flow.rejected`.
+    pub device_tx_rejects: u64,
+    /// The same refusals as the OAM `TX_REJECTS` registers mirror them.
+    pub oam_tx_rejects: u64,
+    /// Frames the transmitters actually streamed.
+    pub tx_frames_sent: u64,
+    /// Merged receive counters across every device.
+    pub rx: RxCounters,
+    /// Submit → delivery latency in ticks (fault-free links only).
+    pub latency: Histogram,
+    /// Injected-fault totals across every link/direction plan.
+    pub fault: FaultStats,
+}
+
+impl FleetStats {
+    /// Frames admitted but neither in the device, shed nor rejected —
+    /// still waiting in ingress queues.  Zero after a full drain.
+    pub fn queued(&self) -> u64 {
+        self.flow
+            .offered
+            .saturating_sub(self.flow.accepted + self.flow.shed + self.flow.rejected)
+    }
+
+    /// Conservative p99 frame latency bound, in ticks.
+    pub fn p99_latency_ticks(&self) -> Option<u64> {
+        self.latency.quantile_bound(0.99)
+    }
+}
+
+/// One link's contribution to a fleet report.
+#[derive(Debug, Clone)]
+pub struct LinkReport {
+    pub link: usize,
+    pub flow: LinkCounters,
+    pub fault: FaultStats,
+    pub p99_latency_ticks: Option<u64>,
+}
+
+/// The multi-link runtime.
+pub struct Fleet {
+    cfg: FleetConfig,
+    cohorts: Vec<Mutex<Cohort>>,
+    /// Links per cohort (1, or the channel-group width).
+    group: usize,
+    workers: usize,
+    ticks_run: u64,
+}
+
+impl Fleet {
+    pub fn new(cfg: FleetConfig) -> Result<Self, RuntimeError> {
+        if cfg.links == 0 {
+            return Err(RuntimeError::NoLinks);
+        }
+        let base_fault = match &cfg.fault {
+            None => None,
+            Some(spec) => Some(
+                spec.clone()
+                    .compile(cfg.seed)
+                    .map_err(RuntimeError::Fault)?,
+            ),
+        };
+        let payload_len = cfg.traffic.map(|t| t.payload_len).unwrap_or(256);
+        let make_link = |id: usize, sonet: Option<StmLevel>| {
+            ShardLink::new(
+                id,
+                cfg.width,
+                sonet,
+                base_fault.as_ref(),
+                cfg.seed,
+                payload_len,
+            )
+        };
+        let (cohorts, group) = match cfg.carrier {
+            Carrier::Raw => (
+                (0..cfg.links)
+                    .map(|id| Mutex::new(Cohort::single(make_link(id, None))))
+                    .collect::<Vec<_>>(),
+                1,
+            ),
+            Carrier::Sonet(level) => (
+                (0..cfg.links)
+                    .map(|id| Mutex::new(Cohort::single(make_link(id, Some(level)))))
+                    .collect::<Vec<_>>(),
+                1,
+            ),
+            Carrier::Channelized(level) => {
+                let n = level.n();
+                if n < 2 {
+                    return Err(RuntimeError::InvalidEnvelope(level));
+                }
+                let mut cohorts = Vec::with_capacity(cfg.links.div_ceil(n));
+                let mut id = 0;
+                while id < cfg.links {
+                    let span = n.min(cfg.links - id);
+                    let links = (id..id + span).map(|i| make_link(i, None)).collect();
+                    cohorts.push(Mutex::new(Cohort::channel_group(links, level)));
+                    id += span;
+                }
+                (cohorts, n)
+            }
+        };
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        Ok(Fleet {
+            cfg,
+            cohorts,
+            group,
+            workers,
+            ticks_run: 0,
+        })
+    }
+
+    pub fn links(&self) -> usize {
+        self.cfg.links
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub fn ticks_run(&self) -> u64 {
+        self.ticks_run
+    }
+
+    fn params(&self) -> TickParams {
+        TickParams {
+            ingress_depth: self.cfg.ingress_depth,
+            cycles_per_tick: self.cfg.cycles_per_tick,
+            wire_budget: self.cfg.wire_bytes_per_tick.unwrap_or(usize::MAX),
+            traffic: self.cfg.traffic,
+        }
+    }
+
+    fn locate(&self, link: usize) -> (usize, usize) {
+        assert!(link < self.cfg.links, "link {link} out of range");
+        (link / self.group, link % self.group)
+    }
+
+    /// Offer one a → b frame to `link`'s bounded ingress queue.
+    pub fn offer(&mut self, link: usize, protocol: u16, payload: &[u8]) -> OfferOutcome {
+        self.offer_dir(link, Dir::AtoB, protocol, payload)
+    }
+
+    /// Offer a frame in an explicit direction.
+    pub fn offer_dir(
+        &mut self,
+        link: usize,
+        dir: Dir,
+        protocol: u16,
+        payload: &[u8],
+    ) -> OfferOutcome {
+        let depth = self.cfg.ingress_depth;
+        let (c, slot) = self.locate(link);
+        self.cohorts[c].lock().links[slot].offer(dir, protocol, payload, depth)
+    }
+
+    /// Advance every cohort by up to `n` ticks, sharded across the
+    /// worker pool.  Cohorts with no pending ingress, egress or staged
+    /// state are skipped (the `is_idle` machinery, lifted to fleet
+    /// scope).
+    pub fn run_ticks(&mut self, n: u64) {
+        let params = self.params();
+        let w = self.workers.min(self.cohorts.len()).max(1);
+        if w <= 1 {
+            for c in &self.cohorts {
+                c.lock().drive(&params, n);
+            }
+        } else {
+            match self.cfg.sharding {
+                Sharding::WorkStealing => {
+                    let cursor = AtomicUsize::new(0);
+                    let cohorts = &self.cohorts;
+                    let params = &params;
+                    std::thread::scope(|s| {
+                        for _ in 0..w {
+                            s.spawn(|| loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(c) = cohorts.get(i) else { break };
+                                c.lock().drive(params, n);
+                            });
+                        }
+                    });
+                }
+                Sharding::Static => {
+                    let cohorts = &self.cohorts;
+                    let params = &params;
+                    std::thread::scope(|s| {
+                        for wi in 0..w {
+                            s.spawn(move || {
+                                let mut i = wi;
+                                while let Some(c) = cohorts.get(i) {
+                                    c.lock().drive(params, n);
+                                    i += w;
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+        }
+        self.ticks_run += n;
+    }
+
+    /// Every cohort fully quiesced: no generated load pending, ingress
+    /// and wire empty, both devices drained.
+    pub fn is_idle(&self) -> bool {
+        let params = self.params();
+        self.cohorts.iter().all(|c| !c.lock().has_work(&params))
+    }
+
+    /// Run until idle, in batches, spending at most `max_ticks`.
+    /// Returns whether the fleet drained.
+    pub fn run_until_drained(&mut self, max_ticks: u64) -> bool {
+        let mut spent = 0u64;
+        while spent < max_ticks {
+            if self.is_idle() {
+                return true;
+            }
+            let batch = 64.min(max_ticks - spent);
+            self.run_ticks(batch);
+            spent += batch;
+        }
+        self.is_idle()
+    }
+
+    /// Aggregate reading across every link (exact merge — counter sums
+    /// and histogram bucket adds, never export-side concatenation).
+    pub fn stats(&self) -> FleetStats {
+        let mut st = FleetStats {
+            links: self.cfg.links,
+            workers: self.workers,
+            ticks: self.ticks_run,
+            ..FleetStats::default()
+        };
+        for c in &self.cohorts {
+            let c = c.lock();
+            for l in &c.links {
+                st.flow.add(&l.counters);
+                st.latency.merge(&l.latency);
+                st.fault.absorb(&l.fault_stats());
+                st.device_tx_rejects += l.device_tx_rejects();
+                st.oam_tx_rejects += l.oam_tx_rejects();
+                st.tx_frames_sent += l.tx_frames_sent();
+                let (ra, rb) = l.rx_totals();
+                for r in [ra, rb] {
+                    st.rx.frames_ok += r.frames_ok;
+                    st.rx.fcs_errors += r.fcs_errors;
+                    st.rx.aborts += r.aborts;
+                    st.rx.runts += r.runts;
+                    st.rx.giants += r.giants;
+                    st.rx.address_mismatches += r.address_mismatches;
+                    st.rx.header_errors += r.header_errors;
+                }
+            }
+        }
+        st
+    }
+
+    /// Per-link flow/fault/latency rows, in link order.
+    pub fn link_reports(&self) -> Vec<LinkReport> {
+        let mut rows = Vec::with_capacity(self.cfg.links);
+        for c in &self.cohorts {
+            let c = c.lock();
+            for l in &c.links {
+                rows.push(LinkReport {
+                    link: l.id,
+                    flow: l.counters,
+                    fault: l.fault_stats(),
+                    p99_latency_ticks: l.latency.quantile_bound(0.99),
+                });
+            }
+        }
+        rows.sort_by_key(|r| r.link);
+        rows
+    }
+
+    /// Fleet-level snapshot set: flow + latency under scope `fleet`,
+    /// merged receiver counters under `fleet-rx`, merged fault
+    /// injection under `fleet-fault`.
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        let st = self.stats();
+        let fleet = Snapshot::new("fleet")
+            .counter("links", st.links as u64)
+            .counter("workers", st.workers as u64)
+            .counter("ticks", st.ticks)
+            .counter("offered", st.flow.offered)
+            .counter("accepted", st.flow.accepted)
+            .counter("shed", st.flow.shed)
+            .counter("rejected", st.flow.rejected)
+            .counter("queued", st.queued())
+            .counter("delivered", st.flow.delivered)
+            .counter("delivered_bytes", st.flow.delivered_bytes)
+            .counter("tx_frames_sent", st.tx_frames_sent)
+            .histogram("frame_latency_ticks", st.latency.clone());
+        let rx = Snapshot::new("fleet-rx")
+            .counter("frames_ok", st.rx.frames_ok)
+            .counter("fcs_errors", st.rx.fcs_errors)
+            .counter("aborts", st.rx.aborts)
+            .counter("runts", st.rx.runts)
+            .counter("giants", st.rx.giants)
+            .counter("address_mismatches", st.rx.address_mismatches)
+            .counter("header_errors", st.rx.header_errors);
+        let mut fault = st.fault.snapshot();
+        fault.scope = "fleet-fault".to_string();
+        vec![fleet, rx, fault]
+    }
+
+    /// Prometheus text exposition of [`Fleet::snapshots`] — the scrape
+    /// payload for a carrier-scale deployment.
+    pub fn prometheus(&self) -> String {
+        to_prometheus(&self.snapshots())
+    }
+}

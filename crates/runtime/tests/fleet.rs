@@ -1,0 +1,279 @@
+//! Fleet integration: round trips over every carrier, replay
+//! determinism across worker counts and sharding modes, and the
+//! telemetry surface.
+
+use p5_fault::FaultSpec;
+use p5_runtime::{
+    Carrier, Dir, Fleet, FleetConfig, OfferOutcome, RuntimeError, Sharding, TrafficSpec,
+};
+use p5_sonet::StmLevel;
+
+fn drained(mut fleet: Fleet) -> Fleet {
+    assert!(fleet.run_until_drained(200_000), "fleet failed to drain");
+    fleet
+}
+
+#[test]
+fn raw_fleet_delivers_generated_load() {
+    let fleet = drained(
+        Fleet::new(FleetConfig {
+            links: 24,
+            workers: 4,
+            traffic: Some(TrafficSpec {
+                frames_per_tick: 2,
+                ticks: 16,
+                duplex: true,
+                ..TrafficSpec::default()
+            }),
+            ..FleetConfig::default()
+        })
+        .unwrap(),
+    );
+    let st = fleet.stats();
+    // 24 links x 2 frames x 16 ticks x 2 directions.
+    assert_eq!(st.flow.offered, 24 * 2 * 16 * 2);
+    assert_eq!(
+        st.flow.accepted, st.flow.offered,
+        "uncongested fleet sheds nothing"
+    );
+    assert_eq!(st.flow.delivered, st.flow.offered);
+    assert_eq!(st.rx.frames_ok, st.flow.delivered);
+    assert_eq!(st.rx.fcs_errors + st.rx.aborts + st.rx.header_errors, 0);
+    assert_eq!(st.queued(), 0);
+    assert!(st.p99_latency_ticks().is_some());
+}
+
+#[test]
+fn external_offers_round_trip_both_directions() {
+    let mut fleet = Fleet::new(FleetConfig {
+        links: 3,
+        workers: 1,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    for link in 0..3 {
+        assert_eq!(
+            fleet.offer(link, 0x0021, b"ping from a"),
+            OfferOutcome::Accepted
+        );
+        assert_eq!(
+            fleet.offer_dir(link, Dir::BtoA, 0x0021, b"pong from b"),
+            OfferOutcome::Accepted
+        );
+    }
+    let fleet = drained(fleet);
+    let st = fleet.stats();
+    assert_eq!(st.flow.offered, 6);
+    assert_eq!(st.flow.delivered, 6);
+    assert_eq!(st.rx.frames_ok, 6);
+    assert_eq!(st.flow.delivered_bytes, 3 * (11 + 11));
+}
+
+#[test]
+fn sonet_carrier_round_trips() {
+    let fleet = drained(
+        Fleet::new(FleetConfig {
+            links: 4,
+            workers: 2,
+            carrier: Carrier::Sonet(StmLevel::Stm4),
+            traffic: Some(TrafficSpec {
+                ticks: 8,
+                ..TrafficSpec::default()
+            }),
+            ..FleetConfig::default()
+        })
+        .unwrap(),
+    );
+    let st = fleet.stats();
+    assert_eq!(st.flow.delivered, 4 * 8);
+    assert_eq!(st.rx.frames_ok, st.flow.delivered);
+    assert_eq!(st.rx.fcs_errors, 0);
+}
+
+#[test]
+fn channelized_carrier_round_trips() {
+    // 10 links on STM-4 envelopes: cohorts of 4, 4, 2 tributaries.
+    let fleet = drained(
+        Fleet::new(FleetConfig {
+            links: 10,
+            workers: 3,
+            carrier: Carrier::Channelized(StmLevel::Stm4),
+            traffic: Some(TrafficSpec {
+                ticks: 6,
+                duplex: true,
+                ..TrafficSpec::default()
+            }),
+            ..FleetConfig::default()
+        })
+        .unwrap(),
+    );
+    let st = fleet.stats();
+    assert_eq!(st.flow.delivered, 10 * 6 * 2);
+    assert_eq!(st.rx.frames_ok, st.flow.delivered);
+    assert_eq!(st.rx.fcs_errors, 0);
+    for r in fleet.link_reports() {
+        assert_eq!(r.flow.delivered, 12, "link {} short-changed", r.link);
+    }
+}
+
+fn replay_config(workers: usize, sharding: Sharding) -> FleetConfig {
+    FleetConfig {
+        links: 20,
+        workers,
+        sharding,
+        carrier: Carrier::Raw,
+        fault: Some(FaultSpec {
+            ber: 2e-4,
+            slip: 1e-3,
+            transfer_loss: 5e-3,
+            ..FaultSpec::default()
+        }),
+        seed: 0xC0FFEE,
+        traffic: Some(TrafficSpec {
+            frames_per_tick: 2,
+            ticks: 24,
+            duplex: true,
+            ..TrafficSpec::default()
+        }),
+        ..FleetConfig::default()
+    }
+}
+
+/// The acceptance-criterion replay test: same seeds and link count give
+/// identical per-link delivery counts and fault statistics, no matter
+/// how many workers drive the fleet or how cohorts are assigned.
+#[test]
+fn replay_is_independent_of_worker_count_and_sharding() {
+    let reference: Vec<_> = drained(Fleet::new(replay_config(1, Sharding::Static)).unwrap())
+        .link_reports()
+        .into_iter()
+        .map(|r| (r.link, r.flow, r.fault))
+        .collect();
+    // Faults were injected and something was still delivered.
+    assert!(reference.iter().any(|(_, f, _)| f.delivered > 0));
+    assert!(reference.iter().any(|(_, _, s)| s.bit_errors > 0));
+    for (workers, sharding) in [
+        (2, Sharding::WorkStealing),
+        (5, Sharding::WorkStealing),
+        (8, Sharding::Static),
+        (3, Sharding::Static),
+    ] {
+        let got: Vec<_> = drained(Fleet::new(replay_config(workers, sharding)).unwrap())
+            .link_reports()
+            .into_iter()
+            .map(|r| (r.link, r.flow, r.fault))
+            .collect();
+        assert_eq!(
+            got, reference,
+            "replay diverged at workers={workers}, sharding={sharding:?}"
+        );
+    }
+}
+
+#[test]
+fn line_rate_cap_backpressures_without_losing_frames() {
+    // A 64-octet/tick line under 8 frames/tick of 256-octet offered
+    // load: the wire backlog crosses the fused high-water mark, the
+    // bounded ingress queue fills behind it, and admission sheds.
+    let fleet = drained(
+        Fleet::new(FleetConfig {
+            links: 6,
+            workers: 2,
+            ingress_depth: 8,
+            wire_bytes_per_tick: Some(64),
+            traffic: Some(TrafficSpec {
+                frames_per_tick: 8,
+                ticks: 128,
+                ..TrafficSpec::default()
+            }),
+            ..FleetConfig::default()
+        })
+        .unwrap(),
+    );
+    let st = fleet.stats();
+    assert!(st.flow.shed > 0, "over-subscribed line should shed");
+    assert_eq!(
+        st.flow.offered,
+        st.flow.accepted + st.flow.shed + st.flow.rejected,
+        "conservation after drain"
+    );
+    assert_eq!(
+        st.flow.delivered, st.flow.accepted,
+        "no accepted frame lost"
+    );
+    assert_eq!(st.device_tx_rejects, st.flow.rejected);
+    assert_eq!(st.oam_tx_rejects, st.flow.rejected);
+}
+
+#[test]
+fn construction_errors() {
+    assert!(matches!(
+        Fleet::new(FleetConfig {
+            links: 0,
+            ..FleetConfig::default()
+        }),
+        Err(RuntimeError::NoLinks)
+    ));
+    assert!(matches!(
+        Fleet::new(FleetConfig {
+            carrier: Carrier::Channelized(StmLevel::Stm1),
+            ..FleetConfig::default()
+        }),
+        Err(RuntimeError::InvalidEnvelope(StmLevel::Stm1))
+    ));
+    assert!(matches!(
+        Fleet::new(FleetConfig {
+            fault: Some(FaultSpec {
+                ber: 2.0, // not a probability
+                ..FaultSpec::default()
+            }),
+            ..FleetConfig::default()
+        }),
+        Err(RuntimeError::Fault(_))
+    ));
+}
+
+#[test]
+fn prometheus_export_carries_fleet_scope() {
+    let fleet = drained(
+        Fleet::new(FleetConfig {
+            links: 5,
+            workers: 2,
+            traffic: Some(TrafficSpec {
+                ticks: 4,
+                ..TrafficSpec::default()
+            }),
+            ..FleetConfig::default()
+        })
+        .unwrap(),
+    );
+    let text = fleet.prometheus();
+    for needle in [
+        "fleet_delivered",
+        "fleet_offered",
+        "fleet_frame_latency_ticks_bucket",
+        "fleet_rx_frames_ok",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    let snaps = fleet.snapshots();
+    assert!(snaps.iter().any(|s| s.scope == "fleet"));
+    assert!(snaps.iter().any(|s| s.scope == "fleet-rx"));
+    assert!(snaps.iter().any(|s| s.scope == "fleet-fault"));
+}
+
+#[test]
+fn idle_fleet_runs_for_free() {
+    let mut fleet = Fleet::new(FleetConfig {
+        links: 1000,
+        workers: 4,
+        ..FleetConfig::default()
+    })
+    .unwrap();
+    assert!(fleet.is_idle());
+    fleet.run_ticks(1000); // all cohorts skip; this must be near-instant
+    assert!(fleet.is_idle());
+    let st = fleet.stats();
+    assert_eq!(st.flow.offered, 0);
+    assert_eq!(st.ticks, 1000);
+}

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod channel;
+pub mod channelized;
 pub mod frame;
 pub mod mux;
 pub mod path;
@@ -42,6 +43,7 @@ pub mod scramble;
 pub mod stream;
 
 pub use channel::{BitErrorChannel, ChannelStats};
+pub use channelized::TributaryGroup;
 pub use frame::{FrameReceiver, FrameTransmitter, RxDefect, SectionStats, StmLevel};
 pub use mux::{deinterleave, interleave};
 pub use path::{ByteLink, OcPath};

@@ -40,7 +40,7 @@ impl Histogram {
     }
 
     /// Inclusive upper bound of bucket `idx`.
-    fn bucket_bound(idx: usize) -> u64 {
+    pub fn bucket_bound(idx: usize) -> u64 {
         match idx {
             0 => 0,
             64 => u64::MAX,
@@ -80,6 +80,26 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Inclusive upper bound of the bucket containing the `q`-quantile
+    /// observation (`q` in `[0, 1]`).  A log2 histogram cannot resolve
+    /// positions inside a bucket, so this is the quantile's bucket
+    /// ceiling — the conservative bound a latency gate wants.  Returns
+    /// `None` on an empty histogram.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(Self::bucket_bound(idx));
+            }
+        }
+        Some(u64::MAX)
     }
 
     /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
@@ -149,9 +169,12 @@ impl Snapshot {
             .map(|&(_, v)| v)
     }
 
-    /// Fold another snapshot's counters into this one (matched by name;
-    /// unknown names are appended), histograms merged likewise.
-    pub fn absorb(&mut self, other: &Snapshot) {
+    /// Exact fleet aggregation: counters summed by name (unknown names
+    /// appended, order preserved), histograms bucket-added likewise.
+    /// `other.scope` is ignored — the caller owns the merged identity —
+    /// so N per-link snapshots fold into one fleet-level reading without
+    /// export-side string concatenation.
+    pub fn merge(&mut self, other: &Snapshot) {
         for (name, value) in &other.counters {
             match self.counters.iter_mut().find(|(n, _)| n == name) {
                 Some((_, v)) => *v += value,
@@ -164,6 +187,13 @@ impl Snapshot {
                 None => self.histograms.push((name.clone(), hist.clone())),
             }
         }
+    }
+
+    /// Fold another snapshot's counters into this one (matched by name;
+    /// unknown names are appended), histograms merged likewise.
+    /// Alias for [`Snapshot::merge`], kept for the pre-fleet callers.
+    pub fn absorb(&mut self, other: &Snapshot) {
+        self.merge(other);
     }
 }
 
@@ -344,6 +374,72 @@ mod tests {
         assert_eq!(a.get("frames"), Some(5));
         assert_eq!(a.get("stalls"), Some(7));
         assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_buckets() {
+        let mut h1 = Histogram::new();
+        h1.observe(3);
+        h1.observe(100);
+        let mut h2 = Histogram::new();
+        h2.observe(3);
+        let mut a = Snapshot::new("fleet")
+            .counter("frames", 3)
+            .histogram("lat", h1);
+        let b = Snapshot::new("link-42")
+            .counter("frames", 2)
+            .counter("sheds", 1)
+            .histogram("lat", h2.clone())
+            .histogram("size", h2);
+        a.merge(&b);
+        // Counters sum by name; unknown names append in order.
+        assert_eq!(a.get("frames"), Some(5));
+        assert_eq!(a.get("sheds"), Some(1));
+        // Scope stays the merge target's identity.
+        assert_eq!(a.scope, "fleet");
+        // Histogram buckets add: two observations of 3 → count 2 at ≤3.
+        let lat = &a.histograms.iter().find(|(n, _)| n == "lat").unwrap().1;
+        assert_eq!(lat.count(), 3);
+        assert_eq!(lat.nonzero_buckets(), vec![(3, 2), (127, 1)]);
+        // Unknown histogram appended whole.
+        assert!(a.histograms.iter().any(|(n, _)| n == "size"));
+    }
+
+    #[test]
+    fn merge_is_associative_over_counters() {
+        let parts = [
+            Snapshot::new("a").counter("x", 1).counter("y", 10),
+            Snapshot::new("b").counter("x", 2),
+            Snapshot::new("c").counter("y", 20).counter("z", 5),
+        ];
+        let mut left = Snapshot::new("fleet");
+        for p in &parts {
+            left.merge(p);
+        }
+        let mut pair = parts[1].clone();
+        pair.merge(&parts[2]);
+        let mut right = Snapshot::new("fleet");
+        right.merge(&parts[0]);
+        right.merge(&pair);
+        assert_eq!(left.counters, right.counters);
+    }
+
+    #[test]
+    fn quantile_bound_picks_bucket_ceilings() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile_bound(0.99), None);
+        for _ in 0..99 {
+            h.observe(3); // bucket ≤3
+        }
+        h.observe(1000); // bucket ≤1023
+        assert_eq!(h.quantile_bound(0.0), Some(3));
+        assert_eq!(h.quantile_bound(0.5), Some(3));
+        assert_eq!(h.quantile_bound(0.99), Some(3));
+        // The 100th observation is the outlier.
+        assert_eq!(h.quantile_bound(1.0), Some(1023));
+        let mut single = Histogram::new();
+        single.observe(0);
+        assert_eq!(single.quantile_bound(0.99), Some(0));
     }
 
     #[test]

@@ -3,165 +3,242 @@
 //! The paper cites MAPOS (RFC 2171, refs [1][2]) as the system its
 //! programmable HDLC address supports: multiple stations on SONET links
 //! joined by a frame switch that forwards on the address octet.  This
-//! example builds a three-port MAPOS switch out of three P⁵ pairs:
+//! example builds a four-port *learning* MAPOS switch:
 //!
 //! ```text
 //!   station A (addr 03) ──╮
-//!   station B (addr 05) ──┼── frame switch (address-routed)
-//!   station C (addr 07) ──╯
+//!   station B (addr 05) ──┼── learning frame switch
+//!   station C (addr 07) ──┤   (flood unknown, then unicast)
+//!   station D (addr 09) ──╯
 //! ```
 //!
-//! Unicast frames reach exactly their addressee; broadcast (0xFF)
-//! reaches everyone else.
+//! Every port is a full duplex P⁵ link assembled by [`LinkBuilder`] —
+//! the station end keeps its MAPOS address filter, the switch end runs
+//! promiscuous so the fabric sees every frame regardless of its
+//! destination octet.  (An earlier revision of this example hand-wired
+//! framer/deframer stages with `stack!`; port devices built through
+//! `LinkBuilder` give FCS checking, address filtering and OAM counters
+//! for free, and no custom topology remains that would need the
+//! escape hatch.)
+//!
+//! The switch *learns*: MAPOS frames carry only the destination in the
+//! HDLC address octet (source association is NSP's job in RFC 2171),
+//! so this example prepends one source-address shim octet to each
+//! payload — an example convention standing in for NSP, documented
+//! here so nobody mistakes it for wire format.  Unknown destinations
+//! flood to every other port; once a station has been heard from, its
+//! frames go out one port only.  The flood is observable from the
+//! innocent stations' `ADDR_MISMATCHES` counters — their P⁵ receivers
+//! drop the misaddressed copies in hardware.
 //!
 //! ```sh
 //! cargo run --release --example mapos_switch
 //! ```
 
-use p5::hdlc::{DeframerStage, FramerConfig, FramerStage};
+use std::collections::HashMap;
+
+use p5::core::oam::ctrl;
 use p5::ppp::mapos::MaposAddress;
 use p5::prelude::*;
 
-/// The switch: deframes each ingress stream, reads the address octet,
-/// re-frames onto the egress port(s).  (A real MAPOS switch does this
-/// in hardware with the same P⁵-style datapath per port.)  Each port is
-/// a pair of stream stages — the same `DeframerStage`/`FramerStage` the
-/// golden-model test harnesses compose — joined by the switching fabric.
-/// A three-port switch is not a point-to-point link, so this is the one
-/// example that assembles stages by hand: the documented escape hatch
-/// below `LinkBuilder` (DESIGN.md §14).
-struct Switch {
-    ports: Vec<SwitchPort>,
-}
+/// Staged-pipeline cycles granted per device per pump round — enough
+/// for a handful of short frames end to end.
+const CYCLES: u64 = 20_000;
 
-struct SwitchPort {
+/// One switch port: a duplex P⁵ link whose `a` end is the station and
+/// whose `b` end is the switch-side device.
+struct Port {
+    name: &'static str,
     station: MaposAddress,
-    deframer: DeframerStage,
-    framer: FramerStage,
-    egress: WireBuf,
+    link: DuplexLink,
 }
 
-impl Switch {
-    fn new(stations: &[MaposAddress]) -> Self {
-        Self {
-            ports: stations
-                .iter()
-                .map(|&station| SwitchPort {
-                    station,
-                    deframer: DeframerStage::new(DeframerConfig::default()),
-                    framer: FramerStage::new(FramerConfig::default()),
-                    egress: WireBuf::new(),
-                })
-                .collect(),
-        }
+impl Port {
+    fn new(name: &'static str, port_number: u8) -> Self {
+        let station = MaposAddress::unicast(port_number).expect("valid port number");
+        let link = LinkBuilder::new()
+            .width(DatapathWidth::W32)
+            .build_duplex()
+            .expect("duplex link");
+        let port = Port {
+            name,
+            station,
+            link,
+        };
+        // Station side filters on its own MAPOS address (+ broadcast).
+        let mut bus = port.link.a.oam();
+        bus.write(regs::ADDRESS, station.octet() as u32);
+        // Switch side must see every destination: promiscuous RX.
+        let mut bus = port.link.b.oam();
+        let c = bus.read(regs::CTRL);
+        bus.write(regs::CTRL, c | ctrl::PROMISCUOUS);
+        port
     }
 
-    /// Carry ingress wire bytes from port `from`, switching complete
-    /// frames onto the destination port's egress stream.
-    fn ingress(&mut self, from: usize, wire: &[u8]) {
-        let mut line = WireBuf::new();
-        line.push_slice(wire);
-        self.ports[from].deframer.offer(&mut line);
-        let mut bodies = WireBuf::new();
-        self.ports[from].deframer.drain(&mut bodies);
-        let mut body = Vec::new();
-        while bodies.pop_frame_into(&mut body).is_some() {
-            let Some(&dest_octet) = body.first() else {
-                continue;
+    /// Station transmit: stamp the *destination* into the programmable
+    /// address register (as MAPOS firmware does per frame), prepend the
+    /// source shim octet, and restore the filter address.
+    fn send_to(&mut self, dest: MaposAddress, message: &[u8]) {
+        let mut payload = Vec::with_capacity(message.len() + 1);
+        payload.push(self.station.octet());
+        payload.extend_from_slice(message);
+        let mut bus = self.link.a.oam();
+        bus.write(regs::ADDRESS, dest.octet() as u32);
+        self.link.a.submit(0x0021, payload).expect("queue empty");
+        self.link.a.run(CYCLES);
+        bus.write(regs::ADDRESS, self.station.octet() as u32);
+    }
+
+    /// Misaddressed frames the station's receiver filtered out — the
+    /// visible footprint of a flood.
+    fn address_mismatches(&self) -> u32 {
+        self.link.a.oam().read(regs::ADDR_MISMATCHES)
+    }
+}
+
+/// The fabric: a learned station-address → port map plus flood/forward
+/// accounting.
+#[derive(Default)]
+struct Fabric {
+    table: HashMap<u8, usize>,
+    floods: u32,
+    unicasts: u32,
+}
+
+impl Fabric {
+    /// Service every port: collect frames off the switch-side devices,
+    /// learn sources, and re-transmit towards their destinations.
+    fn service(&mut self, ports: &mut [Port]) {
+        // Collect first, then transmit — a forwarded frame must not be
+        // re-collected within the same service pass.
+        let mut pending: Vec<(usize, ReceivedFrame)> = Vec::new();
+        for (i, port) in ports.iter_mut().enumerate() {
+            for frame in port.link.b.take_received() {
+                pending.push((i, frame));
+            }
+        }
+        for (from, frame) in pending {
+            let Some(&src) = frame.payload.first() else {
+                continue; // shim-less frame: nothing to learn or route
             };
-            let Ok(dest) = MaposAddress::new(dest_octet) else {
-                continue;
+            self.table.insert(src, from);
+            let dest = frame.address;
+            let out: Vec<usize> = match self.table.get(&dest) {
+                Some(&p) if dest != MaposAddress::BROADCAST.octet() => vec![p],
+                // Broadcast, or a station nobody has heard from: flood.
+                _ => (0..ports.len()).filter(|&p| p != from).collect(),
             };
-            for i in 0..self.ports.len() {
-                if i == from {
-                    continue;
-                }
-                if self.ports[i].station.accepts(dest) {
-                    let port = &mut self.ports[i];
-                    let mut forward = WireBuf::new();
-                    forward.push_frame(&body);
-                    port.framer.offer(&mut forward);
-                    port.framer.drain(&mut port.egress);
-                }
+            if out.len() == 1 {
+                self.unicasts += 1;
+            } else {
+                self.floods += 1;
+            }
+            for p in out {
+                let port = &mut ports[p];
+                // Egress keeps the original destination octet so the
+                // station-side address filter has the final say.
+                let mut bus = port.link.b.oam();
+                bus.write(regs::ADDRESS, dest as u32);
+                port.link
+                    .b
+                    .submit(frame.protocol, frame.payload.clone())
+                    .expect("switch egress queue empty");
+                port.link.b.run(CYCLES);
             }
         }
     }
+}
 
-    fn egress(&mut self, port: usize) -> Vec<u8> {
-        self.ports[port].egress.take_vec()
+/// One full plant rotation: clock every device, move wire bytes both
+/// ways on every link, then let the fabric switch what arrived.
+fn pump(ports: &mut [Port], fabric: &mut Fabric, rounds: usize) {
+    for _ in 0..rounds {
+        for port in ports.iter_mut() {
+            port.link.a.run(CYCLES);
+            port.link.b.run(CYCLES);
+            port.link.exchange();
+            port.link.b.run(CYCLES);
+        }
+        fabric.service(ports);
+        // Carry the fabric's egress back down to the stations.
+        for port in ports.iter_mut() {
+            port.link.exchange();
+            port.link.a.run(CYCLES);
+        }
     }
 }
 
-struct Station {
-    name: &'static str,
-    addr: MaposAddress,
-    p5: P5,
-}
-
-impl Station {
-    fn new(name: &'static str, port: u8) -> Self {
-        let addr = MaposAddress::unicast(port).expect("valid port");
-        let p5 = P5::new(DatapathWidth::W32);
-        let mut bus = Oam::new(p5.oam.clone());
-        bus.write(regs::ADDRESS, addr.octet() as u32);
-        Self { name, addr, p5 }
-    }
-
-    /// Send a datagram to another MAPOS address: the switch routes on
-    /// the frame's (programmable) address octet, so the transmitter
-    /// stamps the *destination* address.
-    fn send_to(&mut self, dest: MaposAddress, payload: &[u8]) {
-        // Temporarily stamp the destination into the address register
-        // (real firmware writes the per-frame destination the same way).
-        let mut bus = Oam::new(self.p5.oam.clone());
-        bus.write(regs::ADDRESS, dest.octet() as u32);
-        self.p5.submit(0x0021, payload.to_vec()).unwrap();
-        self.p5.run_until_idle(1_000_000);
-        bus.write(regs::ADDRESS, self.addr.octet() as u32);
-    }
+fn collect(port: &mut Port) -> Vec<(u8, String)> {
+    port.link
+        .a
+        .take_received()
+        .into_iter()
+        .map(|f| {
+            let src = f.payload.first().copied().unwrap_or(0);
+            (src, String::from_utf8_lossy(&f.payload[1..]).into_owned())
+        })
+        .collect()
 }
 
 fn main() {
-    let mut a = Station::new("A", 1); // addr 0x03
-    let mut b = Station::new("B", 2); // addr 0x05
-    let mut c = Station::new("C", 3); // addr 0x07
-    let mut sw = Switch::new(&[a.addr, b.addr, c.addr]);
+    let mut ports = [
+        Port::new("A", 1), // addr 0x03
+        Port::new("B", 2), // addr 0x05
+        Port::new("C", 3), // addr 0x07
+        Port::new("D", 4), // addr 0x09
+    ];
+    let mut fabric = Fabric::default();
+    let (a_addr, b_addr) = (ports[0].station, ports[1].station);
 
-    // A → B unicast, C → A unicast, B → broadcast.
-    a.send_to(b.addr, b"hello B, from A");
-    c.send_to(a.addr, b"hello A, from C");
-    b.send_to(MaposAddress::BROADCAST, b"hear ye, all stations");
+    // 1. A → B while the table is empty: the switch must flood, and
+    //    the flood's rejected copies land in C's and D's mismatch
+    //    counters.
+    ports[0].send_to(b_addr, b"hello B, from A");
+    pump(&mut ports, &mut fabric, 4);
+    assert_eq!(fabric.floods, 1, "unknown destination must flood");
+    assert_eq!(collect(&mut ports[1]).len(), 1, "B gets A's hello");
+    assert_eq!(ports[2].address_mismatches(), 1, "C saw the flood");
+    assert_eq!(ports[3].address_mismatches(), 1, "D saw the flood");
 
-    // Carry everything through the switch.
-    sw.ingress(0, &a.p5.take_wire_out());
-    sw.ingress(1, &b.p5.take_wire_out());
-    sw.ingress(2, &c.p5.take_wire_out());
+    // 2. B replies: A was learned from step 1, so this goes out one
+    //    port, and the switch learns B.
+    ports[1].send_to(a_addr, b"hello A, from B");
+    pump(&mut ports, &mut fabric, 4);
+    assert_eq!(fabric.unicasts, 1, "learned destination must not flood");
+    assert_eq!(collect(&mut ports[0]).len(), 1, "A gets B's reply");
 
-    // Deliver egress streams into each station's receiver.
-    for (i, st) in [&mut a, &mut b, &mut c].into_iter().enumerate() {
-        let wire = sw.egress(i);
-        st.p5.put_wire_in(&wire);
-        st.p5.run_until_idle(1_000_000);
+    // 3. A → B again: both learned now — pure unicast, no new
+    //    mismatches anywhere.
+    ports[0].send_to(b_addr, b"again, B");
+    pump(&mut ports, &mut fabric, 4);
+    assert_eq!(fabric.unicasts, 2);
+    assert_eq!(collect(&mut ports[1]).len(), 1);
+    assert_eq!(ports[2].address_mismatches(), 1, "no new flood reached C");
+    assert_eq!(ports[3].address_mismatches(), 1, "no new flood reached D");
+
+    // 4. C broadcasts: reaches every other station through their own
+    //    address filters (0xFF is always accepted).
+    ports[2].send_to(MaposAddress::BROADCAST, b"hear ye, all stations");
+    pump(&mut ports, &mut fabric, 4);
+    for i in [0usize, 1, 3] {
+        let got = collect(&mut ports[i]);
+        assert_eq!(got.len(), 1, "{} missed the broadcast", ports[i].name);
+        assert_eq!(got[0].0, ports[2].station.octet());
     }
 
-    for st in [&mut a, &mut b, &mut c] {
-        let frames = st.p5.take_received();
-        for f in &frames {
-            println!(
-                "[{}] got {:?} (to addr {:#04X})",
-                st.name,
-                String::from_utf8_lossy(&f.payload),
-                f.address
-            );
-        }
-        // The P5 accepts its own station address plus the all-stations
-        // broadcast 0xFF, so:
-        match st.name {
-            "A" => assert_eq!(frames.len(), 2, "A: C's unicast + broadcast"),
-            "B" => assert_eq!(frames.len(), 1, "B: A's unicast"),
-            "C" => assert_eq!(frames.len(), 1, "C: the broadcast"),
-            _ => {}
-        }
+    println!(
+        "learning switch: {} flood(s), {} unicast forward(s), table size {}",
+        fabric.floods,
+        fabric.unicasts,
+        fabric.table.len()
+    );
+    for port in &ports {
+        println!(
+            "  station {} (addr {:#04X}): {} misaddressed copies filtered in hardware",
+            port.name,
+            port.station.octet(),
+            port.address_mismatches()
+        );
     }
-    println!("switching on the programmable address octet works.");
+    println!("flood-then-learn on the programmable address octet works.");
 }

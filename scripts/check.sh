@@ -60,4 +60,15 @@ echo "==> fault smoke + recovery gates (results/BENCH_fault.json)"
 # and renegotiation within the RFC 1661 restart budget.
 cargo run -q --release --offline -p p5-bench --bin fault_report -- --smoke
 
+echo "==> runtime smoke + scaling gate (results/BENCH_runtime.json)"
+# Carrier-scale fleet gates: the sweep must conserve every frame at
+# every link count (shed == rejected == 0 uncongested, delivered ==
+# accepted — asserted inside the report), p99 submit->delivery latency
+# must stay within 64 ticks on uncongested rows, and on hosts with
+# >= 4 cores the best aggregate throughput at >= 64 links must reach
+# 2x the single-link row (the gate self-skips below 4 cores, where the
+# scaling claim is vacuous).
+cargo run -q --release --offline -p p5-bench --bin runtime_report -- \
+    --smoke --min-uplift 2.0 --max-p99-ticks 64
+
 echo "==> all checks passed"

@@ -18,7 +18,11 @@
 //! * [`rtl`] — the P⁵ modules as gate-level netlists (Tables 1–3);
 //! * [`fault`] — deterministic, seedable fault injection (BER, bursts,
 //!   slips, aborts, stall storms);
-//! * [`link`] — [`link::LinkBuilder`], the one way to assemble a link.
+//! * [`link`] — [`link::LinkBuilder`], the one way to assemble a link;
+//! * [`runtime`] — the carrier-scale multi-link runtime:
+//!   [`runtime::Fleet`] shards thousands of duplex links across a
+//!   fixed worker pool with bounded ingress, graceful overload
+//!   shedding and channelized SDH carriage.
 //!
 //! [`prelude`] re-exports the common assembly surface in one `use`.
 //!
@@ -33,6 +37,7 @@ pub use p5_hdlc as hdlc;
 pub use p5_link as link;
 pub use p5_ppp as ppp;
 pub use p5_rtl as rtl;
+pub use p5_runtime as runtime;
 pub use p5_sonet as sonet;
 
 pub mod prelude;
