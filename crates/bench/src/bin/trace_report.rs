@@ -14,6 +14,11 @@
 //!    the throughput workload; its deterministic bytes/cycle must stay
 //!    within `--max-overhead-pct` (default 3%) of the baseline recorded
 //!    in `results/BENCH_throughput.json`, or the run exits 1.
+//! 4. **Fleet-path overhead gate** — a 256-link fleet runs plain
+//!    (`Fleet::run_ticks`) and again through the observability sampling
+//!    path (`Fleet::run_sampled`) with *no collector attached*; the
+//!    sampling plumbing must cost at most `--max-fleet-overhead-pct`
+//!    (default 3%) wall time when nothing is sampling.
 //!
 //! Writes `results/BENCH_trace.json`.  `--smoke` shrinks the duplex
 //! traffic for CI; the overhead gate replays whatever frame count the
@@ -26,6 +31,7 @@ use std::time::Instant;
 use p5_bench::{heading, imix_sizes, ip_like_datagram};
 use p5_core::{encap_tagged, DatapathWidth, RxStage, TxStage, P5};
 use p5_link::LinkBuilder;
+use p5_runtime::{Fleet, FleetConfig, TrafficSpec};
 use p5_stream::{stack, Pipe, SharedRecorder, Throttle};
 use p5_trace::{EventKind, Histogram};
 
@@ -239,6 +245,37 @@ fn measure_bpc(width: DatapathWidth, datagrams: usize, traced: bool) -> (f64, f6
     )
 }
 
+/// Wall time (seconds) of one fleet run, best of `reps` (the minimum is
+/// the least-noise estimator for a deterministic workload).
+fn fleet_wall(links: usize, ticks: u64, sampled: bool, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut fleet = Fleet::new(FleetConfig {
+            links,
+            traffic: Some(TrafficSpec {
+                frames_per_tick: 1,
+                ticks,
+                ..TrafficSpec::default()
+            }),
+            ..FleetConfig::default()
+        })
+        .expect("fleet builds");
+        let started = Instant::now();
+        if sampled {
+            // The observability drive path at the collector's default
+            // cadence, with NOTHING attached: this is what every fleet
+            // pays just for being scrape-ready.
+            fleet.run_sampled(ticks * 4, 64, |_| {});
+        } else {
+            // The established drive loop (same 64-tick batching), so
+            // the comparison isolates the sampling hook itself.
+            fleet.run_until_drained(ticks * 4);
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Pull one numeric field out of the baseline JSON by string scan (the
 /// harness ships no JSON parser), searching forward from `anchor`.
 fn scan_number(json: &str, anchor: &str, field: &str) -> Option<f64> {
@@ -264,6 +301,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let max_overhead_pct = arg_value(&args, "--max-overhead-pct").unwrap_or(3.0);
+    let max_fleet_overhead_pct = arg_value(&args, "--max-fleet-overhead-pct").unwrap_or(3.0);
     let frames = if smoke { 24 } else { 120 };
 
     print!(
@@ -392,11 +430,41 @@ fn main() {
         }
     }
 
+    // 4. Fleet-path overhead: the observability drive path with nothing
+    //    attached vs the plain drive, same 256-link workload.
+    let (links, ticks, reps) = if smoke {
+        (256, 400, 3)
+    } else {
+        (256, 2_000, 5)
+    };
+    let plain = fleet_wall(links, ticks, false, reps);
+    let ready = fleet_wall(links, ticks, true, reps);
+    let fleet_overhead_pct = 100.0 * (ready - plain) / plain;
+    println!(
+        "\nfleet path ({links} links, {ticks} traffic ticks): plain {:.1} ms, \
+         scrape-ready (no collector) {:.1} ms ({fleet_overhead_pct:+.2}%)",
+        plain * 1e3,
+        ready * 1e3
+    );
+    if fleet_overhead_pct > max_fleet_overhead_pct {
+        gate_failures.push(format!(
+            "fleet sampling path with no collector costs {fleet_overhead_pct:.2}% \
+             wall (gate {max_fleet_overhead_pct}%)"
+        ));
+    }
+    let fleet_json = format!(
+        "{{\"links\": {links}, \"traffic_ticks\": {ticks}, \"reps\": {reps}, \
+         \"plain_wall_s\": {plain:.6}, \"scrape_ready_wall_s\": {ready:.6}, \
+         \"overhead_pct\": {fleet_overhead_pct:.2}, \
+         \"gate_pct\": {max_fleet_overhead_pct}}}"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"trace\",\n  \"smoke\": {smoke},\n  \
          \"duplex\": [\n{duplex_rows}\n  ],\n  \
          \"stall\": [\n{stall_rows}\n  ],\n  \
-         \"overhead\": [\n{overhead_rows}\n  ]\n}}\n"
+         \"overhead\": [\n{overhead_rows}\n  ],\n  \
+         \"fleet_overhead\": {fleet_json}\n}}\n"
     );
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/BENCH_trace.json", &json).expect("write results/");

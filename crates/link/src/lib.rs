@@ -326,6 +326,20 @@ impl Link {
         )
     }
 
+    /// The health-relevant OAM counters in one read — the raw inputs a
+    /// health scorer (`p5::obs::HealthSample`) windows into per-link
+    /// verdicts.  Reads both ends' register buses; monotone.
+    pub fn health_counters(&self) -> HealthCounters {
+        let rx = self.rx_oam();
+        let tx = self.tx_oam();
+        HealthCounters {
+            rx_frames: u64::from(rx.read(regs::RX_FRAMES)),
+            rx_errors: self.rx_errors(),
+            tx_frames: u64::from(tx.read(regs::TX_FRAMES)),
+            tx_rejects: u64::from(tx.read(regs::TX_REJECTS)),
+        }
+    }
+
     /// Per-stage flow counters (name, stats) in pipeline order.
     pub fn stage_stats(&self) -> Vec<(&'static str, StageStats)> {
         self.stack.stage_stats()
@@ -359,6 +373,23 @@ impl Link {
     }
 }
 
+/// The health-relevant OAM counters of one link, read in one pass via
+/// [`Link::health_counters`] / [`LinkEnd::health_counters`].  All
+/// fields are monotone run totals; a health scorer diffs successive
+/// reads into windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Frames accepted by the receive side.
+    pub rx_frames: u64,
+    /// Receive-side errors (FCS + aborts + runts + giants + header +
+    /// address mismatches) — the counted-drop total.
+    pub rx_errors: u64,
+    /// Frames sent by the transmit side.
+    pub tx_frames: u64,
+    /// Submissions refused at the transmit queue (backpressure shed).
+    pub tx_rejects: u64,
+}
+
 /// One side of a [`DuplexLink`]: a device plus its OAM handle, kept
 /// reachable after the device is wired up.
 pub struct LinkEnd {
@@ -382,6 +413,26 @@ impl LinkEnd {
     /// Register-bus view of this end's OAM block.
     pub fn oam(&self) -> Oam {
         Oam::new(self.oam.clone())
+    }
+
+    /// The health-relevant OAM counters of this end (its own transmit
+    /// and receive sides — the duplex peer has its own).
+    pub fn health_counters(&self) -> HealthCounters {
+        let bus = self.oam();
+        let rx_errors = u64::from(
+            bus.read(regs::FCS_ERRORS)
+                + bus.read(regs::ABORTS)
+                + bus.read(regs::RUNTS)
+                + bus.read(regs::GIANTS)
+                + bus.read(regs::HEADER_ERRORS)
+                + bus.read(regs::ADDR_MISMATCHES),
+        );
+        HealthCounters {
+            rx_frames: u64::from(bus.read(regs::RX_FRAMES)),
+            rx_errors,
+            tx_frames: u64::from(bus.read(regs::TX_FRAMES)),
+            tx_rejects: u64::from(bus.read(regs::TX_REJECTS)),
+        }
     }
 }
 
@@ -510,6 +561,16 @@ mod tests {
         assert_eq!(link.rx_errors(), 0);
         assert_eq!(link.rx_oam().read(regs::RX_FRAMES), 1);
         assert_eq!(link.tx_oam().read(regs::TX_FRAMES), 1);
+        let hc = link.health_counters();
+        assert_eq!(
+            hc,
+            HealthCounters {
+                rx_frames: 1,
+                rx_errors: 0,
+                tx_frames: 1,
+                tx_rejects: 0,
+            }
+        );
     }
 
     #[test]

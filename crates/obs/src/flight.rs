@@ -1,0 +1,340 @@
+//! The flight recorder: a bounded per-link ring of observations that
+//! *freezes* shortly after a trigger, preserving the window around the
+//! event instead of letting it scroll out.
+//!
+//! A 10k-link fleet cannot afford full tracing everywhere; it can
+//! afford a small ring per link of interest.  While untriggered, the
+//! ring evicts its oldest entry like any bounded buffer.  On a trigger
+//! (error burst, health transition — the collector decides), the ring
+//! keeps recording for `post_trigger` more entries and then freezes:
+//! the post-mortem holds what led up to the event plus its immediate
+//! aftermath, dumpable as JSON (DESIGN.md §17 documents the wire
+//! shape).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::health::HealthState;
+
+/// Sizing for one recorder.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightConfig {
+    /// Entries retained while untriggered (the pre-trigger window).
+    pub capacity: usize,
+    /// *Sample windows* recorded after the trigger before freezing.
+    /// Transitions and device events inside those windows ride along
+    /// (bounded by a hard entry cap), so a burst of device events
+    /// cannot starve the transition out of the post-mortem.
+    pub post_trigger: u32,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 64,
+            post_trigger: 8,
+        }
+    }
+}
+
+/// One recorded observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A periodic windowed reading (deltas over one sample interval).
+    Sample {
+        delivered: u64,
+        errors: u64,
+        resync_bytes: u64,
+        shed: u64,
+    },
+    /// A health state change.
+    Transition { from: HealthState, to: HealthState },
+    /// The trigger itself (first trigger wins; later ones are ignored).
+    Trigger { reason: String },
+    /// A device-level trace event (from a `SharedRecorder` tap),
+    /// pre-rendered to its stable name plus detail.
+    Device { summary: String },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Fleet tick the entry was recorded at.
+    pub tick: u64,
+    pub kind: FlightKind,
+}
+
+/// The freezing ring.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    entries: VecDeque<FlightEntry>,
+    /// `(tick, reason)` of the first trigger.
+    trigger: Option<(u64, String)>,
+    /// Post-trigger sample windows still to record before freezing.
+    remaining: u32,
+    frozen: bool,
+    /// Entries evicted (pre-trigger) or refused (post-freeze / over
+    /// the hard cap).
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(cfg: FlightConfig) -> Self {
+        FlightRecorder {
+            cfg: FlightConfig {
+                capacity: cfg.capacity.max(1),
+                post_trigger: cfg.post_trigger,
+            },
+            entries: VecDeque::new(),
+            trigger: None,
+            remaining: 0,
+            frozen: false,
+            dropped: 0,
+        }
+    }
+
+    pub fn is_triggered(&self) -> bool {
+        self.trigger.is_some()
+    }
+
+    /// Triggered and the post-trigger window is exhausted: nothing more
+    /// will be recorded.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Absolute entry ceiling once triggered: the pre-trigger window
+    /// plus room for each post-trigger sample window's transition and
+    /// a capped burst of device events.
+    fn hard_cap(&self) -> usize {
+        self.cfg.capacity + (self.cfg.post_trigger as usize + 1) * 24
+    }
+
+    /// `(tick, reason)` of the first trigger.
+    pub fn trigger(&self) -> Option<(u64, &str)> {
+        self.trigger.as_ref().map(|(t, r)| (*t, r.as_str()))
+    }
+
+    pub fn entries(&self) -> impl Iterator<Item = &FlightEntry> {
+        self.entries.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Record one observation.  While untriggered this is a plain
+    /// bounded ring; after a trigger the pre-trigger window stops
+    /// evicting and `post_trigger` more *sample windows* are accepted
+    /// (their transitions and device events riding along under the
+    /// hard cap) before the recorder freezes.
+    pub fn record(&mut self, tick: u64, kind: FlightKind) {
+        if self.frozen {
+            self.dropped += 1;
+            return;
+        }
+        if self.trigger.is_some() {
+            if matches!(kind, FlightKind::Sample { .. }) {
+                if self.remaining == 0 {
+                    self.frozen = true;
+                    self.dropped += 1;
+                    return;
+                }
+                self.remaining -= 1;
+            }
+            if self.entries.len() >= self.hard_cap() {
+                self.dropped += 1;
+                return;
+            }
+        } else if self.entries.len() == self.cfg.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(FlightEntry { tick, kind });
+    }
+
+    /// Fire the trigger.  The first one wins; its reason is recorded
+    /// in-band so the post-mortem shows it in sequence.
+    pub fn fire(&mut self, tick: u64, reason: impl Into<String>) {
+        if self.trigger.is_some() {
+            return;
+        }
+        let reason = reason.into();
+        self.trigger = Some((tick, reason.clone()));
+        self.remaining = self.cfg.post_trigger;
+        self.record(tick, FlightKind::Trigger { reason });
+    }
+
+    /// The JSON post-mortem for `link` — self-contained: trigger,
+    /// freeze state, drop count and the retained window in order.
+    pub fn to_json(&self, link: usize) -> String {
+        let mut s = format!("{{\"link\":{link},");
+        match &self.trigger {
+            Some((tick, reason)) => {
+                let _ = write!(
+                    s,
+                    "\"trigger\":{{\"tick\":{tick},\"reason\":\"{}\"}},",
+                    esc(reason)
+                );
+            }
+            None => s.push_str("\"trigger\":null,"),
+        }
+        let _ = write!(
+            s,
+            "\"frozen\":{},\"dropped\":{},\"events\":[",
+            self.is_frozen(),
+            self.dropped
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"tick\":{},", e.tick);
+            match &e.kind {
+                FlightKind::Sample {
+                    delivered,
+                    errors,
+                    resync_bytes,
+                    shed,
+                } => {
+                    let _ = write!(
+                        s,
+                        "\"kind\":\"sample\",\"delivered\":{delivered},\"errors\":{errors},\
+                         \"resync_bytes\":{resync_bytes},\"shed\":{shed}}}"
+                    );
+                }
+                FlightKind::Transition { from, to } => {
+                    let _ = write!(
+                        s,
+                        "\"kind\":\"transition\",\"from\":\"{}\",\"to\":\"{}\"}}",
+                        from.name(),
+                        to.name()
+                    );
+                }
+                FlightKind::Trigger { reason } => {
+                    let _ = write!(s, "\"kind\":\"trigger\",\"reason\":\"{}\"}}", esc(reason));
+                }
+                FlightKind::Device { summary } => {
+                    let _ = write!(s, "\"kind\":\"device\",\"summary\":\"{}\"}}", esc(summary));
+                }
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Minimal JSON string escape (quote, backslash, control chars).
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> FlightKind {
+        FlightKind::Sample {
+            delivered: n,
+            errors: 0,
+            resync_bytes: 0,
+            shed: 0,
+        }
+    }
+
+    #[test]
+    fn untriggered_ring_evicts_oldest() {
+        let mut fr = FlightRecorder::new(FlightConfig {
+            capacity: 3,
+            post_trigger: 2,
+        });
+        for i in 0..5 {
+            fr.record(i, sample(i));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        assert_eq!(fr.entries().next().unwrap().tick, 2);
+        assert!(!fr.is_triggered());
+        assert!(!fr.is_frozen());
+    }
+
+    #[test]
+    fn trigger_keeps_window_then_freezes() {
+        let mut fr = FlightRecorder::new(FlightConfig {
+            capacity: 4,
+            post_trigger: 2,
+        });
+        for i in 0..4 {
+            fr.record(i, sample(i));
+        }
+        fr.fire(4, "error burst");
+        assert!(fr.is_triggered());
+        assert!(!fr.is_frozen());
+        fr.record(5, sample(5));
+        // Non-sample entries ride along without consuming the window.
+        fr.record(
+            5,
+            FlightKind::Transition {
+                from: HealthState::Healthy,
+                to: HealthState::Degraded,
+            },
+        );
+        fr.record(6, sample(6));
+        assert!(!fr.is_frozen(), "window exhausts on the NEXT sample");
+        // The third post-trigger sample freezes the recorder.
+        fr.record(7, sample(7));
+        assert!(fr.is_frozen());
+        fr.record(8, sample(8));
+        assert_eq!(fr.dropped(), 2);
+        // Pre-trigger window + trigger + 2 samples + 1 transition.
+        assert_eq!(fr.len(), 4 + 1 + 2 + 1);
+        assert_eq!(
+            fr.entries().next().unwrap().tick,
+            0,
+            "no post-trigger eviction"
+        );
+        // Second trigger is ignored.
+        fr.fire(8, "late");
+        assert_eq!(fr.trigger(), Some((4, "error burst")));
+    }
+
+    #[test]
+    fn postmortem_json_shape() {
+        let mut fr = FlightRecorder::new(FlightConfig::default());
+        fr.record(1, sample(9));
+        fr.record(
+            2,
+            FlightKind::Transition {
+                from: HealthState::Healthy,
+                to: HealthState::Degraded,
+            },
+        );
+        fr.fire(2, "health healthy->degraded \"x\"");
+        let j = fr.to_json(17);
+        assert!(j.contains("\"link\":17"));
+        assert!(j.contains("\"reason\":\"health healthy->degraded \\\"x\\\"\""));
+        assert!(j.contains("\"kind\":\"sample\",\"delivered\":9"));
+        assert!(j.contains("\"from\":\"healthy\",\"to\":\"degraded\""));
+        assert!(j.contains("\"frozen\":false"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

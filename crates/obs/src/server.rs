@@ -1,0 +1,199 @@
+//! The scrape endpoint: a dependency-free HTTP/1.1 server over
+//! `std::net::TcpListener`, serving the [`ObsHub`]'s pre-rendered
+//! payloads from one dedicated thread.
+//!
+//! Routes (DESIGN.md §17 documents the wire format):
+//!
+//! * `GET /metrics` — Prometheus text exposition
+//!   (`text/plain; version=0.0.4`).
+//! * `GET /health`  — fleet health summary JSON.
+//! * `GET /flight`  — triggered flight-recorder post-mortems JSON.
+//!
+//! No async runtime, no keep-alive, no TLS: a scrape is one short-lived
+//! connection, which `std::net` handles fine.  The listener runs
+//! non-blocking with a short poll sleep so [`ObsServer::drop`] can stop
+//! it promptly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::collector::ObsHub;
+
+/// A running endpoint.  Dropping it stops the serving thread.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:9595"`, or port `0` for an ephemeral
+/// port) and serve `hub` until the returned [`ObsServer`] is dropped.
+pub fn serve(hub: ObsHub, addr: &str) -> std::io::Result<ObsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("p5-obs-http".to_string())
+        .spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Per-connection errors (client hung up, slow
+                        // reader) only cost that scrape.
+                        let _ = handle_conn(stream, &hub);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        })?;
+    Ok(ObsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+impl ObsServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the serving thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, hub: &ObsHub) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // One read is enough for any real scrape request line; we only
+    // need the method and path.
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let req = String::from_utf8_lossy(&buf[..n]);
+    let path = parse_path(&req);
+    let (status, content_type, body) = route(path.as_deref(), hub);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Extract the request path from `GET <path> HTTP/1.1`; `None` for
+/// anything that isn't a GET.
+fn parse_path(req: &str) -> Option<String> {
+    let line = req.lines().next()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    // Strip any query string: scrapers sometimes append one.
+    let path = parts.next()?;
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn route(path: Option<&str>, hub: &ObsHub) -> (&'static str, &'static str, String) {
+    match path {
+        Some("/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            hub.metrics(),
+        ),
+        Some("/health") => ("200 OK", "application/json", hub.health()),
+        Some("/flight") => ("200 OK", "application/json", hub.flight()),
+        Some(_) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics, /health or /flight\n".to_string(),
+        ),
+        None => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "GET only\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paths_and_routes() {
+        assert_eq!(
+            parse_path("GET /metrics HTTP/1.1\r\n"),
+            Some("/metrics".into())
+        );
+        assert_eq!(
+            parse_path("GET /health?x=1 HTTP/1.1\r\n"),
+            Some("/health".into())
+        );
+        assert_eq!(parse_path("POST /metrics HTTP/1.1\r\n"), None);
+        assert_eq!(parse_path(""), None);
+
+        let hub = ObsHub::new();
+        hub.update(7, "m".into(), "h".into(), "f".into());
+        assert_eq!(route(Some("/metrics"), &hub).2, "m");
+        assert_eq!(route(Some("/health"), &hub).2, "h");
+        assert_eq!(route(Some("/flight"), &hub).2, "f");
+        assert_eq!(route(Some("/nope"), &hub).0, "404 Not Found");
+        assert_eq!(route(None, &hub).0, "405 Method Not Allowed");
+    }
+
+    #[test]
+    fn serves_real_tcp_scrapes() {
+        let hub = ObsHub::new();
+        hub.update(
+            3,
+            "p5_fleet_delivered 12\n".into(),
+            "{\"tick\":3}".into(),
+            "[]".into(),
+        );
+        let server = serve(hub, "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let get = |path: &str| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let m = get("/metrics");
+        assert!(m.starts_with("HTTP/1.1 200 OK\r\n"), "{m}");
+        assert!(m.contains("text/plain; version=0.0.4"));
+        assert!(m.ends_with("p5_fleet_delivered 12\n"));
+        let h = get("/health");
+        assert!(h.contains("application/json"));
+        assert!(h.ends_with("{\"tick\":3}"));
+        assert!(get("/bogus").starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+}

@@ -1,0 +1,158 @@
+//! The acceptance scenario, end to end: a seeded fault burst on one
+//! link of a fleet is detected *live* — the health endpoint reports the
+//! link Degraded within the documented tick budget while the run is
+//! still in progress, and the flight recorder captures the triggering
+//! window.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use p5_fault::FaultSpec;
+use p5_obs::{serve, Collector, CollectorConfig, HealthState};
+use p5_runtime::{Fleet, FleetConfig, TrafficSpec};
+
+const BAD_LINK: usize = 17;
+
+fn faulted_fleet(links: usize, ticks: u64) -> Fleet {
+    Fleet::new(FleetConfig {
+        links,
+        workers: 4,
+        fault: Some(FaultSpec {
+            ber: 5e-3,
+            ..FaultSpec::default()
+        }),
+        fault_links: Some(vec![BAD_LINK]),
+        trace_links: vec![BAD_LINK],
+        seed: 0xD00D,
+        traffic: Some(TrafficSpec {
+            frames_per_tick: 1,
+            ticks,
+            ..TrafficSpec::default()
+        }),
+        ..FleetConfig::default()
+    })
+    .expect("fleet")
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("write");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    out
+}
+
+#[test]
+fn seeded_burst_is_detected_live_within_budget() {
+    let mut fleet = faulted_fleet(64, 4_000);
+    let mut collector = Collector::new(CollectorConfig {
+        every: 32,
+        ..CollectorConfig::default()
+    });
+    let server = serve(collector.hub(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // First leg: well past the detection budget, far short of the run.
+    let budget = collector.config().policy.detection_budget_ticks(32);
+    collector.watch(&mut fleet, 512);
+    assert!(
+        !fleet.is_idle(),
+        "scenario needs the run still in progress at scrape time"
+    );
+
+    // Detection: the seeded link went Degraded within the budget.
+    let first = collector
+        .transitions()
+        .iter()
+        .find(|t| t.link == BAD_LINK && t.to == HealthState::Degraded)
+        .copied()
+        .expect("no Degraded transition recorded for the seeded link");
+    assert!(
+        first.tick <= budget,
+        "detected at tick {} but the documented budget is {budget}",
+        first.tick
+    );
+    for link in (0..64).filter(|&l| l != BAD_LINK) {
+        assert_eq!(
+            collector.link_state(link),
+            Some(HealthState::Healthy),
+            "link {link} was not seeded but left Healthy"
+        );
+    }
+
+    // Live scrape over real TCP, mid-run.
+    let health = http_get(addr, "/health");
+    assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+    assert!(
+        health.contains("\"link\":17"),
+        "seeded link missing from /health: {health}"
+    );
+    assert!(!health.contains("\"healthy\":64"), "not all links healthy");
+    let metrics = http_get(addr, "/metrics");
+    assert!(
+        metrics.contains("p5_obs_link_health{link=\"17\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("p5_fleet_delivered"));
+    assert!(metrics.contains("p5_obs_health_links{state=\"degraded\"}"));
+    let flight = http_get(addr, "/flight");
+    assert!(flight.contains("\"link\":17"), "{flight}");
+    assert!(flight.contains("\"trigger\""));
+
+    // The flight recorder holds the triggering window: samples leading
+    // up to the transition, the transition itself, and device events
+    // from the traced link.
+    let pm = collector.postmortem(BAD_LINK).expect("postmortem");
+    assert!(pm.contains("\"kind\":\"trigger\""));
+    assert!(pm.contains("\"kind\":\"sample\""));
+    assert!(pm.contains("\"to\":\"degraded\""));
+    assert!(
+        pm.contains("\"kind\":\"device\""),
+        "device tap missing: {pm}"
+    );
+    assert!(
+        collector.postmortem(0).is_none(),
+        "healthy links don't trigger"
+    );
+
+    // Second leg: the run continues and the scrape keeps advancing.
+    let before = collector.hub().tick();
+    collector.watch(&mut fleet, 256);
+    assert!(collector.hub().tick() > before);
+    server.stop();
+}
+
+#[test]
+fn clean_fleet_stays_healthy_and_series_windows() {
+    let mut fleet = Fleet::new(FleetConfig {
+        links: 8,
+        workers: 2,
+        traffic: Some(TrafficSpec {
+            ticks: 600,
+            duplex: true,
+            ..TrafficSpec::default()
+        }),
+        ..FleetConfig::default()
+    })
+    .expect("fleet");
+    let mut collector = Collector::new(CollectorConfig {
+        every: 50,
+        ..CollectorConfig::default()
+    });
+    collector.watch(&mut fleet, 100_000);
+    let sum = collector.summary();
+    assert_eq!(sum.healthy, 8);
+    assert_eq!(sum.degraded + sum.down, 0);
+    assert!(collector.transitions().is_empty());
+    assert!(collector.samples() >= 2);
+    // Windowed rate over the active windows is positive.
+    let rate = collector
+        .series()
+        .window_rate_per_tick("delivered", collector.samples() as usize);
+    assert!(rate > 0.0, "windowed delivery rate should be positive");
+    assert_eq!(collector.flight_json(), "[]");
+    let health = collector.hub().health();
+    assert!(health.contains("\"healthy\":8"), "{health}");
+    assert!(health.contains("\"unhealthy\":[]"));
+}

@@ -18,7 +18,7 @@ use p5_core::rx::RxCounters;
 use p5_core::DatapathWidth;
 use p5_fault::{FaultError, FaultSpec, FaultStats};
 use p5_sonet::StmLevel;
-use p5_stream::{to_prometheus, Histogram, Snapshot};
+use p5_stream::{to_prometheus, Histogram, SharedRecorder, Snapshot};
 
 use crate::link::{Cohort, Dir, LinkCounters, OfferOutcome, ShardLink};
 use crate::traffic::TrafficSpec;
@@ -73,7 +73,20 @@ pub struct FleetConfig {
     /// Open-loop generated load (see [`TrafficSpec`]); `None` = only
     /// externally offered frames.
     pub traffic: Option<TrafficSpec>,
+    /// Restrict the fault spec to these link ids (`None` = every link).
+    /// A seeded burst on one link of a large fleet — the
+    /// health-detection scenario — is `fault: Some(..)`,
+    /// `fault_links: Some(vec![id])`.
+    pub fault_links: Option<Vec<usize>>,
+    /// Links whose devices get frame-lifecycle tracing attached (a
+    /// bounded [`SharedRecorder`] ring per device) — the flight-recorder
+    /// tap.  Empty by default: tracing everything at fleet scale is
+    /// exactly what the flight recorder exists to avoid.
+    pub trace_links: Vec<usize>,
 }
+
+/// Events retained per traced device (two rings per traced link).
+const TRACE_RING_CAP: usize = 512;
 
 impl Default for FleetConfig {
     fn default() -> Self {
@@ -89,6 +102,8 @@ impl Default for FleetConfig {
             cycles_per_tick: 512,
             wire_bytes_per_tick: None,
             traffic: None,
+            fault_links: None,
+            trace_links: Vec::new(),
         }
     }
 }
@@ -137,6 +152,32 @@ pub(crate) struct TickParams {
     pub traffic: Option<TrafficSpec>,
 }
 
+/// One worker thread's scheduling profile across every `run_ticks`
+/// batch so far — the busy/idle/steal accounting dynamic rebalancing
+/// (ROADMAP item 1) needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Cohorts this worker claimed.
+    pub claims: u64,
+    /// Ticks actually executed across those claims (idle-skipped ticks
+    /// don't count).
+    pub busy_ticks: u64,
+    /// Claims that turned out to be fully idle (zero ticks executed).
+    pub idle_claims: u64,
+    /// Work-stealing claims of a cohort that static striding would
+    /// have given to a different worker.
+    pub steals: u64,
+}
+
+impl WorkerStats {
+    fn add(&mut self, o: &WorkerStats) {
+        self.claims += o.claims;
+        self.busy_ticks += o.busy_ticks;
+        self.idle_claims += o.idle_claims;
+        self.steals += o.steals;
+    }
+}
+
 /// Aggregate fleet reading: flow conservation counters, merged frame
 /// latency, merged receiver/fault statistics.
 #[derive(Debug, Clone, Default)]
@@ -162,6 +203,15 @@ pub struct FleetStats {
     pub latency: Histogram,
     /// Injected-fault totals across every link/direction plan.
     pub fault: FaultStats,
+    /// Receiver resynchronisation cost: octets skipped hunting for a
+    /// flag after losing delineation, summed across every device.
+    pub resync_bytes: u64,
+    /// Per-worker scheduling profile (claims/busy/idle/steals).
+    pub worker: Vec<WorkerStats>,
+    /// Cohort load skew in thousandths: the busiest cohort's executed
+    /// ticks over the mean, `1000` = perfectly balanced.  The signal a
+    /// dynamic rebalancer would act on.
+    pub load_skew_milli: u64,
 }
 
 impl FleetStats {
@@ -177,15 +227,34 @@ impl FleetStats {
     pub fn p99_latency_ticks(&self) -> Option<u64> {
         self.latency.quantile_bound(0.99)
     }
+
+    /// Summed worker profile (claims/busy/idle/steals across the pool).
+    pub fn worker_totals(&self) -> WorkerStats {
+        let mut t = WorkerStats::default();
+        for w in &self.worker {
+            t.add(w);
+        }
+        t
+    }
 }
 
-/// One link's contribution to a fleet report.
+/// One link's contribution to a fleet report — the health scorer's
+/// per-link inputs (FCS errors, resync cost, shed/reject rates) ride
+/// here alongside flow and latency.
 #[derive(Debug, Clone)]
 pub struct LinkReport {
     pub link: usize,
     pub flow: LinkCounters,
     pub fault: FaultStats,
     pub p99_latency_ticks: Option<u64>,
+    /// Merged receive counters, both ends.
+    pub rx: RxCounters,
+    /// Octets skipped resynchronising after lost delineation.
+    pub resync_bytes: u64,
+    /// Device TX-queue refusals, both ends.
+    pub tx_rejects: u64,
+    /// The link's private clock (ticks it actually executed).
+    pub ticks: u64,
 }
 
 /// The multi-link runtime.
@@ -196,6 +265,10 @@ pub struct Fleet {
     group: usize,
     workers: usize,
     ticks_run: u64,
+    worker_stats: Vec<WorkerStats>,
+    /// `(link id, end-a recorder, end-b recorder)` for every traced
+    /// link, in `cfg.trace_links` order.
+    recorders: Vec<(usize, SharedRecorder, SharedRecorder)>,
 }
 
 impl Fleet {
@@ -213,11 +286,18 @@ impl Fleet {
         };
         let payload_len = cfg.traffic.map(|t| t.payload_len).unwrap_or(256);
         let make_link = |id: usize, sonet: Option<StmLevel>| {
+            // Fault restricted to the targeted links; the rest stay
+            // clean (and keep latency tracking — only faulted links
+            // can lose accepted frames).
+            let faulted = cfg
+                .fault_links
+                .as_ref()
+                .is_none_or(|targets| targets.contains(&id));
             ShardLink::new(
                 id,
                 cfg.width,
                 sonet,
-                base_fault.as_ref(),
+                if faulted { base_fault.as_ref() } else { None },
                 cfg.seed,
                 payload_len,
             )
@@ -258,13 +338,25 @@ impl Fleet {
         } else {
             cfg.workers
         };
-        Ok(Fleet {
+        let mut fleet = Fleet {
             cfg,
             cohorts,
             group,
             workers,
             ticks_run: 0,
-        })
+            worker_stats: vec![WorkerStats::default(); workers],
+            recorders: Vec::new(),
+        };
+        for i in 0..fleet.cfg.trace_links.len() {
+            let id = fleet.cfg.trace_links[i];
+            if id >= fleet.cfg.links || fleet.recorders.iter().any(|(l, _, _)| *l == id) {
+                continue;
+            }
+            let (c, slot) = fleet.locate(id);
+            let (ra, rb) = fleet.cohorts[c].lock().links[slot].attach_recorders(TRACE_RING_CAP);
+            fleet.recorders.push((id, ra, rb));
+        }
+        Ok(fleet)
     }
 
     pub fn links(&self) -> usize {
@@ -277,6 +369,18 @@ impl Fleet {
 
     pub fn ticks_run(&self) -> u64 {
         self.ticks_run
+    }
+
+    /// Per-worker scheduling profile accumulated across every
+    /// `run_ticks` batch so far.
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.worker_stats
+    }
+
+    /// Trace recorders for every traced link, as
+    /// `(link id, end-a, end-b)` — see [`FleetConfig::trace_links`].
+    pub fn recorders(&self) -> &[(usize, SharedRecorder, SharedRecorder)] {
+        &self.recorders
     }
 
     fn params(&self) -> TickParams {
@@ -314,26 +418,40 @@ impl Fleet {
     /// Advance every cohort by up to `n` ticks, sharded across the
     /// worker pool.  Cohorts with no pending ingress, egress or staged
     /// state are skipped (the `is_idle` machinery, lifted to fleet
-    /// scope).
-    pub fn run_ticks(&mut self, n: u64) {
+    /// scope).  Returns the busy ticks actually executed, summed over
+    /// cohorts — `0` means the fleet was already drained, letting
+    /// callers detect idleness without a separate full-fleet scan.
+    pub fn run_ticks(&mut self, n: u64) -> u64 {
         let params = self.params();
         let w = self.workers.min(self.cohorts.len()).max(1);
+        let mut tallies = vec![WorkerStats::default(); w];
         if w <= 1 {
+            let t = &mut tallies[0];
             for c in &self.cohorts {
-                c.lock().drive(&params, n);
+                let ran = c.lock().drive(&params, n);
+                t.claims += 1;
+                t.busy_ticks += ran;
+                t.idle_claims += (ran == 0) as u64;
             }
         } else {
             match self.cfg.sharding {
                 Sharding::WorkStealing => {
                     let cursor = AtomicUsize::new(0);
+                    let cursor = &cursor;
                     let cohorts = &self.cohorts;
                     let params = &params;
                     std::thread::scope(|s| {
-                        for _ in 0..w {
-                            s.spawn(|| loop {
+                        for (wi, t) in tallies.iter_mut().enumerate() {
+                            s.spawn(move || loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(c) = cohorts.get(i) else { break };
-                                c.lock().drive(params, n);
+                                let ran = c.lock().drive(params, n);
+                                t.claims += 1;
+                                t.busy_ticks += ran;
+                                t.idle_claims += (ran == 0) as u64;
+                                // A claim static striding would have
+                                // handed to a different worker.
+                                t.steals += (i % w != wi) as u64;
                             });
                         }
                     });
@@ -342,11 +460,14 @@ impl Fleet {
                     let cohorts = &self.cohorts;
                     let params = &params;
                     std::thread::scope(|s| {
-                        for wi in 0..w {
+                        for (wi, t) in tallies.iter_mut().enumerate() {
                             s.spawn(move || {
                                 let mut i = wi;
                                 while let Some(c) = cohorts.get(i) {
-                                    c.lock().drive(params, n);
+                                    let ran = c.lock().drive(params, n);
+                                    t.claims += 1;
+                                    t.busy_ticks += ran;
+                                    t.idle_claims += (ran == 0) as u64;
                                     i += w;
                                 }
                             });
@@ -355,7 +476,40 @@ impl Fleet {
                 }
             }
         }
+        let busy: u64 = tallies.iter().map(|t| t.busy_ticks).sum();
+        for (acc, t) in self.worker_stats.iter_mut().zip(tallies.iter()) {
+            acc.add(t);
+        }
         self.ticks_run += n;
+        busy
+    }
+
+    /// Advance the fleet like [`Fleet::run_ticks`], but in batches of
+    /// `every` ticks, invoking `sample` on the quiesced fleet after
+    /// each batch — the collector's hook: no worker holds a cohort
+    /// while `sample` runs, so it can read stats, link reports and
+    /// trace rings without contending with the data path.  Stops early
+    /// once idle; returns the ticks actually granted.
+    pub fn run_sampled(
+        &mut self,
+        max_ticks: u64,
+        every: u64,
+        mut sample: impl FnMut(&Fleet),
+    ) -> u64 {
+        let every = every.max(1);
+        let mut spent = 0u64;
+        while spent < max_ticks {
+            let batch = every.min(max_ticks - spent);
+            // Idleness falls out of the batch itself (every cohort's
+            // `drive` early-exits on no work), so the no-collector
+            // fast path pays no extra full-fleet `is_idle` scan.
+            if self.run_ticks(batch) == 0 {
+                break;
+            }
+            spent += batch;
+            sample(self);
+        }
+        spent
     }
 
     /// Every cohort fully quiesced: no generated load pending, ingress
@@ -389,8 +543,13 @@ impl Fleet {
             ticks: self.ticks_run,
             ..FleetStats::default()
         };
+        st.worker = self.worker_stats.clone();
+        let mut max_work = 0u64;
+        let mut total_work = 0u64;
         for c in &self.cohorts {
             let c = c.lock();
+            max_work = max_work.max(c.work_ticks);
+            total_work += c.work_ticks;
             for l in &c.links {
                 st.flow.add(&l.counters);
                 st.latency.merge(&l.latency);
@@ -398,6 +557,7 @@ impl Fleet {
                 st.device_tx_rejects += l.device_tx_rejects();
                 st.oam_tx_rejects += l.oam_tx_rejects();
                 st.tx_frames_sent += l.tx_frames_sent();
+                st.resync_bytes += l.resync_bytes();
                 let (ra, rb) = l.rx_totals();
                 for r in [ra, rb] {
                     st.rx.frames_ok += r.frames_ok;
@@ -410,6 +570,12 @@ impl Fleet {
                 }
             }
         }
+        let mean = total_work as f64 / self.cohorts.len() as f64;
+        st.load_skew_milli = if mean > 0.0 {
+            (max_work as f64 / mean * 1000.0).round() as u64
+        } else {
+            1000
+        };
         st
     }
 
@@ -419,11 +585,24 @@ impl Fleet {
         for c in &self.cohorts {
             let c = c.lock();
             for l in &c.links {
+                let (ra, rb) = l.rx_totals();
+                let mut rx = ra;
+                rx.frames_ok += rb.frames_ok;
+                rx.fcs_errors += rb.fcs_errors;
+                rx.aborts += rb.aborts;
+                rx.runts += rb.runts;
+                rx.giants += rb.giants;
+                rx.address_mismatches += rb.address_mismatches;
+                rx.header_errors += rb.header_errors;
                 rows.push(LinkReport {
                     link: l.id,
                     flow: l.counters,
                     fault: l.fault_stats(),
                     p99_latency_ticks: l.latency.quantile_bound(0.99),
+                    rx,
+                    resync_bytes: l.resync_bytes(),
+                    tx_rejects: l.device_tx_rejects(),
+                    ticks: l.ticks(),
                 });
             }
         }
@@ -449,6 +628,13 @@ impl Fleet {
             .counter("delivered_bytes", st.flow.delivered_bytes)
             .counter("tx_frames_sent", st.tx_frames_sent)
             .histogram("frame_latency_ticks", st.latency.clone());
+        let wt = st.worker_totals();
+        let sched = Snapshot::new("fleet-sched")
+            .counter("claims", wt.claims)
+            .counter("busy_ticks", wt.busy_ticks)
+            .counter("idle_claims", wt.idle_claims)
+            .counter("steals", wt.steals)
+            .counter("load_skew_milli", st.load_skew_milli);
         let rx = Snapshot::new("fleet-rx")
             .counter("frames_ok", st.rx.frames_ok)
             .counter("fcs_errors", st.rx.fcs_errors)
@@ -456,10 +642,11 @@ impl Fleet {
             .counter("runts", st.rx.runts)
             .counter("giants", st.rx.giants)
             .counter("address_mismatches", st.rx.address_mismatches)
-            .counter("header_errors", st.rx.header_errors);
+            .counter("header_errors", st.rx.header_errors)
+            .counter("resync_bytes", st.resync_bytes);
         let mut fault = st.fault.snapshot();
         fault.scope = "fleet-fault".to_string();
-        vec![fleet, rx, fault]
+        vec![fleet, sched, rx, fault]
     }
 
     /// Prometheus text exposition of [`Fleet::snapshots`] — the scrape

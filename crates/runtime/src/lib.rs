@@ -52,6 +52,8 @@ pub mod fleet;
 mod link;
 pub mod traffic;
 
-pub use fleet::{Carrier, Fleet, FleetConfig, FleetStats, LinkReport, RuntimeError, Sharding};
+pub use fleet::{
+    Carrier, Fleet, FleetConfig, FleetStats, LinkReport, RuntimeError, Sharding, WorkerStats,
+};
 pub use link::{Dir, LinkCounters, OfferOutcome};
 pub use traffic::TrafficSpec;

@@ -11,7 +11,7 @@ use p5_core::p5::FUSED_WIRE_HIGH_WATER;
 use p5_core::{TxQueueFull, P5};
 use p5_fault::{FaultPlan, FaultStats};
 use p5_sonet::{BitErrorChannel, ByteLink, OcPath, StmLevel, TributaryGroup};
-use p5_stream::{Histogram, WireBuf};
+use p5_stream::{Histogram, SharedRecorder, WireBuf};
 
 use crate::fleet::TickParams;
 use crate::traffic::template_payload;
@@ -376,6 +376,29 @@ impl ShardLink {
         (*self.a.rx_counters(), *self.b.rx_counters())
     }
 
+    /// Receiver resynchronisation cost, both ends: octets skipped while
+    /// hunting for a flag after losing delineation — the health
+    /// scorer's "resync events" input.
+    pub fn resync_bytes(&self) -> u64 {
+        self.a.rx.control.resync_bytes_skipped + self.b.rx.control.resync_bytes_skipped
+    }
+
+    /// This link's private clock (ticks it has actually executed).
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Attach frame-lifecycle tracing to both devices, returning the
+    /// `(a, b)` recorders.  Each is a shared ring of `cap` events —
+    /// the flight-recorder tap for a link picked out of the fleet.
+    pub fn attach_recorders(&mut self, cap: usize) -> (SharedRecorder, SharedRecorder) {
+        let ra = SharedRecorder::with_capacity(cap);
+        let rb = SharedRecorder::with_capacity(cap);
+        self.a.set_trace(Box::new(ra.clone()));
+        self.b.set_trace(Box::new(rb.clone()));
+        (ra, rb)
+    }
+
     pub fn tx_frames_sent(&self) -> u64 {
         self.a.tx.control.frames_sent + self.b.tx.control.frames_sent
     }
@@ -551,6 +574,10 @@ impl ShardLink {
 pub(crate) struct Cohort {
     pub links: Vec<ShardLink>,
     envelope: Option<Box<(TributaryGroup, TributaryGroup)>>,
+    /// Non-idle ticks this cohort has actually executed — the load-skew
+    /// signal dynamic rebalancing needs (idle-skipped ticks don't
+    /// count).
+    pub work_ticks: u64,
 }
 
 impl Cohort {
@@ -558,6 +585,7 @@ impl Cohort {
         Cohort {
             links: vec![link],
             envelope: None,
+            work_ticks: 0,
         }
     }
 
@@ -569,6 +597,7 @@ impl Cohort {
                 TributaryGroup::new(level, BitErrorChannel::clean()),
                 TributaryGroup::new(level, BitErrorChannel::clean()),
             ))),
+            work_ticks: 0,
         }
     }
 
@@ -616,14 +645,18 @@ impl Cohort {
         }
     }
 
-    /// Run up to `n` ticks, stopping early once idle.
-    pub fn drive(&mut self, p: &TickParams, n: u64) {
-        for _ in 0..n {
+    /// Run up to `n` ticks, stopping early once idle.  Returns the
+    /// ticks actually executed (the worker's busy time on this claim).
+    pub fn drive(&mut self, p: &TickParams, n: u64) -> u64 {
+        for done in 0..n {
             if !self.has_work(p) {
-                return;
+                self.work_ticks += done;
+                return done;
             }
             self.tick(p);
         }
+        self.work_ticks += n;
+        n
     }
 }
 

@@ -10,7 +10,11 @@
 //!   steady state.  [`NullSink`] is the free-when-disabled default.
 //! * [`Snapshot`]/[`Observable`] — the metrics registry every stage,
 //!   pipeline and device reports through, with log2-bucket [`Histogram`]s
-//!   and JSON / Prometheus text exposition.
+//!   and JSON / Prometheus text exposition ([`PromFamily`] for labelled,
+//!   bounded-cardinality families).
+//! * [`SnapshotDelta`]/[`TimeSeries`] — windowed diffs of the monotone
+//!   snapshots: rates and windowed quantiles over a fixed-capacity ring,
+//!   the live-telemetry primitive `p5-obs` samples.
 //!
 //! The crate is dependency-free and sits below `p5-stream`, so every layer
 //! of the stack (behavioural stages, WordStream stacks, the gate-level
@@ -18,10 +22,13 @@
 
 pub mod event;
 pub mod metrics;
+pub mod series;
 pub mod sink;
 
 pub use event::{Event, EventKind, FrameId};
 pub use metrics::{
-    render_table, snapshot_to_json, to_json, to_prometheus, Histogram, Observable, Snapshot,
+    prom_escape_label, render_prometheus, render_table, snapshot_to_json, to_json, to_prometheus,
+    Histogram, Observable, PromFamily, PromKind, PromSeries, Snapshot,
 };
+pub use series::{SeriesPoint, SnapshotDelta, TimeSeries};
 pub use sink::{NullSink, RingRecorder, SharedRecorder, TraceSink};

@@ -82,6 +82,23 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
+    /// Raw bucket counts (65 log2 buckets; index `k` holds the range
+    /// documented on [`Histogram::bucket_bound`]).
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Add `n` observations directly into bucket `idx` (the windowed
+    /// diff path — `sum` must be fixed up separately via `set_sum`).
+    pub(crate) fn add_bucket(&mut self, idx: usize, n: u64) {
+        self.buckets[idx] += n;
+        self.count += n;
+    }
+
+    pub(crate) fn set_sum(&mut self, sum: u64) {
+        self.sum = sum;
+    }
+
     /// Inclusive upper bound of the bucket containing the `q`-quantile
     /// observation (`q` in `[0, 1]`).  A log2 histogram cannot resolve
     /// positions inside a bucket, so this is the quantile's bucket
@@ -278,29 +295,233 @@ pub fn to_json(snaps: &[Snapshot]) -> String {
     s
 }
 
-/// Prometheus text exposition: counters as
-/// `p5_<scope>_<name> <value>`, histograms as cumulative
-/// `_bucket{le="..."}` series plus `_sum`/`_count`.
-pub fn to_prometheus(snaps: &[Snapshot]) -> String {
-    let mut s = String::new();
-    for snap in snaps {
-        let scope = prom_sanitize(&snap.scope);
-        for (name, value) in &snap.counters {
-            let _ = writeln!(s, "p5_{scope}_{} {value}", prom_sanitize(name));
+/// Escape a Prometheus label *value* per the text exposition format:
+/// backslash, double-quote and newline.
+pub fn prom_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
         }
-        for (name, hist) in &snap.histograms {
-            let metric = format!("p5_{scope}_{}", prom_sanitize(name));
-            let mut cumulative = 0;
-            for (bound, c) in hist.nonzero_buckets() {
-                cumulative += c;
-                let _ = writeln!(s, "{metric}_bucket{{le=\"{bound}\"}} {cumulative}");
+    }
+    out
+}
+
+/// Escape a `# HELP` text: backslash and newline (quotes are legal).
+fn prom_escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exposition type of one metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl PromKind {
+    fn keyword(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One labelled series inside a family: scalar for counter/gauge
+/// families, a whole [`Histogram`] for histogram families.
+#[derive(Debug, Clone)]
+pub enum PromSeries {
+    Value {
+        labels: Vec<(String, String)>,
+        value: u64,
+    },
+    Histogram {
+        labels: Vec<(String, String)>,
+        hist: Box<Histogram>,
+    },
+}
+
+/// A metric family: one name, one `# HELP`/`# TYPE` header pair, any
+/// number of labelled series.  Bounded-cardinality exports build these
+/// directly; [`to_prometheus`] builds them from [`Snapshot`]s.
+#[derive(Debug, Clone)]
+pub struct PromFamily {
+    /// Full family name (sanitized by the constructor).
+    pub name: String,
+    pub help: String,
+    pub kind: PromKind,
+    pub series: Vec<PromSeries>,
+}
+
+impl PromFamily {
+    pub fn new(name: &str, kind: PromKind, help: impl Into<String>) -> Self {
+        PromFamily {
+            name: prom_sanitize(name),
+            help: help.into(),
+            kind,
+            series: Vec::new(),
+        }
+    }
+
+    /// Append one scalar sample; labels are `(name, value)` pairs,
+    /// values escaped at render time.
+    pub fn sample(
+        mut self,
+        labels: impl IntoIterator<Item = (&'static str, String)>,
+        value: u64,
+    ) -> Self {
+        self.push_sample(labels, value);
+        self
+    }
+
+    pub fn push_sample(
+        &mut self,
+        labels: impl IntoIterator<Item = (&'static str, String)>,
+        value: u64,
+    ) {
+        self.series.push(PromSeries::Value {
+            labels: labels
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            value,
+        });
+    }
+
+    pub fn push_histogram(
+        &mut self,
+        labels: impl IntoIterator<Item = (&'static str, String)>,
+        hist: Histogram,
+    ) {
+        self.series.push(PromSeries::Histogram {
+            labels: labels
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            hist: Box::new(hist),
+        });
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", prom_sanitize(k), prom_escape_label(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", prom_escape_label(v));
+    }
+    out.push('}');
+}
+
+/// Render families as Prometheus text exposition.  `# HELP`/`# TYPE`
+/// appear exactly once per family (families are rendered as given —
+/// callers merging fleet scopes must fold duplicates first, as
+/// [`to_prometheus`] does), label values are escaped, and histogram
+/// series expand to cumulative `_bucket{le=...}` + `_sum`/`_count`.
+pub fn render_prometheus(families: &[PromFamily]) -> String {
+    let mut s = String::new();
+    for fam in families {
+        let _ = writeln!(s, "# HELP {} {}", fam.name, prom_escape_help(&fam.help));
+        let _ = writeln!(s, "# TYPE {} {}", fam.name, fam.kind.keyword());
+        for series in &fam.series {
+            match series {
+                PromSeries::Value { labels, value } => {
+                    s.push_str(&fam.name);
+                    render_labels(&mut s, labels, None);
+                    let _ = writeln!(s, " {value}");
+                }
+                PromSeries::Histogram { labels, hist } => {
+                    let mut cumulative = 0;
+                    for (bound, c) in hist.nonzero_buckets() {
+                        cumulative += c;
+                        let _ = write!(s, "{}_bucket", fam.name);
+                        render_labels(&mut s, labels, Some(("le", &bound.to_string())));
+                        let _ = writeln!(s, " {cumulative}");
+                    }
+                    let _ = write!(s, "{}_bucket", fam.name);
+                    render_labels(&mut s, labels, Some(("le", "+Inf")));
+                    let _ = writeln!(s, " {}", hist.count());
+                    let _ = write!(s, "{}_sum", fam.name);
+                    render_labels(&mut s, labels, None);
+                    let _ = writeln!(s, " {}", hist.sum());
+                    let _ = write!(s, "{}_count", fam.name);
+                    render_labels(&mut s, labels, None);
+                    let _ = writeln!(s, " {}", hist.count());
+                }
             }
-            let _ = writeln!(s, "{metric}_bucket{{le=\"+Inf\"}} {}", hist.count());
-            let _ = writeln!(s, "{metric}_sum {}", hist.sum());
-            let _ = writeln!(s, "{metric}_count {}", hist.count());
         }
     }
     s
+}
+
+/// Prometheus text exposition of a snapshot set: counters as
+/// `p5_<scope>_<name>` counter families, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count` — each family headed
+/// by exactly one `# HELP`/`# TYPE` pair.  Snapshots that map to the
+/// same family name (e.g. per-link scopes folded to one fleet scope)
+/// merge into it: counter values sum and histogram buckets add, so a
+/// scrape never carries duplicate series.
+pub fn to_prometheus(snaps: &[Snapshot]) -> String {
+    let mut families: Vec<PromFamily> = Vec::new();
+    let find =
+        |families: &mut Vec<PromFamily>, name: String, kind: PromKind, help: String| match families
+            .iter()
+            .position(|f| f.name == name)
+        {
+            Some(i) => i,
+            None => {
+                families.push(PromFamily::new(&name, kind, help));
+                families.len() - 1
+            }
+        };
+    for snap in snaps {
+        let scope = prom_sanitize(&snap.scope);
+        for (name, value) in &snap.counters {
+            let fname = format!("p5_{scope}_{}", prom_sanitize(name));
+            let help = format!("{}/{} (monotonic)", snap.scope, name);
+            let i = find(&mut families, fname, PromKind::Counter, help);
+            match families[i].series.first_mut() {
+                Some(PromSeries::Value { value: v, .. }) => *v += value,
+                _ => families[i].push_sample([], *value),
+            }
+        }
+        for (name, hist) in &snap.histograms {
+            let fname = format!("p5_{scope}_{}", prom_sanitize(name));
+            let help = format!("{}/{} (log2 buckets)", snap.scope, name);
+            let i = find(&mut families, fname, PromKind::Histogram, help);
+            match families[i].series.first_mut() {
+                Some(PromSeries::Histogram { hist: h, .. }) => h.merge(hist),
+                _ => families[i].push_histogram([], hist.clone()),
+            }
+        }
+    }
+    render_prometheus(&families)
 }
 
 /// Human-readable aligned table over a snapshot set: one row per counter,
@@ -440,6 +661,139 @@ mod tests {
         let mut single = Histogram::new();
         single.observe(0);
         assert_eq!(single.quantile_bound(0.99), Some(0));
+    }
+
+    #[test]
+    fn quantile_bound_empty_histogram_is_none() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_bound(q), None);
+        }
+    }
+
+    #[test]
+    fn quantile_bound_single_bucket_returns_its_ceiling() {
+        // Every observation in one bucket: every quantile is that
+        // bucket's bound, including the out-of-range clamps.
+        let mut h = Histogram::new();
+        for _ in 0..17 {
+            h.observe(9); // bucket ≤15
+        }
+        for q in [-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 7.5] {
+            assert_eq!(h.quantile_bound(q), Some(15), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_bound_all_in_overflow_bucket() {
+        // Values with bit length 64 land in the last bucket, whose
+        // inclusive bound is u64::MAX — the conservative answer for
+        // every quantile.
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(1u64 << 63);
+        assert_eq!(h.quantile_bound(0.0), Some(u64::MAX));
+        assert_eq!(h.quantile_bound(0.99), Some(u64::MAX));
+        assert_eq!(h.quantile_bound(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn snapshot_merge_disjoint_key_sets_appends_everything() {
+        let mut h = Histogram::new();
+        h.observe(12);
+        let mut a = Snapshot::new("fleet").counter("tx_frames", 4);
+        let b = Snapshot::new("link-9")
+            .counter("rx_frames", 6)
+            .counter("sheds", 2)
+            .histogram("burst", h.clone());
+        a.merge(&b);
+        // Nothing shared: originals intact, all of `b` appended in order.
+        assert_eq!(a.get("tx_frames"), Some(4));
+        assert_eq!(a.get("rx_frames"), Some(6));
+        assert_eq!(a.get("sheds"), Some(2));
+        assert_eq!(
+            a.counters
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["tx_frames", "rx_frames", "sheds"]
+        );
+        assert_eq!(a.histograms.len(), 1);
+        assert_eq!(a.histograms[0].1.count(), 1);
+        // Merging the other way keeps `b`'s identity and order.
+        let mut c = b.clone();
+        c.merge(&Snapshot::new("x").counter("tx_frames", 4));
+        assert_eq!(c.scope, "link-9");
+        assert_eq!(c.get("tx_frames"), Some(4));
+        assert_eq!(c.get("rx_frames"), Some(6));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let fam = PromFamily::new("p5 health!", PromKind::Gauge, "per-link\nstate")
+            .sample([("link", "we\"ird\\name\nx".to_string())], 1);
+        let text = render_prometheus(&[fam]);
+        // Family name sanitized, help newline escaped, label escaped.
+        assert!(text.contains("# HELP p5_health_ per-link\\nstate\n"));
+        assert!(text.contains("# TYPE p5_health_ gauge\n"));
+        assert!(text.contains("p5_health_{link=\"we\\\"ird\\\\name\\nx\"} 1\n"));
+        assert_eq!(prom_escape_label("plain"), "plain");
+    }
+
+    #[test]
+    fn merged_scopes_emit_type_and_help_once_per_family() {
+        // Two snapshots with the same scope (per-link readings folded
+        // into one fleet identity) must produce ONE family: one HELP,
+        // one TYPE, one summed sample — never duplicate series.
+        let mut h1 = Histogram::new();
+        h1.observe(3);
+        let mut h2 = Histogram::new();
+        h2.observe(100);
+        let snaps = vec![
+            Snapshot::new("fleet")
+                .counter("delivered", 5)
+                .histogram("lat", h1),
+            Snapshot::new("fleet")
+                .counter("delivered", 7)
+                .histogram("lat", h2),
+        ];
+        let text = to_prometheus(&snaps);
+        assert_eq!(text.matches("# TYPE p5_fleet_delivered counter").count(), 1);
+        assert_eq!(text.matches("# HELP p5_fleet_delivered ").count(), 1);
+        assert_eq!(text.matches("# TYPE p5_fleet_lat histogram").count(), 1);
+        assert!(text.contains("p5_fleet_delivered 12\n"), "summed: {text}");
+        assert!(text.contains("p5_fleet_lat_count 2\n"));
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("p5_fleet_delivered "))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn thousand_link_scrape_stays_under_line_budget() {
+        // Bounded cardinality: 1000 per-link snapshots fold into one
+        // fleet scope, so the scrape size is a function of the metric
+        // schema, not the fleet size.  Budget documented in DESIGN.md
+        // §17: ≤ 120 lines for the fleet counter/histogram schema.
+        let mut fleet = Snapshot::new("fleet");
+        for link in 0..1000u64 {
+            let mut lat = Histogram::new();
+            lat.observe(link % 61);
+            let per_link = Snapshot::new(format!("link-{link}"))
+                .counter("offered", 8)
+                .counter("delivered", 8)
+                .counter("shed", link % 2)
+                .histogram("frame_latency_ticks", lat);
+            let mut folded = per_link;
+            folded.scope = "fleet".into();
+            fleet.merge(&folded);
+        }
+        let text = to_prometheus(&[fleet]);
+        let lines = text.lines().count();
+        assert!(lines <= 120, "scrape blew the line budget: {lines} lines");
+        assert!(text.contains("p5_fleet_delivered 8000\n"));
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Time-series primitives over the metrics registry: windowed readings
+//! instead of run-lifetime aggregates.
+//!
+//! A [`Snapshot`] is monotone — every counter and histogram bucket only
+//! grows — so the *difference* of two snapshots of the same component is
+//! itself a well-formed reading covering just that window.
+//! [`SnapshotDelta`] computes that difference and [`TimeSeries`] keeps a
+//! fixed-capacity ring of them, which is what a live scraper wants:
+//! "frames per second over the last window", "p99 latency of the frames
+//! delivered since the previous sample", not "mean since boot".
+
+use std::collections::VecDeque;
+
+use crate::metrics::{Histogram, Snapshot};
+
+impl Histogram {
+    /// The histogram of observations made *after* `earlier` was taken,
+    /// assuming `self` is a later reading of the same histogram
+    /// (bucket-wise monotone).  Buckets subtract saturating, so a
+    /// mismatched pair degrades to empty buckets instead of wrapping.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (idx, (a, b)) in self
+            .buckets()
+            .iter()
+            .zip(earlier.buckets().iter())
+            .enumerate()
+        {
+            out.add_bucket(idx, a.saturating_sub(*b));
+        }
+        out.set_sum(self.sum().saturating_sub(earlier.sum()));
+        out
+    }
+}
+
+/// The change between two snapshots of one component: counter deltas by
+/// name and histogram bucket deltas, over `ticks` of elapsed link time.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotDelta {
+    /// Scope of the later snapshot.
+    pub scope: String,
+    /// Elapsed ticks (or cycles — the sampler's clock domain) covered.
+    pub ticks: u64,
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl SnapshotDelta {
+    /// `later - earlier`, matched by counter/histogram name.  Names only
+    /// present in `later` are taken whole (a component that appeared
+    /// mid-run); names only in `earlier` are dropped.  Counter deltas
+    /// subtract saturating, so a reset component reads as zero, not as
+    /// a wrap to 2⁶⁴.
+    pub fn between(earlier: &Snapshot, later: &Snapshot, ticks: u64) -> Self {
+        let counters = later
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                let prev = earlier.get(name).unwrap_or(0);
+                (name.clone(), v.saturating_sub(prev))
+            })
+            .collect();
+        let histograms = later
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let delta = match earlier.histograms.iter().find(|(n, _)| n == name) {
+                    Some((_, prev)) => h.diff(prev),
+                    None => h.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .collect();
+        SnapshotDelta {
+            scope: later.scope.clone(),
+            ticks,
+            counters,
+            histograms,
+        }
+    }
+
+    /// Look up a counter delta by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Counter delta divided by the window length, in events per tick.
+    /// Zero-length windows read as a zero rate rather than a division.
+    pub fn rate_per_tick(&self, name: &str) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.get(name).unwrap_or(0) as f64 / self.ticks as f64
+    }
+
+    /// Histogram delta by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// One retained sample: the tick it was taken at and the delta since the
+/// previous sample.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    pub tick: u64,
+    pub delta: SnapshotDelta,
+}
+
+/// A fixed-capacity ring of [`SeriesPoint`]s plus the last absolute
+/// snapshot, so each [`TimeSeries::record`] call yields the windowed
+/// delta.  Storage is bounded at construction: a collector sampling a
+/// week-long soak holds the same memory as one sampling a smoke test.
+#[derive(Debug)]
+pub struct TimeSeries {
+    cap: usize,
+    points: VecDeque<SeriesPoint>,
+    last: Option<(u64, Snapshot)>,
+    /// Points evicted because the ring was full.
+    evicted: u64,
+}
+
+impl TimeSeries {
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        TimeSeries {
+            cap,
+            points: VecDeque::with_capacity(cap),
+            last: None,
+            evicted: 0,
+        }
+    }
+
+    /// Record an absolute snapshot taken at `tick`.  The first call
+    /// seeds the baseline and produces no point; every later call
+    /// appends the delta window since the previous call (evicting the
+    /// oldest point when full) and returns a reference to it.
+    pub fn record(&mut self, tick: u64, snap: &Snapshot) -> Option<&SeriesPoint> {
+        let point = self.last.as_ref().map(|(prev_tick, prev)| SeriesPoint {
+            tick,
+            delta: SnapshotDelta::between(prev, snap, tick.saturating_sub(*prev_tick)),
+        });
+        self.last = Some((tick, snap.clone()));
+        let point = point?;
+        if self.points.len() == self.cap {
+            self.points.pop_front();
+            self.evicted += 1;
+        }
+        self.points.push_back(point);
+        self.points.back()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points evicted from the ring so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Retained points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &SeriesPoint> {
+        self.points.iter()
+    }
+
+    /// The most recent point, if any.
+    pub fn latest(&self) -> Option<&SeriesPoint> {
+        self.points.back()
+    }
+
+    /// Sum of one counter's deltas over the most recent `window` points.
+    pub fn window_total(&self, name: &str, window: usize) -> u64 {
+        self.points
+            .iter()
+            .rev()
+            .take(window)
+            .map(|p| p.delta.get(name).unwrap_or(0))
+            .sum()
+    }
+
+    /// Events per tick for `name` over the most recent `window` points
+    /// (total delta / total ticks — a zero-tick window reads 0.0).
+    pub fn window_rate_per_tick(&self, name: &str, window: usize) -> f64 {
+        let ticks: u64 = self
+            .points
+            .iter()
+            .rev()
+            .take(window)
+            .map(|p| p.delta.ticks)
+            .sum();
+        if ticks == 0 {
+            return 0.0;
+        }
+        self.window_total(name, window) as f64 / ticks as f64
+    }
+
+    /// Bucket-merged histogram delta for `name` over the most recent
+    /// `window` points — feed its `quantile_bound(0.99)` for a windowed
+    /// p99 instead of a run-lifetime one.
+    pub fn window_histogram(&self, name: &str, window: usize) -> Histogram {
+        let mut out = Histogram::new();
+        for p in self.points.iter().rev().take(window) {
+            if let Some(h) = p.delta.histogram(name) {
+                out.merge(h);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(scope: &str, frames: u64, lat: &[u64]) -> Snapshot {
+        let mut h = Histogram::new();
+        for &v in lat {
+            h.observe(v);
+        }
+        Snapshot::new(scope)
+            .counter("frames", frames)
+            .histogram("lat", h)
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_buckets() {
+        let a = snap("link", 10, &[4, 4, 100]);
+        let b = snap("link", 25, &[4, 4, 4, 100, 3000]);
+        let d = SnapshotDelta::between(&a, &b, 8);
+        assert_eq!(d.get("frames"), Some(15));
+        assert_eq!(d.ticks, 8);
+        let lat = d.histogram("lat").unwrap();
+        assert_eq!(lat.count(), 2);
+        // One new observation in ≤7 (the third 4), one in ≤4095.
+        assert_eq!(lat.nonzero_buckets(), vec![(7, 1), (4095, 1)]);
+        assert!((d.rate_per_tick("frames") - 15.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_tolerates_resets_and_new_names() {
+        // A "reset" (later < earlier) saturates to zero, never wraps.
+        let a = Snapshot::new("x").counter("c", 50);
+        let b = Snapshot::new("x").counter("c", 10).counter("fresh", 3);
+        let d = SnapshotDelta::between(&a, &b, 1);
+        assert_eq!(d.get("c"), Some(0));
+        assert_eq!(d.get("fresh"), Some(3));
+        assert_eq!(d.get("gone"), None);
+        assert_eq!(SnapshotDelta::between(&a, &b, 0).rate_per_tick("c"), 0.0);
+    }
+
+    #[test]
+    fn histogram_diff_is_windowed() {
+        let mut early = Histogram::new();
+        early.observe(5);
+        early.observe(200);
+        let mut late = early.clone();
+        late.observe(5);
+        late.observe(70_000);
+        let d = late.diff(&early);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 70_005);
+        assert_eq!(d.quantile_bound(1.0), Some(131_071));
+        // Diffing against a *later* reading saturates empty.
+        assert_eq!(early.diff(&late).count(), 0);
+    }
+
+    #[test]
+    fn series_ring_is_bounded_and_windowed() {
+        let mut ts = TimeSeries::with_capacity(3);
+        assert!(ts.record(0, &snap("f", 0, &[])).is_none(), "baseline");
+        for k in 1..=5u64 {
+            // Snapshots are monotone: sample k has observed 1..=k.
+            let lat: Vec<u64> = (1..=k).collect();
+            let p = ts
+                .record(k * 10, &snap("f", k * 7, &lat))
+                .expect("delta point");
+            assert_eq!(p.delta.get("frames"), Some(7));
+            assert_eq!(p.delta.ticks, 10);
+        }
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.evicted(), 2);
+        assert_eq!(ts.latest().unwrap().tick, 50);
+        assert_eq!(ts.window_total("frames", 2), 14);
+        assert!((ts.window_rate_per_tick("frames", 3) - 21.0 / 30.0).abs() < 1e-12);
+        // Windowed histogram merges the last two deltas (one obs each).
+        assert_eq!(ts.window_histogram("lat", 2).count(), 2);
+        assert_eq!(ts.window_rate_per_tick("missing", 2), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut ts = TimeSeries::with_capacity(0);
+        ts.record(0, &snap("f", 0, &[]));
+        ts.record(1, &snap("f", 1, &[]));
+        ts.record(2, &snap("f", 2, &[]));
+        assert_eq!(ts.capacity(), 1);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.latest().unwrap().tick, 2);
+    }
+}

@@ -58,12 +58,41 @@ fn main() {
             st.cycles, st.words_in, st.bytes_out, st.stall_cycles, st.rejects
         );
     }
-    // Stall attribution across the stack, then the full metrics
-    // snapshot of every stage (DESIGN.md §13).
-    println!("\n{}", link.stall_table());
+
+    // Where did cycles go?  The top three stall attributions, not the
+    // full per-stage snapshot dump (`link.stall_table()` has the whole
+    // boundary table when needed — DESIGN.md §13).
+    let mut stages = link.stage_stats();
+    stages.sort_by_key(|(_, st)| std::cmp::Reverse(st.stall_cycles));
+    println!("\ntop stall attributions:");
+    for (name, st) in stages.iter().take(3) {
+        println!(
+            "  {name:>12}: {:>7} stalled cycles of {:>8} ({:.1}%)",
+            st.stall_cycles,
+            st.cycles,
+            100.0 * st.stall_cycles as f64 / st.cycles.max(1) as f64
+        );
+    }
+
+    // The link's health verdict, from the same OAM counters the live
+    // collector scores (DESIGN.md §17) — here as a one-shot end-of-run
+    // judgment over the whole run as a single window.
+    let hc = link.health_counters();
+    let verdict = HealthPolicy::default().snap_judgment(&p5::obs::HealthSample {
+        delivered: hc.rx_frames,
+        offered: sent.len() as u64,
+        errors: hc.rx_errors,
+        ..Default::default()
+    });
+    println!("\nlink health:");
+    println!("  link  state     rx_frames  errors  tx_rejects");
     println!(
-        "final metrics snapshot:\n{}",
-        render_table(&link.snapshots())
+        "  {:>4}  {:<8}  {:>9}  {:>6}  {:>10}",
+        0,
+        verdict.name(),
+        hc.rx_frames,
+        hc.rx_errors,
+        hc.tx_rejects
     );
 
     // Read the OAM over the bus, as firmware would.

@@ -48,11 +48,24 @@ cargo run -q --release --offline -p p5-bench --bin gate_sim_report -- \
     --smoke --min-x64 10
 
 echo "==> trace smoke + overhead gate (results/BENCH_trace.json)"
-# The duplex lifecycle trace must match every frame end to end, and the
+# The duplex lifecycle trace must match every frame end to end, the
 # instrumented-but-disabled device must stay within 3% of the baseline
-# bytes/cycle recorded by the throughput step above.
+# bytes/cycle recorded by the throughput step above, and the fleet's
+# observability drive path (`run_sampled` with no collector) must stay
+# within 3% wall of the plain drive loop on a 256-link fleet.
 cargo run -q --release --offline -p p5-bench --bin trace_report -- \
-    --smoke --max-overhead-pct 3
+    --smoke --max-overhead-pct 3 --max-fleet-overhead-pct 3
+
+echo "==> obs smoke + live-detection gates (results/BENCH_obs.json)"
+# Live observability gates: an actively sampling collector on a
+# 256-link fleet must cost <= 25% wall (measured ~0 on the reference
+# host; the headroom absorbs shared-CI noise), a seeded BER burst on
+# one link must be reported Degraded within the documented detection
+# budget (every * (degrade_after + 1) ticks) while the run is still in
+# progress — scraped live over real TCP — and the frozen flight
+# recorder must capture all four entry kinds around the trigger.
+cargo run -q --release --offline -p p5-bench --bin obs_report -- \
+    --smoke --max-sampling-overhead-pct 25
 
 echo "==> fault smoke + recovery gates (results/BENCH_fault.json)"
 # Chaos gates: zero corrupt deliveries, one-sided drop accounting on

@@ -22,7 +22,11 @@
 //! * [`runtime`] — the carrier-scale multi-link runtime:
 //!   [`runtime::Fleet`] shards thousands of duplex links across a
 //!   fixed worker pool with bounded ingress, graceful overload
-//!   shedding and channelized SDH carriage.
+//!   shedding and channelized SDH carriage;
+//! * [`obs`] — live fleet observability: [`obs::Collector`] time-series
+//!   telemetry, per-link hysteresis health scoring, freezing flight
+//!   recorders, and [`obs::serve`], a dependency-free HTTP scrape
+//!   endpoint (`/metrics`, `/health`, `/flight`).
 //!
 //! [`prelude`] re-exports the common assembly surface in one `use`.
 //!
@@ -35,6 +39,7 @@ pub use p5_fault as fault;
 pub use p5_fpga as fpga;
 pub use p5_hdlc as hdlc;
 pub use p5_link as link;
+pub use p5_obs as obs;
 pub use p5_ppp as ppp;
 pub use p5_rtl as rtl;
 pub use p5_runtime as runtime;

@@ -21,6 +21,7 @@ pub use p5_fault::{
 };
 pub use p5_hdlc::{DeframerConfig, FcsMode};
 pub use p5_link::{DuplexLink, Link, LinkBuilder, LinkEnd, LinkError};
+pub use p5_obs::{serve, Collector, CollectorConfig, HealthPolicy, HealthState, ObsHub};
 pub use p5_runtime::{Carrier, Fleet, FleetConfig, FleetStats, Sharding, TrafficSpec};
 pub use p5_sonet::{BitErrorChannel, OcPath, OcPathStage, StmLevel, TributaryGroup};
 pub use p5_stream::{
