@@ -28,9 +28,9 @@ use p5_core::DatapathWidth;
 use p5_fault::FaultSpec;
 use p5_hdlc::{DeframeEvent, Deframer, DeframerConfig, Framer, FramerConfig};
 use p5_link::{LinkBuilder, LinkEnd};
-use p5_ppp::endpoint::EndpointConfig;
 use p5_ppp::lqr::{QualityDelta, QualityPolicy, QualityTracker};
 use p5_ppp::session::{Session, SessionEvent};
+use p5_ppp::NegotiationProfile;
 use p5_sonet::StmLevel;
 use p5_trace::Histogram;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -193,12 +193,18 @@ fn pump(sess: &mut Session, end: &mut LinkEnd, now: u64, got: &mut u32) {
 fn renegotiate_trial(seed: u64) -> (Option<u64>, u64) {
     // Restart period must exceed the link round trip (same rule as the
     // lcp_negotiation example).
-    let cfg = EndpointConfig {
-        restart_period: 10,
-        ..EndpointConfig::default()
-    };
-    let mut a = Session::with_config(0x1111_0000 | seed as u32, [10, 0, 0, 1], cfg);
-    let mut b = Session::with_config(0x2222_0000 | seed as u32, [10, 0, 0, 2], cfg);
+    let mut a = Session::with_profile(
+        &NegotiationProfile::new()
+            .magic(0x1111_0000 | seed as u32)
+            .ip([10, 0, 0, 1])
+            .restart_period(10),
+    );
+    let mut b = Session::with_profile(
+        &NegotiationProfile::new()
+            .magic(0x2222_0000 | seed as u32)
+            .ip([10, 0, 0, 2])
+            .restart_period(10),
+    );
     let mut link = LinkBuilder::new().build_duplex().expect("clean duplex");
     a.start();
     b.start();

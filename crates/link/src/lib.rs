@@ -36,8 +36,10 @@
 use p5_core::oam::{regs, MmioBus, Oam, OamHandle};
 use p5_core::{decap, encap, DatapathWidth, ReceivedFrame, RxStage, TxQueueFull, TxStage, P5};
 use p5_fault::{FaultError, FaultPlan, FaultSpec, FaultStage, FaultStats};
+use p5_ppp::NegotiationProfile;
 use p5_sonet::{BitErrorChannel, ByteLink, OcPath, OcPathStage, StmLevel};
-use p5_stream::{SharedRecorder, Snapshot, Stack, StageStats, StreamStage};
+use p5_stream::{Offer, SharedRecorder, Snapshot, Stack, StageStats, StreamStage};
+use p5_xport::{LinkEngine, SessionDriver, Transport};
 use std::error::Error;
 use std::fmt;
 
@@ -49,6 +51,13 @@ pub enum LinkError {
     Fault(FaultError),
     /// The stack did not drain within the step budget.
     Stalled { steps: usize },
+    /// [`LinkBuilder::build_remote`] needs a transport
+    /// ([`LinkBuilder::transport`]).
+    MissingTransport,
+    /// The requested option combination isn't available on this
+    /// topology (e.g. SONET carriage or fault injection on a remote
+    /// endpoint — the OS pipe *is* the wire there).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for LinkError {
@@ -58,6 +67,10 @@ impl fmt::Display for LinkError {
             LinkError::Stalled { steps } => {
                 write!(f, "link did not drain within {steps} steps")
             }
+            LinkError::MissingTransport => {
+                write!(f, "build_remote requires LinkBuilder::transport(...)")
+            }
+            LinkError::Unsupported(what) => write!(f, "unsupported on this topology: {what}"),
         }
     }
 }
@@ -66,7 +79,7 @@ impl Error for LinkError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             LinkError::Fault(e) => Some(e),
-            LinkError::Stalled { .. } => None,
+            _ => None,
         }
     }
 }
@@ -85,6 +98,8 @@ pub struct LinkBuilder {
     sonet: Option<StmLevel>,
     fault: Option<FaultPlan>,
     trace: Option<SharedRecorder>,
+    profile: Option<NegotiationProfile>,
+    transport: Option<Box<dyn Transport>>,
 }
 
 impl LinkBuilder {
@@ -118,6 +133,22 @@ impl LinkBuilder {
     /// Record frame-lifecycle and fault events into `rec`.
     pub fn trace(mut self, rec: SharedRecorder) -> Self {
         self.trace = Some(rec);
+        self
+    }
+
+    /// PPP negotiation posture for [`LinkBuilder::build_remote`]
+    /// (magic number, IP address, auth policy, restart budgets).
+    pub fn profile(mut self, profile: NegotiationProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Carry the wire over a real OS byte pipe
+    /// ([`p5_xport::TcpTransport`], `UnixTransport`) or a deterministic
+    /// in-process [`p5_xport::PipeTransport`].  Required by
+    /// [`LinkBuilder::build_remote`].
+    pub fn transport(mut self, transport: impl Transport + 'static) -> Self {
+        self.transport = Some(Box::new(transport));
         self
     }
 
@@ -262,6 +293,39 @@ impl LinkBuilder {
             ba,
         })
     }
+
+    /// One *real* endpoint: a device plus a PPP session bound to the
+    /// configured [`LinkBuilder::transport`], pumped by a dedicated
+    /// thread.  The peer is whatever answers on the other end of the
+    /// byte pipe — another thread, another process, another machine.
+    ///
+    /// SONET carriage and fault plans don't compose here (the OS pipe
+    /// *is* the wire, and it misbehaves on its own schedule); asking
+    /// for them is [`LinkError::Unsupported`] rather than silently
+    /// ignored.
+    pub fn build_remote(self) -> Result<SessionDriver, LinkError> {
+        if self.sonet.is_some() {
+            return Err(LinkError::Unsupported(
+                "SONET carriage on a remote endpoint",
+            ));
+        }
+        if self.fault.is_some() {
+            return Err(LinkError::Unsupported(
+                "fault injection on a remote endpoint",
+            ));
+        }
+        let transport = self.transport.ok_or(LinkError::MissingTransport)?;
+        let profile = self.profile.unwrap_or_default();
+        let mut engine = LinkEngine::new(
+            self.width.unwrap_or(DatapathWidth::W32),
+            &profile,
+            transport,
+        );
+        if let Some(rec) = self.trace {
+            engine.set_trace(Box::new(rec));
+        }
+        Ok(SessionDriver::spawn(engine))
+    }
 }
 
 /// A simplex link: transmit device → (optional SONET path, optional
@@ -400,6 +464,22 @@ pub struct LinkEnd {
 impl LinkEnd {
     pub fn submit(&mut self, protocol: u16, payload: Vec<u8>) -> Result<(), TxQueueFull> {
         self.p5.submit(protocol, payload)
+    }
+
+    /// [`LinkEnd::submit`] under the unified admission dialect: the
+    /// device's bounded TX queue either takes the frame now
+    /// ([`Offer::Accepted`]) or refuses it ([`Offer::Rejected`]), never
+    /// blocks.  A refused payload is recycled into the device's buffer
+    /// pool rather than handed back — same contract as the fleet and
+    /// session-driver ingress boundaries.
+    pub fn offer(&mut self, protocol: u16, payload: Vec<u8>) -> Offer {
+        match self.p5.submit(protocol, payload) {
+            Ok(()) => Offer::Accepted,
+            Err(TxQueueFull(desc)) => {
+                self.p5.buf_pool().recycle_vec(desc.payload);
+                Offer::Rejected
+            }
+        }
     }
 
     pub fn run(&mut self, cycles: u64) {
@@ -547,6 +627,52 @@ impl DuplexLink {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn build_remote_negotiates_over_a_pipe_pair() {
+        use p5_xport::PipeTransport;
+        let (ta, tb) = PipeTransport::pair();
+        let a = LinkBuilder::new()
+            .profile(NegotiationProfile::new().magic(0xA11CE).ip([10, 0, 0, 1]))
+            .transport(ta)
+            .build_remote()
+            .unwrap();
+        let b = LinkBuilder::new()
+            .profile(NegotiationProfile::new().magic(0xB0B).ip([10, 0, 0, 2]))
+            .transport(tb)
+            .build_remote()
+            .unwrap();
+        assert!(a.await_network_up(std::time::Duration::from_secs(10)));
+        assert!(b.await_network_up(std::time::Duration::from_secs(10)));
+        let payload = vec![0x42u8; 128];
+        assert!(a.offer(0x0021, &payload).is_admitted());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut got = Vec::new();
+        while got.is_empty() && std::time::Instant::now() < deadline {
+            got = b.take_deliveries();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, vec![(0x0021, payload)]);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn build_remote_rejects_incoherent_topologies() {
+        let (ta, _tb) = p5_xport::PipeTransport::pair();
+        assert!(matches!(
+            LinkBuilder::new().build_remote().err(),
+            Some(LinkError::MissingTransport)
+        ));
+        assert!(matches!(
+            LinkBuilder::new()
+                .sonet(StmLevel::Stm1)
+                .transport(ta)
+                .build_remote()
+                .err(),
+            Some(LinkError::Unsupported(_))
+        ));
+    }
 
     #[test]
     fn simplex_clean_link_round_trips() {

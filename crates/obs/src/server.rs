@@ -10,91 +10,55 @@
 //! * `GET /flight`  — triggered flight-recorder post-mortems JSON.
 //!
 //! No async runtime, no keep-alive, no TLS: a scrape is one short-lived
-//! connection, which `std::net` handles fine.  The listener runs
-//! non-blocking with a short poll sleep so [`ObsServer::drop`] can stop
-//! it promptly.
+//! connection, which `std::net` handles fine.  The socket plumbing —
+//! nonblocking listener on a dedicated thread, bounded request read —
+//! is `p5_xport::net`'s [`accept_loop`]/[`read_head`]; this module
+//! only owns the HTTP routing.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use p5_xport::net::{accept_loop, read_head, AcceptLoop};
 
 use crate::collector::ObsHub;
 
+/// How long one scrape may take to send its request / drain the
+/// response.
+const SCRAPE_TIMEOUT: Duration = Duration::from_millis(500);
+
 /// A running endpoint.  Dropping it stops the serving thread.
 pub struct ObsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    inner: AcceptLoop,
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:9595"`, or port `0` for an ephemeral
 /// port) and serve `hub` until the returned [`ObsServer`] is dropped.
 pub fn serve(hub: ObsHub, addr: &str) -> std::io::Result<ObsServer> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop2 = stop.clone();
-    let handle = std::thread::Builder::new()
-        .name("p5-obs-http".to_string())
-        .spawn(move || {
-            while !stop2.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        // Per-connection errors (client hung up, slow
-                        // reader) only cost that scrape.
-                        let _ = handle_conn(stream, &hub);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                }
-            }
-        })?;
-    Ok(ObsServer {
-        addr,
-        stop,
-        handle: Some(handle),
-    })
+    let inner = accept_loop(addr, "p5-obs-http", move |stream| {
+        // Per-connection errors (client hung up, slow reader) only
+        // cost that scrape.
+        let _ = handle_conn(stream, &hub);
+    })?;
+    Ok(ObsServer { inner })
 }
 
 impl ObsServer {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
     /// Stop the serving thread and wait for it to exit.
-    pub fn stop(mut self) {
-        self.shutdown();
-    }
-
-    fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for ObsServer {
-    fn drop(&mut self) {
-        self.shutdown();
+    pub fn stop(self) {
+        self.inner.stop();
     }
 }
 
 fn handle_conn(mut stream: TcpStream, hub: &ObsHub) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
-    // One read is enough for any real scrape request line; we only
-    // need the method and path.
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf)?;
-    let req = String::from_utf8_lossy(&buf[..n]);
+    // One bounded read is enough for any real scrape request line; we
+    // only need the method and path.
+    let req = read_head(&mut stream, 1024, SCRAPE_TIMEOUT)?;
     let path = parse_path(&req);
     let (status, content_type, body) = route(path.as_deref(), hub);
     let response = format!(
@@ -144,6 +108,7 @@ fn route(path: Option<&str>, hub: &ObsHub) -> (&'static str, &'static str, Strin
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
 
     #[test]
     fn parses_paths_and_routes() {

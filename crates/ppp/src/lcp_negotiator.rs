@@ -68,9 +68,16 @@ impl LcpNegotiator {
     }
 
     /// Also request protocol- and address/control-field compression.
-    pub fn with_compression(mut self) -> Self {
-        self.request_pfc = true;
-        self.request_acfc = true;
+    pub fn with_compression(self) -> Self {
+        self.request_fields(true, true)
+    }
+
+    /// Request the field compressions individually (the
+    /// `NegotiationProfile` surface exposes ACFC and PFC as separate
+    /// flags).
+    pub fn request_fields(mut self, pfc: bool, acfc: bool) -> Self {
+        self.request_pfc = pfc;
+        self.request_acfc = acfc;
         self
     }
 

@@ -42,6 +42,7 @@ pub mod lcp_negotiator;
 pub mod lqr;
 pub mod mapos;
 pub mod pap;
+pub mod profile;
 pub mod protocol;
 pub mod session;
 pub mod stream;
@@ -49,6 +50,8 @@ pub mod stream;
 pub use frame::{FieldCompression, FrameCodec, FrameError, PppFrame};
 pub use fsm::{Action, Automaton, Event, State};
 pub use lcp::{ConfigOption, LcpOption, Packet, PacketCode};
+pub use pap::CredentialTable;
+pub use profile::{AuthPolicy, NegotiationProfile};
 pub use protocol::Protocol;
 pub use session::{Session, SessionEvent};
 pub use stream::EndpointStage;

@@ -7,10 +7,13 @@ use crate::endpoint::{Endpoint, EndpointConfig, LayerEvent};
 use crate::ipcp::IpcpNegotiator;
 use crate::lcp::{Packet, PacketCode};
 use crate::lcp_negotiator::LcpNegotiator;
+use crate::pap::{authenticate, PapPacket};
+use crate::profile::{AuthPolicy, NegotiationProfile};
 use crate::protocol::Protocol;
 
 /// Events a session surfaces to its owner.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SessionEvent {
     /// LCP reached Opened.
     LinkUp,
@@ -22,6 +25,11 @@ pub enum SessionEvent {
     Datagram(Vec<u8>),
     /// A frame arrived in a protocol we rejected.
     RejectedProtocol(u16),
+    /// The PAP authentication phase completed (either side).
+    AuthOk,
+    /// PAP failed: our credentials were Nak'd, or the peer presented
+    /// credentials our table refuses.  IPCP stays held down.
+    AuthFailed,
 }
 
 /// A PPP session endpoint (one side of the link).
@@ -34,23 +42,49 @@ pub struct Session {
     outbox: Vec<(u16, Vec<u8>)>,
     events: Vec<SessionEvent>,
     reject_id: u8,
+    /// Authentication stance (RFC 1334): gates IPCP's `lower_up`.
+    auth: AuthPolicy,
+    /// The auth phase is complete (vacuously true for
+    /// [`AuthPolicy::None`]); reset on every link down.
+    auth_done: bool,
+    auth_id: u8,
+    /// Next tick at which the PAP client retransmits its request.
+    auth_deadline: Option<u64>,
 }
 
 impl Session {
     pub fn new(magic: u32, ip: [u8; 4]) -> Self {
-        Self::with_config(magic, ip, EndpointConfig::default())
+        Self::with_profile(&NegotiationProfile::new().magic(magic).ip(ip))
     }
 
-    pub fn with_config(magic: u32, ip: [u8; 4], cfg: EndpointConfig) -> Self {
+    /// Build a session from a typed [`NegotiationProfile`] — the
+    /// redesigned configuration surface (MRU, ACFC/PFC, restart
+    /// budget, auth stance and addressing in one object).
+    pub fn with_profile(profile: &NegotiationProfile) -> Self {
+        let mut lcp_neg = LcpNegotiator::new(profile.mru_requested(), profile.magic_number());
+        if profile.wants_acfc() || profile.wants_pfc() {
+            lcp_neg = lcp_neg.request_fields(profile.wants_pfc(), profile.wants_acfc());
+        }
+        let cfg = profile.config();
         Self {
-            lcp: Endpoint::new(LcpNegotiator::new(1500, magic), cfg),
-            ipcp: Endpoint::new(IpcpNegotiator::new(ip), cfg),
+            lcp: Endpoint::new(lcp_neg, cfg),
+            ipcp: Endpoint::new(IpcpNegotiator::new(profile.ip_addr()), cfg),
             link_up: false,
             network_up: false,
             outbox: Vec::new(),
             events: Vec::new(),
             reject_id: 0,
+            auth: profile.take_auth(),
+            auth_done: false,
+            auth_id: 0,
+            auth_deadline: None,
         }
+    }
+
+    #[deprecated(note = "use Session::with_profile with a NegotiationProfile \
+                (release note: DESIGN.md §18)")]
+    pub fn with_config(magic: u32, ip: [u8; 4], cfg: EndpointConfig) -> Self {
+        Self::with_profile(&NegotiationProfile::from(cfg).magic(magic).ip(ip))
     }
 
     /// Begin: administrative open + PHY up.
@@ -103,6 +137,34 @@ impl Session {
         self.lcp.tick(now);
         self.ipcp.tick(now);
         self.pump();
+        self.retry_auth(now);
+    }
+
+    /// PAP client (re)transmission: while the link is open and the
+    /// auth phase unsettled, send the Authenticate-Request on the same
+    /// restart cadence as LCP (RFC 1334 leaves the retry policy to the
+    /// implementation; reusing the restart period keeps the whole
+    /// bring-up inside one restart budget per phase).
+    fn retry_auth(&mut self, now: u64) {
+        if !self.link_up || self.auth_done {
+            self.auth_deadline = None;
+            return;
+        }
+        let AuthPolicy::PapClient { id, secret } = &self.auth else {
+            return;
+        };
+        if let Some(d) = self.auth_deadline {
+            if now < d {
+                return;
+            }
+        }
+        let req = PapPacket::Request {
+            id: self.auth_id,
+            peer_id: id.clone(),
+            password: secret.clone(),
+        };
+        self.outbox.push((Protocol::Pap.number(), req.to_bytes()));
+        self.auth_deadline = Some(now + self.lcp.config().restart_period);
     }
 
     /// Demultiplex one received frame (protocol number + information
@@ -112,6 +174,7 @@ impl Session {
         match Protocol::from_number(protocol) {
             Protocol::Lcp => self.lcp.receive(info),
             Protocol::Ipcp if self.link_up => self.ipcp.receive(info),
+            Protocol::Pap if self.link_up => self.receive_pap(info),
             Protocol::Ipv4 if self.network_up => {
                 self.events.push(SessionEvent::Datagram(info.to_vec()));
             }
@@ -128,6 +191,46 @@ impl Session {
             _ => { /* link down: silently discard (RFC 1661 phase rule) */ }
         }
         self.pump();
+    }
+
+    /// One PAP packet from the peer, interpreted per our stance.  A
+    /// request against [`AuthPolicy::PapServer`] is answered
+    /// immediately; an Ack/Nak settles an outstanding
+    /// [`AuthPolicy::PapClient`] request.  Anything else (PAP traffic
+    /// with no auth configured — a peer misconfiguration) is dropped.
+    fn receive_pap(&mut self, info: &[u8]) {
+        let Some(pkt) = PapPacket::parse(info) else {
+            return;
+        };
+        match (&self.auth, pkt) {
+            (AuthPolicy::PapServer(table), req @ PapPacket::Request { .. }) => {
+                let reply = authenticate(table, &req).expect("Request yields a reply");
+                let granted = matches!(reply, PapPacket::Ack { .. });
+                self.outbox.push((Protocol::Pap.number(), reply.to_bytes()));
+                if granted {
+                    self.finish_auth();
+                } else {
+                    self.events.push(SessionEvent::AuthFailed);
+                }
+            }
+            (AuthPolicy::PapClient { .. }, PapPacket::Ack { id, .. }) if id == self.auth_id => {
+                self.finish_auth();
+            }
+            (AuthPolicy::PapClient { .. }, PapPacket::Nak { id, .. }) if id == self.auth_id => {
+                self.events.push(SessionEvent::AuthFailed);
+            }
+            _ => {}
+        }
+    }
+
+    /// The auth phase succeeded: release IPCP (idempotent — a server
+    /// re-acking a retransmitted request must not bounce the NCP).
+    fn finish_auth(&mut self) {
+        if !self.auth_done {
+            self.auth_done = true;
+            self.events.push(SessionEvent::AuthOk);
+            self.ipcp.lower_up();
+        }
     }
 
     /// Drain outbound frames for the transmit queue.
@@ -151,12 +254,29 @@ impl Session {
                 LayerEvent::Up => {
                     self.link_up = true;
                     self.events.push(SessionEvent::LinkUp);
-                    self.ipcp.lower_up();
+                    // The auth phase sits between LCP and the NCPs
+                    // (RFC 1661 §3.5): IPCP is held down until it
+                    // settles (immediately, for AuthPolicy::None).
+                    match &self.auth {
+                        AuthPolicy::None => {
+                            self.auth_done = true;
+                            self.ipcp.lower_up();
+                        }
+                        AuthPolicy::PapClient { .. } => {
+                            // A fresh attempt gets a fresh id; the
+                            // request itself goes out (and is
+                            // retransmitted) from `retry_auth`.
+                            self.auth_id = self.auth_id.wrapping_add(1);
+                            self.auth_deadline = None;
+                        }
+                        AuthPolicy::PapServer(_) => {}
+                    }
                 }
                 LayerEvent::Down | LayerEvent::Finished => {
                     if self.link_up {
                         self.link_up = false;
                         self.network_up = false;
+                        self.auth_done = false;
                         self.events.push(SessionEvent::LinkDown);
                         self.ipcp.lower_down();
                     }
@@ -330,6 +450,82 @@ mod tests {
         let ev = a.poll_events();
         assert!(ev.contains(&SessionEvent::LinkUp));
         assert!(ev.iter().any(|e| matches!(e, SessionEvent::NetworkUp(..))));
+    }
+
+    #[test]
+    fn pap_gates_the_network_phase() {
+        use crate::pap::CredentialTable;
+        let mut a = Session::with_profile(
+            &NegotiationProfile::new()
+                .magic(1)
+                .ip([10, 0, 0, 1])
+                .pap_client(b"alice", b"s3cret"),
+        );
+        let mut b = Session::with_profile(
+            &NegotiationProfile::new()
+                .magic(2)
+                .ip([10, 0, 0, 2])
+                .pap_server(CredentialTable::default().with(b"alice", b"s3cret")),
+        );
+        a.start();
+        b.start();
+        converge(&mut a, &mut b);
+        assert!(a.poll_events().contains(&SessionEvent::AuthOk));
+        assert!(b.poll_events().contains(&SessionEvent::AuthOk));
+    }
+
+    #[test]
+    fn pap_with_wrong_secret_holds_the_network_down() {
+        use crate::pap::CredentialTable;
+        let mut a = Session::with_profile(
+            &NegotiationProfile::new()
+                .magic(1)
+                .ip([10, 0, 0, 1])
+                .pap_client(b"alice", b"wrong"),
+        );
+        let mut b = Session::with_profile(
+            &NegotiationProfile::new()
+                .magic(2)
+                .ip([10, 0, 0, 2])
+                .pap_server(CredentialTable::default().with(b"alice", b"s3cret")),
+        );
+        a.start();
+        b.start();
+        for now in 0..40 {
+            a.tick(now);
+            b.tick(now);
+            for (proto, info) in a.poll_output() {
+                b.receive(proto, &info);
+            }
+            for (proto, info) in b.poll_output() {
+                a.receive(proto, &info);
+            }
+        }
+        assert!(!a.is_network_up());
+        assert!(!b.is_network_up());
+        assert!(a.poll_events().contains(&SessionEvent::AuthFailed));
+        assert!(b.poll_events().contains(&SessionEvent::AuthFailed));
+    }
+
+    #[test]
+    fn profile_compression_flags_reach_the_negotiator() {
+        let mut a = Session::with_profile(
+            &NegotiationProfile::new()
+                .magic(1)
+                .ip([10, 0, 0, 1])
+                .compression(true),
+        );
+        let mut b = Session::with_profile(
+            &NegotiationProfile::new()
+                .magic(2)
+                .ip([10, 0, 0, 2])
+                .compression(true),
+        );
+        a.start();
+        b.start();
+        converge(&mut a, &mut b);
+        let tx = a.lcp.negotiator.tx_params();
+        assert!(tx.compression.pfc && tx.compression.acfc);
     }
 
     #[test]

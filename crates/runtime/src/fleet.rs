@@ -20,8 +20,10 @@ use p5_fault::{FaultError, FaultSpec, FaultStats};
 use p5_sonet::StmLevel;
 use p5_stream::{to_prometheus, Histogram, SharedRecorder, Snapshot};
 
-use crate::link::{Cohort, Dir, LinkCounters, OfferOutcome, ShardLink};
+use crate::link::{Cohort, Dir, LinkCounters, ShardLink};
 use crate::traffic::TrafficSpec;
+use p5_stream::Offer;
+use p5_xport::LinkEngine;
 
 /// What carries each link's wire bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,6 +271,8 @@ pub struct Fleet {
     /// `(link id, end-a recorder, end-b recorder)` for every traced
     /// link, in `cfg.trace_links` order.
     recorders: Vec<(usize, SharedRecorder, SharedRecorder)>,
+    /// Cohort index of each attached remote endpoint, in attach order.
+    remotes: Vec<usize>,
 }
 
 impl Fleet {
@@ -346,6 +350,7 @@ impl Fleet {
             ticks_run: 0,
             worker_stats: vec![WorkerStats::default(); workers],
             recorders: Vec::new(),
+            remotes: Vec::new(),
         };
         for i in 0..fleet.cfg.trace_links.len() {
             let id = fleet.cfg.trace_links[i];
@@ -397,19 +402,68 @@ impl Fleet {
         (link / self.group, link % self.group)
     }
 
+    /// Adopt a running remote endpoint — a [`LinkEngine`] bound to a
+    /// real transport — as a cohort of this fleet.  Worker threads pump
+    /// it during [`Fleet::run_ticks`] alongside the simulated links (a
+    /// remote "tick" is one engine service pass), so a gateway process
+    /// can mix thousands of in-memory links with a handful of real
+    /// sockets on one scheduler.  Returns the remote's handle for
+    /// [`Fleet::offer_remote`] and friends.
+    pub fn attach_remote(&mut self, engine: LinkEngine) -> usize {
+        self.cohorts.push(Mutex::new(Cohort::remote(engine)));
+        self.remotes.push(self.cohorts.len() - 1);
+        self.remotes.len() - 1
+    }
+
+    /// Attached remote endpoints.
+    pub fn remote_count(&self) -> usize {
+        self.remotes.len()
+    }
+
+    fn remote_cohort(&self, remote: usize) -> &Mutex<Cohort> {
+        let idx = *self
+            .remotes
+            .get(remote)
+            .unwrap_or_else(|| panic!("remote {remote} out of range"));
+        &self.cohorts[idx]
+    }
+
+    /// Offer one frame at `remote`'s admission boundary (the unified
+    /// [`Offer`] dialect — same contract as [`Fleet::offer`]).
+    pub fn offer_remote(&self, remote: usize, protocol: u16, payload: &[u8]) -> Offer {
+        let mut c = self.remote_cohort(remote).lock();
+        c.remote
+            .as_mut()
+            .expect("remote cohort")
+            .offer(protocol, payload)
+    }
+
+    /// Frames `remote` delivered since the last call.
+    pub fn take_remote_deliveries(&self, remote: usize) -> Vec<(u16, Vec<u8>)> {
+        let mut c = self.remote_cohort(remote).lock();
+        c.remote.as_mut().expect("remote cohort").take_deliveries()
+    }
+
+    /// Is `remote`'s network phase open (IPCP up / pipe established)?
+    pub fn remote_network_up(&self, remote: usize) -> bool {
+        let c = self.remote_cohort(remote).lock();
+        c.remote.as_ref().expect("remote cohort").is_network_up()
+    }
+
+    /// `remote`'s transport/flow counter snapshot (scope `xport`).
+    pub fn remote_snapshot(&self, remote: usize) -> Snapshot {
+        use p5_stream::Observable;
+        let c = self.remote_cohort(remote).lock();
+        c.remote.as_ref().expect("remote cohort").snapshot()
+    }
+
     /// Offer one a → b frame to `link`'s bounded ingress queue.
-    pub fn offer(&mut self, link: usize, protocol: u16, payload: &[u8]) -> OfferOutcome {
+    pub fn offer(&mut self, link: usize, protocol: u16, payload: &[u8]) -> Offer {
         self.offer_dir(link, Dir::AtoB, protocol, payload)
     }
 
     /// Offer a frame in an explicit direction.
-    pub fn offer_dir(
-        &mut self,
-        link: usize,
-        dir: Dir,
-        protocol: u16,
-        payload: &[u8],
-    ) -> OfferOutcome {
+    pub fn offer_dir(&mut self, link: usize, dir: Dir, protocol: u16, payload: &[u8]) -> Offer {
         let depth = self.cfg.ingress_depth;
         let (c, slot) = self.locate(link);
         self.cohorts[c].lock().links[slot].offer(dir, protocol, payload, depth)
@@ -550,6 +604,17 @@ impl Fleet {
             let c = c.lock();
             max_work = max_work.max(c.work_ticks);
             total_work += c.work_ticks;
+            if let Some(e) = &c.remote {
+                let x = e.counters;
+                st.flow.add(&LinkCounters {
+                    offered: x.offered,
+                    accepted: x.accepted,
+                    shed: x.shed,
+                    rejected: x.rejected,
+                    delivered: x.delivered,
+                    delivered_bytes: x.delivered_bytes,
+                });
+            }
             for l in &c.links {
                 st.flow.add(&l.counters);
                 st.latency.merge(&l.latency);

@@ -24,7 +24,7 @@
 //!   100.
 //! * **Graceful overload shedding.**  Each direction has a bounded
 //!   ingress queue in front of the device's bounded TX queue; overflow
-//!   is shed at admission ([`OfferOutcome::Shed`]) or rejected by the
+//!   is shed at admission ([`Offer::Shed`]) or rejected by the
 //!   device (counted in `TX_REJECTS`), never silently lost:
 //!   `offered == accepted + shed + rejected + queued`.
 //! * **Fused fast paths end to end.**  While a link is uncongested,
@@ -55,5 +55,9 @@ pub mod traffic;
 pub use fleet::{
     Carrier, Fleet, FleetConfig, FleetStats, LinkReport, RuntimeError, Sharding, WorkerStats,
 };
-pub use link::{Dir, LinkCounters, OfferOutcome};
+#[allow(deprecated)]
+pub use link::OfferOutcome;
+pub use link::{Dir, LinkCounters};
+pub use p5_stream::Offer;
+pub use p5_xport::LinkEngine;
 pub use traffic::TrafficSpec;

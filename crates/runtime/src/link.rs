@@ -11,24 +11,16 @@ use p5_core::p5::FUSED_WIRE_HIGH_WATER;
 use p5_core::{TxQueueFull, P5};
 use p5_fault::{FaultPlan, FaultStats};
 use p5_sonet::{BitErrorChannel, ByteLink, OcPath, StmLevel, TributaryGroup};
-use p5_stream::{Histogram, SharedRecorder, WireBuf};
+use p5_stream::{Histogram, Offer, SharedRecorder, WireBuf};
+use p5_xport::LinkEngine;
 
 use crate::fleet::TickParams;
 use crate::traffic::template_payload;
 
-/// What happened to one frame offered to a link's bounded ingress
-/// queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OfferOutcome {
-    /// Went straight into the device (fused fast path).
-    Accepted,
-    /// Admitted to the ingress queue; the device takes it on a later
-    /// tick.
-    Queued,
-    /// Refused: the ingress queue is at its configured depth.  The
-    /// frame is dropped here — graceful shedding, counted per link.
-    Shed,
-}
+/// The former name of the unified [`Offer`] outcome type, kept so
+/// pre-redesign callers keep compiling for one release.
+#[deprecated(note = "use `p5_stream::Offer` (re-exported as `p5_runtime::Offer`)")]
+pub type OfferOutcome = Offer;
 
 /// Per-link flow accounting.  The fleet-scope conservation law (the
 /// `StageStats` invariant lifted to the runtime boundary) is
@@ -117,7 +109,7 @@ fn offer_into(
     payload: &[u8],
     stamp: Option<u64>,
     ingress_depth: usize,
-) -> OfferOutcome {
+) -> Offer {
     counters.offered += 1;
     if dir.ingress.is_empty()
         && dir.wire.len() < FUSED_WIRE_HIGH_WATER
@@ -127,16 +119,16 @@ fn offer_into(
         if let Some(now) = stamp {
             dir.stamps.push_back(now);
         }
-        return OfferOutcome::Accepted;
+        return Offer::Accepted;
     }
     if dir.ingress.len() >= ingress_depth {
         counters.shed += 1;
-        return OfferOutcome::Shed;
+        return Offer::Shed;
     }
     let mut buf = dev.lease_tx_buf();
     buf.extend_from_slice(payload);
     dir.ingress.push_back((protocol, buf));
-    OfferOutcome::Queued
+    Offer::Queued
 }
 
 /// Move queued ingress frames into the device.  Fused while the wire is
@@ -410,7 +402,7 @@ impl ShardLink {
         protocol: u16,
         payload: &[u8],
         ingress_depth: usize,
-    ) -> OfferOutcome {
+    ) -> Offer {
         let stamp = self.track_latency.then_some(self.tick);
         let (dev, d) = match dir {
             Dir::AtoB => (&mut self.a, &mut self.ab),
@@ -567,13 +559,19 @@ impl ShardLink {
     }
 }
 
-/// The schedulable unit a worker claims: one self-carried link, or a
+/// The schedulable unit a worker claims: one self-carried link, a
 /// channel group — up to N tributary links sharing an STM-N envelope
 /// pair, which must advance in lockstep (one envelope frame carries a
-/// column of every tributary).
+/// column of every tributary) — or one *remote* endpoint (a
+/// [`LinkEngine`] bound to a real OS transport, pumped by fleet
+/// workers instead of a dedicated `SessionDriver` thread).
 pub(crate) struct Cohort {
     pub links: Vec<ShardLink>,
     envelope: Option<Box<(TributaryGroup, TributaryGroup)>>,
+    /// A transport-backed endpoint riding the worker pool.  Mutually
+    /// exclusive with `links` — a remote cohort's "ticks" are engine
+    /// service passes.
+    pub remote: Option<Box<LinkEngine>>,
     /// Non-idle ticks this cohort has actually executed — the load-skew
     /// signal dynamic rebalancing needs (idle-skipped ticks don't
     /// count).
@@ -585,6 +583,7 @@ impl Cohort {
         Cohort {
             links: vec![link],
             envelope: None,
+            remote: None,
             work_ticks: 0,
         }
     }
@@ -597,6 +596,16 @@ impl Cohort {
                 TributaryGroup::new(level, BitErrorChannel::clean()),
                 TributaryGroup::new(level, BitErrorChannel::clean()),
             ))),
+            remote: None,
+            work_ticks: 0,
+        }
+    }
+
+    pub fn remote(engine: LinkEngine) -> Self {
+        Cohort {
+            links: Vec::new(),
+            envelope: None,
+            remote: Some(Box::new(engine)),
             work_ticks: 0,
         }
     }
@@ -607,6 +616,7 @@ impl Cohort {
                 .envelope
                 .as_ref()
                 .is_some_and(|e| e.0.frames_to_drain() > 0 || e.1.frames_to_drain() > 0)
+            || self.remote.as_ref().is_some_and(|e| e.has_local_work())
     }
 
     /// One tick for every link in the cohort.
@@ -648,6 +658,17 @@ impl Cohort {
     /// Run up to `n` ticks, stopping early once idle.  Returns the
     /// ticks actually executed (the worker's busy time on this claim).
     pub fn drive(&mut self, p: &TickParams, n: u64) -> u64 {
+        if let Some(engine) = &mut self.remote {
+            // A remote cohort's tick is one engine service pass; stop
+            // as soon as the pass moves nothing (the socket decides
+            // when more work exists, not the tick budget).
+            let mut done = 0;
+            while done < n && engine.service() {
+                done += 1;
+            }
+            self.work_ticks += done;
+            return done;
+        }
         for done in 0..n {
             if !self.has_work(p) {
                 self.work_ticks += done;

@@ -16,6 +16,7 @@
 //! [`StageStats`] hooks.
 
 pub mod buf;
+pub mod offer;
 pub mod pool;
 pub mod stack;
 pub mod stage;
@@ -23,6 +24,7 @@ pub mod stats;
 pub mod topology;
 
 pub use buf::{FrameMeta, WireBuf};
+pub use offer::Offer;
 pub use pool::{shrink_scratch, BufPool, Lease, PoolStats, SCRATCH_HIGH_WATER};
 pub use stack::{Chain, Stack};
 pub use stage::{Pipe, Poll, StreamStage, Throttle, WordStream};

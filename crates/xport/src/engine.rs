@@ -1,0 +1,723 @@
+//! [`LinkEngine`]: one P⁵ device, one PPP session and one
+//! [`Transport`], pumped as a unit.
+//!
+//! The engine is the single-threaded heart of a real endpoint.  Each
+//! [`LinkEngine::service`] call makes one pass over the whole path —
+//!
+//! ```text
+//!   offer() ─→ ingress ─→ session ─→ ctl ─→ device ─→ wire out
+//!                                                         │
+//!            deliveries ←─ session ←─ device ←─ wire in   ▼
+//!                 ▲                       ▲           ByteRing
+//!                 │                       │               │
+//!            take_deliveries()        WireBuf ←──── Transport (socket)
+//! ```
+//!
+//! — and reports whether anything moved, so a driver can spin while
+//! productive and sleep when the link is quiet.  All socket pathology
+//! is absorbed here: short writes stage into the bounded [`ByteRing`],
+//! short reads accumulate in a [`WireBuf`], `EWOULDBLOCK` just ends
+//! the pass, and peer loss runs the session's `lower_down` so the next
+//! successful [`Transport::establish`] renegotiates from scratch
+//! (RFC 1661 Down → Up).
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use p5_core::p5::FUSED_WIRE_HIGH_WATER;
+use p5_core::{DatapathWidth, TxQueueFull, P5};
+use p5_ppp::{NegotiationProfile, Protocol, Session, SessionEvent};
+use p5_stream::{Observable, Offer, Snapshot, WireBuf};
+
+use crate::ring::ByteRing;
+use crate::transport::{IoOp, Transport};
+
+/// Bytes staged toward a stalled peer before egress backpressure
+/// reaches the device (and from there the `offer` boundary).
+const TX_RING_CAPACITY: usize = 64 * 1024;
+/// Read granularity per transport recv.
+const RECV_CHUNK: usize = 4096;
+/// Staged-clock budget per service pass.
+const CLOCK_BUDGET: u64 = 256 * 1024;
+/// Flag octets pushed per idle-fill burst in session mode, keeping the
+/// peer's delineation hunting and the pipe demonstrably alive.
+const IDLE_FILL_BURST: usize = 4;
+/// Minimum service passes between idle-fill bursts.  Filling every
+/// starved pass floods the socket with flags (more fill than payload at
+/// spin rates) and — worse — every burst arrives at the peer as
+/// readable bytes, i.e. "progress", so a pair of spinning drivers keep
+/// each other awake forever.  On a single-CPU host that feedback loop
+/// convoys the driver threads against the offering thread and collapses
+/// throughput two orders of magnitude.  A periodic burst preserves the
+/// keep-alive semantic at a bandwidth that rounds to zero.
+const IDLE_FILL_INTERVAL: u64 = 64;
+/// Wall time per session-clock tick.  RFC 1661 restart timers assume
+/// the restart period dwarfs the round-trip; with driver threads the
+/// round-trip is *scheduling latency*, so the tick must be wall-time,
+/// not pass-count — a pass-rate clock retransmits Configure-Requests
+/// faster than the peer thread can answer, and each late duplicate
+/// arriving after Opened renegotiates the link forever.  20 ms per
+/// tick puts the default 3-tick restart period at 60 ms, comfortably
+/// above any scheduler hiccup while keeping reconnect budgets snappy.
+const TICK_LEN: Duration = Duration::from_millis(20);
+
+/// Flow/IO accounting for one engine, all monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XportCounters {
+    /// Octets handed to the transport.
+    pub bytes_out: u64,
+    /// Octets taken from the transport.
+    pub bytes_in: u64,
+    /// Sends where the kernel took fewer bytes than offered.
+    pub short_writes: u64,
+    /// Recvs that returned fewer bytes than the chunk asked for.
+    pub short_reads: u64,
+    /// Times the pipe was re-established after a loss.
+    pub reconnects: u64,
+    /// Times the pipe was observed lost.
+    pub disconnects: u64,
+    /// Flag octets injected on transmit starvation.
+    pub idle_fill_bytes: u64,
+    /// Hard I/O errors (not would-block, not peer loss).
+    pub io_errors: u64,
+    /// Frames offered at the ingress boundary.
+    pub offered: u64,
+    /// Offered frames that entered the device.
+    pub accepted: u64,
+    /// Offered frames refused at the bounded ingress queue (or while
+    /// the network phase is down).
+    pub shed: u64,
+    /// Offered frames refused with [`Offer::Rejected`] (wrong protocol
+    /// for the session's network phase).
+    pub rejected: u64,
+    /// Frames delivered out of the device to this endpoint's owner.
+    pub delivered: u64,
+    /// Payload octets delivered.
+    pub delivered_bytes: u64,
+}
+
+/// Does the device need staged clocking?  (Same predicate the fleet
+/// runtime uses — fused paths don't need cycles.)
+fn staged_busy(dev: &P5) -> bool {
+    !dev.tx.idle() || !dev.rx.idle() || dev.wire_in_pending() > 0
+}
+
+/// One real endpoint: device + optional PPP session + transport.
+pub struct LinkEngine {
+    dev: P5,
+    /// `None` is *transparent* mode: raw frames in, raw frames out, no
+    /// control plane — the determinism harness and protocol-agnostic
+    /// carriage.
+    session: Option<Session>,
+    transport: Box<dyn Transport>,
+    /// Session/control frames awaiting a device slot.
+    ctl: VecDeque<(u16, Vec<u8>)>,
+    /// User frames admitted but not yet in the session/device.
+    ingress: VecDeque<(u16, Vec<u8>)>,
+    ingress_depth: usize,
+    /// Device wire-out bytes that did not fit the ring this pass.
+    tx_stage: WireBuf,
+    tx_ring: ByteRing,
+    wire_in: WireBuf,
+    deliveries: VecDeque<(u16, Vec<u8>)>,
+    events: VecDeque<SessionEvent>,
+    pub counters: XportCounters,
+    /// Service passes executed (the fine clock).
+    passes: u64,
+    /// Pass stamp of the last idle-fill burst.
+    last_fill_pass: u64,
+    /// Session-clock ticks (wall time since construction / [`TICK_LEN`]).
+    now: u64,
+    epoch: Instant,
+    ever_established: bool,
+    /// Our last knowledge of the pipe: lets a silent loss (the
+    /// transport noticing on its own, or a scripted sever) run the
+    /// Down transition exactly once before any re-establishment.
+    pipe_open: bool,
+}
+
+impl LinkEngine {
+    /// A session-mode endpoint negotiating `profile` over `transport`.
+    pub fn new(
+        width: DatapathWidth,
+        profile: &NegotiationProfile,
+        transport: Box<dyn Transport>,
+    ) -> Self {
+        Self::build(width, Some(Session::with_profile(profile)), transport)
+    }
+
+    /// A transparent endpoint: no PPP control plane, frames carried
+    /// verbatim.  Deterministic by construction — what goes in one end
+    /// comes out the other, byte-identical to an in-memory link.
+    pub fn transparent(width: DatapathWidth, transport: Box<dyn Transport>) -> Self {
+        Self::build(width, None, transport)
+    }
+
+    fn build(
+        width: DatapathWidth,
+        session: Option<Session>,
+        transport: Box<dyn Transport>,
+    ) -> Self {
+        LinkEngine {
+            dev: P5::new(width),
+            session,
+            transport,
+            ctl: VecDeque::new(),
+            ingress: VecDeque::new(),
+            ingress_depth: 64,
+            tx_stage: WireBuf::new(),
+            tx_ring: ByteRing::with_capacity(TX_RING_CAPACITY),
+            wire_in: WireBuf::new(),
+            deliveries: VecDeque::new(),
+            events: VecDeque::new(),
+            counters: XportCounters::default(),
+            passes: 0,
+            last_fill_pass: 0,
+            now: 0,
+            epoch: Instant::now(),
+            ever_established: false,
+            pipe_open: false,
+        }
+    }
+
+    /// Cap on frames admitted-but-unsent before `offer` sheds.
+    pub fn set_ingress_depth(&mut self, depth: usize) {
+        self.ingress_depth = depth.max(1);
+    }
+
+    /// Record this endpoint's frame-lifecycle events into `sink`.
+    pub fn set_trace(&mut self, sink: Box<dyn p5_stream::TraceSink + Send>) {
+        self.dev.set_trace(sink);
+    }
+
+    /// Where this endpoint's bytes go (transport description).
+    pub fn describe(&self) -> String {
+        self.transport.describe()
+    }
+
+    /// The transport, for test scripting (stalls, severs).
+    pub fn transport_mut(&mut self) -> &mut dyn Transport {
+        &mut *self.transport
+    }
+
+    /// IPCP is open (session mode) / the pipe exists (transparent).
+    pub fn is_network_up(&self) -> bool {
+        match &self.session {
+            Some(s) => s.is_network_up(),
+            None => self.transport.established(),
+        }
+    }
+
+    /// Session-clock ticks elapsed (the unit restart budgets are
+    /// denominated in).
+    pub fn ticks(&self) -> u64 {
+        self.now
+    }
+
+    /// Service passes executed (the fine pump clock).
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Offer one frame at the admission boundary.
+    ///
+    /// Session mode accepts only [`Protocol::Ipv4`] payloads
+    /// ([`Offer::Rejected`] otherwise) and sheds while the network
+    /// phase is down — PPP does not carry user traffic before IPCP
+    /// opens.  Transparent mode carries any protocol.
+    pub fn offer(&mut self, protocol: u16, payload: &[u8]) -> Offer {
+        self.counters.offered += 1;
+        if self.session.is_some() {
+            if protocol != Protocol::Ipv4.number() {
+                self.counters.rejected += 1;
+                return Offer::Rejected;
+            }
+            if !self.is_network_up() {
+                self.counters.shed += 1;
+                return Offer::Shed;
+            }
+        }
+        // Fast path: nothing queued ahead and the device's fused TX
+        // will take it now.
+        if self.ingress.is_empty()
+            && self.ctl.is_empty()
+            && self.tx_stage.is_empty()
+            && self.dev.fused_submit_wire(protocol, payload, 0)
+        {
+            self.counters.accepted += 1;
+            return Offer::Accepted;
+        }
+        if self.ingress.len() >= self.ingress_depth {
+            self.counters.shed += 1;
+            return Offer::Shed;
+        }
+        let mut buf = self.dev.lease_tx_buf();
+        buf.extend_from_slice(payload);
+        self.ingress.push_back((protocol, buf));
+        Offer::Queued
+    }
+
+    /// Frames delivered to this endpoint since the last call — IPv4
+    /// datagrams in session mode, raw `(protocol, payload)` frames in
+    /// transparent mode.
+    pub fn take_deliveries(&mut self) -> Vec<(u16, Vec<u8>)> {
+        self.deliveries.drain(..).collect()
+    }
+
+    /// Session events (link up/down, network up, auth, rejects) since
+    /// the last call.  Always empty in transparent mode.
+    pub fn poll_events(&mut self) -> Vec<SessionEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Anything queued on our side of the socket?
+    pub fn has_local_work(&self) -> bool {
+        !self.ingress.is_empty()
+            || !self.ctl.is_empty()
+            || !self.tx_stage.is_empty()
+            || !self.tx_ring.is_empty()
+            || !self.wire_in.is_empty()
+            || self.dev.has_wire_out()
+            || staged_busy(&self.dev)
+    }
+
+    /// Administrative close: terminate the session (the Terminate
+    /// exchange flushes on subsequent service passes).
+    pub fn stop(&mut self) {
+        if let Some(s) = &mut self.session {
+            s.stop();
+        }
+    }
+
+    /// One full pump pass.  Returns `true` if anything moved — the
+    /// driver's spin/sleep signal.  Idle-fill injection deliberately
+    /// does not count as progress.
+    pub fn service(&mut self) -> bool {
+        let mut progress = false;
+        self.passes += 1;
+        let elapsed = (self.epoch.elapsed().as_millis() / TICK_LEN.as_millis()) as u64;
+        self.now = self.now.max(elapsed);
+
+        if self.transport.established() {
+            if !self.pipe_open {
+                // Transport was born connected (dialled client,
+                // in-process pipe): this pass discovers it.
+                self.on_established();
+                progress = true;
+            }
+        } else {
+            if self.pipe_open {
+                // The pipe died without us touching it (peer vanished,
+                // scripted sever): run the Down transition first.
+                self.on_closed();
+            }
+            match self.transport.establish() {
+                Ok(true) => {
+                    self.on_established();
+                    progress = true;
+                }
+                Ok(false) => {}
+                Err(_) => self.counters.io_errors += 1,
+            }
+        }
+
+        // Control plane: admit datagrams, advance timers, collect
+        // output and events.
+        if let Some(session) = &mut self.session {
+            while session.is_network_up() && !self.ingress.is_empty() {
+                let (_, payload) = self.ingress.pop_front().expect("checked non-empty");
+                session.send_datagram(payload);
+                self.counters.accepted += 1;
+                progress = true;
+            }
+            session.tick(self.now);
+            for frame in session.poll_output() {
+                self.ctl.push_back(frame);
+            }
+            for ev in session.poll_events() {
+                match ev {
+                    SessionEvent::Datagram(data) => {
+                        self.counters.delivered += 1;
+                        self.counters.delivered_bytes += data.len() as u64;
+                        self.deliveries.push_back((Protocol::Ipv4.number(), data));
+                    }
+                    other => self.events.push_back(other),
+                }
+            }
+        } else {
+            // Transparent mode: user frames go straight to the device.
+            while let Some((protocol, payload)) = self.ingress.pop_front() {
+                self.ctl.push_back((protocol, payload));
+                self.counters.accepted += 1;
+                progress = true;
+            }
+        }
+
+        progress |= self.flush_ctl();
+
+        if staged_busy(&self.dev) {
+            progress |= self.dev.run_until_idle(CLOCK_BUDGET) > 0;
+        }
+
+        progress |= self.stage_wire_out();
+        self.idle_fill();
+        progress |= self.pump_socket_out();
+        progress |= self.pump_socket_in();
+        progress |= self.ingest_wire_in();
+
+        if staged_busy(&self.dev) {
+            progress |= self.dev.run_until_idle(CLOCK_BUDGET) > 0;
+        }
+
+        progress |= self.collect_received();
+        progress
+    }
+
+    /// Pipe (re)created.  First time starts the session; later times
+    /// are reconnects and renegotiate via Down → Up.
+    fn on_established(&mut self) {
+        self.pipe_open = true;
+        self.tx_ring.clear();
+        self.tx_stage.clear();
+        self.wire_in.clear();
+        let reconnect = self.ever_established;
+        if reconnect {
+            self.counters.reconnects += 1;
+        }
+        self.ever_established = true;
+        if let Some(session) = &mut self.session {
+            if reconnect {
+                session.lower_up();
+            } else {
+                session.start();
+            }
+        }
+    }
+
+    /// Pipe lost mid-flight: drop in-flight wire state (the peer will
+    /// resync on flags anyway) and run the session's Down transition.
+    fn on_closed(&mut self) {
+        self.pipe_open = false;
+        self.counters.disconnects += 1;
+        self.tx_ring.clear();
+        self.tx_stage.clear();
+        self.wire_in.clear();
+        if let Some(session) = &mut self.session {
+            session.lower_down();
+        }
+    }
+
+    /// Move queued control/user frames into the device — fused when
+    /// clear, the staged TX queue as the degradation step, retrying
+    /// (not dropping) when even that refuses.
+    fn flush_ctl(&mut self) -> bool {
+        let mut progress = false;
+        while let Some((protocol, payload)) = self.ctl.pop_front() {
+            if self.tx_stage.len() + self.tx_ring.len() >= TX_RING_CAPACITY {
+                // Egress backlog: hold the queue, backpressure stands.
+                self.ctl.push_front((protocol, payload));
+                break;
+            }
+            if self.dev.fused_tx_ready() && self.dev.fused_submit_wire(protocol, &payload, 0) {
+                self.dev.buf_pool().recycle_vec(payload);
+                progress = true;
+                continue;
+            }
+            match self.dev.submit(protocol, payload) {
+                Ok(()) => progress = true,
+                Err(TxQueueFull(desc)) => {
+                    // Control frames are never dropped here: requeue
+                    // and let the device drain first.
+                    self.ctl.push_front((desc.protocol, desc.payload));
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Device wire-out → ring (staging the overflow).
+    fn stage_wire_out(&mut self) -> bool {
+        let mut progress = false;
+        // Stage backlog first: ring order must match wire order.
+        let taken = self.tx_ring.push(self.tx_stage.as_slice());
+        if taken > 0 {
+            self.tx_stage.consume(taken);
+            progress = true;
+        }
+        while self.dev.has_wire_out() {
+            if !self.tx_stage.is_empty() || self.tx_ring.free() == 0 {
+                break; // keep the backlog bounded at device side
+            }
+            let bytes = self.dev.take_wire_out();
+            let taken = self.tx_ring.push(&bytes);
+            if taken < bytes.len() {
+                self.tx_stage.push_slice(&bytes[taken..]);
+            }
+            self.dev.recycle_wire_vec(bytes);
+            progress = true;
+        }
+        progress
+    }
+
+    /// Transmit starvation in session mode: keep the line scrambling
+    /// with inter-frame flags, like the hardware's idle-fill escape —
+    /// but throttled to [`IDLE_FILL_INTERVAL`] (see there for why a
+    /// per-pass fill is actively harmful over a real socket).
+    fn idle_fill(&mut self) {
+        if self.session.is_none()
+            || !self.ever_established
+            || !self.transport.established()
+            || !self.tx_ring.is_empty()
+            || !self.tx_stage.is_empty()
+            || self.dev.has_wire_out()
+            || self.passes.wrapping_sub(self.last_fill_pass) < IDLE_FILL_INTERVAL
+        {
+            return;
+        }
+        self.last_fill_pass = self.passes;
+        let fill = [p5_hdlc::FLAG; IDLE_FILL_BURST];
+        let n = self.tx_ring.push(&fill);
+        self.counters.idle_fill_bytes += n as u64;
+    }
+
+    /// Ring → socket, consuming exactly what the kernel took.
+    fn pump_socket_out(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            let (first, _) = self.tx_ring.as_slices();
+            if first.is_empty() {
+                break;
+            }
+            let offered = first.len();
+            match self.transport.send(first) {
+                Ok(IoOp::Did(n)) => {
+                    self.tx_ring.consume(n);
+                    self.counters.bytes_out += n as u64;
+                    progress = true;
+                    if n < offered {
+                        self.counters.short_writes += 1;
+                        break;
+                    }
+                }
+                Ok(IoOp::WouldBlock) => break,
+                Ok(IoOp::Closed) => {
+                    self.on_closed();
+                    break;
+                }
+                Err(_) => {
+                    self.counters.io_errors += 1;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Socket → wire-in buffer, bounded by the fused high-water mark.
+    fn pump_socket_in(&mut self) -> bool {
+        let mut progress = false;
+        let mut chunk = [0u8; RECV_CHUNK];
+        while self.wire_in.len() < FUSED_WIRE_HIGH_WATER && self.transport.established() {
+            match self.transport.recv(&mut chunk) {
+                Ok(IoOp::Did(n)) => {
+                    self.wire_in.push_slice(&chunk[..n]);
+                    self.counters.bytes_in += n as u64;
+                    progress = true;
+                    if n < chunk.len() {
+                        self.counters.short_reads += 1;
+                        break;
+                    }
+                }
+                Ok(IoOp::WouldBlock) => break,
+                Ok(IoOp::Closed) => {
+                    self.on_closed();
+                    break;
+                }
+                Err(_) => {
+                    self.counters.io_errors += 1;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Wire-in buffer → device (fused bulk ingest when eligible).
+    fn ingest_wire_in(&mut self) -> bool {
+        if self.wire_in.is_empty() {
+            return false;
+        }
+        let max = self.wire_in.len().min(FUSED_WIRE_HIGH_WATER);
+        if self.dev.fused_ingest_wire(&mut self.wire_in, max).is_none() {
+            self.dev.offer_wire_from(&mut self.wire_in, max);
+        }
+        true
+    }
+
+    /// Device deliveries → session (or straight out, transparent).
+    fn collect_received(&mut self) -> bool {
+        let mut progress = false;
+        for frame in self.dev.take_received() {
+            progress = true;
+            match &mut self.session {
+                Some(session) => {
+                    session.receive(frame.protocol, &frame.payload);
+                    self.dev.recycle_rx_payload(frame.payload);
+                    // Surface what the receive produced without waiting
+                    // for the next pass.
+                    for out in session.poll_output() {
+                        self.ctl.push_back(out);
+                    }
+                    for ev in session.poll_events() {
+                        match ev {
+                            SessionEvent::Datagram(data) => {
+                                self.counters.delivered += 1;
+                                self.counters.delivered_bytes += data.len() as u64;
+                                self.deliveries.push_back((Protocol::Ipv4.number(), data));
+                            }
+                            other => self.events.push_back(other),
+                        }
+                    }
+                }
+                None => {
+                    self.counters.delivered += 1;
+                    self.counters.delivered_bytes += frame.payload.len() as u64;
+                    self.deliveries.push_back((frame.protocol, frame.payload));
+                }
+            }
+        }
+        progress
+    }
+}
+
+impl Observable for LinkEngine {
+    fn snapshot(&self) -> Snapshot {
+        let c = &self.counters;
+        Snapshot::new("xport")
+            .counter("bytes_out", c.bytes_out)
+            .counter("bytes_in", c.bytes_in)
+            .counter("short_writes", c.short_writes)
+            .counter("short_reads", c.short_reads)
+            .counter("reconnects", c.reconnects)
+            .counter("disconnects", c.disconnects)
+            .counter("idle_fill_bytes", c.idle_fill_bytes)
+            .counter("io_errors", c.io_errors)
+            .counter("offered", c.offered)
+            .counter("accepted", c.accepted)
+            .counter("shed", c.shed)
+            .counter("rejected", c.rejected)
+            .counter("delivered", c.delivered)
+            .counter("delivered_bytes", c.delivered_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::PipeTransport;
+
+    fn pump(a: &mut LinkEngine, b: &mut LinkEngine, max: usize) {
+        for _ in 0..max {
+            let pa = a.service();
+            let pb = b.service();
+            if !pa && !pb {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn transparent_engines_carry_frames_both_ways() {
+        let (ta, tb) = PipeTransport::pair();
+        let mut a = LinkEngine::transparent(DatapathWidth::W32, Box::new(ta));
+        let mut b = LinkEngine::transparent(DatapathWidth::W32, Box::new(tb));
+        assert_eq!(a.offer(0x0021, b"one small datagram"), Offer::Accepted);
+        assert_eq!(b.offer(0x0057, b"and back again"), Offer::Accepted);
+        pump(&mut a, &mut b, 64);
+        let got_b = b.take_deliveries();
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(got_b[0].0, 0x0021);
+        assert_eq!(got_b[0].1, b"one small datagram");
+        let got_a = a.take_deliveries();
+        assert_eq!(got_a.len(), 1);
+        assert_eq!(got_a[0].0, 0x0057);
+        assert_eq!(got_a[0].1, b"and back again");
+        assert_eq!(a.counters.delivered, 1);
+        assert_eq!(b.counters.delivered, 1);
+    }
+
+    #[test]
+    fn sessions_negotiate_and_exchange_over_a_pipe() {
+        let (ta, tb) = PipeTransport::pair();
+        let prof_a = NegotiationProfile::new().magic(0x1111).ip([10, 0, 0, 1]);
+        let prof_b = NegotiationProfile::new().magic(0x2222).ip([10, 0, 0, 2]);
+        let mut a = LinkEngine::new(DatapathWidth::W32, &prof_a, Box::new(ta));
+        let mut b = LinkEngine::new(DatapathWidth::W32, &prof_b, Box::new(tb));
+        for _ in 0..200 {
+            a.service();
+            b.service();
+            if a.is_network_up() && b.is_network_up() {
+                break;
+            }
+        }
+        assert!(a.is_network_up(), "LCP+IPCP should open over the pipe");
+        assert!(b.is_network_up());
+        assert!(a
+            .poll_events()
+            .iter()
+            .any(|e| matches!(e, SessionEvent::NetworkUp(..))));
+
+        assert_eq!(a.offer(0xBEEF, b"not ip"), Offer::Rejected);
+        let datagram = vec![0x45u8; 96];
+        assert!(a.offer(0x0021, &datagram).is_admitted());
+        pump(&mut a, &mut b, 64);
+        let got = b.take_deliveries();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, datagram);
+    }
+
+    #[test]
+    fn sever_renegotiates_within_the_restart_budget() {
+        let (ta, tb) = PipeTransport::pair();
+        let ctl = ta.control();
+        let mut a = LinkEngine::new(
+            DatapathWidth::W32,
+            &NegotiationProfile::new().magic(1).ip([10, 0, 0, 1]),
+            Box::new(ta),
+        );
+        let mut b = LinkEngine::new(
+            DatapathWidth::W32,
+            &NegotiationProfile::new().magic(2).ip([10, 0, 0, 2]),
+            Box::new(tb),
+        );
+        for _ in 0..200 {
+            a.service();
+            b.service();
+            if a.is_network_up() && b.is_network_up() {
+                break;
+            }
+        }
+        assert!(a.is_network_up() && b.is_network_up());
+        a.poll_events();
+        b.poll_events();
+
+        // Script the mid-run disconnect (closes both lanes).
+        ctl.sever();
+        let mut recovered = false;
+        for _ in 0..400 {
+            a.service();
+            b.service();
+            if a.counters.disconnects > 0 && a.is_network_up() && b.is_network_up() {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "session should renegotiate after a sever");
+        assert!(a.counters.reconnects >= 1);
+        assert!(a
+            .poll_events()
+            .iter()
+            .any(|e| matches!(e, SessionEvent::NetworkUp(..))));
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared nonblocking-socket plumbing: the accept loop and the bounded
+//! request reader every TCP endpoint in the workspace kept reinventing.
+//!
+//! [`accept_loop`] owns the "bind, go nonblocking, poll-accept on a
+//! dedicated thread, stop promptly on drop" idiom; [`read_head`] is the
+//! bounded single-read request reader (enough for an HTTP request line
+//! or any short line protocol, immune to slow-loris by construction).
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Poll interval while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A running accept loop.  Dropping it stops the serving thread.
+pub struct AcceptLoop {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AcceptLoop {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the serving thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AcceptLoop {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` (port 0 for ephemeral), spawn `thread_name`, and hand
+/// every accepted connection to `handler` until the returned
+/// [`AcceptLoop`] is dropped.  Per-connection handler errors are the
+/// handler's problem — the loop never dies with a client.
+pub fn accept_loop(
+    addr: impl ToSocketAddrs,
+    thread_name: &str,
+    mut handler: impl FnMut(TcpStream) + Send + 'static,
+) -> std::io::Result<AcceptLoop> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name(thread_name.to_string())
+        .spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => handler(stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+        })?;
+    Ok(AcceptLoop {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Read the head of a request — one bounded read, at most `max` bytes,
+/// within `timeout` — and return it lossily decoded.  Enough for any
+/// request line; a client that trickles bytes costs one timeout, not a
+/// wedged thread.
+pub fn read_head(stream: &mut TcpStream, max: usize, timeout: Duration) -> std::io::Result<String> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut buf = vec![0u8; max.max(1)];
+    let n = stream.read(&mut buf)?;
+    Ok(String::from_utf8_lossy(&buf[..n]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn accept_loop_hands_out_connections_and_stops() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = accept_loop("127.0.0.1:0", "net-test", move |mut stream| {
+            let head = read_head(&mut stream, 256, Duration::from_millis(500)).unwrap();
+            let _ = stream.write_all(head.to_uppercase().as_bytes());
+            let _ = tx.send(());
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let mut c = TcpStream::connect(addr).expect("connect");
+        c.write_all(b"hello head\r\n").unwrap();
+        c.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        c.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "HELLO HEAD\r\n");
+        rx.recv_timeout(Duration::from_secs(5)).expect("handled");
+        server.stop();
+    }
+}

@@ -1,0 +1,125 @@
+//! [`ByteRing`]: the bounded staging ring between the device's wire
+//! boundary and a nonblocking socket.
+//!
+//! A fixed-capacity circular byte buffer: pushes copy in as much as
+//! fits (the caller learns how much and keeps the rest — that *is* the
+//! backpressure), reads come out as at most two contiguous slices so a
+//! partial `write(2)` can consume exactly what the kernel took.  No
+//! reallocation ever: the capacity chosen at construction is the hard
+//! bound on bytes staged toward a stalled peer.
+
+/// Fixed-capacity circular byte buffer.
+#[derive(Debug)]
+pub struct ByteRing {
+    buf: Box<[u8]>,
+    head: usize,
+    len: usize,
+}
+
+impl ByteRing {
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "a zero-capacity ring cannot stage anything");
+        ByteRing {
+            buf: vec![0u8; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes that can still be pushed.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len
+    }
+
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Copy in as much of `bytes` as fits; returns the count taken.
+    pub fn push(&mut self, bytes: &[u8]) -> usize {
+        let n = bytes.len().min(self.free());
+        if n == 0 {
+            return 0;
+        }
+        let cap = self.capacity();
+        let tail = (self.head + self.len) % cap;
+        let first = n.min(cap - tail);
+        self.buf[tail..tail + first].copy_from_slice(&bytes[..first]);
+        if n > first {
+            self.buf[..n - first].copy_from_slice(&bytes[first..n]);
+        }
+        self.len += n;
+        n
+    }
+
+    /// The buffered bytes as (up to) two contiguous slices, oldest
+    /// first — hand the first to `write(2)`, then [`ByteRing::consume`]
+    /// whatever the kernel took.
+    pub fn as_slices(&self) -> (&[u8], &[u8]) {
+        let cap = self.capacity();
+        let first = self.len.min(cap - self.head);
+        (
+            &self.buf[self.head..self.head + first],
+            &self.buf[..self.len - first],
+        )
+    }
+
+    /// Drop the oldest `n` bytes (they reached the kernel).
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len);
+        let n = n.min(self.len);
+        self.head = (self.head + n) % self.capacity();
+        self.len -= n;
+        if self.len == 0 {
+            self.head = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_read_wraps_and_preserves_order() {
+        let mut r = ByteRing::with_capacity(8);
+        assert_eq!(r.push(b"abcdef"), 6);
+        r.consume(4); // head now 4
+        assert_eq!(r.push(b"ghijkl"), 6); // wraps
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.free(), 0);
+        assert_eq!(r.push(b"x"), 0);
+        let mut out = Vec::new();
+        let (a, b) = r.as_slices();
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
+        assert_eq!(out, b"efghijkl");
+        r.consume(8);
+        assert!(r.is_empty());
+        assert_eq!(r.as_slices(), (&b""[..], &b""[..]));
+    }
+
+    #[test]
+    fn partial_consume_tracks_the_oldest_bytes() {
+        let mut r = ByteRing::with_capacity(4);
+        r.push(b"abcd");
+        r.consume(1);
+        assert_eq!(r.as_slices().0, b"bcd");
+        assert_eq!(r.push(b"e"), 1);
+        let (a, b) = r.as_slices();
+        assert_eq!([a, b].concat(), b"bcde");
+    }
+}

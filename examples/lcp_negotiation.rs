@@ -13,9 +13,9 @@
 //! cargo run --release --example lcp_negotiation
 //! ```
 
-use p5::ppp::endpoint::EndpointConfig;
 use p5::ppp::mapos::MaposAddress;
 use p5::ppp::session::{Session, SessionEvent};
+use p5::ppp::NegotiationProfile;
 use p5::prelude::*;
 
 /// One round: flush the session's control packets into the P⁵, clock
@@ -39,12 +39,18 @@ fn main() {
     // here), or stale retransmissions force renegotiation from Opened —
     // the same rule real stacks follow (seconds of timer vs.
     // milliseconds of RTT).
-    let cfg = EndpointConfig {
-        restart_period: 10,
-        ..EndpointConfig::default()
-    };
-    let mut a = Session::with_config(0x1111_1111, [10, 0, 0, 1], cfg);
-    let mut b = Session::with_config(0x2222_2222, [10, 0, 0, 2], cfg);
+    let mut a = Session::with_profile(
+        &NegotiationProfile::new()
+            .magic(0x1111_1111)
+            .ip([10, 0, 0, 1])
+            .restart_period(10),
+    );
+    let mut b = Session::with_profile(
+        &NegotiationProfile::new()
+            .magic(0x2222_2222)
+            .ip([10, 0, 0, 2])
+            .restart_period(10),
+    );
 
     let mut link = LinkBuilder::new()
         .width(DatapathWidth::W32)

@@ -26,7 +26,12 @@
 //! * [`obs`] — live fleet observability: [`obs::Collector`] time-series
 //!   telemetry, per-link hysteresis health scoring, freezing flight
 //!   recorders, and [`obs::serve`], a dependency-free HTTP scrape
-//!   endpoint (`/metrics`, `/health`, `/flight`).
+//!   endpoint (`/metrics`, `/health`, `/flight`);
+//! * [`xport`] — real endpoints: [`xport::Transport`] byte pipes (TCP,
+//!   Unix-domain, in-process), [`xport::LinkEngine`] binding one
+//!   device plus PPP session to a transport, and
+//!   [`xport::SessionDriver`] dedicated pump threads — built by
+//!   [`link::LinkBuilder::build_remote`].
 //!
 //! [`prelude`] re-exports the common assembly surface in one `use`.
 //!
@@ -44,6 +49,7 @@ pub use p5_ppp as ppp;
 pub use p5_rtl as rtl;
 pub use p5_runtime as runtime;
 pub use p5_sonet as sonet;
+pub use p5_xport as xport;
 
 pub mod prelude;
 

@@ -22,9 +22,13 @@ pub use p5_fault::{
 pub use p5_hdlc::{DeframerConfig, FcsMode};
 pub use p5_link::{DuplexLink, Link, LinkBuilder, LinkEnd, LinkError};
 pub use p5_obs::{serve, Collector, CollectorConfig, HealthPolicy, HealthState, ObsHub};
+pub use p5_ppp::{AuthPolicy, CredentialTable, NegotiationProfile, Session, SessionEvent};
 pub use p5_runtime::{Carrier, Fleet, FleetConfig, FleetStats, Sharding, TrafficSpec};
 pub use p5_sonet::{BitErrorChannel, OcPath, OcPathStage, StmLevel, TributaryGroup};
 pub use p5_stream::{
-    render_table, stack, Chain, Observable, Pipe, Poll, SharedRecorder, Snapshot, Stack,
+    render_table, stack, Chain, Observable, Offer, Pipe, Poll, SharedRecorder, Snapshot, Stack,
     StageStats, StreamStage, Throttle, WireBuf, WordStream,
 };
+#[cfg(unix)]
+pub use p5_xport::UnixTransport;
+pub use p5_xport::{LinkEngine, PipeTransport, SessionDriver, TcpTransport, Transport};
